@@ -1,0 +1,44 @@
+//! Uniform simulated-time access across CPU- and GPU-backed indexes.
+
+/// An index whose operations advance a simulated clock.
+///
+/// `mark()` returns an opaque checkpoint; `elapsed(mark)` the simulated
+/// seconds since. GPU methods report device cycles / clock rate, CPU methods
+/// report work units / effective throughput.
+pub trait Clocked {
+    /// Opaque clock checkpoint.
+    fn mark(&self) -> u64;
+    /// Simulated seconds elapsed since `mark`.
+    fn elapsed_since(&self, mark: u64) -> f64;
+}
+
+/// Helper macro: implement [`Clocked`] over a `CpuClock` field.
+macro_rules! impl_cpu_clocked {
+    ($ty:ty) => {
+        impl crate::clock::Clocked for $ty {
+            fn mark(&self) -> u64 {
+                self.clock.work()
+            }
+            fn elapsed_since(&self, mark: u64) -> f64 {
+                self.clock.seconds_since(mark)
+            }
+        }
+    };
+}
+
+/// Helper macro: implement [`Clocked`] over an `Arc<Device>` field.
+macro_rules! impl_gpu_clocked {
+    ($ty:ty) => {
+        impl crate::clock::Clocked for $ty {
+            fn mark(&self) -> u64 {
+                self.dev.cycles()
+            }
+            fn elapsed_since(&self, mark: u64) -> f64 {
+                self.dev.seconds_since(mark)
+            }
+        }
+    };
+}
+
+pub(crate) use impl_cpu_clocked;
+pub(crate) use impl_gpu_clocked;

@@ -1,0 +1,102 @@
+//! Linear scan: the trivial exact method, used as ground truth in tests and
+//! as the conceptual floor for every comparison.
+
+use crate::clock::impl_cpu_clocked;
+use gpu_sim::CpuClock;
+use metric_space::index::{sort_neighbors, IndexError, Neighbor, SimilarityIndex};
+use metric_space::{Item, ItemMetric, Metric};
+
+/// Exact CPU linear scan over the whole dataset.
+pub struct LinearScan {
+    items: Vec<Item>,
+    metric: ItemMetric,
+    pub(crate) clock: CpuClock,
+}
+
+impl LinearScan {
+    /// Wrap a dataset (no construction work).
+    pub fn new(items: Vec<Item>, metric: ItemMetric) -> Self {
+        LinearScan {
+            items,
+            metric,
+            clock: CpuClock::default(),
+        }
+    }
+
+    fn dist(&self, a: &Item, b: &Item) -> f64 {
+        self.clock.charge(self.metric.work(a, b));
+        self.metric.distance(a, b)
+    }
+}
+
+impl SimilarityIndex<Item> for LinearScan {
+    fn name(&self) -> &'static str {
+        "Scan"
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn range_query(&self, q: &Item, r: f64) -> Result<Vec<Neighbor>, IndexError> {
+        let mut out: Vec<Neighbor> = self
+            .items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                let d = self.dist(q, o);
+                (d <= r).then_some(Neighbor::new(i as u32, d))
+            })
+            .collect();
+        sort_neighbors(&mut out);
+        Ok(out)
+    }
+
+    fn knn_query(&self, q: &Item, k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        let mut all: Vec<Neighbor> = self
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, o)| Neighbor::new(i as u32, self.dist(q, o)))
+            .collect();
+        sort_neighbors(&mut all);
+        all.truncate(k);
+        Ok(all)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        0 // no index structure
+    }
+}
+
+impl_cpu_clocked!(LinearScan);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric_space::DatasetKind;
+
+    #[test]
+    fn range_and_knn_consistent() {
+        let d = DatasetKind::Words.generate(100, 3);
+        let scan = LinearScan::new(d.items.clone(), d.metric);
+        let q = &d.items[5];
+        let knn = scan.knn_query(q, 5).expect("knn");
+        assert_eq!(knn.len(), 5);
+        assert_eq!(knn[0].id, 5, "self is nearest");
+        let r = knn.last().expect("k-th").dist;
+        let range = scan.range_query(q, r).expect("range");
+        assert!(range.len() >= 5, "range at k-th distance covers the kNN");
+        assert!(range.windows(2).all(|w| w[0].dist <= w[1].dist));
+    }
+
+    #[test]
+    fn clock_advances() {
+        use crate::clock::Clocked;
+        let d = DatasetKind::TLoc.generate(50, 3);
+        let scan = LinearScan::new(d.items.clone(), d.metric);
+        let m = scan.mark();
+        scan.knn_query(&d.items[0], 3).expect("knn");
+        assert!(scan.elapsed_since(m) > 0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Criterion bench for Fig. 10: GTS batched queries under duplicate-heavy
+//! data (distinct proportion sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::workload::{defaults, Workload};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let base = cfg.dataset(DatasetKind::TLoc);
+    let mut group = c.benchmark_group("fig10_distinct");
+    group.sample_size(10);
+    for pct in [20u32, 60, 100] {
+        let data = base.with_distinct_proportion(pct, 5);
+        let workload = Workload::new(&data, 8, &cfg);
+        let queries = workload.queries_n(16);
+        let radii = vec![workload.radius(defaults::R); 16];
+        let dev = cfg.device();
+        let idx = AnyIndex::build(Method::Gts, &dev, &data, &cfg, GtsParams::default())
+            .expect("build")
+            .index;
+        group.bench_function(format!("gts_mrq/distinct={pct}%"), |b| {
+            b.iter(|| idx.batch_range(&queries, &radii).expect("mrq"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for Fig. 11: GTS batched MkNNQ across cardinalities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::workload::{defaults, Workload};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let full = cfg.full_dataset(DatasetKind::TLoc);
+    let mut group = c.benchmark_group("fig11_cardinality");
+    group.sample_size(10);
+    for pct in [20u32, 60, 100] {
+        let data = full.cardinality_subset(pct);
+        let workload = Workload::new(&data, 8, &cfg);
+        let queries = workload.queries_n(16);
+        let dev = cfg.device();
+        let idx = AnyIndex::build(Method::Gts, &dev, &data, &cfg, GtsParams::default())
+            .expect("build")
+            .index;
+        group.bench_function(format!("gts_knn/card={pct}%"), |b| {
+            b.iter(|| idx.batch_knn(&queries, defaults::K).expect("knn"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

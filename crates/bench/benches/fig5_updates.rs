@@ -1,0 +1,45 @@
+//! Criterion bench for Fig. 5: streaming vs batch updates across methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let data = cfg.dataset(DatasetKind::TLoc);
+    let mut group = c.benchmark_group("fig5_updates");
+    group.sample_size(10);
+    for method in [Method::Bst, Method::Mvpt, Method::Gts] {
+        group.bench_function(format!("stream/{}", method.name()), |b| {
+            let dev = cfg.device();
+            let mut idx = AnyIndex::build(method, &dev, &data, &cfg, GtsParams::default())
+                .expect("build")
+                .index;
+            let mut i = 0u32;
+            b.iter(|| {
+                let victim = i % data.len() as u32;
+                i += 1;
+                if idx.remove(victim).expect("rm") {
+                    idx.insert(data.item(victim).clone()).expect("ins");
+                }
+            })
+        });
+    }
+    group.bench_function("batch/GTS_10pct", |b| {
+        b.iter(|| {
+            let dev = cfg.device();
+            let mut idx = AnyIndex::build(Method::Gts, &dev, &data, &cfg, GtsParams::default())
+                .expect("build")
+                .index;
+            let tenth = (data.len() / 10).max(1);
+            let victims: Vec<u32> = (0..tenth as u32).collect();
+            let back: Vec<_> = victims.iter().map(|&v| data.item(v).clone()).collect();
+            idx.batch_update(back, &victims).expect("batch");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for Fig. 6: GTS batch-query latency vs node capacity.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::workload::{defaults, Workload};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let data = cfg.dataset(DatasetKind::Words);
+    let workload = Workload::new(&data, 8, &cfg);
+    let queries = workload.queries_n(16);
+    let radii = workload
+        .radii_for(defaults::R)
+        .into_iter()
+        .cycle()
+        .take(16)
+        .collect::<Vec<_>>();
+    let mut group = c.benchmark_group("fig6_node_capacity");
+    group.sample_size(10);
+    for nc in [10u32, 20, 80, 320] {
+        let dev = cfg.device();
+        let idx = AnyIndex::build(
+            Method::Gts,
+            &dev,
+            &data,
+            &cfg,
+            GtsParams::default().with_node_capacity(nc),
+        )
+        .expect("build")
+        .index;
+        group.bench_function(format!("mrq_batch/Nc={nc}"), |b| {
+            b.iter(|| idx.batch_range(&queries, &radii).expect("mrq"))
+        });
+        group.bench_function(format!("knn_batch/Nc={nc}"), |b| {
+            b.iter(|| idx.batch_knn(&queries, defaults::K).expect("knn"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

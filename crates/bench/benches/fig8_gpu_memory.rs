@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 8: GTS batched MRQ under shrinking device
+//! memory (exercises the two-stage grouping path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::workload::{defaults, Workload};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let data = cfg.dataset(DatasetKind::TLoc);
+    let workload = Workload::new(&data, 8, &cfg);
+    let queries = workload.queries_n(64);
+    let radii = vec![workload.radius(defaults::R); 64];
+    let mut group = c.benchmark_group("fig8_gpu_memory");
+    group.sample_size(10);
+    for gb in [1.0f64, 4.0, 10.0] {
+        let dev = cfg.device_with_memory_gb(gb);
+        let idx = AnyIndex::build(Method::Gts, &dev, &data, &cfg, GtsParams::default())
+            .expect("build")
+            .index;
+        group.bench_function(format!("mrq_batch64/{gb}GB"), |b| {
+            b.iter(|| idx.batch_range(&queries, &radii).expect("mrq"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion bench for Fig. 9: GTS batched MRQ across batch sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gts_bench::workload::{defaults, Workload};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let data = cfg.dataset(DatasetKind::TLoc);
+    let workload = Workload::new(&data, 8, &cfg);
+    let dev = cfg.device();
+    let idx = AnyIndex::build(Method::Gts, &dev, &data, &cfg, GtsParams::default())
+        .expect("build")
+        .index;
+    let mut group = c.benchmark_group("fig9_batch_size");
+    group.sample_size(10);
+    for batch in [16usize, 64, 256, 512] {
+        let queries = workload.queries_n(batch);
+        let radii = vec![workload.radius(defaults::R); batch];
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(format!("gts_mrq/batch={batch}"), |b| {
+            b.iter(|| idx.batch_range(&queries, &radii).expect("mrq"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

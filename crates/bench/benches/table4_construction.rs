@@ -1,0 +1,32 @@
+//! Criterion bench for Table 4: index construction time per method.
+//!
+//! Wall-clock complements the simulated-time table produced by
+//! `experiments table4`; the *ranking* of methods should agree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let mut group = c.benchmark_group("table4_construction");
+    group.sample_size(10);
+    for kind in [DatasetKind::Words, DatasetKind::TLoc] {
+        let data = cfg.dataset(kind);
+        for method in [Method::Bst, Method::Mvpt, Method::GpuTree, Method::Gts] {
+            group.bench_function(format!("{}/{}", method.name(), kind.name()), |b| {
+                b.iter(|| {
+                    let dev = cfg.device();
+                    AnyIndex::build(method, &dev, &data, &cfg, GtsParams::default())
+                        .expect("build")
+                        .build_seconds
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

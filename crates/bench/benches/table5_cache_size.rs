@@ -1,0 +1,35 @@
+//! Criterion bench for Table 5: GTS update throughput vs cache-table size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gts_bench::{AnyIndex, Config, Method};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config::tiny();
+    let data = cfg.dataset(DatasetKind::Words);
+    let mut group = c.benchmark_group("table5_cache_size");
+    group.sample_size(10);
+    for cache_bytes in [10usize, 1024, 5 * 1024] {
+        group.bench_function(format!("update_cycle/{cache_bytes}B"), |b| {
+            let dev = cfg.device();
+            let params = GtsParams::default().with_cache_capacity(cache_bytes);
+            let mut idx = AnyIndex::build(Method::Gts, &dev, &data, &cfg, params)
+                .expect("build")
+                .index;
+            let mut rng = StdRng::seed_from_u64(7);
+            b.iter(|| {
+                let victim = rng.gen_range(0..data.len() as u32);
+                if idx.remove(victim).expect("rm") {
+                    idx.insert(data.item(victim).clone()).expect("ins");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

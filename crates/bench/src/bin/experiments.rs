@@ -1,0 +1,86 @@
+//! Regenerate the GTS paper's evaluation.
+//!
+//! ```text
+//! experiments [all | table4 | table5 | fig5 | fig6 | fig7 | fig8 | fig9 |
+//!              fig10 | fig11 | ablations]...
+//! ```
+//!
+//! Environment: `GTS_SCALE` (default 0.01 — 1/100 of the paper's
+//! cardinalities and device memory), `GTS_SEED`, `GTS_QUERIES` (queries per
+//! measured point), `GTS_RESULTS_DIR` (default `results/`).
+//!
+//! Tables print to stdout and are written as CSV; a combined
+//! `results/REPORT.md` collects everything.
+
+use gts_bench::experiments;
+use gts_bench::report::results_dir;
+use gts_bench::Config;
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+fn main() {
+    let cfg = Config::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        experiments::ALL.iter().map(|e| e.id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    if args.iter().any(|a| a == "--list" || a == "-l" || a == "help") {
+        println!("available experiments:");
+        for e in &experiments::ALL {
+            println!("  {:10} {}", e.id, e.describe);
+        }
+        return;
+    }
+
+    println!(
+        "GTS evaluation — scale {} (paper×{:.0}), {} queries/point, seed {}",
+        cfg.scale,
+        1.0 / cfg.scale,
+        cfg.queries_per_point,
+        cfg.seed
+    );
+    let dir = results_dir();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# GTS reproduction results\n\nscale = {} · queries/point = {} · seed = {}\n",
+        cfg.scale, cfg.queries_per_point, cfg.seed
+    );
+
+    let stdout = std::io::stdout();
+    for id in wanted {
+        let Some(exp) = experiments::find(id) else {
+            eprintln!("unknown experiment: {id} (use --list)");
+            std::process::exit(2);
+        };
+        println!("\n=== {} — {}", exp.id, exp.describe);
+        let t0 = std::time::Instant::now();
+        let tables = (exp.run)(&cfg);
+        let wall = t0.elapsed();
+        let mut lock = stdout.lock();
+        for t in &tables {
+            let md = t.to_markdown();
+            let _ = writeln!(lock, "{md}");
+            report.push_str(&md);
+            report.push('\n');
+            match t.write_csv(&dir) {
+                Ok(path) => {
+                    let _ = writeln!(lock, "    wrote {}", path.display());
+                }
+                Err(e) => eprintln!("    csv write failed: {e}"),
+            }
+        }
+        let _ = writeln!(lock, "    ({wall:.1?} wall-clock)");
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(dir.join("REPORT.md"), &report))
+    {
+        eprintln!("failed to write combined report: {e}");
+    } else {
+        println!("\ncombined report: {}", dir.join("REPORT.md").display());
+    }
+}

@@ -1,0 +1,117 @@
+//! Ablation A1 (DESIGN.md §2): the GTS design decisions, each toggled off
+//! in isolation on Words and T-Loc:
+//!
+//! * two-sided ring pruning → lower-bound-only (the paper's literal text);
+//! * FFT pivots → random pivots;
+//! * two-stage query grouping → off (naive strategy; may OOM).
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// Named parameter variants.
+pub fn variants() -> Vec<(&'static str, GtsParams)> {
+    let base = GtsParams::default();
+    vec![
+        ("GTS (full)", base),
+        (
+            "− two-sided pruning",
+            GtsParams {
+                two_sided_pruning: false,
+                ..base
+            },
+        ),
+        (
+            "− FFT pivots (random)",
+            GtsParams {
+                fft_pivots: false,
+                ..base
+            },
+        ),
+        (
+            "− query grouping",
+            GtsParams {
+                query_grouping: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Run the ablations.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Words, DatasetKind::TLoc] {
+        let data = cfg.dataset(kind);
+        let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+        let queries = workload.queries_n(cfg.batch.min(128));
+        let radii = vec![workload.radius(defaults::R); queries.len()];
+        let mut table = Table::new(
+            format!("ablations_{}", kind.name().to_lowercase().replace('-', "")),
+            format!("GTS ablations on {}", kind.name()),
+            &[
+                "Variant",
+                "MRQ (queries/min)",
+                "MkNNQ (queries/min)",
+                "distance computations",
+            ],
+        );
+        for (name, params) in variants() {
+            let dev = cfg.device();
+            match AnyIndex::build(Method::Gts, &dev, &data, cfg, params) {
+                Ok(built) => {
+                    let mrq = built
+                        .index
+                        .mrq_throughput(&queries, &radii)
+                        .map(fmt_tput)
+                        .unwrap_or_else(|_| "/ (OOM)".into());
+                    let knn = built
+                        .index
+                        .knn_throughput(&queries, defaults::K)
+                        .map(fmt_tput)
+                        .unwrap_or_else(|_| "/ (OOM)".into());
+                    let dists = match &built.index {
+                        AnyIndex::Gts(g) => g.stats().distance_computations.to_string(),
+                        _ => unreachable!(),
+                    };
+                    table.push_row(vec![name.to_string(), mrq, knn, dists]);
+                }
+                Err(_) => {
+                    table.push_row(vec![name.to_string(), "/".into(), "/".into(), "/".into()]);
+                }
+            }
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_run_and_variants_stay_exact_shaped() {
+        // Distance counts are *not* asserted monotone across variants:
+        // pruning more nodes also removes their pivots from the kNN
+        // candidate pool, which can loosen bounds elsewhere (observed on
+        // Words). We assert structure and that every variant completes
+        // with plausible, positive counts.
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in &tables {
+            assert_eq!(t.rows.len(), 4, "{}", t.id);
+            for row in &t.rows {
+                if row[1] == "/" {
+                    continue; // grouping-off may OOM by design
+                }
+                let tput: f64 = row[1].parse().unwrap_or(0.0);
+                let dists: u64 = row[3].parse().unwrap_or(0);
+                assert!(tput > 0.0 && dists > 0, "{}: {row:?}", t.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Extension (paper §7 future work): approximate MkNNQ via beam-limited
+//! traversal — the recall/throughput trade-off curve.
+//!
+//! Expected shape: throughput rises as the beam narrows (fewer frontier
+//! nodes expanded and verified), recall falls gracefully; a beam wide
+//! enough to cover the whole level recovers exact answers (recall 1.0).
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::index::Neighbor;
+use metric_space::DatasetKind;
+use std::collections::HashSet;
+
+/// Beam widths swept (entries kept per query per level; `exact` = ∞).
+pub const BEAMS: [usize; 5] = [1, 2, 4, 16, 64];
+
+fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let want: HashSet<u32> = exact.iter().map(|n| n.id).collect();
+    approx.iter().filter(|n| want.contains(&n.id)).count() as f64 / exact.len() as f64
+}
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Vector, DatasetKind::Color] {
+        let data = cfg.dataset(kind);
+        let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+        let queries = workload.queries_n(cfg.queries_per_point);
+        let dev = cfg.device();
+        let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, GtsParams::default())
+            .expect("GTS build");
+        let AnyIndex::Gts(gts) = &built.index else {
+            unreachable!()
+        };
+        let exact = gts.batch_knn(&queries, defaults::K).expect("exact knn");
+        let mut table = Table::new(
+            format!("approx_beam_{}", kind.name().to_lowercase()),
+            format!("Approximate MkNNQ beam trade-off on {}", kind.name()),
+            &["beam", "MkNNQ (queries/min)", "recall"],
+        );
+        for beam in BEAMS {
+            let mark = dev.cycles();
+            let approx = gts
+                .batch_knn_approx(&queries, defaults::K, beam)
+                .expect("approx knn");
+            let secs = dev.seconds_since(mark).max(1e-12);
+            let r = exact
+                .iter()
+                .zip(&approx)
+                .map(|(e, a)| recall(e, a))
+                .sum::<f64>()
+                / exact.len() as f64;
+            table.push_row(vec![
+                beam.to_string(),
+                fmt_tput(queries.len() as f64 / secs * 60.0),
+                format!("{r:.3}"),
+            ]);
+        }
+        // Exact reference row.
+        let mark = dev.cycles();
+        gts.batch_knn(&queries, defaults::K).expect("exact");
+        let secs = dev.seconds_since(mark).max(1e-12);
+        table.push_row(vec![
+            "exact".into(),
+            fmt_tput(queries.len() as f64 / secs * 60.0),
+            "1.000".into(),
+        ]);
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_is_monotone_ish_and_wide_beam_near_exact() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in &tables {
+            let recalls: Vec<f64> = t.rows[..BEAMS.len()]
+                .iter()
+                .map(|r| r[2].parse().expect("recall"))
+                .collect();
+            let widest = *recalls.last().expect("non-empty");
+            assert!(widest > 0.9, "{}: beam=64 recall {widest}", t.id);
+            assert!(
+                recalls.first().expect("non-empty") <= &(widest + 0.05),
+                "{}: narrow beam should not beat wide: {recalls:?}",
+                t.id
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Fig. 10: effect of identical objects — GTS throughput as the proportion
+//! of *distinct* objects varies on T-Loc and Color.
+//!
+//! Paper shape: flat. Duplicate keys may straddle node boundaries (the
+//! even split ignores ties) but the balanced tree and the search remain
+//! exact and equally fast — the claim this figure exists to make.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// Distinct-data proportions from Table 3.
+pub const DISTINCT: [u32; 5] = [20, 40, 60, 80, 100];
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::TLoc, DatasetKind::Color] {
+        let base = cfg.dataset(kind);
+        let mut table = Table::new(
+            format!("fig10_distinct_{}", kind.name().to_lowercase().replace('-', "")),
+            format!("Effect of identical objects on {}", kind.name()),
+            &["distinct %", "MRQ (queries/min)", "MkNNQ (queries/min)"],
+        );
+        for pct in DISTINCT {
+            let data = base.with_distinct_proportion(pct, cfg.seed ^ u64::from(pct));
+            let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+            let queries = workload.queries_n(cfg.queries_per_point);
+            let radii = vec![workload.radius(defaults::R); queries.len()];
+            let dev = cfg.device();
+            let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, GtsParams::default())
+                .expect("GTS build on duplicate-heavy data");
+            let mrq = built
+                .index
+                .mrq_throughput(&queries, &radii)
+                .map(fmt_tput)
+                .unwrap_or_else(|_| "/".into());
+            let knn = built
+                .index
+                .knn_throughput(&queries, defaults::K)
+                .map(fmt_tput)
+                .unwrap_or_else(|_| "/".into());
+            table.push_row(vec![format!("{pct}"), mrq, knn]);
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_do_not_break_or_cripple_search() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in &tables {
+            assert_eq!(t.rows.len(), DISTINCT.len());
+            let tputs: Vec<f64> = t.rows.iter().filter_map(|r| r[1].parse().ok()).collect();
+            assert_eq!(tputs.len(), DISTINCT.len(), "{}: no '/' cells allowed", t.id);
+            let min = tputs.iter().copied().fold(f64::MAX, f64::min);
+            let max = tputs.iter().copied().fold(0.0, f64::max);
+            assert!(
+                max / min < 50.0,
+                "{}: throughput should be roughly flat, got {tputs:?}",
+                t.id
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 11: MkNNQ throughput and memory consumption vs dataset cardinality
+//! on T-Loc and Color.
+//!
+//! Paper shape: throughput decreases with cardinality for everyone; EGNAT
+//! OOMs on T-Loc (host budget) as data grows; GPU-Tree and GANNS OOM on
+//! Color; LBPG OOMs on Color at ~80% (dimension curse); **GTS scales
+//! through 100% everywhere** thanks to the grouped two-stage search.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_mb, fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// Cardinality sweep (percent of the full scaled dataset).
+pub const CARDINALITY: [u32; 5] = [20, 40, 60, 80, 100];
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::TLoc, DatasetKind::Color] {
+        let full = cfg.full_dataset(kind);
+        let mut headers = vec!["Method".to_string()];
+        headers.extend(CARDINALITY.iter().map(|c| format!("{c}%")));
+        let hdrs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut tput_table = Table::new(
+            format!("fig11_tput_{}", kind.name().to_lowercase().replace('-', "")),
+            format!("MkNNQ throughput vs cardinality on {}", kind.name()),
+            &hdrs,
+        );
+        let mut mem_table = Table::new(
+            format!("fig11_mem_{}", kind.name().to_lowercase().replace('-', "")),
+            format!("Index memory (MB) vs cardinality on {}", kind.name()),
+            &hdrs,
+        );
+        for m in Method::ALL {
+            let mut trow = vec![m.name().to_string()];
+            let mut mrow = vec![m.name().to_string()];
+            for &pct in &CARDINALITY {
+                if !m.supports(kind) {
+                    trow.push("/".into());
+                    mrow.push("/".into());
+                    continue;
+                }
+                let data = full.cardinality_subset(pct);
+                let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+                let queries = workload.queries_n(cfg.queries_per_point);
+                let dev = cfg.device();
+                match AnyIndex::build(m, &dev, &data, cfg, GtsParams::default()) {
+                    Ok(built) => {
+                        trow.push(
+                            built
+                                .index
+                                .knn_throughput(&queries, defaults::K)
+                                .map(fmt_tput)
+                                .unwrap_or_else(|_| "/".into()),
+                        );
+                        mrow.push(fmt_mb(built.memory_bytes));
+                    }
+                    Err(_) => {
+                        trow.push("/".into());
+                        mrow.push("/".into());
+                    }
+                }
+            }
+            tput_table.push_row(trow);
+            mem_table.push_row(mrow);
+        }
+        out.push(tput_table);
+        out.push(mem_table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gts_scales_to_full_cardinality() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in tables.iter().filter(|t| t.id.starts_with("fig11_tput")) {
+            let gts = t.rows.iter().find(|r| r[0] == "GTS").expect("GTS row");
+            assert!(
+                gts.iter().skip(1).all(|c| c != "/"),
+                "{}: GTS must survive 100%: {gts:?}",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn memory_grows_with_cardinality() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        let mem = tables
+            .iter()
+            .find(|t| t.id.starts_with("fig11_mem_t"))
+            .expect("memory table");
+        let gts = mem.rows.iter().find(|r| r[0] == "GTS").expect("row");
+        let first: f64 = gts[1].parse().expect("MB");
+        let last: f64 = gts[5].parse().expect("MB");
+        assert!(last > first, "GTS memory should grow: {first} -> {last}");
+    }
+}

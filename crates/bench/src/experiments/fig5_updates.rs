@@ -1,0 +1,124 @@
+//! Fig. 5: streaming vs batch update cost per method per dataset.
+//!
+//! Paper shape: CPU trees win streaming updates (in-place `O(log n)`
+//! distance work); GPU methods win batch updates (one parallel rebuild);
+//! GTS is the fastest GPU method at streaming updates (O(1) cache ops)
+//! while LBPG/GANNS pay a full rebuild per object.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_secs, Table};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let headers: Vec<&str> = std::iter::once("Method")
+        .chain(DatasetKind::ALL.iter().map(|k| k.name()))
+        .collect();
+    let mut stream = Table::new(
+        "fig5a_stream_updates",
+        "Streaming data updates: seconds per single-object update",
+        &headers,
+    );
+    let mut batch = Table::new(
+        "fig5b_batch_updates",
+        "Batch updates: seconds per object over a 10% remove+reinsert batch",
+        &headers,
+    );
+
+    for method in Method::CONSTRUCTED {
+        let mut srow = vec![method.name().to_string()];
+        let mut brow = vec![method.name().to_string()];
+        for &kind in &DatasetKind::ALL {
+            if !method.supports(kind) {
+                srow.push("/".into());
+                brow.push("/".into());
+                continue;
+            }
+            let data = cfg.dataset(kind);
+            // Full rebuilders get fewer repetitions (they are slow by
+            // design); measurements are averaged per operation either way.
+            let ops = match method {
+                Method::Lbpg | Method::Ganns | Method::GpuTree => 2,
+                _ => 8,
+            };
+            let dev = cfg.device();
+            match AnyIndex::build(method, &dev, &data, cfg, GtsParams::default()) {
+                Ok(built) => {
+                    let mut idx = built.index;
+                    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf15);
+                    // (a) streaming: remove + reinsert single objects.
+                    let start = idx.mark();
+                    for _ in 0..ops {
+                        let victim = rng.gen_range(0..data.len() as u32);
+                        if idx.remove(victim).expect("remove") {
+                            idx.insert(data.item(victim).clone()).expect("insert");
+                        }
+                    }
+                    srow.push(fmt_secs(idx.elapsed_since(start) / (2 * ops) as f64));
+                    // (b) batch: remove 10% and reinsert in one bulk op.
+                    let tenth = (data.len() / 10).max(1);
+                    let victims: Vec<u32> = (0..tenth as u32).collect();
+                    let reinserts: Vec<metric_space::Item> = victims
+                        .iter()
+                        .map(|&v| data.item(v).clone())
+                        .collect();
+                    let start = idx.mark();
+                    idx.batch_update(reinserts, &victims).expect("batch update");
+                    brow.push(fmt_secs(
+                        idx.elapsed_since(start) / (2 * tenth) as f64,
+                    ));
+                }
+                Err(_) => {
+                    srow.push("/".into());
+                    brow.push("/".into());
+                }
+            }
+        }
+        stream.push_row(srow);
+        batch.push_row(brow);
+    }
+    vec![stream, batch]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(t: &Table, method: &str, col: usize) -> f64 {
+        t.rows
+            .iter()
+            .find(|r| r[0] == method)
+            .map(|r| r[col].parse().unwrap_or(f64::NAN))
+            .expect("row")
+    }
+
+    #[test]
+    fn gts_streams_faster_than_rebuilders() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        let stream = &tables[0];
+        // Column 2 = T-Loc (vector data: all GPU methods present).
+        let gts = cell(stream, "GTS", 2);
+        let lbpg = cell(stream, "LBPG-Tree", 2);
+        assert!(
+            gts < lbpg,
+            "GTS streaming ({gts}) must beat full-rebuild LBPG ({lbpg})"
+        );
+    }
+
+    #[test]
+    fn batch_path_amortises() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        let (stream, batch) = (&tables[0], &tables[1]);
+        // Per-object batch cost must not exceed streaming cost for the
+        // rebuild-based GPU methods (the point of Fig. 5b).
+        let s = cell(stream, "LBPG-Tree", 2);
+        let b = cell(batch, "LBPG-Tree", 2);
+        assert!(b <= s * 1.5, "batch {b} vs stream {s}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Fig. 6: GTS throughput vs node capacity `Nc` on Words and Color,
+//! alongside the §5.3 cost-model recommendation.
+//!
+//! Paper shape: throughput is non-monotone in `Nc` (parallelism vs pruning
+//! trade-off) and a small capacity (10–20) performs best, which is why the
+//! paper fixes `Nc = 20`.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// The Table 3 sweep.
+pub const CAPACITIES: [u32; 6] = [10, 20, 40, 80, 160, 320];
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::Words, DatasetKind::Color] {
+        let data = cfg.dataset(kind);
+        let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+        let mut table = Table::new(
+            format!("fig6_node_capacity_{}", kind.name().to_lowercase()),
+            format!("Effect of node capacity Nc on {}", kind.name()),
+            &["Nc", "MRQ (queries/min)", "MkNNQ (queries/min)", "height"],
+        );
+        let mut best_nc = 0u32;
+        let mut best_tput = 0.0;
+        for nc in CAPACITIES {
+            let dev = cfg.device();
+            let params = GtsParams::default().with_node_capacity(nc);
+            let built =
+                AnyIndex::build(Method::Gts, &dev, &data, cfg, params).expect("GTS build");
+            let queries = workload.queries_n(cfg.queries_per_point);
+            let radii = vec![workload.radius(defaults::R); queries.len()];
+            let mrq = built.index.mrq_throughput(&queries, &radii).expect("mrq");
+            let knn = built
+                .index
+                .knn_throughput(&queries, defaults::K)
+                .expect("knn");
+            let height = match &built.index {
+                AnyIndex::Gts(g) => g.height(),
+                _ => unreachable!(),
+            };
+            if mrq > best_tput {
+                best_tput = mrq;
+                best_nc = nc;
+            }
+            table.push_row(vec![
+                nc.to_string(),
+                fmt_tput(mrq),
+                fmt_tput(knn),
+                height.to_string(),
+            ]);
+        }
+        // Cost-model cross-check row.
+        let dev = cfg.device();
+        let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, GtsParams::default())
+            .expect("GTS build");
+        if let AnyIndex::Gts(g) = &built.index {
+            let model = g.cost_model(200, cfg.seed);
+            let rec = model.recommend_nc(workload.radius(defaults::R), &CAPACITIES);
+            table.push_row(vec![
+                format!("model→{rec}"),
+                format!("measured best: Nc={best_nc}"),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_completes_with_model_row() {
+        // At tiny scale the dataset sits in the paper's `n ≪ C` regime, so
+        // the measured optimum legitimately shifts toward large Nc (§5.3's
+        // ComputeRich analysis). The paper-shape assertion (small Nc wins)
+        // only holds at experiment scale and is recorded in EXPERIMENTS.md;
+        // here we check structure: full sweep + a model recommendation.
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in &tables {
+            assert_eq!(t.rows.len(), CAPACITIES.len() + 1, "{}", t.id);
+            let model_row = t.rows.last().expect("rows");
+            assert!(model_row[0].starts_with("model→"), "{model_row:?}");
+            for row in &t.rows[..CAPACITIES.len()] {
+                assert!(row[1].parse::<f64>().unwrap_or(0.0) > 0.0, "{row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn height_decreases_with_capacity() {
+        let cfg = Config::tiny();
+        let t = &run(&cfg)[0];
+        let heights: Vec<u32> = t
+            .rows
+            .iter()
+            .filter(|r| r[0].parse::<u32>().is_ok())
+            .map(|r| r[3].parse().expect("height"))
+            .collect();
+        assert!(heights.windows(2).all(|w| w[0] >= w[1]), "{heights:?}");
+    }
+}

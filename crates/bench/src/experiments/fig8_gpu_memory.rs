@@ -1,0 +1,87 @@
+//! Fig. 8: GTS throughput vs available GPU memory on T-Loc and Color.
+//!
+//! Paper shape: throughput rises with memory (fewer sequential query
+//! groups) and then saturates once compute, not memory, is the bottleneck —
+//! flat almost immediately on Color, whose compute dominates.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// Nominal memory sweep in GB (scaled by the harness).
+pub const MEMORY_GB: [f64; 6] = [1.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+
+/// Large batch to stress intermediate-result memory.
+const BATCH: usize = 256;
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::TLoc, DatasetKind::Color] {
+        let data = cfg.dataset(kind);
+        let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+        let queries = workload.queries_n(BATCH);
+        let radii = vec![workload.radius(defaults::R); BATCH];
+        let mut table = Table::new(
+            format!("fig8_memory_{}", kind.name().to_lowercase().replace('-', "")),
+            format!("Effect of GPU memory on {} (batch {BATCH})", kind.name()),
+            &["GPU memory (GB)", "MRQ (queries/min)", "MkNNQ (queries/min)", "groups"],
+        );
+        for gb in MEMORY_GB {
+            let dev = cfg.device_with_memory_gb(gb);
+            let row = match AnyIndex::build(Method::Gts, &dev, &data, cfg, GtsParams::default())
+            {
+                Ok(built) => {
+                    let mrq = built
+                        .index
+                        .mrq_throughput(&queries, &radii)
+                        .map(fmt_tput)
+                        .unwrap_or_else(|_| "/".into());
+                    let knn = built
+                        .index
+                        .knn_throughput(&queries, defaults::K)
+                        .map(fmt_tput)
+                        .unwrap_or_else(|_| "/".into());
+                    let groups = match &built.index {
+                        AnyIndex::Gts(g) => g.stats().groups_formed.to_string(),
+                        _ => unreachable!(),
+                    };
+                    vec![format!("{gb}"), mrq, knn, groups]
+                }
+                Err(_) => vec![format!("{gb}"), "/".into(), "/".into(), "/".into()],
+            };
+            table.push_row(row);
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_non_decreasing_with_memory() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in &tables {
+            let tputs: Vec<f64> = t
+                .rows
+                .iter()
+                .filter_map(|r| r[1].parse().ok())
+                .collect();
+            assert!(!tputs.is_empty(), "{} produced no data", t.id);
+            let first = tputs.first().expect("non-empty");
+            let last = tputs.last().expect("non-empty");
+            assert!(
+                *last >= *first * 0.5,
+                "{}: more memory should not hurt much: {tputs:?}",
+                t.id
+            );
+        }
+    }
+}

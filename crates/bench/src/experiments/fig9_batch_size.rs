@@ -1,0 +1,108 @@
+//! Fig. 9: MRQ throughput vs the number of concurrent queries in a batch,
+//! on T-Loc and Color.
+//!
+//! Paper shape: GPU methods scale with batch size (more parallel work);
+//! CPU methods are flat; **GPU-Tree hits its memory deadlock at 512
+//! queries on Color** (`/`), while GTS's two-stage grouping sails through.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_tput, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// Batch sizes from Table 3.
+pub const BATCHES: [usize; 6] = [16, 32, 64, 128, 256, 512];
+
+/// Methods shown in Fig. 9 (GANNS excluded: it cannot answer MRQ).
+const METHODS: [Method; 7] = [
+    Method::Bst,
+    Method::Egnat,
+    Method::Mvpt,
+    Method::GpuTable,
+    Method::GpuTree,
+    Method::Lbpg,
+    Method::Gts,
+];
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut out = Vec::new();
+    for kind in [DatasetKind::TLoc, DatasetKind::Color] {
+        let data = cfg.dataset(kind);
+        let workload = Workload::new(&data, cfg.queries_per_point, cfg);
+        let mut headers = vec!["Method".to_string()];
+        headers.extend(BATCHES.iter().map(|b| format!("batch={b}")));
+        let hdrs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut table = Table::new(
+            format!("fig9_batch_{}", kind.name().to_lowercase().replace('-', "")),
+            format!("MRQ throughput vs batch size on {}", kind.name()),
+            &hdrs,
+        );
+        for m in METHODS {
+            if !m.supports(kind) {
+                let mut row = vec![m.name().to_string()];
+                row.extend(BATCHES.iter().map(|_| "/".to_string()));
+                table.push_row(row);
+                continue;
+            }
+            let dev = cfg.device();
+            let idx = match AnyIndex::build(m, &dev, &data, cfg, GtsParams::default()) {
+                Ok(b) => b.index,
+                Err(_) => {
+                    let mut row = vec![m.name().to_string()];
+                    row.extend(BATCHES.iter().map(|_| "/".to_string()));
+                    table.push_row(row);
+                    continue;
+                }
+            };
+            let mut row = vec![m.name().to_string()];
+            for &batch in &BATCHES {
+                let queries = workload.queries_n(batch);
+                let radii = vec![workload.radius(defaults::R); batch];
+                row.push(
+                    idx.mrq_throughput(&queries, &radii)
+                        .map(fmt_tput)
+                        .unwrap_or_else(|_| "/".into()),
+                );
+            }
+            table.push_row(row);
+        }
+        out.push(table);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gts_survives_512_everywhere() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        for t in &tables {
+            let gts = t.rows.iter().find(|r| r[0] == "GTS").expect("GTS row");
+            assert!(
+                gts.iter().skip(1).all(|c| c != "/"),
+                "{}: GTS must never deadlock: {gts:?}",
+                t.id
+            );
+        }
+    }
+
+    #[test]
+    fn gpu_throughput_grows_with_batch() {
+        let cfg = Config::tiny();
+        let tables = run(&cfg);
+        let tloc = &tables[0];
+        let gts = tloc.rows.iter().find(|r| r[0] == "GTS").expect("row");
+        let small: f64 = gts[1].parse().expect("tput");
+        let large: f64 = gts[6].parse().expect("tput");
+        assert!(
+            large > small,
+            "batching should raise GTS throughput: {small} -> {large}"
+        );
+    }
+}

@@ -1,0 +1,70 @@
+//! Table 4: index construction cost (time and storage) of every method on
+//! every dataset. Paper shape: GTS builds in seconds with MVPT-like
+//! storage; EGNAT is memory-hungry and fails outright (`/`) on T-Loc;
+//! GANNS fails on T-Loc; LBPG/GANNS only cover their supported datasets.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_mb, fmt_secs, Table};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut headers: Vec<&str> = vec!["Method"];
+    let names: Vec<String> = DatasetKind::ALL
+        .iter()
+        .flat_map(|k| [format!("{} time(s)", k.name()), format!("{} MB", k.name())])
+        .collect();
+    headers.extend(names.iter().map(String::as_str));
+    let mut table = Table::new(
+        "table4_construction",
+        "Index construction cost of different methods",
+        &headers,
+    );
+
+    let datasets: Vec<_> = DatasetKind::ALL.iter().map(|&k| (k, cfg.dataset(k))).collect();
+    for method in Method::CONSTRUCTED {
+        let mut row = vec![method.name().to_string()];
+        for (kind, data) in &datasets {
+            if !method.supports(*kind) {
+                row.push("/".into());
+                row.push("/".into());
+                continue;
+            }
+            // Fresh device per build isolates memory accounting.
+            let dev = cfg.device();
+            match AnyIndex::build(method, &dev, data, cfg, GtsParams::default()) {
+                Ok(built) => {
+                    row.push(fmt_secs(built.build_seconds));
+                    row.push(fmt_mb(built.memory_bytes));
+                }
+                Err(_) => {
+                    row.push("/".into());
+                    row.push("/".into());
+                }
+            }
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_paper() {
+        let cfg = Config::tiny();
+        let t = run(&cfg).remove(0);
+        assert_eq!(t.rows.len(), Method::CONSTRUCTED.len());
+        let gts = t.rows.iter().find(|r| r[0] == "GTS").expect("GTS row");
+        // GTS must build on every dataset.
+        assert!(gts.iter().skip(1).all(|c| c != "/"), "{gts:?}");
+        // LBPG supports only T-Loc (cols 3,4) and Color (cols 9,10).
+        let lbpg = t.rows.iter().find(|r| r[0] == "LBPG-Tree").expect("row");
+        assert_eq!(lbpg[1], "/", "no Words support");
+        assert_ne!(lbpg[3], "/", "T-Loc supported");
+    }
+}

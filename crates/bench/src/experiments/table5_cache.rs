@@ -1,0 +1,96 @@
+//! Table 5: GTS update time under different cache-table sizes.
+//!
+//! Each update operation mirrors the paper: remove a random object,
+//! reinsert it, and run one random similarity range query; the index
+//! rebuilds whenever the cache exceeds its bound. Paper shape: cost falls
+//! steeply from 0.01 KB (rebuild every insert) and flattens around 1–10 KB,
+//! with ~5 KB the recommended balance.
+
+use crate::config::Config;
+use crate::methods::{AnyIndex, Method};
+use crate::report::{fmt_secs, Table};
+use crate::workload::{defaults, Workload};
+use gts_core::GtsParams;
+use metric_space::DatasetKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cache sizes swept by the paper (bytes).
+pub const CACHE_SIZES: [(f64, usize); 5] = [
+    (0.01, 10),
+    (0.1, 102),
+    (1.0, 1024),
+    (5.0, 5 * 1024),
+    (10.0, 10 * 1024),
+];
+
+/// Update operations measured per cell (the paper uses 5000; scaled).
+const OPS: usize = 40;
+
+/// Run the experiment.
+pub fn run(cfg: &Config) -> Vec<Table> {
+    let mut headers = vec!["Dataset".to_string()];
+    headers.extend(CACHE_SIZES.iter().map(|(kb, _)| format!("{kb}KB (s)")));
+    let hdr_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut table = Table::new(
+        "table5_cache",
+        "Update time of GTS under different cache table size",
+        &hdr_refs,
+    );
+
+    for kind in DatasetKind::ALL {
+        let data = cfg.dataset(kind);
+        let workload = Workload::new(&data, 8, cfg);
+        let radius = workload.radius(defaults::R);
+        let mut row = vec![kind.name().to_string()];
+        for &(_, bytes) in &CACHE_SIZES {
+            let dev = cfg.device();
+            let params = GtsParams::default().with_cache_capacity(bytes);
+            let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, params)
+                .expect("GTS build");
+            let mut idx = built.index;
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ab1e5);
+            let start = idx.mark();
+            for op in 0..OPS {
+                let victim = rng.gen_range(0..data.len() as u32);
+                if idx.remove(victim).expect("remove") {
+                    idx.insert(data.item(victim).clone()).expect("insert");
+                }
+                let q = &workload.queries[op % workload.queries.len()];
+                idx.batch_range(std::slice::from_ref(q), &[radius])
+                    .expect("query");
+            }
+            let avg = idx.elapsed_since(start) / OPS as f64;
+            row.push(fmt_secs(avg));
+        }
+        table.push_row(row);
+    }
+    vec![table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_completes_with_sane_magnitudes() {
+        // The paper's U-shape (0.01 KB slow → ~5 KB optimum → 10 KB slower)
+        // is a trade-off between rebuild cost and cache-scan cost; at the
+        // tiny unit-test scale rebuilds are nearly free and the crossover
+        // legitimately shifts. Shape is asserted at experiment scale
+        // (EXPERIMENTS.md); here: completeness and sane magnitudes.
+        let cfg = Config::tiny();
+        let t = run(&cfg).remove(0);
+        assert_eq!(t.rows.len(), 5);
+        for row in &t.rows {
+            let cells: Vec<f64> = row[1..]
+                .iter()
+                .map(|c| c.parse().expect("numeric cell"))
+                .collect();
+            assert!(cells.iter().all(|&c| c > 0.0 && c.is_finite()), "{row:?}");
+            let max = cells.iter().copied().fold(0.0, f64::max);
+            let min = cells.iter().copied().fold(f64::MAX, f64::min);
+            assert!(max / min < 1e4, "{}: implausible spread {cells:?}", row[0]);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # gts-bench
+//!
+//! The experiment harness that regenerates **every table and figure** of the
+//! GTS paper's evaluation (§6) on the simulated device, plus the ablations
+//! called out in DESIGN.md. The `experiments` binary runs them all and
+//! writes `results/*.csv` + a combined markdown report; the Criterion
+//! benches under `benches/` wrap the same runners at reduced scale.
+//!
+//! Scaling: cardinalities, device memory, and the EGNAT host budget all
+//! shrink by `GTS_SCALE` (default 0.01 = 1/100 of the paper) so the full
+//! suite completes on a laptop while preserving the paper's comparative
+//! shapes — who wins, by what factor, and where the OOM crossovers fall.
+
+pub mod config;
+pub mod experiments;
+pub mod methods;
+pub mod report;
+pub mod workload;
+
+pub use config::Config;
+pub use methods::{AnyIndex, Method};
+pub use report::Table;

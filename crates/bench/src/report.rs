@@ -1,0 +1,149 @@
+//! Result tables: console rendering, markdown, and CSV output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// One result table (a paper table, or one panel of a figure).
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Identifier, e.g. "table4" or "fig7_mrq_words".
+    pub id: String,
+    /// Human title as in the paper.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as GitHub markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(s, "| {} |", row.join(" | "));
+        }
+        s
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(s, "{}", escaped.join(","));
+        }
+        s
+    }
+
+    /// Write `results/<id>.csv` under `dir`.
+    pub fn write_csv(&self, dir: &PathBuf) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// The default results directory (`results/` under the workspace root or
+/// current directory).
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("GTS_RESULTS_DIR").unwrap_or_else(|_| "results".into()))
+}
+
+/// Format seconds with adaptive precision (as the paper's tables do).
+pub fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "/".into()
+    } else if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.3}", s)
+    } else {
+        format!("{s:.2e}")
+    }
+}
+
+/// Format bytes as MB with two decimals.
+pub fn fmt_mb(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Format throughput (queries/min) compactly.
+pub fn fmt_tput(qpm: f64) -> String {
+    if !qpm.is_finite() {
+        "/".into()
+    } else if qpm >= 1000.0 {
+        format!("{:.3e}", qpm)
+    } else {
+        format!("{qpm:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_and_csv() {
+        let mut t = Table::new("t", "Demo", &["a", "b"]);
+        t.push_row(vec!["1".into(), "x,y".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | b |"));
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "Demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(f64::INFINITY), "/");
+        assert_eq!(fmt_secs(123.4), "123");
+        assert_eq!(fmt_secs(1.234), "1.23");
+        assert_eq!(fmt_mb(1024 * 1024), "1.00");
+        assert_eq!(fmt_tput(12.34), "12.3");
+        assert!(fmt_tput(123456.0).contains('e'));
+    }
+}

@@ -1,0 +1,89 @@
+//! Query workloads and radius calibration.
+
+use crate::config::Config;
+use metric_space::stats::{radius_for_selectivity, sample_queries};
+use metric_space::{Dataset, Item};
+
+/// A calibrated workload for one dataset: queries plus the absolute radii
+/// corresponding to the paper's `r (×0.01%)` axis (interpreted as
+/// selectivity; see `metric_space::stats`).
+pub struct Workload {
+    /// Query objects (sampled from the dataset, slightly perturbed).
+    pub queries: Vec<Item>,
+    /// `radius_for(r_param)` cache for the Table 3 sweep values.
+    radii: Vec<(u32, f64)>,
+}
+
+impl Workload {
+    /// Build a workload of `count` queries with radii calibrated for the
+    /// Table 3 sweep `r ∈ {1, 2, 4, 8, 16, 32}`.
+    pub fn new(data: &Dataset, count: usize, cfg: &Config) -> Workload {
+        let queries = sample_queries(data, count, cfg.seed ^ 0xabcd);
+        let sample = (data.len() * 4).clamp(256, 2_000);
+        let radii = [1u32, 2, 4, 8, 16, 32]
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    radius_for_selectivity(data, f64::from(r) * 1e-4, sample, cfg.seed ^ 0x11),
+                )
+            })
+            .collect();
+        Workload { queries, radii }
+    }
+
+    /// Absolute radius for a Table 3 `r` parameter.
+    pub fn radius(&self, r_param: u32) -> f64 {
+        self.radii
+            .iter()
+            .find(|(r, _)| *r == r_param)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("uncalibrated r parameter {r_param}"))
+    }
+
+    /// Radii vector (one per query) for a given `r` parameter.
+    pub fn radii_for(&self, r_param: u32) -> Vec<f64> {
+        vec![self.radius(r_param); self.queries.len()]
+    }
+
+    /// The first `n` queries (cycled if `n > len`).
+    pub fn queries_n(&self, n: usize) -> Vec<Item> {
+        (0..n)
+            .map(|i| self.queries[i % self.queries.len()].clone())
+            .collect()
+    }
+}
+
+/// The paper's default parameter values (Table 3 bold entries are not
+/// visible in the arXiv source; these mid-sweep defaults are documented in
+/// EXPERIMENTS.md).
+pub mod defaults {
+    /// Default search-radius parameter.
+    pub const R: u32 = 8;
+    /// Default k.
+    pub const K: usize = 8;
+    /// Default node capacity (paper: "we set the node capacity to 20").
+    pub const NC: u32 = 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric_space::DatasetKind;
+
+    #[test]
+    fn radii_monotone_in_r() {
+        let cfg = Config::tiny();
+        let data = DatasetKind::TLoc.generate(600, 3);
+        let w = Workload::new(&data, 8, &cfg);
+        let mut prev = 0.0;
+        for r in [1, 2, 4, 8, 16, 32] {
+            let cur = w.radius(r);
+            assert!(cur >= prev, "radius must grow with r");
+            prev = cur;
+        }
+        assert_eq!(w.queries.len(), 8);
+        assert_eq!(w.queries_n(10).len(), 10);
+        assert_eq!(w.radii_for(4).len(), 8);
+    }
+}

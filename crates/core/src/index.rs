@@ -1,0 +1,649 @@
+//! The public GTS index type.
+
+use crate::build::{self, Structure};
+use crate::cost::CostModel;
+use crate::node::NodeList;
+use crate::params::GtsParams;
+use crate::search::{self, SearchCtx};
+use crate::stats::{SearchStats, StatsSnapshot};
+use crate::table::TableList;
+use crate::update::CacheTable;
+use gpu_sim::{Device, GpuError, Reservation};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
+use metric_space::{Footprint, Metric};
+use std::sync::Arc;
+
+/// GTS: the GPU-based tree index for similarity search in general metric
+/// spaces (the paper's contribution).
+///
+/// Generic over the object type `O` and metric `M`; the only requirements
+/// are that distances satisfy the metric axioms and objects can report their
+/// memory footprint (for device residency accounting).
+///
+/// ```
+/// use gts_core::{Gts, GtsParams};
+/// use gpu_sim::Device;
+/// use metric_space::{DatasetKind, SimilarityIndex};
+///
+/// let data = DatasetKind::Words.generate(500, 42);
+/// let dev = Device::rtx_2080_ti();
+/// let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).unwrap();
+/// let answers = gts.range_query(&data.items[0], 1.0).unwrap();
+/// assert!(answers.iter().any(|n| n.id == 0), "query object is its own neighbour");
+/// ```
+pub struct Gts<O, M> {
+    dev: Arc<Device>,
+    metric: M,
+    params: GtsParams,
+    /// Every object ever inserted; ids are indices here and never recycled.
+    objects: Vec<O>,
+    /// Liveness per id (deletions flip this off).
+    live: Vec<bool>,
+    nodes: NodeList,
+    table: TableList,
+    cache: CacheTable,
+    stats: SearchStats,
+    rebuilds: u64,
+    build_distances: u64,
+    /// Device residency of (node list, table list, object payloads).
+    residency: Option<[Reservation; 3]>,
+}
+
+fn gpu_err(e: GpuError) -> IndexError {
+    match e {
+        GpuError::OutOfMemory {
+            requested,
+            available,
+            context,
+        } => IndexError::OutOfMemory {
+            requested,
+            available,
+            context,
+        },
+    }
+}
+
+impl<O, M> Gts<O, M>
+where
+    O: Clone + Send + Sync + Footprint,
+    M: Metric<O>,
+{
+    /// Build the index over `objects` on device `dev`.
+    pub fn build(
+        dev: &Arc<Device>,
+        objects: Vec<O>,
+        metric: M,
+        params: GtsParams,
+    ) -> Result<Self, IndexError> {
+        if objects.is_empty() {
+            return Err(IndexError::EmptyIndex);
+        }
+        let live = vec![true; objects.len()];
+        let mut gts = Gts {
+            dev: Arc::clone(dev),
+            metric,
+            params,
+            objects,
+            live,
+            nodes: NodeList::new(crate::node::TreeShape { nc: params.node_capacity, h: 1 }),
+            table: TableList::default(),
+            cache: CacheTable::new(params.cache_capacity_bytes),
+            stats: SearchStats::default(),
+            rebuilds: 0,
+            build_distances: 0,
+            residency: None,
+        };
+        gts.reconstruct()?;
+        gts.rebuilds = 0; // the initial build is not an update-triggered rebuild
+        Ok(gts)
+    }
+
+    /// Rebuild the structure over all live objects (absorbing the cache);
+    /// the §4.4 batch-update and cache-overflow path.
+    pub fn rebuild(&mut self) -> Result<(), IndexError> {
+        self.reconstruct()?;
+        Ok(())
+    }
+
+    fn reconstruct(&mut self) -> Result<(), IndexError> {
+        let ids: Vec<u32> = (0..self.objects.len() as u32)
+            .filter(|&i| self.live[i as usize])
+            .collect();
+        if ids.is_empty() {
+            return Err(IndexError::EmptyIndex);
+        }
+        // Free the previous structure before reserving the new one.
+        self.residency = None;
+        let Structure {
+            nodes,
+            table,
+            build_distances,
+        } = build::construct(&self.dev, &self.objects, &ids, &self.metric, &self.params)
+            .map_err(gpu_err)?;
+        let data_bytes: u64 = ids
+            .iter()
+            .map(|&i| self.objects[i as usize].size_bytes())
+            .sum();
+        let res_nodes = self
+            .dev
+            .reserve(nodes.bytes(), "GTS node list")
+            .map_err(gpu_err)?;
+        let res_table = self
+            .dev
+            .reserve(table.bytes(), "GTS table list")
+            .map_err(gpu_err)?;
+        let res_data = self
+            .dev
+            .reserve(data_bytes, "GTS resident objects")
+            .map_err(gpu_err)?;
+        self.nodes = nodes;
+        self.table = table;
+        self.build_distances = build_distances;
+        self.residency = Some([res_nodes, res_table, res_data]);
+        self.cache.clear();
+        self.rebuilds += 1;
+        Ok(())
+    }
+
+    fn ctx(&self) -> SearchCtx<'_, O, M> {
+        SearchCtx {
+            dev: &self.dev,
+            objects: &self.objects,
+            metric: &self.metric,
+            params: &self.params,
+            nodes: &self.nodes,
+            table: &self.table,
+            live: &self.live,
+            stats: &self.stats,
+        }
+    }
+
+    /// Batched metric range query (Algorithm 4) plus the cache-list scan of
+    /// §4.4, answers merged per query in canonical order.
+    pub fn batch_range(
+        &self,
+        queries: &[O],
+        radii: &[f64],
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        assert_eq!(queries.len(), radii.len());
+        self.transfer_queries_in(queries);
+        let mut results = search::batch_range(&self.ctx(), queries, radii).map_err(gpu_err)?;
+        self.merge_cache_range(queries, radii, &mut results);
+        self.transfer_results_out(&results);
+        Ok(results)
+    }
+
+    /// Batched metric kNN query (Algorithm 5) plus the cache-list scan.
+    pub fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        self.transfer_queries_in(queries);
+        let mut results = search::batch_knn(&self.ctx(), queries, k).map_err(gpu_err)?;
+        self.merge_cache_knn(queries, k, &mut results);
+        self.transfer_results_out(&results);
+        Ok(results)
+    }
+
+    /// **Approximate** batched MkNNQ — the paper's §7 future-work direction.
+    ///
+    /// Each query expands at most `beam` frontier nodes per level (those
+    /// whose distance ring is closest to the query's mapped coordinate).
+    /// Recall degrades gracefully as `beam` shrinks; `beam ≥ Nc^(h−1)`
+    /// degenerates to the exact search.
+    pub fn batch_knn_approx(
+        &self,
+        queries: &[O],
+        k: usize,
+        beam: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        self.transfer_queries_in(queries);
+        let mut results =
+            search::batch_knn_impl(&self.ctx(), queries, k, Some(beam)).map_err(gpu_err)?;
+        self.merge_cache_knn(queries, k, &mut results);
+        self.transfer_results_out(&results);
+        Ok(results)
+    }
+
+    fn transfer_queries_in(&self, queries: &[O]) {
+        let bytes: u64 = queries.iter().map(Footprint::size_bytes).sum();
+        self.dev.h2d_transfer(bytes);
+    }
+
+    fn transfer_results_out(&self, results: &[Vec<Neighbor>]) {
+        let hits: usize = results.iter().map(Vec::len).sum();
+        self.dev
+            .d2h_transfer((hits * std::mem::size_of::<Neighbor>()) as u64);
+    }
+
+    /// Brute-force distances from every query to every cached insertion
+    /// (the cache is bounded by a few KB, so a flat table scan — the §4.4
+    /// strategy).
+    fn cache_distances(&self, queries: &[O]) -> Vec<(u32, u32, f64)> {
+        let ids = self.cache.ids();
+        if ids.is_empty() || queries.is_empty() {
+            return Vec::new();
+        }
+        let tasks: Vec<(u32, u32)> = (0..queries.len() as u32)
+            .flat_map(|q| ids.iter().map(move |&o| (q, o)))
+            .collect();
+        let dists = self.dev.launch_map(tasks.len(), |t| {
+            let (q, o) = tasks[t];
+            let qo = &queries[q as usize];
+            let oo = &self.objects[o as usize];
+            (self.metric.distance(qo, oo), self.metric.work(qo, oo))
+        });
+        self.stats
+            .add(&self.stats.distance_computations, tasks.len() as u64);
+        tasks
+            .into_iter()
+            .zip(dists)
+            .map(|((q, o), d)| (q, o, d))
+            .collect()
+    }
+
+    fn merge_cache_range(&self, queries: &[O], radii: &[f64], results: &mut [Vec<Neighbor>]) {
+        for (q, o, d) in self.cache_distances(queries) {
+            if d <= radii[q as usize] {
+                results[q as usize].push(Neighbor::new(o, d));
+            }
+        }
+        for r in results.iter_mut() {
+            sort_neighbors(r);
+        }
+    }
+
+    fn merge_cache_knn(&self, queries: &[O], k: usize, results: &mut [Vec<Neighbor>]) {
+        if self.cache.len() == 0 {
+            return;
+        }
+        let mut extra: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        for (q, o, d) in self.cache_distances(queries) {
+            extra[q as usize].push(Neighbor::new(o, d));
+        }
+        for (r, mut e) in results.iter_mut().zip(extra) {
+            r.append(&mut e);
+            sort_neighbors(r);
+            r.truncate(k);
+        }
+    }
+
+    // -- accessors ------------------------------------------------------------
+
+    /// The device this index lives on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.dev
+    }
+
+    /// Construction/search parameters.
+    pub fn params(&self) -> &GtsParams {
+        &self.params
+    }
+
+    /// Tree height `h`.
+    pub fn height(&self) -> u32 {
+        self.nodes.shape().h
+    }
+
+    /// Node capacity `Nc`.
+    pub fn node_capacity(&self) -> u32 {
+        self.params.node_capacity
+    }
+
+    /// Snapshot of the search counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset the search counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Rebuilds triggered by updates since construction.
+    pub fn rebuild_count(&self) -> u64 {
+        self.rebuilds
+    }
+
+    /// Distance evaluations spent in the most recent (re)construction.
+    pub fn build_distance_count(&self) -> u64 {
+        self.build_distances
+    }
+
+    /// Number of insertions currently buffered in the cache table.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Cache occupancy in bytes.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes()
+    }
+
+    /// Cache byte budget (rebuild threshold of §4.4).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
+    /// Serialize the index structure (not the objects) to a versioned
+    /// binary snapshot; see [`Gts::restore`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        crate::snapshot::encode(crate::snapshot::SnapshotParts {
+            params: &self.params,
+            nodes: &self.nodes,
+            table: &self.table,
+            live: &self.live,
+            cache_ids: self.cache.ids(),
+        })
+    }
+
+    /// Rebuild an index from a [`Gts::snapshot`] and the caller's object
+    /// store (which must be the exact store the snapshot was taken over —
+    /// validated structurally). Skips reconstruction entirely; only the
+    /// device residency is re-reserved (and the snapshot bytes H2D-copied).
+    pub fn restore(
+        dev: &Arc<Device>,
+        objects: Vec<O>,
+        metric: M,
+        bytes: &[u8],
+    ) -> Result<Self, IndexError> {
+        let decoded = crate::snapshot::decode(bytes, objects.len())?;
+        let data_bytes: u64 = decoded
+            .live
+            .iter()
+            .zip(&objects)
+            .filter(|&(&l, _)| l)
+            .map(|(_, o)| o.size_bytes())
+            .sum();
+        let res_nodes = dev
+            .reserve(decoded.nodes.bytes(), "GTS node list")
+            .map_err(gpu_err)?;
+        let res_table = dev
+            .reserve(decoded.table.bytes(), "GTS table list")
+            .map_err(gpu_err)?;
+        let res_data = dev
+            .reserve(data_bytes, "GTS resident objects")
+            .map_err(gpu_err)?;
+        dev.h2d_transfer(bytes.len() as u64 + data_bytes);
+        let mut cache = CacheTable::new(decoded.params.cache_capacity_bytes);
+        for &id in &decoded.cache_ids {
+            cache.insert(id, objects[id as usize].size_bytes() as usize);
+        }
+        Ok(Gts {
+            dev: Arc::clone(dev),
+            metric,
+            params: decoded.params,
+            objects,
+            live: decoded.live,
+            nodes: decoded.nodes,
+            table: decoded.table,
+            cache,
+            stats: SearchStats::default(),
+            rebuilds: 0,
+            build_distances: 0,
+            residency: Some([res_nodes, res_table, res_data]),
+        })
+    }
+
+    /// Distance from an arbitrary query object to indexed object `id`
+    /// (charged to the device; the multi-column combiner's random access).
+    pub fn distance_to_query(&self, q: &O, id: u32) -> f64 {
+        let o = &self.objects[id as usize];
+        self.dev.charge_kernel(self.metric.work(q, o), 1);
+        self.stats.add(&self.stats.distance_computations, 1);
+        self.metric.distance(q, o)
+    }
+
+    /// Fit the §5.3 cost model to this index's data by sampling pivot
+    /// coordinates (`samples` distance evaluations, charged to the device).
+    pub fn cost_model(&self, samples: usize, seed: u64) -> CostModel {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ids: Vec<u32> = self.table.live_ids();
+        let pivot = ids[rng.gen_range(0..ids.len())];
+        let mut sum = 0f64;
+        let mut sum2 = 0f64;
+        let mut work = 0u64;
+        let samples = samples.max(2);
+        for _ in 0..samples {
+            let o = ids[rng.gen_range(0..ids.len())];
+            let d = self
+                .metric
+                .distance(&self.objects[pivot as usize], &self.objects[o as usize]);
+            work += self
+                .metric
+                .work(&self.objects[pivot as usize], &self.objects[o as usize]);
+            sum += d;
+            sum2 += d * d;
+        }
+        self.dev.charge_kernel(work, work / samples as u64);
+        let mean = sum / samples as f64;
+        let sigma = (sum2 / samples as f64 - mean * mean).max(0.0).sqrt();
+        CostModel {
+            n: self.len(),
+            cores: self.dev.config().cores,
+            sigma,
+            distance_work: work as f64 / samples as f64,
+        }
+    }
+}
+
+impl<O, M> SimilarityIndex<O> for Gts<O, M>
+where
+    O: Clone + Send + Sync + Footprint,
+    M: Metric<O>,
+{
+    fn name(&self) -> &'static str {
+        "GTS"
+    }
+
+    fn len(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Result<Vec<Neighbor>, IndexError> {
+        Ok(self
+            .batch_range(std::slice::from_ref(q), &[r])?
+            .pop()
+            .expect("one answer per query"))
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        Ok(self
+            .batch_knn(std::slice::from_ref(q), k)?
+            .pop()
+            .expect("one answer per query"))
+    }
+
+    fn batch_range(&self, queries: &[O], radii: &[f64]) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        Gts::batch_range(self, queries, radii)
+    }
+
+    fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        Gts::batch_knn(self, queries, k)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.nodes.bytes() + self.table.bytes() + self.cache.bytes() as u64
+    }
+}
+
+impl<O, M> DynamicIndex<O> for Gts<O, M>
+where
+    O: Clone + Send + Sync + Footprint,
+    M: Metric<O>,
+{
+    /// Streaming insert (§4.4): `O(1)` into the cache table (the object is
+    /// shipped to the device-resident cache); rebuilds when the cache
+    /// exceeds its byte budget.
+    fn insert(&mut self, obj: O) -> Result<u32, IndexError> {
+        let id = self.objects.len() as u32;
+        let bytes = obj.size_bytes() as usize;
+        self.dev.h2d_transfer(bytes as u64);
+        self.objects.push(obj);
+        self.live.push(true);
+        let overflow = self.cache.insert(id, bytes);
+        if overflow {
+            self.rebuild()?;
+        }
+        Ok(id)
+    }
+
+    /// Streaming delete (§4.4): drop from the cache if buffered there,
+    /// otherwise tombstone the table-list slot (one parallel scan kernel
+    /// locating the id in `T_list`).
+    fn remove(&mut self, id: u32) -> Result<bool, IndexError> {
+        let Some(live) = self.live.get_mut(id as usize) else {
+            return Ok(false);
+        };
+        if !*live {
+            return Ok(false);
+        }
+        *live = false;
+        let bytes = self.objects[id as usize].size_bytes() as usize;
+        if !self.cache.remove(id, bytes) {
+            self.dev.launch_charged(self.table.len() as u64, 8);
+            self.table.tombstone(id);
+        }
+        Ok(true)
+    }
+
+    /// Batch update (§4.4): apply all changes, then reconstruct once.
+    fn batch_update(&mut self, insertions: Vec<O>, deletions: &[u32]) -> Result<(), IndexError> {
+        for &d in deletions {
+            if let Some(live) = self.live.get_mut(d as usize) {
+                *live = false;
+            }
+        }
+        for obj in insertions {
+            self.objects.push(obj);
+            self.live.push(true);
+        }
+        self.rebuild()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metric_space::{DatasetKind, Item, ItemMetric};
+
+    fn words(n: usize) -> (Arc<Device>, Vec<Item>, ItemMetric) {
+        let d = DatasetKind::Words.generate(n, 21);
+        (Device::rtx_2080_ti(), d.items, d.metric)
+    }
+
+    /// Ground truth by linear scan.
+    fn scan_range(items: &[Item], m: &ItemMetric, q: &Item, r: f64) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                let d = m.distance(q, o);
+                (d <= r).then_some(Neighbor::new(i as u32, d))
+            })
+            .collect();
+        sort_neighbors(&mut v);
+        v
+    }
+
+    #[test]
+    fn build_and_query_roundtrip() {
+        let (dev, items, metric) = words(400);
+        let gts = Gts::build(&dev, items.clone(), metric, GtsParams::default()).expect("build");
+        assert_eq!(gts.len(), 400);
+        assert!(gts.height() >= 1);
+        let got = gts.range_query(&items[7], 2.0).expect("query");
+        assert_eq!(got, scan_range(&items, &metric, &items[7], 2.0));
+    }
+
+    #[test]
+    fn empty_build_rejected() {
+        let dev = Device::rtx_2080_ti();
+        let err = Gts::build(&dev, Vec::<Item>::new(), ItemMetric::Edit, GtsParams::default());
+        assert!(matches!(err, Err(IndexError::EmptyIndex)));
+    }
+
+    #[test]
+    fn insert_goes_to_cache_then_rebuild_absorbs() {
+        let (dev, items, metric) = words(200);
+        let params = GtsParams::default().with_cache_capacity(10_000);
+        let mut gts = Gts::build(&dev, items, metric, params).expect("build");
+        let id = gts.insert(Item::text("zzzz")).expect("insert");
+        assert_eq!(id, 200);
+        assert_eq!(gts.cache_len(), 1);
+        assert_eq!(gts.len(), 201);
+        // The new object is findable through the cache scan.
+        let hits = gts.range_query(&Item::text("zzzz"), 0.0).expect("q");
+        assert!(hits.iter().any(|n| n.id == 200));
+        gts.rebuild().expect("rebuild");
+        assert_eq!(gts.cache_len(), 0);
+        let hits = gts.range_query(&Item::text("zzzz"), 0.0).expect("q");
+        assert!(hits.iter().any(|n| n.id == 200), "still findable after rebuild");
+    }
+
+    #[test]
+    fn cache_overflow_triggers_rebuild() {
+        let (dev, items, metric) = words(150);
+        let params = GtsParams::default().with_cache_capacity(64);
+        let mut gts = Gts::build(&dev, items, metric, params).expect("build");
+        let before = gts.rebuild_count();
+        for i in 0..10 {
+            gts.insert(Item::text(format!("object{i:04}"))).expect("insert");
+        }
+        assert!(gts.rebuild_count() > before, "tiny cache must overflow");
+        assert_eq!(gts.len(), 160);
+    }
+
+    #[test]
+    fn remove_from_index_and_cache() {
+        let (dev, items, metric) = words(100);
+        let mut gts =
+            Gts::build(&dev, items.clone(), metric, GtsParams::default()).expect("build");
+        // Remove an indexed object: tombstoned, vanishes from answers.
+        assert!(gts.remove(7).expect("rm"));
+        assert!(!gts.remove(7).expect("rm twice"));
+        let hits = gts.range_query(&items[7], 0.0).expect("q");
+        assert!(!hits.iter().any(|n| n.id == 7), "tombstoned id returned");
+        // Remove a cached insertion: dropped before ever being indexed.
+        let id = gts.insert(Item::text("qqq")).expect("ins");
+        assert!(gts.remove(id).expect("rm cache"));
+        let hits = gts.range_query(&Item::text("qqq"), 0.0).expect("q");
+        assert!(!hits.iter().any(|n| n.id == id));
+        assert!(!gts.remove(9999).expect("unknown id"), "absent id is Ok(false)");
+    }
+
+    #[test]
+    fn batch_update_reconstructs_once() {
+        let (dev, items, metric) = words(120);
+        let mut gts = Gts::build(&dev, items, metric, GtsParams::default()).expect("build");
+        let r0 = gts.rebuild_count();
+        gts.batch_update(
+            (0..30).map(|i| Item::text(format!("new{i}"))).collect(),
+            &[0, 1, 2, 3, 4],
+        )
+        .expect("batch");
+        assert_eq!(gts.rebuild_count(), r0 + 1);
+        assert_eq!(gts.len(), 120 - 5 + 30);
+        assert_eq!(gts.cache_len(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_present() {
+        let (dev, items, metric) = words(300);
+        let before = dev.allocated_bytes();
+        let gts = Gts::build(&dev, items, metric, GtsParams::default()).expect("build");
+        assert!(dev.allocated_bytes() > before, "index reserves device memory");
+        assert!(gts.memory_bytes() > 0);
+        drop(gts);
+        assert_eq!(dev.allocated_bytes(), before, "drop releases residency");
+    }
+
+    #[test]
+    fn cost_model_fits() {
+        let (dev, items, metric) = words(300);
+        let gts = Gts::build(&dev, items, metric, GtsParams::default()).expect("build");
+        let m = gts.cost_model(100, 5);
+        assert_eq!(m.n, 300);
+        assert!(m.sigma > 0.0);
+        assert!(m.distance_work > 0.0);
+    }
+}

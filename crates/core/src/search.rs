@@ -1,0 +1,749 @@
+//! Concurrent similarity search (paper §5, Algorithms 4 and 5).
+//!
+//! Both query kinds traverse the tree **top-down and level-synchronously**:
+//! the frontier is a flat list of `(node, query)` pairs, and each level is
+//! one uniform kernel over the whole frontier — never a per-query traversal,
+//! which is what starves GPU-Tree-style designs.
+//!
+//! The **two-stage memory strategy** bounds the frontier at layer `i` to
+//! `size_GPU / ((h − i + 1)·Nc)` entries; a batch exceeding the bound is
+//! split into query groups processed sequentially (never splitting a single
+//! query's frontier), so intermediate results can always be materialised —
+//! the memory-deadlock-freedom claim of Challenge II.
+//!
+//! Pruning: internal children are pruned by the ring test of Lemma 5.1/5.2
+//! against the parent pivot; MkNNQ additionally uses the own-pivot prune
+//! (`d(q, pivot) − own_max ≥ bound`) after the per-level bound update, which
+//! mirrors Alg. 5 lines 11–16 (the bound update runs through the same
+//! encode-and-global-sort machinery as construction). Leaf verification
+//! first applies the stored-distance filter (the table's `dis` column *is*
+//! `d(o, parent pivot)`, so the filter costs zero distance evaluations),
+//! then computes real distances for survivors only.
+
+use crate::node::TreeShape;
+use crate::params::GtsParams;
+use crate::stats::SearchStats;
+use crate::table::TableList;
+use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
+use gpu_sim::{Device, GpuError};
+use metric_space::index::{sort_neighbors, Neighbor};
+use metric_space::lemmas::{prune_node_knn, prune_node_range};
+use metric_space::Metric;
+use std::sync::Arc;
+
+/// One intermediate-result element `E = {N, q, ...}` of the paper's `Q_Res`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Frontier {
+    /// Node id to be searched.
+    pub node: u32,
+    /// Query index within the batch.
+    pub query: u32,
+    /// Distance from the query to the node's **parent's** pivot (`NaN` at
+    /// the root, where no parent exists).
+    pub dqp: f64,
+}
+
+/// Device-resident layout of a frontier element (memory accounting only).
+#[derive(Clone, Copy, Default)]
+struct RawEntry {
+    _node: u32,
+    _query: u32,
+    _dqp: f64,
+}
+
+/// Borrowed view of everything a search needs.
+pub(crate) struct SearchCtx<'a, O, M> {
+    pub dev: &'a Arc<Device>,
+    pub objects: &'a [O],
+    pub metric: &'a M,
+    pub params: &'a GtsParams,
+    pub nodes: &'a crate::node::NodeList,
+    pub table: &'a TableList,
+    /// Liveness per object id: tombstoned ids must neither appear in
+    /// answers nor tighten kNN bounds (their pivot distances are still
+    /// valid for *ring pruning*, which concerns the tree geometry).
+    pub live: &'a [bool],
+    pub stats: &'a SearchStats,
+}
+
+impl<'a, O, M> SearchCtx<'a, O, M>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    fn shape(&self) -> TreeShape {
+        self.nodes.shape()
+    }
+
+    /// The paper's per-layer intermediate-result bound:
+    /// `size_limit = size_GPU / ((h − layer + 1)·Nc)`, in frontier entries.
+    fn size_limit(&self, level: u32) -> usize {
+        let shape = self.shape();
+        let free = self.dev.free_bytes() as usize;
+        let denom =
+            (shape.h - level + 1) as usize * shape.nc as usize * std::mem::size_of::<RawEntry>();
+        (free / denom.max(1)).max(1)
+    }
+
+    /// Split a frontier into query groups each within `limit` entries
+    /// (frontiers are always query-contiguous). A single query whose
+    /// frontier alone exceeds the limit forms its own group.
+    fn split_groups(entries: Vec<Frontier>, limit: usize) -> Vec<Vec<Frontier>> {
+        let mut groups: Vec<Vec<Frontier>> = Vec::new();
+        let mut cur: Vec<Frontier> = Vec::new();
+        let mut i = 0usize;
+        while i < entries.len() {
+            // extent of this query's block
+            let q = entries[i].query;
+            let mut j = i;
+            while j < entries.len() && entries[j].query == q {
+                j += 1;
+            }
+            let block = j - i;
+            if !cur.is_empty() && cur.len() + block > limit {
+                groups.push(std::mem::take(&mut cur));
+            }
+            cur.extend_from_slice(&entries[i..j]);
+            i = j;
+        }
+        if !cur.is_empty() {
+            groups.push(cur);
+        }
+        groups
+    }
+
+    fn multiple_queries(entries: &[Frontier]) -> bool {
+        entries
+            .first()
+            .map(|f| f.query)
+            .zip(entries.last().map(|f| f.query))
+            .is_some_and(|(a, b)| a != b)
+    }
+
+    /// Compute `d(query, node.pivot)` for every frontier entry (one kernel).
+    fn pivot_distances(&self, queries: &[O], entries: &[Frontier]) -> Vec<f64> {
+        let out = self.dev.launch_map(entries.len(), |i| {
+            let e = entries[i];
+            let pivot = self
+                .nodes
+                .get(e.node as usize)
+                .pivot
+                .expect("expanded node is internal");
+            let q = &queries[e.query as usize];
+            let o = &self.objects[pivot as usize];
+            (self.metric.distance(q, o), self.metric.work(q, o))
+        });
+        self.stats
+            .add(&self.stats.distance_computations, entries.len() as u64);
+        out
+    }
+
+    /// Flatten leaf entries into per-object verification tasks
+    /// (`(entry index, table position)`), the thread granularity of the
+    /// verification kernel.
+    fn leaf_tasks(&self, entries: &[Frontier]) -> Vec<(u32, u32)> {
+        let mut tasks = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let node = self.nodes.get(e.node as usize);
+            for pos in node.pos..node.pos + node.size {
+                tasks.push((i as u32, pos));
+            }
+        }
+        tasks
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metric range query (Algorithm 4)
+// ---------------------------------------------------------------------------
+
+/// Batched MRQ: `answers[i] = MRQ(queries[i], radii[i])` in canonical order.
+pub(crate) fn batch_range<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    radii: &[f64],
+) -> Result<Vec<Vec<Neighbor>>, GpuError>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    assert_eq!(queries.len(), radii.len());
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+    if ctx.table.is_empty() || queries.is_empty() {
+        return Ok(results);
+    }
+    let entries: Vec<Frontier> = (0..queries.len() as u32)
+        .map(|q| Frontier {
+            node: 1,
+            query: q,
+            dqp: f64::NAN,
+        })
+        .collect();
+    range_level(ctx, queries, radii, entries, 1, &mut results)?;
+    for r in &mut results {
+        sort_neighbors(r);
+    }
+    Ok(results)
+}
+
+fn range_level<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    radii: &[f64],
+    entries: Vec<Frontier>,
+    level: u32,
+    results: &mut Vec<Vec<Neighbor>>,
+) -> Result<(), GpuError>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let shape = ctx.shape();
+    ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
+
+    // Two-stage strategy: form query groups when the frontier would overrun
+    // the per-layer memory bound.
+    if ctx.params.query_grouping
+        && entries.len() > ctx.size_limit(level)
+        && SearchCtx::<O, M>::multiple_queries(&entries)
+    {
+        let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
+        ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
+        for g in groups {
+            range_level(ctx, queries, radii, g, level, results)?;
+        }
+        return Ok(());
+    }
+
+    if level == shape.h {
+        verify_range(ctx, queries, radii, &entries, results);
+        return Ok(());
+    }
+
+    // Next-level intermediate buffer, sized |E|·Nc like the paper's Q'_Res.
+    // With grouping on, the size-limit check above guarantees this fits;
+    // with it off this is exactly where the naive strategy deadlocks.
+    let _next_buf = ctx.dev.alloc::<RawEntry>(
+        entries.len() * shape.nc as usize,
+        "MRQ intermediate results",
+    )?;
+
+    // Expansion kernel: d(q, pivot) per entry, then the Lemma 5.1 ring test
+    // for each of the Nc children.
+    let dq = ctx.pivot_distances(queries, &entries);
+    let mut next: Vec<Frontier> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let r = radii[e.query as usize];
+        for j in 0..shape.nc as usize {
+            let cid = shape.child(e.node as usize, j);
+            let child = ctx.nodes.get(cid);
+            if child.is_empty() {
+                continue;
+            }
+            let upper = if ctx.params.two_sided_pruning {
+                child.max_dis
+            } else {
+                f64::INFINITY
+            };
+            if prune_node_range(child.min_dis, upper, dq[i], r) {
+                ctx.stats.add(&ctx.stats.nodes_pruned, 1);
+            } else {
+                ctx.stats.add(&ctx.stats.nodes_expanded, 1);
+                next.push(Frontier {
+                    node: cid as u32,
+                    query: e.query,
+                    dqp: dq[i],
+                });
+            }
+        }
+    }
+    ctx.dev
+        .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
+
+    range_level(ctx, queries, radii, next, level + 1, results)
+}
+
+fn verify_range<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    radii: &[f64],
+    entries: &[Frontier],
+    results: &mut [Vec<Neighbor>],
+) where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    let tasks = ctx.leaf_tasks(entries);
+    if tasks.is_empty() {
+        return;
+    }
+    let outcomes: Vec<(Option<Neighbor>, bool)> = ctx.dev.launch_map(tasks.len(), |t| {
+        let (ei, pos) = tasks[t];
+        let e = entries[ei as usize];
+        let te = ctx.table.get(pos as usize);
+        if te.deleted {
+            return ((None, false), 1);
+        }
+        let r = radii[e.query as usize];
+        // Lemma 5.1 filter against the parent pivot: zero distance calls.
+        if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > r {
+            return ((None, false), 3);
+        }
+        let q = &queries[e.query as usize];
+        let o = &ctx.objects[te.obj as usize];
+        let d = ctx.metric.distance(q, o);
+        let hit = (d <= r).then_some(Neighbor::new(te.obj, d));
+        ((hit, true), self_work(ctx.metric, q, o))
+    });
+    let mut verified = 0u64;
+    for (t, (hit, computed)) in outcomes.into_iter().enumerate() {
+        if computed {
+            verified += 1;
+        }
+        if let Some(n) = hit {
+            let q = entries[tasks[t].0 as usize].query as usize;
+            results[q].push(n);
+        }
+    }
+    ctx.stats.add(&ctx.stats.leaf_verified, verified);
+    ctx.stats
+        .add(&ctx.stats.distance_computations, verified);
+    ctx.stats
+        .add(&ctx.stats.leaf_filtered, tasks.len() as u64 - verified);
+}
+
+#[inline]
+fn self_work<O, M: Metric<O>>(metric: &M, q: &O, o: &O) -> u64
+where
+    O: ?Sized,
+{
+    metric.work(q, o) + 3
+}
+
+// ---------------------------------------------------------------------------
+// Metric kNN query (Algorithm 5)
+// ---------------------------------------------------------------------------
+
+/// Running best-k pool of one query; the bound `d(q, k_cur)` of Lemma 5.2.
+#[derive(Clone, Debug)]
+pub(crate) struct TopK {
+    k: usize,
+    items: Vec<Neighbor>, // ascending (dist, id), length ≤ k, unique ids
+}
+
+impl TopK {
+    pub(crate) fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            items: Vec::with_capacity(k.min(1024)),
+        }
+    }
+
+    /// Insert a candidate, keeping the k best distinct object ids.
+    pub(crate) fn insert(&mut self, n: Neighbor) {
+        if self.k == 0 || self.items.iter().any(|x| x.id == n.id) {
+            return;
+        }
+        let pos = self
+            .items
+            .partition_point(|x| (x.dist, x.id) < (n.dist, n.id));
+        if pos >= self.k {
+            return;
+        }
+        self.items.insert(pos, n);
+        self.items.truncate(self.k);
+    }
+
+    /// Current k-th-NN distance bound (∞ until k candidates are known).
+    pub(crate) fn bound(&self) -> f64 {
+        if self.items.len() == self.k {
+            self.items.last().map_or(f64::INFINITY, |n| n.dist)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Final answers, canonical order.
+    pub(crate) fn into_sorted(self) -> Vec<Neighbor> {
+        self.items
+    }
+}
+
+/// Batched MkNNQ: the `k` nearest objects per query, canonical order.
+pub(crate) fn batch_knn<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    k: usize,
+) -> Result<Vec<Vec<Neighbor>>, GpuError>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    batch_knn_impl(ctx, queries, k, None)
+}
+
+/// Approximate batched MkNNQ (the paper's future-work direction, §7): at
+/// each level every query keeps only its `beam` most promising frontier
+/// entries (smallest ring gap to the query coordinate). `beam = None` is
+/// the exact search. Smaller beams trade recall for throughput.
+pub(crate) fn batch_knn_impl<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    k: usize,
+    beam: Option<usize>,
+) -> Result<Vec<Vec<Neighbor>>, GpuError>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    let mut pools: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
+    if ctx.table.is_empty() || queries.is_empty() || k == 0 {
+        return Ok(pools.into_iter().map(TopK::into_sorted).collect());
+    }
+    let entries: Vec<Frontier> = (0..queries.len() as u32)
+        .map(|q| Frontier {
+            node: 1,
+            query: q,
+            dqp: f64::NAN,
+        })
+        .collect();
+    knn_level(ctx, queries, entries, 1, &mut pools, beam)?;
+    Ok(pools.into_iter().map(TopK::into_sorted).collect())
+}
+
+/// Per-query beam truncation: keep the `beam` entries whose ring is closest
+/// to the query's mapped coordinate. Entries are query-contiguous.
+fn truncate_beam<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    entries: Vec<(Frontier, f64)>,
+    beam: usize,
+) -> Vec<Frontier>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    let mut out = Vec::with_capacity(entries.len());
+    let mut i = 0usize;
+    while i < entries.len() {
+        let q = entries[i].0.query;
+        let mut j = i;
+        while j < entries.len() && entries[j].0.query == q {
+            j += 1;
+        }
+        let block = &entries[i..j];
+        if block.len() <= beam {
+            out.extend(block.iter().map(|&(f, _)| f));
+        } else {
+            let mut ranked: Vec<&(Frontier, f64)> = block.iter().collect();
+            ranked.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("finite gap")
+                    .then(a.0.node.cmp(&b.0.node))
+            });
+            out.extend(ranked[..beam].iter().map(|e| e.0));
+        }
+        i = j;
+    }
+    ctx.dev.launch_charged(entries.len() as u64 * 4, 16);
+    out
+}
+
+fn knn_level<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    entries: Vec<Frontier>,
+    level: u32,
+    pools: &mut Vec<TopK>,
+    beam: Option<usize>,
+) -> Result<(), GpuError>
+where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let shape = ctx.shape();
+    ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
+
+    // Group queries exactly as Algorithm 4 does (Alg. 5 line 4). Groups run
+    // sequentially and *share* the pools, so later groups inherit tightened
+    // bounds — a free bonus of sequential group processing.
+    if ctx.params.query_grouping
+        && entries.len() > ctx.size_limit(level)
+        && SearchCtx::<O, M>::multiple_queries(&entries)
+    {
+        let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
+        ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
+        for g in groups {
+            knn_level(ctx, queries, g, level, pools, beam)?;
+        }
+        return Ok(());
+    }
+
+    if level == shape.h {
+        verify_knn(ctx, queries, &entries, pools);
+        return Ok(());
+    }
+
+    let _next_buf = ctx.dev.alloc::<RawEntry>(
+        entries.len() * shape.nc as usize,
+        "MkNNQ intermediate results",
+    )?;
+
+    // Alg. 5 lines 7–10: pivot distances for the frontier. Pivots are real
+    // objects, so each distance is also a kNN candidate.
+    let dq = ctx.pivot_distances(queries, &entries);
+
+    // Alg. 5 lines 11–12: the per-query k-th bound is located by encoding
+    // `query_rank + dis/denom` and running the same global device sort as
+    // construction; walking the sorted runs inserts candidates in ascending
+    // order per query.
+    let maxd = reduce_max_f64(ctx.dev, &dq).max(0.0);
+    let denom = 2.0 * (maxd + 1.0);
+    let mut pairs: Vec<(f64, u32)> = entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (f64::from(e.query) + dq[i] / denom, i as u32))
+        .collect();
+    ctx.dev.launch_charged(pairs.len() as u64 * 2, 2);
+    sort_pairs_by_key(ctx.dev, &mut pairs);
+    for &(_, i) in &pairs {
+        let e = entries[i as usize];
+        let pivot = ctx
+            .nodes
+            .get(e.node as usize)
+            .pivot
+            .expect("internal node");
+        // A tombstoned pivot's distance must not become a candidate (it is
+        // no longer an answer) nor a bound (it could over-tighten pruning
+        // against live objects).
+        if ctx.live[pivot as usize] {
+            pools[e.query as usize].insert(Neighbor::new(pivot, dq[i as usize]));
+        }
+    }
+
+    // Alg. 5 lines 13–17: prune with the updated bounds — the own-pivot
+    // test on the expanded node, then the parent-pivot ring test per child.
+    let mut next: Vec<(Frontier, f64)> = Vec::new();
+    for (i, e) in entries.iter().enumerate() {
+        let node = ctx.nodes.get(e.node as usize);
+        let bound = pools[e.query as usize].bound();
+        if dq[i] - node.own_max_dis >= bound {
+            ctx.stats
+                .add(&ctx.stats.nodes_pruned, u64::from(shape.nc));
+            continue;
+        }
+        for j in 0..shape.nc as usize {
+            let cid = shape.child(e.node as usize, j);
+            let child = ctx.nodes.get(cid);
+            if child.is_empty() {
+                continue;
+            }
+            let upper = if ctx.params.two_sided_pruning {
+                child.max_dis
+            } else {
+                f64::INFINITY
+            };
+            if prune_node_knn(child.min_dis, upper, dq[i], bound) {
+                ctx.stats.add(&ctx.stats.nodes_pruned, 1);
+            } else {
+                ctx.stats.add(&ctx.stats.nodes_expanded, 1);
+                let gap = if dq[i] < child.min_dis {
+                    child.min_dis - dq[i]
+                } else if dq[i] > child.max_dis {
+                    dq[i] - child.max_dis
+                } else {
+                    0.0
+                };
+                next.push((
+                    Frontier {
+                        node: cid as u32,
+                        query: e.query,
+                        dqp: dq[i],
+                    },
+                    gap,
+                ));
+            }
+        }
+    }
+    ctx.dev
+        .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
+
+    let next: Vec<Frontier> = match beam {
+        Some(b) => truncate_beam(ctx, next, b.max(1)),
+        None => next.into_iter().map(|(f, _)| f).collect(),
+    };
+    knn_level(ctx, queries, next, level + 1, pools, beam)
+}
+
+/// Leaf verification runs in `KNN_WAVES` sequential kernel waves, each
+/// query's leaves ordered by ring proximity to its mapped coordinate.
+/// Within a wave the bound is snapshotted (parallel threads cannot observe
+/// each other); between waves the pools — and hence the Lemma 5.2 bound —
+/// tighten, implementing the paper's "progressively narrowed distance
+/// boundary". Any snapshot bound is an upper bound on the true k-th
+/// distance, so every wave's filter is exact.
+const KNN_WAVES: usize = 4;
+
+fn verify_knn<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    entries: &[Frontier],
+    pools: &mut [TopK],
+) where
+    O: Send + Sync,
+    M: Metric<O>,
+{
+    if entries.is_empty() {
+        return;
+    }
+    // Order each query's leaves closest-ring-first so the first wave almost
+    // certainly contains the true neighbours.
+    let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+    let gap = |e: &Frontier| {
+        let node = ctx.nodes.get(e.node as usize);
+        if e.dqp.is_nan() {
+            0.0
+        } else if e.dqp < node.min_dis {
+            node.min_dis - e.dqp
+        } else if e.dqp > node.max_dis {
+            e.dqp - node.max_dis
+        } else {
+            0.0
+        }
+    };
+    order.sort_by(|&a, &b| {
+        let (ea, eb) = (&entries[a as usize], &entries[b as usize]);
+        ea.query
+            .cmp(&eb.query)
+            .then(gap(ea).partial_cmp(&gap(eb)).expect("finite gap"))
+            .then(ea.node.cmp(&eb.node))
+    });
+    ctx.dev.launch_charged(entries.len() as u64 * 4, 32);
+
+    // Round-robin the ordered entries into waves: wave 0 gets each query's
+    // closest leaves.
+    for wave in 0..KNN_WAVES {
+        let wave_entries: Vec<Frontier> = order
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % KNN_WAVES == wave)
+            .map(|(_, &idx)| entries[idx as usize])
+            .collect();
+        let tasks = ctx.leaf_tasks(&wave_entries);
+        if tasks.is_empty() {
+            continue;
+        }
+        let bounds: Vec<f64> = pools.iter().map(TopK::bound).collect();
+        let outcomes: Vec<(Option<Neighbor>, bool)> = ctx.dev.launch_map(tasks.len(), |t| {
+            let (ei, pos) = tasks[t];
+            let e = wave_entries[ei as usize];
+            let te = ctx.table.get(pos as usize);
+            if te.deleted {
+                return ((None, false), 1);
+            }
+            // Lemma 5.2 filter against the parent pivot (strict ≥).
+            if !e.dqp.is_nan() && (te.dis - e.dqp).abs() >= bounds[e.query as usize] {
+                return ((None, false), 3);
+            }
+            let q = &queries[e.query as usize];
+            let o = &ctx.objects[te.obj as usize];
+            let d = ctx.metric.distance(q, o);
+            ((Some(Neighbor::new(te.obj, d)), true), self_work(ctx.metric, q, o))
+        });
+        let mut verified = 0u64;
+        for (t, (cand, computed)) in outcomes.into_iter().enumerate() {
+            if computed {
+                verified += 1;
+            }
+            if let Some(n) = cand {
+                let q = wave_entries[tasks[t].0 as usize].query as usize;
+                pools[q].insert(n);
+            }
+        }
+        ctx.stats.add(&ctx.stats.leaf_verified, verified);
+        ctx.stats.add(&ctx.stats.distance_computations, verified);
+        ctx.stats
+            .add(&ctx.stats.leaf_filtered, tasks.len() as u64 - verified);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_keeps_k_best_unique() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.bound(), f64::INFINITY);
+        t.insert(Neighbor::new(1, 5.0));
+        assert_eq!(t.bound(), f64::INFINITY, "not full yet");
+        t.insert(Neighbor::new(2, 3.0));
+        assert_eq!(t.bound(), 5.0);
+        t.insert(Neighbor::new(2, 3.0)); // duplicate id ignored
+        assert_eq!(t.bound(), 5.0);
+        t.insert(Neighbor::new(3, 1.0));
+        assert_eq!(t.bound(), 3.0);
+        let out = t.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!((out[0].id, out[1].id), (3, 2));
+    }
+
+    #[test]
+    fn topk_zero_k() {
+        let mut t = TopK::new(0);
+        t.insert(Neighbor::new(1, 1.0));
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn split_groups_respects_query_blocks() {
+        let mk = |q: u32| Frontier {
+            node: 1,
+            query: q,
+            dqp: 0.0,
+        };
+        let entries = vec![mk(0), mk(0), mk(1), mk(1), mk(1), mk(2)];
+        let groups = SearchCtx::<(), DummyMetric>::split_groups(entries, 3);
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 3);
+        assert_eq!(groups[2].len(), 1);
+        for g in &groups {
+            let q0 = g[0].query;
+            let qn = g.last().expect("non-empty").query;
+            assert!(g.windows(2).all(|w| w[0].query <= w[1].query));
+            let _ = (q0, qn);
+        }
+    }
+
+    #[test]
+    fn split_groups_oversized_single_query() {
+        let mk = |q: u32| Frontier {
+            node: 1,
+            query: q,
+            dqp: 0.0,
+        };
+        let entries = vec![mk(5); 10];
+        let groups = SearchCtx::<(), DummyMetric>::split_groups(entries, 3);
+        assert_eq!(groups.len(), 1, "one query cannot be split");
+        assert_eq!(groups[0].len(), 10);
+    }
+
+    struct DummyMetric;
+    impl Metric<()> for DummyMetric {
+        fn distance(&self, _: &(), _: &()) -> f64 {
+            0.0
+        }
+        fn work(&self, _: &(), _: &()) -> u64 {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Search statistics, for tests, ablations, and the experiment reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters accumulated over the lifetime of an index (reset explicitly).
+#[derive(Debug, Default)]
+pub struct SearchStats {
+    /// Real metric-distance evaluations performed.
+    pub distance_computations: AtomicU64,
+    /// Tree nodes pruned by Lemma 5.1/5.2 ring tests.
+    pub nodes_pruned: AtomicU64,
+    /// Tree nodes expanded (survived pruning).
+    pub nodes_expanded: AtomicU64,
+    /// Leaf table entries skipped by the stored-distance filter.
+    pub leaf_filtered: AtomicU64,
+    /// Leaf table entries verified with a real distance computation.
+    pub leaf_verified: AtomicU64,
+    /// Query groups formed by the two-stage memory strategy.
+    pub groups_formed: AtomicU64,
+    /// Largest intermediate frontier (entries) seen.
+    pub max_frontier: AtomicU64,
+}
+
+impl SearchStats {
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        for c in [
+            &self.distance_computations,
+            &self.nodes_pruned,
+            &self.nodes_expanded,
+            &self.leaf_filtered,
+            &self.leaf_verified,
+            &self.groups_formed,
+            &self.max_frontier,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Plain-value snapshot.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            distance_computations: self.distance_computations.load(Ordering::Relaxed),
+            nodes_pruned: self.nodes_pruned.load(Ordering::Relaxed),
+            nodes_expanded: self.nodes_expanded.load(Ordering::Relaxed),
+            leaf_filtered: self.leaf_filtered.load(Ordering::Relaxed),
+            leaf_verified: self.leaf_verified.load(Ordering::Relaxed),
+            groups_formed: self.groups_formed.load(Ordering::Relaxed),
+            max_frontier: self.max_frontier.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn add(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_add(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn max(&self, counter: &AtomicU64, v: u64) {
+        counter.fetch_max(v, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value copy of [`SearchStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Real metric-distance evaluations performed.
+    pub distance_computations: u64,
+    /// Nodes pruned by ring tests.
+    pub nodes_pruned: u64,
+    /// Nodes expanded.
+    pub nodes_expanded: u64,
+    /// Leaf entries skipped by the stored-distance filter.
+    pub leaf_filtered: u64,
+    /// Leaf entries verified with a distance computation.
+    pub leaf_verified: u64,
+    /// Query groups formed by the two-stage strategy.
+    pub groups_formed: u64,
+    /// Largest frontier seen.
+    pub max_frontier: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_and_snapshot() {
+        let s = SearchStats::default();
+        s.add(&s.distance_computations, 5);
+        s.max(&s.max_frontier, 10);
+        s.max(&s.max_frontier, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.distance_computations, 5);
+        assert_eq!(snap.max_frontier, 10);
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+}

@@ -1,0 +1,140 @@
+//! The table list: leaf-level object-partitioning information (paper §4.2).
+//!
+//! Only the *final stage* is stored (Fig. 3): for every object, its id and
+//! its distance to the pivot of its leaf's parent node, laid out so that each
+//! leaf's objects are contiguous and sorted ascending by that distance.
+//! Upper-level partitionings are recoverable by concatenating child ranges,
+//! which is why storing one level suffices — the memory argument the paper
+//! makes explicitly.
+
+/// One table-list cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TableEntry {
+    /// Object id (index into the dataset).
+    pub obj: u32,
+    /// Distance from the object to the pivot of its leaf's parent (after
+    /// construction; during construction: to the pivot of the current
+    /// level's node).
+    pub dis: f64,
+    /// Tombstone set by streaming deletions (§4.4): the object is skipped by
+    /// verification until the next rebuild compacts it away.
+    pub deleted: bool,
+}
+
+/// The flat table list.
+#[derive(Clone, Debug, Default)]
+pub struct TableList {
+    entries: Vec<TableEntry>,
+}
+
+impl TableList {
+    /// Initialise from the object ids to index (Alg. 1 lines 4–5); distances
+    /// start at 0 and are filled by the first mapping pass.
+    pub fn from_ids(ids: &[u32]) -> TableList {
+        TableList {
+            entries: ids
+                .iter()
+                .map(|&obj| TableEntry {
+                    obj,
+                    dis: 0.0,
+                    deleted: false,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of entries (live + tombstoned).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Immutable slice of all entries.
+    pub fn entries(&self) -> &[TableEntry] {
+        &self.entries
+    }
+
+    /// Mutable slice of all entries.
+    pub fn entries_mut(&mut self) -> &mut [TableEntry] {
+        &mut self.entries
+    }
+
+    /// Entry at `pos`.
+    pub fn get(&self, pos: usize) -> &TableEntry {
+        &self.entries[pos]
+    }
+
+    /// The sub-range `[pos, pos + len)` belonging to one node.
+    pub fn range(&self, pos: u32, len: u32) -> &[TableEntry] {
+        &self.entries[pos as usize..(pos + len) as usize]
+    }
+
+    /// Tombstone every entry holding `obj`; returns how many were marked.
+    /// (Duplicates — Fig. 10's identical objects — share the id only if the
+    /// dataset assigned them the same id; each entry holds one id.)
+    pub fn tombstone(&mut self, obj: u32) -> usize {
+        let mut marked = 0;
+        for e in &mut self.entries {
+            if e.obj == obj && !e.deleted {
+                e.deleted = true;
+                marked += 1;
+            }
+        }
+        marked
+    }
+
+    /// Live (non-tombstoned) object ids, in table order.
+    pub fn live_ids(&self) -> Vec<u32> {
+        self.entries
+            .iter()
+            .filter(|e| !e.deleted)
+            .map(|e| e.obj)
+            .collect()
+    }
+
+    /// Count of live entries.
+    pub fn live_len(&self) -> usize {
+        self.entries.iter().filter(|e| !e.deleted).count()
+    }
+
+    /// Bytes occupied (device-resident).
+    pub fn bytes(&self) -> u64 {
+        (self.entries.len() * std::mem::size_of::<TableEntry>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_and_ranges() {
+        let t = TableList::from_ids(&[5, 3, 9, 1]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(2).obj, 9);
+        let r = t.range(1, 2);
+        assert_eq!(r[0].obj, 3);
+        assert_eq!(r[1].obj, 9);
+    }
+
+    #[test]
+    fn tombstoning() {
+        let mut t = TableList::from_ids(&[5, 3, 5]);
+        assert_eq!(t.tombstone(5), 2);
+        assert_eq!(t.tombstone(5), 0, "already tombstoned");
+        assert_eq!(t.live_ids(), vec![3]);
+        assert_eq!(t.live_len(), 1);
+        assert_eq!(t.len(), 3, "tombstones keep their slots until rebuild");
+    }
+
+    #[test]
+    fn bytes_scale_with_len() {
+        let a = TableList::from_ids(&[1, 2]);
+        let b = TableList::from_ids(&[1, 2, 3, 4]);
+        assert_eq!(b.bytes(), 2 * a.bytes());
+    }
+}

@@ -1,0 +1,111 @@
+//! Dynamic updates (paper §4.4): the LSM-inspired cache table for streaming
+//! inserts, tombstoned deletions, and rebuild-on-overflow.
+//!
+//! * **Insert**: `O(1)` — the object is appended to the cache list; queries
+//!   scan the cache by brute force (it is tiny) and merge.
+//! * **Delete**: `O(1)` — removed from the cache if present, otherwise the
+//!   object's table-list slot is tombstoned.
+//! * **Overflow / batch update**: the whole index is reconstructed with the
+//!   parallel constructor — cheap on the device (`O(log³ n)` simulated), and
+//!   rebuilding means updates never degrade search quality, the paper's
+//!   central update claim.
+
+/// The cache table: ids of inserted-but-not-yet-indexed objects plus a byte
+/// budget (Table 5 sweeps 0.01 KB – 10 KB; ~5 KB is recommended).
+#[derive(Clone, Debug)]
+pub(crate) struct CacheTable {
+    ids: Vec<u32>,
+    bytes: usize,
+    capacity: usize,
+}
+
+impl CacheTable {
+    pub(crate) fn new(capacity: usize) -> CacheTable {
+        CacheTable {
+            ids: Vec::new(),
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    /// Record an insertion; returns `true` when the cache now exceeds its
+    /// capacity and the index must rebuild.
+    pub(crate) fn insert(&mut self, id: u32, obj_bytes: usize) -> bool {
+        self.ids.push(id);
+        self.bytes += obj_bytes + std::mem::size_of::<u32>();
+        self.bytes > self.capacity
+    }
+
+    /// Remove an id if cached; returns whether it was present.
+    pub(crate) fn remove(&mut self, id: u32, obj_bytes: usize) -> bool {
+        if let Some(pos) = self.ids.iter().position(|&x| x == id) {
+            self.ids.swap_remove(pos);
+            self.bytes = self
+                .bytes
+                .saturating_sub(obj_bytes + std::mem::size_of::<u32>());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Ids currently buffered.
+    pub(crate) fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Number of buffered insertions.
+    pub(crate) fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Current byte occupancy.
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Byte budget.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Empty the cache (after a rebuild absorbed its contents).
+    pub(crate) fn clear(&mut self) {
+        self.ids.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overflow_detection() {
+        let mut c = CacheTable::new(32);
+        assert!(!c.insert(1, 10)); // 14 bytes
+        assert!(!c.insert(2, 10)); // 28 bytes
+        assert!(c.insert(3, 10), "42 > 32 must trigger rebuild");
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn remove_only_cached_ids() {
+        let mut c = CacheTable::new(1024);
+        c.insert(7, 10);
+        assert!(c.remove(7, 10));
+        assert!(!c.remove(7, 10), "already gone");
+        assert!(!c.remove(99, 10), "never cached");
+        assert_eq!(c.bytes(), 0);
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = CacheTable::new(8);
+        c.insert(1, 100);
+        c.clear();
+        assert_eq!((c.len(), c.bytes()), (0, 0));
+        assert_eq!(c.capacity(), 8);
+    }
+}

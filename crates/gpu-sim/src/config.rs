@@ -1,0 +1,95 @@
+//! Device configuration and hardware presets.
+
+/// Static parameters of the modelled device.
+///
+/// The default preset models the paper's testbed GPU (NVIDIA GeForce RTX
+/// 2080 Ti: 4352 CUDA cores @ ~1.545 GHz, 11 GB GDDR6); the experiment
+/// harness scales `global_mem_bytes` down in proportion to dataset scale so
+/// memory-pressure effects appear at laptop-sized cardinalities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of scalar cores `C` — the "GPU concurrent computing power" of
+    /// the paper's cost model (§5.3).
+    pub cores: u32,
+    /// SIMT warp width (threads scheduled together). Work is charged at warp
+    /// granularity: a kernel over `n` items occupies `⌈n/warp⌉·warp` lanes.
+    pub warp_size: u32,
+    /// Core clock in Hz; converts cycles to simulated seconds.
+    pub clock_hz: f64,
+    /// Global device memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Shared memory per thread block in bytes (pivots are staged here
+    /// during mapping, Alg. 2).
+    pub shared_mem_per_block: u64,
+    /// Fixed cycles charged per kernel launch (driver + dispatch latency).
+    pub kernel_launch_cycles: u64,
+    /// Host↔device bandwidth in bytes per second (PCIe 3.0 x16-ish).
+    pub transfer_bytes_per_sec: f64,
+    /// Host threads used to *actually execute* kernels. Affects wall-clock
+    /// only, never results or simulated time.
+    pub host_threads: usize,
+}
+
+impl DeviceConfig {
+    /// The paper's GPU: RTX 2080 Ti, 11 GB.
+    pub fn rtx_2080_ti() -> Self {
+        DeviceConfig {
+            cores: 4352,
+            warp_size: 32,
+            clock_hz: 1.545e9,
+            global_mem_bytes: 11 * (1 << 30),
+            shared_mem_per_block: 48 << 10,
+            kernel_launch_cycles: 8_000, // ~5 µs at 1.545 GHz
+            transfer_bytes_per_sec: 12e9,
+            host_threads: default_host_threads(),
+        }
+    }
+
+    /// Same compute, different memory capacity (Fig. 8's memory sweep).
+    pub fn with_memory_bytes(mut self, bytes: u64) -> Self {
+        self.global_mem_bytes = bytes;
+        self
+    }
+
+    /// Effective scalar throughput in op-units per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        f64::from(self.cores) * self.clock_hz
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::rtx_2080_ti()
+    }
+}
+
+fn default_host_threads() -> usize {
+    std::env::var("GTS_HOST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_matches_testbed() {
+        let c = DeviceConfig::rtx_2080_ti();
+        assert_eq!(c.cores, 4352);
+        assert_eq!(c.global_mem_bytes, 11 * (1 << 30));
+        assert!(c.ops_per_sec() > 6e12);
+    }
+
+    #[test]
+    fn memory_override() {
+        let c = DeviceConfig::rtx_2080_ti().with_memory_bytes(1 << 20);
+        assert_eq!(c.global_mem_bytes, 1 << 20);
+        assert_eq!(c.cores, 4352, "compute unchanged");
+    }
+}

@@ -1,0 +1,89 @@
+//! CPU cost model for the CPU-based baselines (BST, MVPT, EGNAT).
+//!
+//! The paper's CPU testbed is an Intel Core i9-10900X. CPU baselines run the
+//! same instrumented algorithms as the GPU methods but charge their work to
+//! a sequential clock: `seconds = work / effective_ops_per_sec`. A single
+//! modern x86 core retires ≈4 scalar ops/cycle at ~3.7 GHz; distance kernels
+//! vectorise partially, so the default effective rate is 1.5e10 op-units/s.
+//! What matters for the reproduction is the *ratio* to the GPU's
+//! `cores × clock ≈ 6.7e12`, which drives the 1–2 order-of-magnitude gaps in
+//! Fig. 7.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default effective scalar-op throughput of one CPU core.
+pub const DEFAULT_CPU_OPS_PER_SEC: f64 = 1.5e10;
+
+/// A sequential work clock.
+#[derive(Debug)]
+pub struct CpuClock {
+    work: AtomicU64,
+    ops_per_sec: f64,
+}
+
+impl Default for CpuClock {
+    fn default() -> Self {
+        CpuClock::new(DEFAULT_CPU_OPS_PER_SEC)
+    }
+}
+
+impl CpuClock {
+    /// Clock with a custom throughput.
+    pub fn new(ops_per_sec: f64) -> Self {
+        CpuClock {
+            work: AtomicU64::new(0),
+            ops_per_sec,
+        }
+    }
+
+    /// Charge `w` work units.
+    #[inline]
+    pub fn charge(&self, w: u64) {
+        self.work.fetch_add(w, Ordering::Relaxed);
+    }
+
+    /// Work units charged so far.
+    pub fn work(&self) -> u64 {
+        self.work.load(Ordering::Relaxed)
+    }
+
+    /// Simulated seconds elapsed.
+    pub fn seconds(&self) -> f64 {
+        self.work() as f64 / self.ops_per_sec
+    }
+
+    /// Simulated seconds since a work checkpoint.
+    pub fn seconds_since(&self, start_work: u64) -> f64 {
+        self.work().saturating_sub(start_work) as f64 / self.ops_per_sec
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.work.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let c = CpuClock::new(1e9);
+        c.charge(500);
+        c.charge(500);
+        assert_eq!(c.work(), 1000);
+        assert!((c.seconds() - 1e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpointing() {
+        let c = CpuClock::default();
+        c.charge(100);
+        let mark = c.work();
+        c.charge(50);
+        assert_eq!(c.seconds_since(mark), 50.0 / DEFAULT_CPU_OPS_PER_SEC);
+        c.reset();
+        assert_eq!(c.work(), 0);
+    }
+}

@@ -1,0 +1,474 @@
+//! The device: clock, memory allocator, kernel launcher, transfer model.
+
+use crate::config::DeviceConfig;
+use crate::error::GpuError;
+use crate::exec;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A simulated GPU. Shared via `Arc`; all counters are atomic, so one device
+/// can back several indexes at once (as in the paper, where the index and
+/// the query batches share the 11 GB card).
+#[derive(Debug)]
+pub struct Device {
+    cfg: DeviceConfig,
+    /// Simulated time, in core cycles.
+    cycles: AtomicU64,
+    /// Total work units ever charged (diagnostics).
+    work: AtomicU64,
+    /// Number of kernel launches.
+    kernels: AtomicU64,
+    /// Currently allocated bytes of global memory.
+    allocated: AtomicU64,
+    /// High-water mark of `allocated`.
+    peak: AtomicU64,
+    /// Host→device / device→host transferred bytes.
+    h2d: AtomicU64,
+    d2h: AtomicU64,
+    /// Failed allocations observed (memory-deadlock diagnostics, Fig. 9).
+    oom_events: AtomicU64,
+}
+
+/// Snapshot of the device counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Simulated cycles elapsed.
+    pub cycles: u64,
+    /// Total charged work units.
+    pub work: u64,
+    /// Kernel launches.
+    pub kernels: u64,
+    /// Live allocated bytes.
+    pub allocated: u64,
+    /// Peak allocated bytes.
+    pub peak_allocated: u64,
+    /// Host→device bytes transferred.
+    pub h2d_bytes: u64,
+    /// Device→host bytes transferred.
+    pub d2h_bytes: u64,
+    /// Allocation failures.
+    pub oom_events: u64,
+}
+
+impl Device {
+    /// Create a device with the given configuration.
+    pub fn new(cfg: DeviceConfig) -> Arc<Device> {
+        Arc::new(Device {
+            cfg,
+            cycles: AtomicU64::new(0),
+            work: AtomicU64::new(0),
+            kernels: AtomicU64::new(0),
+            allocated: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            h2d: AtomicU64::new(0),
+            d2h: AtomicU64::new(0),
+            oom_events: AtomicU64::new(0),
+        })
+    }
+
+    /// The paper's testbed GPU (RTX 2080 Ti, 11 GB).
+    pub fn rtx_2080_ti() -> Arc<Device> {
+        Device::new(DeviceConfig::rtx_2080_ti())
+    }
+
+    /// Device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.cfg
+    }
+
+    // -- clock ------------------------------------------------------------
+
+    /// Simulated cycles elapsed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles.load(Ordering::Relaxed)
+    }
+
+    /// Simulated seconds elapsed so far.
+    pub fn sim_seconds(&self) -> f64 {
+        self.cycles() as f64 / self.cfg.clock_hz
+    }
+
+    /// Simulated seconds elapsed since a cycle checkpoint.
+    pub fn seconds_since(&self, start_cycles: u64) -> f64 {
+        (self.cycles().saturating_sub(start_cycles)) as f64 / self.cfg.clock_hz
+    }
+
+    /// Reset the clock and traffic counters (not allocations).
+    pub fn reset_clock(&self) {
+        self.cycles.store(0, Ordering::Relaxed);
+        self.work.store(0, Ordering::Relaxed);
+        self.kernels.store(0, Ordering::Relaxed);
+        self.h2d.store(0, Ordering::Relaxed);
+        self.d2h.store(0, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats {
+            cycles: self.cycles.load(Ordering::Relaxed),
+            work: self.work.load(Ordering::Relaxed),
+            kernels: self.kernels.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed),
+            peak_allocated: self.peak.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h.load(Ordering::Relaxed),
+            oom_events: self.oom_events.load(Ordering::Relaxed),
+        }
+    }
+
+    // -- kernel execution ---------------------------------------------------
+
+    /// Charge one kernel with total work `w` and critical path `span`
+    /// (work–span model: `max(⌈W/C⌉, S)` cycles plus launch overhead).
+    pub fn charge_kernel(&self, w: u64, span: u64) {
+        let c = u64::from(self.cfg.cores);
+        let exec_cycles = (w.div_ceil(c)).max(span);
+        self.cycles.fetch_add(
+            exec_cycles + self.cfg.kernel_launch_cycles,
+            Ordering::Relaxed,
+        );
+        self.work.fetch_add(w, Ordering::Relaxed);
+        self.kernels.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Launch a map-style kernel over `0..n`: each thread `i` computes
+    /// `f(i) -> (value, work_units)`. Results are returned in index order;
+    /// the clock advances by the work–span cost of the whole grid. Threads
+    /// are padded to warp granularity.
+    pub fn launch_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> (T, u64) + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        let results = exec::par_map(n, self.cfg.host_threads, &f);
+        let mut total: u64 = 0;
+        let mut span: u64 = 0;
+        let mut out = Vec::with_capacity(n);
+        for (v, w) in results {
+            total += w;
+            span = span.max(w);
+            out.push(v);
+        }
+        // Warp padding: idle lanes of the final partial warp still occupy
+        // cores for the duration of the mean thread.
+        let warp = u64::from(self.cfg.warp_size);
+        let lanes = (n as u64).div_ceil(warp) * warp;
+        let padded = total + (lanes - n as u64) * (total / n as u64);
+        self.charge_kernel(padded, span);
+        out
+    }
+
+    /// Launch a kernel executed purely for its cost (work already known),
+    /// e.g. a data-movement pass.
+    pub fn launch_charged(&self, work: u64, span: u64) {
+        self.charge_kernel(work, span);
+    }
+
+    // -- memory -------------------------------------------------------------
+
+    /// Bytes of global memory currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.cfg
+            .global_mem_bytes
+            .saturating_sub(self.allocated.load(Ordering::Relaxed))
+    }
+
+    /// Bytes of global memory currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    fn try_take(&self, bytes: u64, context: &'static str) -> Result<(), GpuError> {
+        let mut cur = self.allocated.load(Ordering::Relaxed);
+        loop {
+            let new = cur + bytes;
+            if new > self.cfg.global_mem_bytes {
+                self.oom_events.fetch_add(1, Ordering::Relaxed);
+                return Err(GpuError::OutOfMemory {
+                    requested: bytes,
+                    available: self.cfg.global_mem_bytes - cur,
+                    context,
+                });
+            }
+            match self.allocated.compare_exchange_weak(
+                cur,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.peak.fetch_max(
+            self.allocated.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        Ok(())
+    }
+
+    fn release(&self, bytes: u64) {
+        self.allocated.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements in global
+    /// memory.
+    pub fn alloc<T: Clone + Default>(
+        self: &Arc<Self>,
+        len: usize,
+        context: &'static str,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        let bytes = (len * std::mem::size_of::<T>()) as u64;
+        self.try_take(bytes, context)?;
+        Ok(DeviceBuffer {
+            data: vec![T::default(); len],
+            bytes,
+            dev: Arc::clone(self),
+        })
+    }
+
+    /// Allocate a buffer holding `data` (accounting an H2D copy).
+    pub fn alloc_from<T: Clone>(
+        self: &Arc<Self>,
+        data: Vec<T>,
+        context: &'static str,
+    ) -> Result<DeviceBuffer<T>, GpuError> {
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.try_take(bytes, context)?;
+        self.h2d_transfer(bytes);
+        Ok(DeviceBuffer {
+            data,
+            bytes,
+            dev: Arc::clone(self),
+        })
+    }
+
+    /// Reserve raw bytes (for structures whose layout lives host-side in the
+    /// simulator — e.g. the object payloads of a resident dataset).
+    pub fn reserve(
+        self: &Arc<Self>,
+        bytes: u64,
+        context: &'static str,
+    ) -> Result<Reservation, GpuError> {
+        self.try_take(bytes, context)?;
+        Ok(Reservation {
+            bytes,
+            dev: Arc::clone(self),
+        })
+    }
+
+    // -- transfers ------------------------------------------------------------
+
+    /// Charge a host→device transfer of `bytes`.
+    pub fn h2d_transfer(&self, bytes: u64) {
+        self.h2d.fetch_add(bytes, Ordering::Relaxed);
+        self.charge_transfer(bytes);
+    }
+
+    /// Charge a device→host transfer of `bytes`.
+    pub fn d2h_transfer(&self, bytes: u64) {
+        self.d2h.fetch_add(bytes, Ordering::Relaxed);
+        self.charge_transfer(bytes);
+    }
+
+    fn charge_transfer(&self, bytes: u64) {
+        let secs = bytes as f64 / self.cfg.transfer_bytes_per_sec;
+        let cycles = (secs * self.cfg.clock_hz).ceil() as u64;
+        self.cycles.fetch_add(cycles, Ordering::Relaxed);
+    }
+}
+
+/// A typed allocation in device global memory. Dereferences to a slice;
+/// dropping it returns the bytes to the allocator.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    bytes: u64,
+    dev: Arc<Device>,
+}
+
+impl<T> DeviceBuffer<T> {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Accounted size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Copy the contents back to the host (accounting a D2H transfer).
+    pub fn to_host(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.dev.d2h_transfer(self.bytes);
+        self.data.clone()
+    }
+}
+
+impl<T> Deref for DeviceBuffer<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T> DerefMut for DeviceBuffer<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        self.dev.release(self.bytes);
+    }
+}
+
+/// An untyped byte reservation in global memory (RAII).
+#[derive(Debug)]
+pub struct Reservation {
+    bytes: u64,
+    dev: Arc<Device>,
+}
+
+impl Reservation {
+    /// Accounted size in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.dev.release(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_device(mem: u64) -> Arc<Device> {
+        Device::new(DeviceConfig {
+            global_mem_bytes: mem,
+            ..DeviceConfig::rtx_2080_ti()
+        })
+    }
+
+    #[test]
+    fn alloc_accounts_and_frees() {
+        let dev = tiny_device(1024);
+        let buf = dev.alloc::<u64>(16, "test").expect("fits");
+        assert_eq!(dev.allocated_bytes(), 128);
+        assert_eq!(buf.len(), 16);
+        drop(buf);
+        assert_eq!(dev.allocated_bytes(), 0);
+        assert_eq!(dev.stats().peak_allocated, 128);
+    }
+
+    #[test]
+    fn alloc_oom() {
+        let dev = tiny_device(64);
+        let err = dev.alloc::<u64>(16, "big").expect_err("must OOM");
+        match err {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+                ..
+            } => {
+                assert_eq!(requested, 128);
+                assert_eq!(available, 64);
+            }
+        }
+        assert_eq!(dev.stats().oom_events, 1);
+    }
+
+    #[test]
+    fn work_span_charging() {
+        let dev = tiny_device(1 << 20);
+        dev.reset_clock();
+        let before = dev.cycles();
+        // W = 4352 * 10 over C = 4352 cores -> 10 cycles + launch overhead.
+        dev.charge_kernel(4352 * 10, 1);
+        let delta = dev.cycles() - before;
+        assert_eq!(delta, 10 + dev.config().kernel_launch_cycles);
+        // Span dominates when one thread is long.
+        dev.charge_kernel(100, 5_000_000);
+        assert!(dev.cycles() - before > 5_000_000);
+    }
+
+    #[test]
+    fn launch_map_returns_ordered_results_and_charges() {
+        let dev = tiny_device(1 << 20);
+        let out = dev.launch_map(1000, |i| (i * 3, 7u64));
+        assert_eq!(out[999], 2997);
+        let s = dev.stats();
+        assert_eq!(s.kernels, 1);
+        assert!(s.work >= 7 * 1000, "warp padding only adds work");
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn launch_map_deterministic_cycles_across_thread_counts() {
+        let mk = |threads| {
+            let dev = Device::new(DeviceConfig {
+                host_threads: threads,
+                ..DeviceConfig::rtx_2080_ti()
+            });
+            let out = dev.launch_map(10_000, |i| (i as u64 % 17, (i % 5) as u64 + 1));
+            (out, dev.cycles())
+        };
+        let (o1, c1) = mk(1);
+        let (o8, c8) = mk(8);
+        assert_eq!(o1, o8);
+        assert_eq!(c1, c8, "simulated time must not depend on host threads");
+    }
+
+    #[test]
+    fn transfers_advance_clock() {
+        let dev = tiny_device(1 << 20);
+        let c0 = dev.cycles();
+        dev.h2d_transfer(12_000_000); // 1 ms at 12 GB/s
+        let dt = dev.seconds_since(c0);
+        assert!((dt - 1e-3).abs() < 1e-4, "dt = {dt}");
+        assert_eq!(dev.stats().h2d_bytes, 12_000_000);
+    }
+
+    #[test]
+    fn reservation_raii() {
+        let dev = tiny_device(1000);
+        let r = dev.reserve(600, "objs").expect("fits");
+        assert!(dev.reserve(600, "more").is_err());
+        drop(r);
+        assert!(dev.reserve(600, "again").is_ok());
+    }
+
+    #[test]
+    fn concurrent_alloc_is_safe() {
+        let dev = tiny_device(1 << 16);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let dev = Arc::clone(&dev);
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let b = dev.alloc::<u8>(64, "c").expect("fits");
+                        drop(b);
+                    }
+                });
+            }
+        });
+        assert_eq!(dev.allocated_bytes(), 0);
+    }
+}

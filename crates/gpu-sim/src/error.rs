@@ -1,0 +1,35 @@
+//! Device errors.
+
+use std::fmt;
+
+/// Errors raised by the device model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GpuError {
+    /// Global memory exhausted. This is the mechanism behind every "/" and
+    /// "memory deadlock" entry in the paper's evaluation.
+    OutOfMemory {
+        /// Bytes the allocation requested.
+        requested: u64,
+        /// Bytes currently free on the device.
+        available: u64,
+        /// What was being allocated.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory {
+                requested,
+                available,
+                context,
+            } => write!(
+                f,
+                "device out of memory while allocating {context}: requested {requested} B, free {available} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {}

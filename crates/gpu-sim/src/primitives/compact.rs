@@ -1,0 +1,39 @@
+//! Stream compaction (scan + scatter): keeps the flagged positions.
+//!
+//! Used to collect the surviving (unpruned) frontier entries after the
+//! per-level pruning kernel of Algorithms 4 and 5.
+
+use crate::device::Device;
+
+/// Indices `i` with `keep[i]`, in ascending order; charged as an exclusive
+/// scan plus a scatter (`3n` work, `2·log₂ n` span).
+pub fn compact_indices(dev: &Device, keep: &[bool]) -> Vec<u32> {
+    let n = keep.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let log_n = (usize::BITS - n.saturating_sub(1).leading_zeros()).max(1) as u64;
+    dev.charge_kernel(3 * n as u64, 2 * log_n);
+    keep.iter()
+        .enumerate()
+        .filter_map(|(i, &k)| k.then_some(i as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    #[test]
+    fn compacts() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let keep = [true, false, true, true, false];
+        assert_eq!(compact_indices(&dev, &keep), vec![0, 2, 3]);
+        assert!(compact_indices(&dev, &[]).is_empty());
+        assert_eq!(
+            compact_indices(&dev, &[false, false]),
+            Vec::<u32>::new()
+        );
+    }
+}

@@ -1,0 +1,179 @@
+//! Global device sort of `(f64 key, u32 payload)` pairs.
+//!
+//! This is the workhorse of GTS: Algorithm 3 encodes the key as
+//! `dis' = rank + dis/(max + 1)` so that **one** global sort simultaneously
+//! partitions every node of a level — the "sort and coding strategies" that
+//! let non-contiguous tree nodes be processed by a single uniform kernel.
+//!
+//! Implementation: stable LSD radix sort over the order-preserving `u64`
+//! image of the key (8 passes × 8 bits). Stability matters — objects with
+//! equal keys must keep their relative order so results are deterministic.
+//! Cost: the paper's model `W = n·log₂ n` comparison-equivalents, span
+//! `log₂ n · warp` (charged once for the whole sort).
+
+use crate::device::Device;
+
+/// Order-preserving map from `f64` to `u64`: for all finite a, b:
+/// `a < b ⇔ encode(a) < encode(b)`. (Standard sign-flip trick.)
+#[inline]
+pub fn encode_f64_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 0 {
+        bits | 0x8000_0000_0000_0000
+    } else {
+        !bits
+    }
+}
+
+/// Sort `pairs` in place, ascending by key, stably; charges the device.
+pub fn sort_pairs_by_key(dev: &Device, pairs: &mut Vec<(f64, u32)>) {
+    let n = pairs.len();
+    if n <= 1 {
+        if n == 1 {
+            dev.charge_kernel(1, 1);
+        }
+        return;
+    }
+    // Radix sort on the encoded key.
+    let mut src: Vec<(u64, u32)> = pairs
+        .iter()
+        .map(|&(k, v)| (encode_f64_key(k), v))
+        .collect();
+    let mut dst: Vec<(u64, u32)> = vec![(0, 0); n];
+    for pass in 0..8 {
+        let shift = pass * 8;
+        let mut counts = [0usize; 256];
+        for &(k, _) in &src {
+            counts[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        if counts.contains(&n) {
+            continue; // all keys share this byte; skip the pass
+        }
+        let mut offsets = [0usize; 256];
+        let mut acc = 0usize;
+        for (o, &c) in offsets.iter_mut().zip(&counts) {
+            *o = acc;
+            acc += c;
+        }
+        for &(k, v) in &src {
+            let b = ((k >> shift) & 0xFF) as usize;
+            dst[offsets[b]] = (k, v);
+            offsets[b] += 1;
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+    debug_assert!(src.windows(2).all(|w| w[0].0 <= w[1].0));
+    let log_n = (usize::BITS - (n - 1).leading_zeros()) as u64;
+    dev.charge_kernel(n as u64 * log_n, log_n * 32);
+    // Decode keys arithmetically from their u64 image (payloads may repeat,
+    // so positions cannot be recovered from the payload alone).
+    pairs.clear();
+    pairs.extend(src.iter().map(|&(k, v)| (decode_f64_key(k), v)));
+}
+
+#[inline]
+fn decode_f64_key(bits: u64) -> f64 {
+    let raw = if bits >> 63 == 1 {
+        bits & 0x7FFF_FFFF_FFFF_FFFF
+    } else {
+        !bits
+    };
+    f64::from_bits(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    #[test]
+    fn encode_preserves_order() {
+        let xs = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.0,
+            2.5,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in xs.windows(2) {
+            assert!(
+                encode_f64_key(w[0]) <= encode_f64_key(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        for x in [-123.456, -0.0, 0.0, 7.25, 1e18, -1e-18] {
+            let rt = decode_f64_key(encode_f64_key(x));
+            assert!(rt == x || (rt == 0.0 && x == 0.0), "{x} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn sorts_and_is_stable() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let mut pairs = vec![
+            (3.0, 0),
+            (1.0, 1),
+            (3.0, 2),
+            (0.5, 3),
+            (1.0, 4),
+            (3.0, 5),
+        ];
+        sort_pairs_by_key(&dev, &mut pairs);
+        let keys: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        assert_eq!(keys, vec![0.5, 1.0, 1.0, 3.0, 3.0, 3.0]);
+        // Stability: equal keys keep input order of payloads.
+        let vals: Vec<u32> = pairs.iter().map(|p| p.1).collect();
+        assert_eq!(vals, vec![3, 1, 4, 0, 2, 5]);
+    }
+
+    #[test]
+    fn sort_charges_nlogn() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let mut pairs: Vec<(f64, u32)> = (0..1024u32).rev().map(|i| (f64::from(i), i)).collect();
+        dev.reset_clock();
+        sort_pairs_by_key(&dev, &mut pairs);
+        assert!(pairs.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(dev.stats().work, 1024 * 10, "n log2 n work");
+    }
+
+    #[test]
+    fn sort_empty_and_single() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let mut empty: Vec<(f64, u32)> = vec![];
+        sort_pairs_by_key(&dev, &mut empty);
+        assert!(empty.is_empty());
+        let mut one = vec![(2.0, 9)];
+        sort_pairs_by_key(&dev, &mut one);
+        assert_eq!(one, vec![(2.0, 9)]);
+    }
+
+    #[test]
+    fn sort_large_random() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        // xorshift-generated pseudo-random keys
+        let mut state = 0x12345678u64;
+        let mut pairs: Vec<(f64, u32)> = (0..50_000u32)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                ((state % 1_000_003) as f64 / 997.0, i)
+            })
+            .collect();
+        let mut expect = pairs.clone();
+        expect.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        sort_pairs_by_key(&dev, &mut pairs);
+        assert_eq!(pairs, expect, "radix must match stable comparison sort");
+    }
+}

@@ -1,0 +1,98 @@
+//! Delegate-centric top-k (Dr.Top-k \[23\]).
+//!
+//! The GPU-Table baseline answers MkNNQ by computing all `n` query–object
+//! distances and then running this primitive. Dr.Top-k's contribution is to
+//! avoid a global sort: the input is split into fixed chunks, each chunk
+//! elects `k` local *delegates* in parallel, and only the `⌈n/chunk⌉·k`
+//! delegates enter the final selection.
+
+use crate::device::Device;
+
+/// Chunk width of the delegate pass (the paper's sub-range size).
+pub const CHUNK: usize = 1024;
+
+/// Indices of the `k` smallest keys, ascending by `(key, index)`.
+pub fn top_k_min(dev: &Device, keys: &[f64], k: usize) -> Vec<u32> {
+    let n = keys.len();
+    let k = k.min(n);
+    if k == 0 {
+        return Vec::new();
+    }
+    let chunks = n.div_ceil(CHUNK);
+    // Delegate pass: each chunk selects its local top-k (work: chunk scan +
+    // k·log maintenance; span: one chunk).
+    let mut delegates: Vec<u32> = Vec::with_capacity(chunks * k);
+    for c in 0..chunks {
+        let lo = c * CHUNK;
+        let hi = ((c + 1) * CHUNK).min(n);
+        let mut local: Vec<u32> = (lo as u32..hi as u32).collect();
+        local.sort_by(|&a, &b| {
+            keys[a as usize]
+                .partial_cmp(&keys[b as usize])
+                .expect("NaN key")
+                .then(a.cmp(&b))
+        });
+        local.truncate(k);
+        delegates.extend(local);
+    }
+    dev.charge_kernel(n as u64 + (chunks * k) as u64 * 10, CHUNK as u64);
+    // Final selection over delegates only.
+    delegates.sort_by(|&a, &b| {
+        keys[a as usize]
+            .partial_cmp(&keys[b as usize])
+            .expect("NaN key")
+            .then(a.cmp(&b))
+    });
+    delegates.truncate(k);
+    let d = delegates.len() as u64;
+    let log_d = (64 - d.saturating_sub(1).leading_zeros()).max(1) as u64;
+    dev.charge_kernel(d * log_d, log_d * 8);
+    delegates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    #[test]
+    fn finds_k_smallest() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let keys: Vec<f64> = (0..5000).map(|i| f64::from((i * 7919) % 5000)).collect();
+        let got = top_k_min(&dev, &keys, 5);
+        let mut expect: Vec<u32> = (0..5000u32).collect();
+        expect.sort_by(|&a, &b| keys[a as usize].partial_cmp(&keys[b as usize]).unwrap());
+        assert_eq!(got, expect[..5].to_vec());
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let got = top_k_min(&dev, &[3.0, 1.0, 2.0], 10);
+        assert_eq!(got, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        let got = top_k_min(&dev, &[1.0, 1.0, 1.0, 0.5], 3);
+        assert_eq!(got, vec![3, 0, 1]);
+    }
+
+    #[test]
+    fn zero_k() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        assert!(top_k_min(&dev, &[1.0], 0).is_empty());
+    }
+
+    #[test]
+    fn spans_multiple_chunks() {
+        let dev = Device::new(DeviceConfig::rtx_2080_ti());
+        // minimum sits in the last chunk
+        let mut keys = vec![10.0; 3 * CHUNK + 17];
+        let n = keys.len();
+        keys[n - 1] = 0.0;
+        let got = top_k_min(&dev, &keys, 1);
+        assert_eq!(got, vec![(n - 1) as u32]);
+    }
+}

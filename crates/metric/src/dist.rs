@@ -1,0 +1,392 @@
+//! Distance metrics and their work models.
+//!
+//! Every metric implements [`Metric`], which reports both the distance value
+//! and the *work* (≈ arithmetic operation count) of evaluating it. Work feeds
+//! the simulated device clock: the paper's headline costs are dominated by
+//! distance evaluations (edit distance on DNA is ~10⁴ ops; L2 on T-Loc is
+//! ~6 ops), and the relative expense of metrics is exactly what separates the
+//! datasets in the evaluation (§6).
+
+use crate::object::Item;
+
+/// A distance metric over objects of type `O`.
+///
+/// Implementations must satisfy the metric axioms (paper §3): symmetry,
+/// non-negativity, identity of indiscernibles, and the triangle inequality
+/// `d(a, b) ≤ d(a, c) + d(c, b)`. The property-based tests in this crate
+/// check all four on sampled triples for every shipped metric.
+pub trait Metric<O: ?Sized>: Send + Sync {
+    /// The distance between `a` and `b`.
+    fn distance(&self, a: &O, b: &O) -> f64;
+
+    /// Work units (≈ scalar ops) to evaluate `distance(a, b)`; used by the
+    /// simulated cost model. Must depend only on the objects, not the result.
+    fn work(&self, a: &O, b: &O) -> u64;
+
+    /// Human-readable metric name (for reports).
+    fn name(&self) -> &'static str;
+}
+
+// ---------------------------------------------------------------------------
+// Edit distance
+// ---------------------------------------------------------------------------
+
+/// Levenshtein (word edit) distance over strings; the metric of the Words and
+/// DNA datasets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EditDistance;
+
+/// Classic two-row dynamic-programming Levenshtein distance.
+///
+/// Operates on bytes; the generators emit ASCII, matching the paper's word
+/// and DNA data.
+pub fn edit_distance(a: &str, b: &str) -> u32 {
+    edit_distance_bytes(a.as_bytes(), b.as_bytes())
+}
+
+fn edit_distance_bytes(a: &[u8], b: &[u8]) -> u32 {
+    // Keep the shorter string in the inner dimension to minimise the rows.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    if b.is_empty() {
+        return a.len() as u32;
+    }
+    let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
+    let mut cur = vec![0u32; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + u32::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Early-abandoning edit distance: returns `None` as soon as the distance is
+/// provably `> bound` (Ukkonen banding). Exact when `Some` is returned.
+///
+/// Used by verification steps where a query radius is known; charged the
+/// banded work by [`EditDistance::work_bounded`].
+pub fn edit_distance_bounded(a: &str, b: &str, bound: u32) -> Option<u32> {
+    let (a, b) = {
+        let (x, y) = (a.as_bytes(), b.as_bytes());
+        if x.len() < y.len() {
+            (y, x)
+        } else {
+            (x, y)
+        }
+    };
+    if (a.len() - b.len()) as u32 > bound {
+        return None;
+    }
+    if b.is_empty() {
+        return Some(a.len() as u32);
+    }
+    let inf = bound + 1;
+    let mut prev: Vec<u32> = (0..=b.len() as u32).map(|v| v.min(inf)).collect();
+    let mut cur = vec![inf; b.len() + 1];
+    let band = bound as usize;
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = (i as u32 + 1).min(inf);
+        // Only the diagonal band [i-band, i+band] can stay within `bound`.
+        let lo = i.saturating_sub(band);
+        let hi = (i + band + 1).min(b.len());
+        if lo > 0 {
+            cur[lo] = inf;
+        }
+        let mut row_min = cur[0];
+        for j in lo..hi {
+            let cb = b[j];
+            let sub = prev[j].saturating_add(u32::from(ca != cb));
+            let del = prev[j + 1].saturating_add(1);
+            let ins = cur[j].saturating_add(1);
+            let v = sub.min(del).min(ins).min(inf);
+            cur[j + 1] = v;
+            row_min = row_min.min(v);
+        }
+        if hi < b.len() {
+            cur[hi + 1..].fill(inf);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[b.len()];
+    (d <= bound).then_some(d)
+}
+
+impl EditDistance {
+    /// Work of the full DP: `(|a|+1)·(|b|+1)` cell updates, ~3 ops each.
+    pub fn work_full(a: &str, b: &str) -> u64 {
+        3 * ((a.len() as u64 + 1) * (b.len() as u64 + 1))
+    }
+
+    /// Work of the banded DP with half-width `bound`.
+    pub fn work_bounded(a: &str, b: &str, bound: u32) -> u64 {
+        let band = (2 * bound as u64 + 1).min(b.len() as u64 + 1);
+        3 * (a.len() as u64 + 1) * band
+    }
+}
+
+impl Metric<str> for EditDistance {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        f64::from(edit_distance(a, b))
+    }
+
+    fn work(&self, a: &str, b: &str) -> u64 {
+        Self::work_full(a, b)
+    }
+
+    fn name(&self) -> &'static str {
+        "edit"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector metrics
+// ---------------------------------------------------------------------------
+
+/// Metrics over dense `f32` vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VectorMetric {
+    /// Manhattan distance (Color dataset).
+    L1,
+    /// Euclidean distance (T-Loc dataset).
+    L2,
+    /// Angular distance `arccos(cos θ)/π ∈ [0, 1]`.
+    ///
+    /// The paper's Vector dataset uses "word cosine distance"; raw
+    /// `1 − cos θ` violates the triangle inequality, so exact metric indexing
+    /// uses its metric completion, the normalised angle (documented
+    /// substitution; see DESIGN.md §1).
+    Angular,
+}
+
+/// L1 (Manhattan) distance.
+pub fn l1(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| f64::from((x - y).abs()))
+        .sum()
+}
+
+/// L2 (Euclidean) distance.
+pub fn l2(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = f64::from(x - y);
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Angular distance `arccos(cosine similarity) / π`, a metric on the unit
+/// sphere. Inputs need not be normalised; zero vectors are at distance 0
+/// from everything by convention (they do not occur in the generators).
+pub fn angular(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (mut dot, mut na, mut nb) = (0f64, 0f64, 0f64);
+    for (x, y) in a.iter().zip(b) {
+        let (x, y) = (f64::from(*x), f64::from(*y));
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    let cos = (dot / (na.sqrt() * nb.sqrt())).clamp(-1.0, 1.0);
+    cos.acos() / std::f64::consts::PI
+}
+
+impl Metric<[f32]> for VectorMetric {
+    fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
+        match self {
+            VectorMetric::L1 => l1(a, b),
+            VectorMetric::L2 => l2(a, b),
+            VectorMetric::Angular => angular(a, b),
+        }
+    }
+
+    fn work(&self, a: &[f32], _b: &[f32]) -> u64 {
+        let d = a.len() as u64;
+        match self {
+            VectorMetric::L1 => 2 * d,
+            VectorMetric::L2 => 3 * d + 8,
+            VectorMetric::Angular => 6 * d + 32,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            VectorMetric::L1 => "L1",
+            VectorMetric::L2 => "L2",
+            VectorMetric::Angular => "angular",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic metric over `Item`
+// ---------------------------------------------------------------------------
+
+/// A metric over [`Item`]s — the dynamic dispatch point tying a dataset to
+/// its distance function (Table 2 of the paper).
+///
+/// # Panics
+/// Panics if the two items are of mismatched variants (text vs vector) or, in
+/// debug builds, mismatched dimensionality; a dataset is always homogeneous.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemMetric {
+    /// Edit distance over [`Item::Text`].
+    Edit,
+    /// A vector metric over [`Item::Vector`].
+    Vector(VectorMetric),
+}
+
+impl ItemMetric {
+    /// Manhattan distance over vectors.
+    pub const L1: ItemMetric = ItemMetric::Vector(VectorMetric::L1);
+    /// Euclidean distance over vectors.
+    pub const L2: ItemMetric = ItemMetric::Vector(VectorMetric::L2);
+    /// Angular (normalised-arccos cosine) distance over vectors.
+    pub const ANGULAR: ItemMetric = ItemMetric::Vector(VectorMetric::Angular);
+
+    /// Whether this is an Lp-norm metric over vectors (the only family the
+    /// LBPG-Tree baseline supports, per the paper's Remark in §6.1).
+    pub fn is_lp_vector(&self) -> bool {
+        matches!(
+            self,
+            ItemMetric::Vector(VectorMetric::L1) | ItemMetric::Vector(VectorMetric::L2)
+        )
+    }
+
+    /// Whether this metric operates on vector objects at all (GANNS supports
+    /// vector data only).
+    pub fn is_vector(&self) -> bool {
+        matches!(self, ItemMetric::Vector(_))
+    }
+}
+
+impl Metric<Item> for ItemMetric {
+    fn distance(&self, a: &Item, b: &Item) -> f64 {
+        match (self, a, b) {
+            (ItemMetric::Edit, Item::Text(x), Item::Text(y)) => EditDistance.distance(x, y),
+            (ItemMetric::Vector(m), Item::Vector(x), Item::Vector(y)) => m.distance(x, y),
+            _ => panic!("metric/object mismatch: {:?} on {:?} vs {:?}", self, a, b),
+        }
+    }
+
+    fn work(&self, a: &Item, b: &Item) -> u64 {
+        match (self, a, b) {
+            (ItemMetric::Edit, Item::Text(x), Item::Text(y)) => EditDistance.work(x, y),
+            (ItemMetric::Vector(m), Item::Vector(x), Item::Vector(y)) => m.work(x, y),
+            _ => panic!("metric/object mismatch"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            ItemMetric::Edit => "edit",
+            ItemMetric::Vector(m) => m.name(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_basic() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("a", "ab"), 1);
+    }
+
+    #[test]
+    fn edit_paper_example() {
+        // Fig. 1 of the paper: d(o1="a", o2="ab") = 1, d(o1, o3="bac") = 2.
+        assert_eq!(edit_distance("a", "ab"), 1);
+        assert_eq!(edit_distance("a", "bac"), 2);
+        assert_eq!(edit_distance("aabc", "babcc"), 2);
+    }
+
+    #[test]
+    fn edit_bounded_agrees_when_within() {
+        let pairs = [("kitten", "sitting"), ("abcdef", "azced"), ("aa", "aa")];
+        for (a, b) in pairs {
+            let full = edit_distance(a, b);
+            for bound in 0..8 {
+                let got = edit_distance_bounded(a, b, bound);
+                if full <= bound {
+                    assert_eq!(got, Some(full), "{a} {b} bound={bound}");
+                } else {
+                    assert_eq!(got, None, "{a} {b} bound={bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn l_norms() {
+        let a = [0.0f32, 0.0];
+        let b = [3.0f32, 4.0];
+        assert_eq!(l1(&a, &b), 7.0);
+        assert_eq!(l2(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn angular_range_and_identity() {
+        let a = [1.0f32, 0.0];
+        let b = [0.0f32, 1.0];
+        let c = [-1.0f32, 0.0];
+        assert!((angular(&a, &a)).abs() < 1e-9);
+        assert!((angular(&a, &b) - 0.5).abs() < 1e-9);
+        assert!((angular(&a, &c) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn item_metric_dispatch() {
+        let m = ItemMetric::Edit;
+        assert_eq!(m.distance(&Item::text("ab"), &Item::text("abc")), 1.0);
+        let m = ItemMetric::L2;
+        let d = m.distance(&Item::vector(vec![0.0, 0.0]), &Item::vector(vec![3.0, 4.0]));
+        assert_eq!(d, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn item_metric_mismatch_panics() {
+        ItemMetric::Edit.distance(&Item::text("a"), &Item::vector(vec![1.0]));
+    }
+
+    #[test]
+    fn work_positive_and_monotone_in_size() {
+        let m = ItemMetric::Edit;
+        let short = m.work(&Item::text("ab"), &Item::text("cd"));
+        let long = m.work(&Item::text("abcdefgh"), &Item::text("ijklmnop"));
+        assert!(long > short && short > 0);
+        let v = ItemMetric::L1;
+        assert!(v.work(&Item::vector(vec![0.0; 300]), &Item::vector(vec![0.0; 300])) >= 600);
+    }
+
+    #[test]
+    fn lp_classification() {
+        assert!(ItemMetric::L1.is_lp_vector());
+        assert!(ItemMetric::L2.is_lp_vector());
+        assert!(!ItemMetric::ANGULAR.is_lp_vector());
+        assert!(!ItemMetric::Edit.is_lp_vector());
+        assert!(ItemMetric::ANGULAR.is_vector());
+        assert!(!ItemMetric::Edit.is_vector());
+    }
+}

@@ -1,0 +1,340 @@
+//! Seeded synthetic generators for the five evaluation datasets.
+//!
+//! The paper's raw datasets (Moby words, Twitter locations, Spanish word2vec,
+//! NCBI DNA, Flickr color features) are external artefacts; per the
+//! substitution rule we generate statistical stand-ins that preserve the
+//! properties the index actually interacts with: the metric, the
+//! dimensionality, and the *shape of the pairwise-distance distribution*
+//! (clusteredness / spread), which is what drives pruning power and hence
+//! every comparative result. All generators are deterministic in `seed`.
+
+use crate::object::Item;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// English-like words, length 1–34 (Words dataset: proper nouns, acronyms
+/// and compound words under edit distance).
+///
+/// Words are built from weighted consonant/vowel syllables; ~15% are
+/// compounds of two stems (long tail up to 34 chars, matching Table 2's
+/// length range).
+pub fn words(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x575f_u64);
+    let onsets = [
+        "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+        "st", "tr", "ch", "sh", "th", "br", "cl", "gr",
+    ];
+    let vowels = ["a", "e", "i", "o", "u", "ai", "ea", "ou", "io"];
+    let codas = ["", "", "", "n", "r", "s", "t", "l", "m", "ck", "ng", "rd"];
+    let onset_w = WeightedIndex::new(onsets.iter().map(|s| if s.len() == 1 { 4 } else { 1 }))
+        .expect("weights");
+    let vowel_w = WeightedIndex::new(vowels.iter().map(|s| if s.len() == 1 { 5 } else { 1 }))
+        .expect("weights");
+    let stem = |rng: &mut StdRng| {
+        let syllables = 1 + rng.gen_range(0..3);
+        let mut w = String::new();
+        for _ in 0..syllables {
+            w.push_str(onsets[onset_w.sample(rng)]);
+            w.push_str(vowels[vowel_w.sample(rng)]);
+            w.push_str(codas[rng.gen_range(0..codas.len())]);
+        }
+        w
+    };
+    (0..n)
+        .map(|i| {
+            let mut w = stem(&mut rng);
+            if rng.gen_bool(0.15) {
+                w.push_str(&stem(&mut rng)); // compound word
+            }
+            if i % 97 == 0 {
+                // occasional acronym / very short token
+                w.truncate(1 + (i / 97) % 3);
+            }
+            w.truncate(34);
+            Item::text(w)
+        })
+        .collect()
+}
+
+/// 2-d geo locations under L2 (T-Loc dataset: 10M Twitter users).
+///
+/// Gaussian mixture over `≈√n` population centres in a lon/lat-like box plus
+/// 3% uniform background noise — the clustered skew of real check-in data.
+pub fn t_loc(n: usize, seed: u64) -> Vec<Item> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x710c_u64);
+    let k = ((n as f64).sqrt() as usize).clamp(4, 256);
+    let centres: Vec<(f64, f64, f64)> = (0..k)
+        .map(|_| {
+            (
+                rng.gen_range(-180.0..180.0),
+                rng.gen_range(-60.0..75.0),
+                rng.gen_range(0.05..2.0), // city spread (degrees)
+            )
+        })
+        .collect();
+    // Zipf-ish popularity so a few centres dominate, like real cities.
+    let weights = WeightedIndex::new((1..=k).map(|i| 1.0 / i as f64)).expect("weights");
+    (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.03) {
+                Item::vector(vec![
+                    rng.gen_range(-180.0f64..180.0) as f32,
+                    rng.gen_range(-85.0f64..85.0) as f32,
+                ])
+            } else {
+                let (cx, cy, s) = centres[weights.sample(&mut rng)];
+                Item::vector(vec![
+                    (cx + gaussian(&mut rng) * s) as f32,
+                    (cy + gaussian(&mut rng) * s * 0.7) as f32,
+                ])
+            }
+        })
+        .collect()
+}
+
+/// Dense unit-norm embeddings under angular distance (Vector dataset:
+/// 300-d word2vec).
+///
+/// Cluster centres on the sphere with per-cluster Gaussian jitter, then
+/// re-normalised — the semantic-neighbourhood structure of embedding spaces.
+pub fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Item> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ec7_u64);
+    let k = ((n as f64).sqrt() as usize).clamp(2, 128);
+    let centres: Vec<Vec<f64>> = (0..k).map(|_| unit_vector(&mut rng, dim)).collect();
+    (0..n)
+        .map(|_| {
+            let c = &centres[rng.gen_range(0..k)];
+            let mut v: Vec<f32> = c
+                .iter()
+                .map(|&x| (x + gaussian(&mut rng) * 0.35) as f32)
+                .collect();
+            normalize(&mut v);
+            Item::Vector(v.into_boxed_slice())
+        })
+        .collect()
+}
+
+/// DNA reads (~`len` bases) under edit distance (DNA dataset: 1M NCBI
+/// sequences of length ~108).
+///
+/// `n/64` seed sequences are mutated per object (2–10% substitutions, rare
+/// 1–3-base indels), reproducing the family structure of read archives that
+/// makes edit-distance pruning effective.
+pub fn dna(n: usize, len: usize, seed: u64) -> Vec<Item> {
+    const BASES: [u8; 4] = *b"ACGT";
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xd7a_u64);
+    let k = (n / 64).clamp(1, 4096);
+    let seeds: Vec<Vec<u8>> = (0..k)
+        .map(|_| (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let mut s = seeds[rng.gen_range(0..k)].clone();
+            let sub_rate = rng.gen_range(0.02..0.10);
+            for b in s.iter_mut() {
+                if rng.gen_bool(sub_rate) {
+                    *b = BASES[rng.gen_range(0..4)];
+                }
+            }
+            // Rare short indels keep lengths near (but not exactly) `len`.
+            if rng.gen_bool(0.30) {
+                let cut = rng.gen_range(1..=3.min(s.len() - 1));
+                if rng.gen_bool(0.5) {
+                    s.truncate(s.len() - cut);
+                } else {
+                    for _ in 0..cut {
+                        let pos = rng.gen_range(0..=s.len());
+                        s.insert(pos, BASES[rng.gen_range(0..4)]);
+                    }
+                }
+            }
+            Item::text(String::from_utf8(s).expect("ASCII bases"))
+        })
+        .collect()
+}
+
+/// Sparse image colour histograms under L1 (Color dataset: 282-d Flickr
+/// features).
+///
+/// Each object activates ~10% of the dimensions drawn from one of `≈√n`
+/// cluster-specific palettes, with exponential magnitudes normalised to sum
+/// 1 — the sparse, clustered profile of MPEG-7-style colour descriptors.
+pub fn color(n: usize, dim: usize, seed: u64) -> Vec<Item> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc0103_u64);
+    let k = ((n as f64).sqrt() as usize).clamp(2, 200);
+    let active = (dim / 10).max(4);
+    // Each cluster prefers a contiguous palette band plus random accents.
+    let palettes: Vec<usize> = (0..k).map(|_| rng.gen_range(0..dim)).collect();
+    (0..n)
+        .map(|_| {
+            let base = palettes[rng.gen_range(0..k)];
+            let mut v = vec![0f32; dim];
+            let mut sum = 0f64;
+            for a in 0..active {
+                let d = if rng.gen_bool(0.8) {
+                    (base + a * 3 + rng.gen_range(0..3)) % dim
+                } else {
+                    rng.gen_range(0..dim)
+                };
+                let mag = -f64::ln(rng.gen_range(1e-6..1.0)); // Exp(1)
+                v[d] += mag as f32;
+                sum += mag;
+            }
+            if sum > 0.0 {
+                let inv = (1.0 / sum) as f32;
+                for x in v.iter_mut() {
+                    *x *= inv;
+                }
+            }
+            Item::Vector(v.into_boxed_slice())
+        })
+        .collect()
+}
+
+/// Query-workload helper: perturb an existing item slightly, so queries are
+/// near but not identical to database objects (the paper samples 100 random
+/// queries per measurement).
+pub fn perturb(item: &Item, seed: u64) -> Item {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    match item {
+        Item::Text(s) => {
+            let mut b: Vec<u8> = s.bytes().collect();
+            let edits = rng.gen_range(0..=2.min(b.len()));
+            for _ in 0..edits {
+                if b.is_empty() {
+                    break;
+                }
+                let pos = rng.gen_range(0..b.len());
+                match rng.gen_range(0..3u8) {
+                    0 => b[pos] = b'a' + rng.gen_range(0..26u8),
+                    1 => {
+                        b.insert(pos, b'a' + rng.gen_range(0..26u8));
+                    }
+                    _ => {
+                        b.remove(pos);
+                    }
+                }
+            }
+            Item::text(String::from_utf8_lossy(&b).into_owned())
+        }
+        Item::Vector(v) => {
+            let scale = v.iter().fold(0f32, |m, x| m.max(x.abs())).max(1e-3) * 0.02;
+            Item::vector(
+                v.iter()
+                    .map(|&x| x + (gaussian(&mut rng) as f32) * scale)
+                    .collect::<Vec<_>>(),
+            )
+        }
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller; two uniforms per call keeps the stream deterministic.
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+fn unit_vector(rng: &mut StdRng, dim: usize) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..dim).map(|_| gaussian(rng)).collect();
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+    v
+}
+
+fn normalize(v: &mut [f32]) {
+    let norm = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+    if norm > 1e-12 {
+        let inv = (1.0 / norm) as f32;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ItemMetric, Metric};
+
+    #[test]
+    fn words_respect_length_bounds() {
+        for it in words(500, 3) {
+            let s = it.as_text().expect("text");
+            assert!((1..=34).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.is_ascii());
+        }
+    }
+
+    #[test]
+    fn tloc_is_2d() {
+        for it in t_loc(200, 5) {
+            assert_eq!(it.as_vector().expect("vector").len(), 2);
+        }
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        for it in vectors(50, 64, 11) {
+            let v = it.as_vector().expect("vector");
+            let norm: f64 = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum();
+            assert!((norm - 1.0).abs() < 1e-3, "norm = {norm}");
+        }
+    }
+
+    #[test]
+    fn dna_alphabet_and_length() {
+        for it in dna(300, 108, 17) {
+            let s = it.as_text().expect("text");
+            assert!(s.bytes().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+            assert!((100..=115).contains(&s.len()), "len = {}", s.len());
+        }
+    }
+
+    #[test]
+    fn dna_is_clustered() {
+        // Objects sharing a seed sequence must be much closer than objects
+        // from different seeds; verify the distance distribution is bimodal
+        // by checking the minimum over a sample is far below the maximum.
+        let items = dna(200, 108, 23);
+        let m = ItemMetric::Edit;
+        let mut min = f64::MAX;
+        let mut max = 0f64;
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                let d = m.distance(&items[i], &items[j]);
+                min = min.min(d);
+                max = max.max(d);
+            }
+        }
+        assert!(min < max * 0.6, "expected clusters: min={min} max={max}");
+    }
+
+    #[test]
+    fn color_is_sparse_normalised() {
+        for it in color(100, 282, 29) {
+            let v = it.as_vector().expect("vector");
+            assert_eq!(v.len(), 282);
+            let nnz = v.iter().filter(|&&x| x > 0.0).count();
+            assert!(nnz <= 60, "too dense: {nnz}");
+            let sum: f64 = v.iter().map(|&x| f64::from(x)).sum();
+            assert!((sum - 1.0).abs() < 1e-3, "sum = {sum}");
+        }
+    }
+
+    #[test]
+    fn perturb_stays_same_variant_and_close() {
+        let t = Item::text("hello");
+        match perturb(&t, 4) {
+            Item::Text(_) => {}
+            other => panic!("variant changed: {other:?}"),
+        }
+        let v = Item::vector(vec![1.0; 8]);
+        let p = perturb(&v, 4);
+        let d = ItemMetric::L2.distance(&v, &p);
+        assert!(d < 1.0, "perturbation too large: {d}");
+    }
+}

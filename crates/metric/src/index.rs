@@ -1,0 +1,186 @@
+//! The query interface shared by GTS and every baseline.
+//!
+//! Both query types of the paper (§3) are exposed: the metric range query
+//! `MRQ(q, r)` (Definition 3.1) and the metric k-nearest-neighbour query
+//! `MkNNQ(q, k)` (Definition 3.2). Batch entry points exist because the
+//! paper's headline metric is *throughput of concurrent queries*; indexes
+//! that have a genuine batch path (GTS, the GPU baselines) override them,
+//! CPU baselines fall back to a loop.
+
+use std::fmt;
+
+/// One query answer: an object id and its distance to the query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Neighbor {
+    /// Identifier of the matching object (index into the dataset).
+    pub id: u32,
+    /// Distance from the query to the object.
+    pub dist: f64,
+}
+
+impl Neighbor {
+    /// Construct a neighbour.
+    pub fn new(id: u32, dist: f64) -> Self {
+        Neighbor { id, dist }
+    }
+
+    /// Total order: by distance, ties broken by id (makes result comparisons
+    /// in tests deterministic).
+    pub fn cmp_key(&self) -> (f64, u32) {
+        (self.dist, self.id)
+    }
+}
+
+/// Sort answers by `(dist, id)`; canonical form used in tests and reports.
+pub fn sort_neighbors(v: &mut [Neighbor]) {
+    v.sort_by(|a, b| {
+        a.dist
+            .partial_cmp(&b.dist)
+            .expect("NaN distance")
+            .then(a.id.cmp(&b.id))
+    });
+}
+
+/// Errors surfaced by index construction and querying.
+///
+/// `OutOfMemory` models the paper's observed failures: EGNAT/GANNS during
+/// construction on T-Loc (Table 4), GPU-Tree's memory deadlock at 512
+/// concurrent queries on Color (Fig. 9), LBPG at 80% cardinality on Color
+/// (Fig. 11).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// A device or host memory budget was exceeded.
+    OutOfMemory {
+        /// Bytes the operation tried to hold.
+        requested: u64,
+        /// Bytes available under the budget.
+        available: u64,
+        /// What ran out (e.g. "device global memory", "host budget").
+        context: &'static str,
+    },
+    /// The index does not support this dataset / metric / operation
+    /// (e.g. LBPG-Tree on edit distance, GANNS range queries).
+    Unsupported(&'static str),
+    /// Attempt to query an index holding no objects.
+    EmptyIndex,
+}
+
+impl fmt::Display for IndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexError::OutOfMemory {
+                requested,
+                available,
+                context,
+            } => write!(
+                f,
+                "out of memory in {context}: requested {requested} B, available {available} B"
+            ),
+            IndexError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            IndexError::EmptyIndex => write!(f, "index is empty"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+/// A similarity-search index over objects of type `O`.
+pub trait SimilarityIndex<O> {
+    /// Short method name as used in the paper's tables ("GTS", "MVPT", ...).
+    fn name(&self) -> &'static str;
+
+    /// Number of (live) indexed objects.
+    fn len(&self) -> usize;
+
+    /// True when no live objects are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Metric range query `MRQ(q, r)`: all objects within distance `r` of
+    /// `q`, in canonical `(dist, id)` order.
+    fn range_query(&self, q: &O, r: f64) -> Result<Vec<Neighbor>, IndexError>;
+
+    /// Metric kNN query `MkNNQ(q, k)`: the `k` nearest objects, in canonical
+    /// order. Returns fewer than `k` answers only when fewer objects exist.
+    fn knn_query(&self, q: &O, k: usize) -> Result<Vec<Neighbor>, IndexError>;
+
+    /// Batch MRQ over `queries[i]` with radius `radii[i]`.
+    fn batch_range(&self, queries: &[O], radii: &[f64]) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        assert_eq!(queries.len(), radii.len(), "queries/radii length mismatch");
+        queries
+            .iter()
+            .zip(radii)
+            .map(|(q, &r)| self.range_query(q, r))
+            .collect()
+    }
+
+    /// Batch MkNNQ with a common `k`.
+    fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        queries.iter().map(|q| self.knn_query(q, k)).collect()
+    }
+
+    /// Total bytes attributable to the index structure (Table 4 storage
+    /// column; excludes the raw dataset itself, which all methods share).
+    fn memory_bytes(&self) -> u64;
+
+    /// False for approximate methods (GANNS); used by the harness to report
+    /// recall instead of treating mismatches as bugs.
+    fn is_exact(&self) -> bool {
+        true
+    }
+}
+
+/// Indexes supporting the paper's dynamic scenarios (§4.4): streaming
+/// insertions/deletions and bulk batch updates.
+pub trait DynamicIndex<O>: SimilarityIndex<O> {
+    /// Insert a new object, returning its assigned id.
+    fn insert(&mut self, obj: O) -> Result<u32, IndexError>;
+
+    /// Delete object `id`. Returns `false` if it was already absent.
+    fn remove(&mut self, id: u32) -> Result<bool, IndexError>;
+
+    /// Apply a large batch of updates at once (the paper's batch-update
+    /// path; GTS and the rebuild-based baselines reconstruct here).
+    fn batch_update(&mut self, insertions: Vec<O>, deletions: &[u32]) -> Result<(), IndexError> {
+        for &d in deletions {
+            self.remove(d)?;
+        }
+        for o in insertions {
+            self.insert(o)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_sorting_is_total_and_deterministic() {
+        let mut v = vec![
+            Neighbor::new(3, 1.0),
+            Neighbor::new(1, 0.5),
+            Neighbor::new(2, 1.0),
+        ];
+        sort_neighbors(&mut v);
+        assert_eq!(
+            v.iter().map(|n| n.id).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "ties broken by id"
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        let e = IndexError::OutOfMemory {
+            requested: 10,
+            available: 5,
+            context: "device global memory",
+        };
+        let s = e.to_string();
+        assert!(s.contains("10 B") && s.contains("device global memory"));
+        assert!(IndexError::Unsupported("x").to_string().contains('x'));
+    }
+}

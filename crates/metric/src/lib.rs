@@ -1,0 +1,40 @@
+//! # metric-space
+//!
+//! Metric-space substrate for the GTS reproduction (SIGMOD 2024,
+//! arXiv:2404.00966). A *metric space* is a pair `(M, d)` where `d` is a
+//! distance satisfying symmetry, non-negativity, identity, and the triangle
+//! inequality (paper §3). This crate provides everything the indexes above it
+//! need and nothing GPU-specific:
+//!
+//! * [`Metric`] — the distance-metric trait, with per-call *work* accounting
+//!   (work units ≈ arithmetic operations) used by the simulated cost models;
+//! * [`Item`]/[`ItemMetric`] — a dynamic object/metric pair covering the five
+//!   evaluation datasets (strings under edit distance, vectors under L1 / L2 /
+//!   angular-cosine distance);
+//! * [`Dataset`] and [`gen`] — seeded synthetic generators mirroring the
+//!   paper's Words, T-Loc, Vector, DNA, and Color datasets (Table 2);
+//! * [`SimilarityIndex`] — the query interface shared by GTS and every
+//!   baseline (metric range query MRQ, Def. 3.1; metric kNN query MkNNQ,
+//!   Def. 3.2);
+//! * [`pivot`] — farthest-first-traversal (FFT) pivot selection;
+//! * [`lemmas`] — the triangle-inequality pruning predicates of Lemmas 5.1
+//!   and 5.2;
+//! * [`stats`] — sampled distance-distribution statistics feeding the §5.3
+//!   cost model.
+
+pub mod dataset;
+pub mod dist;
+pub mod gen;
+pub mod index;
+pub mod lemmas;
+pub mod object;
+pub mod pivot;
+pub mod stats;
+
+pub use dataset::{Dataset, DatasetKind};
+pub use dist::{EditDistance, ItemMetric, Metric, VectorMetric};
+pub use index::{DynamicIndex, IndexError, Neighbor, SimilarityIndex};
+pub use object::{Footprint, Item};
+
+/// Identifier of an object inside a dataset (index into `Dataset::items`).
+pub type ObjId = u32;

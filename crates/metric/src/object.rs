@@ -1,0 +1,162 @@
+//! Data objects for general metric spaces.
+//!
+//! The paper evaluates on two families of objects: strings (Words, DNA; edit
+//! distance) and dense vectors (T-Loc, Vector, Color; L1/L2/angular). [`Item`]
+//! is the dynamic union used throughout the harness; the index crates stay
+//! generic over the object type, so downstream users can plug in their own.
+
+use std::fmt;
+
+/// Types whose device/host memory footprint can be estimated.
+///
+/// Indexes use this for Table 4's storage column, Fig. 11's memory curves,
+/// and the device-residency accounting of datasets loaded onto the GPU.
+pub trait Footprint {
+    /// Approximate bytes occupied by this value (payload + inline struct).
+    fn size_bytes(&self) -> u64;
+}
+
+impl Footprint for str {
+    fn size_bytes(&self) -> u64 {
+        self.len() as u64
+    }
+}
+
+impl Footprint for String {
+    fn size_bytes(&self) -> u64 {
+        (self.len() + std::mem::size_of::<String>()) as u64
+    }
+}
+
+impl Footprint for [f32] {
+    fn size_bytes(&self) -> u64 {
+        std::mem::size_of_val(self) as u64
+    }
+}
+
+impl Footprint for Vec<f32> {
+    fn size_bytes(&self) -> u64 {
+        (std::mem::size_of_val(self.as_slice()) + std::mem::size_of::<Vec<f32>>()) as u64
+    }
+}
+
+/// A metric-space object: either a string or a dense `f32` vector.
+///
+/// Boxed payloads keep `size_of::<Item>()` small (two words + discriminant),
+/// which matters because the table list stores millions of object references.
+#[derive(Clone, PartialEq)]
+pub enum Item {
+    /// Textual object compared under edit distance (Words, DNA).
+    Text(Box<str>),
+    /// Dense vector compared under an Lp or angular metric (T-Loc, Vector,
+    /// Color).
+    Vector(Box<[f32]>),
+}
+
+impl Item {
+    /// Convenience constructor from anything string-like.
+    pub fn text(s: impl Into<String>) -> Self {
+        Item::Text(s.into().into_boxed_str())
+    }
+
+    /// Convenience constructor from a vector of coordinates.
+    pub fn vector(v: impl Into<Vec<f32>>) -> Self {
+        Item::Vector(v.into().into_boxed_slice())
+    }
+
+    /// The string payload, if this is a [`Item::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Item::Text(s) => Some(s),
+            Item::Vector(_) => None,
+        }
+    }
+
+    /// The vector payload, if this is a [`Item::Vector`].
+    pub fn as_vector(&self) -> Option<&[f32]> {
+        match self {
+            Item::Text(_) => None,
+            Item::Vector(v) => Some(v),
+        }
+    }
+
+    /// Number of "coordinates" of the object: characters for text,
+    /// dimensions for vectors. Drives per-distance work estimates.
+    pub fn arity(&self) -> usize {
+        match self {
+            Item::Text(s) => s.len(),
+            Item::Vector(v) => v.len(),
+        }
+    }
+
+    /// Approximate heap + inline footprint in bytes, used by the memory
+    /// accounting of every index (Table 4 storage column, Fig. 11 memory).
+    pub fn size_bytes(&self) -> u64 {
+        let payload = match self {
+            Item::Text(s) => s.len() as u64,
+            Item::Vector(v) => (v.len() * std::mem::size_of::<f32>()) as u64,
+        };
+        payload + std::mem::size_of::<Item>() as u64
+    }
+}
+
+impl Footprint for Item {
+    fn size_bytes(&self) -> u64 {
+        Item::size_bytes(self)
+    }
+}
+
+impl fmt::Debug for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Item::Text(s) => write!(f, "Text({s:?})"),
+            Item::Vector(v) if v.len() <= 4 => write!(f, "Vector({v:?})"),
+            Item::Vector(v) => write!(f, "Vector([..; {}])", v.len()),
+        }
+    }
+}
+
+impl From<&str> for Item {
+    fn from(s: &str) -> Self {
+        Item::text(s)
+    }
+}
+
+impl From<Vec<f32>> for Item {
+    fn from(v: Vec<f32>) -> Self {
+        Item::vector(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let it = Item::text("abc");
+        assert_eq!(it.as_text(), Some("abc"));
+        assert_eq!(it.as_vector(), None);
+        assert_eq!(it.arity(), 3);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let it = Item::vector(vec![1.0, 2.0]);
+        assert_eq!(it.as_vector(), Some(&[1.0f32, 2.0][..]));
+        assert_eq!(it.as_text(), None);
+        assert_eq!(it.arity(), 2);
+    }
+
+    #[test]
+    fn size_accounts_payload() {
+        assert!(Item::text("abcd").size_bytes() > Item::text("a").size_bytes());
+        assert!(Item::vector(vec![0.0; 300]).size_bytes() >= 1200);
+    }
+
+    #[test]
+    fn item_is_small() {
+        // Two pointers + length + discriminant; must stay register-friendly.
+        assert!(std::mem::size_of::<Item>() <= 24);
+    }
+}

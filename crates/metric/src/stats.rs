@@ -1,0 +1,184 @@
+//! Sampled distance-distribution statistics.
+//!
+//! Two consumers:
+//! * the §5.3 cost model needs the variance `σ²` of the pivot-mapped
+//!   coordinate (treated as an i.i.d. random variable in Eq. 2–3);
+//! * the experiment harness converts the paper's radius parameter
+//!   ("r × 0.01%") into an absolute radius. We interpret it as *selectivity*:
+//!   `MRQ(q, r)` returns about `r × 0.01%` of the dataset — the convention of
+//!   the authors' earlier metric-indexing studies, and the only reading under
+//!   which edit-distance radii are non-degenerate (documented in DESIGN.md).
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Summary of a sampled pairwise-distance distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistanceStats {
+    /// Sample mean of `d(a, b)` over random pairs.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Largest sampled distance (lower bound on the true diameter).
+    pub max: f64,
+    /// Smallest sampled non-self distance.
+    pub min: f64,
+    /// Number of sampled pairs.
+    pub pairs: usize,
+}
+
+/// Sample `pairs` random object pairs and summarise their distances.
+pub fn sample_distance_stats(data: &Dataset, pairs: usize, seed: u64) -> DistanceStats {
+    assert!(data.len() >= 2, "need at least two objects");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = data.len() as u32;
+    let mut sum = 0f64;
+    let mut sum2 = 0f64;
+    let mut max = 0f64;
+    let mut min = f64::MAX;
+    let mut taken = 0usize;
+    while taken < pairs {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b {
+            continue;
+        }
+        let d = data.distance(a, b);
+        sum += d;
+        sum2 += d * d;
+        max = max.max(d);
+        min = min.min(d);
+        taken += 1;
+    }
+    let mean = sum / taken as f64;
+    let var = (sum2 / taken as f64 - mean * mean).max(0.0);
+    DistanceStats {
+        mean,
+        std: var.sqrt(),
+        max,
+        min,
+        pairs: taken,
+    }
+}
+
+/// Radius whose expected selectivity is `fraction` of the dataset:
+/// the `fraction`-quantile of `d(q, o)` over sampled query/object pairs.
+///
+/// `fraction = r_param × 1e-4` translates the paper's "r (×0.01%)" axis.
+pub fn radius_for_selectivity(data: &Dataset, fraction: f64, samples: usize, seed: u64) -> f64 {
+    assert!(fraction > 0.0 && fraction <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e1ec7);
+    let n = data.len() as u32;
+    let mut ds: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let q = rng.gen_range(0..n);
+        let o = rng.gen_range(0..n);
+        ds.push(data.distance(q, o));
+    }
+    ds.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+    let idx = ((ds.len() as f64 * fraction).ceil() as usize).clamp(1, ds.len()) - 1;
+    // Never collapse to zero radius (duplicate-heavy data): fall back to the
+    // smallest positive sampled distance.
+    let r = ds[idx];
+    if r > 0.0 {
+        r
+    } else {
+        ds.iter().copied().find(|&d| d > 0.0).unwrap_or(0.0)
+    }
+}
+
+/// Estimated variance `σ²` of the pivot-mapped coordinate for the §5.3 cost
+/// model: distances from a sampled pivot to sampled objects.
+pub fn pivot_coordinate_sigma(data: &Dataset, samples: usize, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x516);
+    let n = data.len() as u32;
+    let pivot = rng.gen_range(0..n);
+    let mut sum = 0f64;
+    let mut sum2 = 0f64;
+    let mut taken = 0usize;
+    while taken < samples {
+        let o = rng.gen_range(0..n);
+        if o == pivot {
+            continue;
+        }
+        let d = data.distance(pivot, o);
+        sum += d;
+        sum2 += d * d;
+        taken += 1;
+    }
+    let mean = sum / taken as f64;
+    (sum2 / taken as f64 - mean * mean).max(0.0).sqrt()
+}
+
+/// A deterministic query workload: `count` objects sampled from the dataset
+/// and slightly perturbed (queries are near, not identical to, data).
+pub fn sample_queries(data: &Dataset, count: usize, seed: u64) -> Vec<crate::object::Item> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9f);
+    (0..count)
+        .map(|i| {
+            let id = rng.gen_range(0..data.len() as u32);
+            crate::gen::perturb(data.item(id), seed.wrapping_add(i as u64))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetKind;
+    use crate::dist::Metric;
+
+    #[test]
+    fn stats_are_sane() {
+        let d = DatasetKind::TLoc.generate(500, 3);
+        let s = sample_distance_stats(&d, 400, 1);
+        assert!(s.mean > 0.0 && s.std > 0.0);
+        assert!(s.min <= s.mean && s.mean <= s.max);
+        assert_eq!(s.pairs, 400);
+    }
+
+    #[test]
+    fn selectivity_radius_monotone() {
+        let d = DatasetKind::TLoc.generate(800, 3);
+        let r1 = radius_for_selectivity(&d, 0.001, 600, 2);
+        let r2 = radius_for_selectivity(&d, 0.01, 600, 2);
+        let r3 = radius_for_selectivity(&d, 0.10, 600, 2);
+        assert!(r1 <= r2 && r2 <= r3, "{r1} {r2} {r3}");
+        assert!(r3 > 0.0);
+    }
+
+    #[test]
+    fn selectivity_radius_roughly_calibrated() {
+        // With 5% selectivity, MRQs around random objects should return on
+        // the order of 5% of objects *on average*. T-Loc is heavily
+        // clustered, so individual queries vary wildly; average over many
+        // and accept a wide band.
+        let d = DatasetKind::TLoc.generate(1000, 9);
+        let r = radius_for_selectivity(&d, 0.05, 800, 4);
+        let mut total = 0usize;
+        let probes = 50usize;
+        for qi in 0..probes {
+            let q = d.item((qi * 19) as u32).clone();
+            total += d
+                .items
+                .iter()
+                .filter(|o| d.metric.distance(&q, o) <= r)
+                .count();
+        }
+        let avg = total as f64 / probes as f64;
+        assert!((1.0..=600.0).contains(&avg), "avg hits = {avg}");
+    }
+
+    #[test]
+    fn sigma_positive_on_spread_data() {
+        let d = DatasetKind::Vector.generate(300, 3);
+        assert!(pivot_coordinate_sigma(&d, 200, 7) > 0.0);
+    }
+
+    #[test]
+    fn queries_deterministic() {
+        let d = DatasetKind::Words.generate(300, 3);
+        assert_eq!(sample_queries(&d, 10, 5), sample_queries(&d, 10, 5));
+    }
+}

@@ -1,0 +1,106 @@
+//! Multimedia retrieval over colour histograms (the paper's Color
+//! workload): batched queries against GTS and the baselines it is compared
+//! with, printing the simulated-throughput shoot-out of Fig. 7.
+//!
+//! ```sh
+//! cargo run --release --example multimedia_color
+//! ```
+
+use gts::prelude::*;
+use gts::metric::stats::{radius_for_selectivity, sample_queries};
+
+fn main() {
+    let data = DatasetKind::Color.generate(8_000, 21);
+    let radius = radius_for_selectivity(&data, 8e-4, 1500, 5);
+    let queries = sample_queries(&data, 64, 31);
+    let radii = vec![radius; queries.len()];
+    println!(
+        "Color-like dataset: {} histograms (282-d, L1), radius {:.5}, batch {}\n",
+        data.len(),
+        radius,
+        queries.len()
+    );
+
+    println!(
+        "{:<12} {:>16} {:>16} {:>12}",
+        "method", "MRQ q/min", "MkNN q/min", "index MB"
+    );
+
+    // CPU reference: MVP-tree (the best CPU metric index).
+    let mvpt = Mvpt::build(data.items.clone(), data.metric);
+    let m = mvpt_mark(&mvpt);
+    mvpt.batch_range(&queries, &radii).expect("mvpt mrq");
+    let mvpt_mrq = tput(queries.len(), mvpt_elapsed(&mvpt, m));
+    let m = mvpt_mark(&mvpt);
+    mvpt.batch_knn(&queries, 8).expect("mvpt knn");
+    let mvpt_knn = tput(queries.len(), mvpt_elapsed(&mvpt, m));
+    println!(
+        "{:<12} {:>16.0} {:>16.0} {:>12.2}",
+        "MVPT",
+        mvpt_mrq,
+        mvpt_knn,
+        mvpt.memory_bytes() as f64 / 1e6
+    );
+
+    // GPU brute force.
+    let dev = Device::rtx_2080_ti();
+    let table = GpuTable::new(&dev, data.items.clone(), data.metric).expect("gpu-table");
+    let c0 = dev.cycles();
+    table.batch_range(&queries, &radii).expect("table mrq");
+    let table_mrq = tput(queries.len(), dev.seconds_since(c0));
+    let c0 = dev.cycles();
+    table.batch_knn(&queries, 8).expect("table knn");
+    let table_knn = tput(queries.len(), dev.seconds_since(c0));
+    println!(
+        "{:<12} {:>16.0} {:>16.0} {:>12.2}",
+        "GPU-Table",
+        table_mrq,
+        table_knn,
+        table.memory_bytes() as f64 / 1e6
+    );
+
+    // GTS.
+    let dev = Device::rtx_2080_ti();
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("gts build");
+    let c0 = dev.cycles();
+    gts.batch_range(&queries, &radii).expect("gts mrq");
+    let gts_mrq = tput(queries.len(), dev.seconds_since(c0));
+    let c0 = dev.cycles();
+    gts.batch_knn(&queries, 8).expect("gts knn");
+    let gts_knn = tput(queries.len(), dev.seconds_since(c0));
+    println!(
+        "{:<12} {:>16.0} {:>16.0} {:>12.2}",
+        "GTS",
+        gts_mrq,
+        gts_knn,
+        gts.memory_bytes() as f64 / 1e6
+    );
+
+    println!(
+        "\nGTS vs MVPT: {:.0}× MRQ; GTS vs GPU-Table: {:.1}× MRQ \
+         (paper: up to 100× and ~20×)",
+        gts_mrq / mvpt_mrq,
+        gts_mrq / table_mrq
+    );
+    let s = gts.stats();
+    println!(
+        "GTS pruning: {} distances vs {} for brute force per batch",
+        s.distance_computations,
+        data.len() * queries.len() * 2
+    );
+}
+
+fn tput(queries: usize, secs: f64) -> f64 {
+    queries as f64 / secs.max(1e-12) * 60.0
+}
+
+fn mvpt_mark(m: &Mvpt) -> u64 {
+    use gts::baselines::Clocked;
+    m.mark()
+}
+
+fn mvpt_elapsed(m: &Mvpt, mark: u64) -> f64 {
+    use gts::baselines::Clocked;
+    m.elapsed_since(mark)
+}

@@ -1,0 +1,101 @@
+//! Approximate MkNNQ (the paper's §7 future-work direction, implemented as
+//! beam-limited traversal): recall must degrade gracefully with the beam
+//! width, the answers must always be a subset of the database, and a wide
+//! beam must recover the exact results.
+
+use gts::prelude::*;
+use std::collections::HashSet;
+
+fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let want: HashSet<u32> = exact.iter().map(|n| n.id).collect();
+    approx.iter().filter(|n| want.contains(&n.id)).count() as f64 / exact.len() as f64
+}
+
+#[test]
+fn wide_beam_recovers_exact_answers() {
+    let data = DatasetKind::Vector.generate(800, 71);
+    let dev = Device::rtx_2080_ti();
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let queries: Vec<Item> = (0..24u32).map(|i| data.item(i * 31).clone()).collect();
+    let exact = gts.batch_knn(&queries, 10).expect("exact");
+    let wide = gts
+        .batch_knn_approx(&queries, 10, 1_000_000)
+        .expect("wide beam");
+    for (e, w) in exact.iter().zip(&wide) {
+        assert_eq!(e.len(), w.len());
+        for (x, y) in e.iter().zip(w) {
+            assert!((x.dist - y.dist).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn recall_improves_with_beam_and_narrow_beam_is_cheaper() {
+    let data = DatasetKind::Color.generate(3_000, 73);
+    let dev = Device::rtx_2080_ti();
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let queries: Vec<Item> = (0..32u32).map(|i| data.item(i * 13).clone()).collect();
+    let exact = gts.batch_knn(&queries, 10).expect("exact");
+
+    let mut prev_recall = -1.0;
+    let mut prev_cycles = u64::MAX;
+    for beam in [1usize, 4, 64] {
+        gts.reset_stats();
+        let mark = dev.cycles();
+        let approx = gts.batch_knn_approx(&queries, 10, beam).expect("approx");
+        let cycles = dev.cycles() - mark;
+        let r: f64 = exact
+            .iter()
+            .zip(&approx)
+            .map(|(e, a)| recall(e, a))
+            .sum::<f64>()
+            / exact.len() as f64;
+        assert!(
+            r >= prev_recall - 0.05,
+            "recall must not collapse as beam grows: beam={beam} r={r}"
+        );
+        assert!(r > 0.0, "beam={beam} found nothing at all");
+        if beam == 1 {
+            assert!(
+                cycles < prev_cycles,
+                "narrowest beam must be cheaper than exact"
+            );
+        }
+        prev_recall = r;
+        prev_cycles = cycles;
+    }
+    assert!(
+        prev_recall > 0.85,
+        "beam=64 should be near-exact, got {prev_recall}"
+    );
+}
+
+#[test]
+fn approx_results_are_real_objects_with_true_distances() {
+    use gts::metric::Metric as _;
+    let data = DatasetKind::Words.generate(600, 75);
+    let dev = Device::rtx_2080_ti();
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let q = data.item(5).clone();
+    let got = gts
+        .batch_knn_approx(std::slice::from_ref(&q), 8, 2)
+        .expect("approx")
+        .pop()
+        .expect("one answer");
+    assert!(!got.is_empty());
+    for n in &got {
+        let real = data.metric.distance(&q, data.item(n.id));
+        assert!(
+            (real - n.dist).abs() < 1e-9,
+            "reported distance must be the true distance"
+        );
+    }
+    // Ascending canonical order.
+    assert!(got.windows(2).all(|w| w[0].cmp_key() <= w[1].cmp_key()));
+}

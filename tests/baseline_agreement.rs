@@ -1,0 +1,118 @@
+//! Cross-method agreement: every *exact* method must return identical MRQ
+//! answers and distance-identical MkNNQ answers on the same data — the
+//! property that makes the paper's throughput comparisons meaningful.
+
+use gts::prelude::*;
+
+fn knn_dists(v: &[Neighbor]) -> Vec<f64> {
+    v.iter().map(|n| n.dist).collect()
+}
+
+#[test]
+fn all_exact_methods_agree() {
+    for kind in [DatasetKind::Words, DatasetKind::TLoc, DatasetKind::Color] {
+        let data = kind.generate(400, 51);
+        let dev = Device::rtx_2080_ti();
+        let scan = LinearScan::new(data.items.clone(), data.metric);
+        let bst = Bst::build(data.items.clone(), data.metric);
+        let mvpt = Mvpt::build(data.items.clone(), data.metric);
+        let egnat = Egnat::build(data.items.clone(), data.metric).expect("egnat");
+        let table = GpuTable::new(&dev, data.items.clone(), data.metric).expect("gpu-table");
+        let gtree = GpuTree::build(&dev, data.items.clone(), data.metric).expect("gpu-tree");
+        let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+            .expect("gts");
+
+        for qi in [3u32, 177, 399] {
+            let q = data.item(qi).clone();
+            let want_knn = scan.knn_query(&q, 7).expect("scan");
+            let r = want_knn.last().expect("kth").dist;
+            let want_mrq = scan.range_query(&q, r).expect("scan");
+
+            let mrqs: Vec<(&str, Vec<Neighbor>)> = vec![
+                ("BST", bst.range_query(&q, r).expect("bst")),
+                ("MVPT", mvpt.range_query(&q, r).expect("mvpt")),
+                ("EGNAT", egnat.range_query(&q, r).expect("egnat")),
+                ("GPU-Table", table.range_query(&q, r).expect("table")),
+                ("GPU-Tree", gtree.range_query(&q, r).expect("gtree")),
+                ("GTS", gts.range_query(&q, r).expect("gts")),
+            ];
+            for (name, got) in &mrqs {
+                assert_eq!(got, &want_mrq, "{kind:?} {name} MRQ q={qi}");
+            }
+
+            let knns: Vec<(&str, Vec<Neighbor>)> = vec![
+                ("BST", bst.knn_query(&q, 7).expect("bst")),
+                ("MVPT", mvpt.knn_query(&q, 7).expect("mvpt")),
+                ("EGNAT", egnat.knn_query(&q, 7).expect("egnat")),
+                ("GPU-Table", table.knn_query(&q, 7).expect("table")),
+                ("GPU-Tree", gtree.knn_query(&q, 7).expect("gtree")),
+                ("GTS", gts.knn_query(&q, 7).expect("gts")),
+            ];
+            for (name, got) in &knns {
+                assert_eq!(
+                    knn_dists(got),
+                    knn_dists(&want_knn),
+                    "{kind:?} {name} kNN q={qi}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn lbpg_agrees_on_lp_data() {
+    for kind in [DatasetKind::TLoc, DatasetKind::Color] {
+        let data = kind.generate(350, 53);
+        let dev = Device::rtx_2080_ti();
+        let scan = LinearScan::new(data.items.clone(), data.metric);
+        let lbpg = LbpgTree::build(&dev, data.items.clone(), data.metric).expect("lbpg");
+        let q = data.item(11).clone();
+        let want = scan.knn_query(&q, 5).expect("scan");
+        let r = want.last().expect("kth").dist;
+        assert_eq!(
+            lbpg.range_query(&q, r).expect("lbpg"),
+            scan.range_query(&q, r).expect("scan"),
+            "{kind:?}"
+        );
+        assert_eq!(
+            knn_dists(&lbpg.knn_query(&q, 5).expect("lbpg")),
+            knn_dists(&want),
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn ganns_recall_reported_not_asserted_exact() {
+    let data = DatasetKind::Vector.generate(300, 55);
+    let dev = Device::rtx_2080_ti();
+    let scan = LinearScan::new(data.items.clone(), data.metric);
+    let ganns = Ganns::build(&dev, data.items.clone(), data.metric).expect("ganns");
+    assert!(!ganns.is_exact());
+    let mut recall_sum = 0.0;
+    for qi in 0..15u32 {
+        let q = data.item(qi * 19).clone();
+        let want = scan.knn_query(&q, 10).expect("scan");
+        let got = ganns.knn_query(&q, 10).expect("ganns");
+        recall_sum += Ganns::recall(&want, &got);
+    }
+    let recall = recall_sum / 15.0;
+    assert!(recall > 0.7, "GANNS recall too low: {recall}");
+}
+
+#[test]
+fn gts_agrees_with_mvpt_batch_wise() {
+    // The paper models GTS on MVPT; batched GTS output must equal MVPT's
+    // sequential answers query by query.
+    let data = DatasetKind::Dna.generate(250, 57);
+    let dev = Device::rtx_2080_ti();
+    let mvpt = Mvpt::build(data.items.clone(), data.metric);
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("gts");
+    let queries: Vec<Item> = (0..16u32).map(|i| data.item(i * 7).clone()).collect();
+    let radii = vec![12.0; queries.len()];
+    let batched = gts.batch_range(&queries, &radii).expect("batch");
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(batched[i], mvpt.range_query(q, radii[i]).expect("mvpt"), "query {i}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests of the device model as GTS exercises it: clock
+//! determinism end-to-end, memory lifecycle across index rebuilds, and the
+//! simulated-time ordering the experiments rely on.
+
+use gts::gpu::DeviceConfig;
+use gts::prelude::*;
+
+#[test]
+fn simulated_time_is_deterministic_end_to_end() {
+    let run = |threads: usize| {
+        let dev = Device::new(DeviceConfig {
+            host_threads: threads,
+            ..DeviceConfig::rtx_2080_ti()
+        });
+        let data = DatasetKind::TLoc.generate(3_000, 5);
+        let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+            .expect("build");
+        let queries: Vec<Item> = (0..64u32).map(|i| data.item(i * 13).clone()).collect();
+        let radii = vec![0.7; queries.len()];
+        let answers = gts.batch_range(&queries, &radii).expect("batch");
+        let knn = gts.batch_knn(&queries, 5).expect("knn");
+        (dev.cycles(), answers, knn)
+    };
+    let (c1, a1, k1) = run(1);
+    let (c8, a8, k8) = run(8);
+    assert_eq!(c1, c8, "simulated cycles must not depend on host threads");
+    assert_eq!(a1, a8, "answers must not depend on host threads");
+    assert_eq!(k1, k8);
+}
+
+#[test]
+fn device_memory_returns_to_baseline_after_drop() {
+    let dev = Device::rtx_2080_ti();
+    let baseline = dev.allocated_bytes();
+    let data = DatasetKind::Color.generate(1_000, 5);
+    {
+        let mut gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+            .expect("build");
+        assert!(dev.allocated_bytes() > baseline);
+        // Rebuilds must not leak reservations.
+        for _ in 0..3 {
+            gts.rebuild().expect("rebuild");
+        }
+        let q: Vec<Item> = data.items[..32].to_vec();
+        gts.batch_range(&q, &vec![0.1; 32]).expect("query");
+    }
+    assert_eq!(
+        dev.allocated_bytes(),
+        baseline,
+        "all reservations must be released on drop"
+    );
+}
+
+#[test]
+fn more_work_means_more_simulated_time() {
+    let dev = Device::rtx_2080_ti();
+    let data = DatasetKind::Words.generate(2_000, 5);
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let queries: Vec<Item> = (0..32u32).map(|i| data.item(i).clone()).collect();
+
+    let m = dev.cycles();
+    gts.batch_range(&queries, &vec![1.0; 32]).expect("r=1");
+    let t_small = dev.cycles() - m;
+
+    let m = dev.cycles();
+    gts.batch_range(&queries, &vec![8.0; 32]).expect("r=8");
+    let t_big = dev.cycles() - m;
+    assert!(
+        t_big > t_small,
+        "larger radius verifies more objects: {t_small} vs {t_big}"
+    );
+}
+
+#[test]
+fn transfers_show_up_in_stats() {
+    let dev = Device::rtx_2080_ti();
+    let data = DatasetKind::Vector.generate(500, 5);
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let s0 = dev.stats();
+    let queries: Vec<Item> = data.items[..16].to_vec();
+    gts.batch_knn(&queries, 3).expect("knn");
+    let s1 = dev.stats();
+    assert!(s1.h2d_bytes > s0.h2d_bytes, "queries must be shipped to device");
+    assert!(s1.d2h_bytes > s0.d2h_bytes, "answers must be shipped back");
+    assert!(s1.kernels > s0.kernels);
+}
+
+#[test]
+fn gts_build_time_scales_sublinearly_in_simulated_time() {
+    // §4.5: construction is O(⌈n/C⌉ log² n) per level — at these sizes the
+    // device soaks up the parallel work, so 4x data must cost far less than
+    // 4x simulated time ("the index for 10 million objects can be rebuilt
+    // within 2 seconds").
+    let time_for = |n: usize| {
+        let dev = Device::rtx_2080_ti();
+        let data = DatasetKind::TLoc.generate(n, 5);
+        let start = dev.cycles();
+        let _g = Gts::build(&dev, data.items, data.metric, GtsParams::default())
+            .expect("build");
+        dev.cycles() - start
+    };
+    let t1 = time_for(2_000);
+    let t4 = time_for(8_000);
+    assert!(
+        (t4 as f64) < (t1 as f64) * 3.0,
+        "expected sublinear scaling: {t1} -> {t4}"
+    );
+}

@@ -1,0 +1,128 @@
+//! End-to-end exactness: GTS must return byte-identical MRQ answers and
+//! distance-identical MkNNQ answers to a brute-force linear scan, on every
+//! dataset kind of the paper, across radii, k values, and node capacities.
+
+use gts::prelude::*;
+
+const N: usize = 600;
+
+fn scan(data: &Dataset) -> LinearScan {
+    LinearScan::new(data.items.clone(), data.metric)
+}
+
+fn build(data: &Dataset, nc: u32) -> Gts<Item, ItemMetric> {
+    let dev = Device::rtx_2080_ti();
+    Gts::build(
+        &dev,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_node_capacity(nc),
+    )
+    .expect("build")
+}
+
+/// kNN answers may differ in id at tie boundaries; distances must agree.
+fn assert_knn_equiv(a: &[Neighbor], b: &[Neighbor], ctx: &str) {
+    assert_eq!(a.len(), b.len(), "{ctx}: cardinality");
+    for (x, y) in a.iter().zip(b) {
+        assert!(
+            (x.dist - y.dist).abs() < 1e-9,
+            "{ctx}: dist {} vs {}",
+            x.dist,
+            y.dist
+        );
+    }
+}
+
+#[test]
+fn gts_matches_scan_on_every_dataset_kind() {
+    for kind in DatasetKind::ALL {
+        let data = kind.generate(N, 97);
+        let gts = build(&data, 20);
+        let scan = scan(&data);
+        for qi in [0usize, N / 2, N - 1] {
+            let q = data.item(qi as u32).clone();
+            // Radii derived from the data's own kNN structure.
+            let knn = scan.knn_query(&q, 16).expect("scan knn");
+            for k in [1usize, 4, 16] {
+                let got = gts.knn_query(&q, k).expect("gts knn");
+                let want = scan.knn_query(&q, k).expect("scan knn");
+                assert_knn_equiv(&got, &want, &format!("{kind:?} knn k={k} q={qi}"));
+            }
+            for r in [knn[3].dist, knn[15].dist, 0.0] {
+                let got = gts.range_query(&q, r).expect("gts mrq");
+                let want = scan.range_query(&q, r).expect("scan mrq");
+                assert_eq!(got, want, "{kind:?} mrq r={r} q={qi}");
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_across_node_capacities() {
+    let data = DatasetKind::TLoc.generate(900, 3);
+    let scan = scan(&data);
+    let q = data.item(17).clone();
+    let r = scan.knn_query(&q, 25).expect("scan")[24].dist;
+    let want = scan.range_query(&q, r).expect("scan");
+    for nc in [2u32, 3, 10, 20, 80, 320] {
+        let gts = build(&data, nc);
+        assert_eq!(
+            gts.range_query(&q, r).expect("gts"),
+            want,
+            "node capacity {nc}"
+        );
+    }
+}
+
+#[test]
+fn batch_answers_equal_single_answers() {
+    let data = DatasetKind::Words.generate(500, 5);
+    let gts = build(&data, 20);
+    let queries: Vec<Item> = (0..40u32).map(|i| data.item(i * 7).clone()).collect();
+    let radii = vec![2.0; queries.len()];
+    let batched = gts.batch_range(&queries, &radii).expect("batch");
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            batched[i],
+            gts.range_query(q, radii[i]).expect("single"),
+            "query {i}"
+        );
+    }
+    let bk = gts.batch_knn(&queries, 6).expect("batch knn");
+    for (i, q) in queries.iter().enumerate() {
+        assert_knn_equiv(&bk[i], &gts.knn_query(q, 6).expect("single"), "batch-vs-single");
+    }
+}
+
+#[test]
+fn query_not_in_dataset() {
+    let data = DatasetKind::Vector.generate(400, 5);
+    let gts = build(&data, 20);
+    let scan = scan(&data);
+    // A perturbed external query object.
+    let q = gts::metric::gen::perturb(data.item(3), 777);
+    let want = scan.knn_query(&q, 9).expect("scan");
+    let got = gts.knn_query(&q, 9).expect("gts");
+    assert_knn_equiv(&got, &want, "external query");
+}
+
+#[test]
+fn k_larger_than_dataset_returns_everything() {
+    let data = DatasetKind::Words.generate(50, 5);
+    let gts = build(&data, 4);
+    let got = gts.knn_query(&data.item(0).clone(), 500).expect("knn");
+    assert_eq!(got.len(), 50);
+    // Zero k, zero radius edge cases.
+    assert!(gts.knn_query(&data.item(0).clone(), 0).expect("k=0").is_empty());
+    let zero = gts.range_query(&data.item(0).clone(), 0.0).expect("r=0");
+    assert!(zero.iter().any(|n| n.id == 0), "self at distance 0");
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let data = DatasetKind::TLoc.generate(300, 5);
+    let gts = build(&data, 20);
+    assert!(gts.batch_range(&[], &[]).expect("empty").is_empty());
+    assert!(gts.batch_knn(&[], 5).expect("empty").is_empty());
+}

@@ -1,0 +1,164 @@
+//! Property-based tests (proptest) over the core invariants:
+//! metric axioms, pruning-lemma soundness, device-sort correctness,
+//! and GTS-vs-scan equivalence on random inputs.
+
+use gts::metric::dist::{edit_distance, edit_distance_bounded};
+use gts::metric::lemmas::{prune_node_range, prune_object_knn, prune_object_range};
+use gts::metric::Metric as _;
+use gts::prelude::*;
+use proptest::prelude::*;
+
+fn arb_word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-d]{0,12}").expect("regex")
+}
+
+fn arb_vec(dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-100.0f32..100.0, dim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Edit distance satisfies all four metric axioms.
+    #[test]
+    fn edit_distance_is_a_metric(a in arb_word(), b in arb_word(), c in arb_word()) {
+        let dab = edit_distance(&a, &b);
+        let dba = edit_distance(&b, &a);
+        prop_assert_eq!(dab, dba, "symmetry");
+        prop_assert_eq!(edit_distance(&a, &a), 0, "identity");
+        prop_assert!((dab == 0) == (a == b), "indiscernibles");
+        let dac = edit_distance(&a, &c);
+        let dcb = edit_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb, "triangle: {} > {} + {}", dab, dac, dcb);
+    }
+
+    /// Bounded edit distance agrees with the full DP whenever it answers.
+    #[test]
+    fn bounded_edit_agrees(a in arb_word(), b in arb_word(), bound in 0u32..8) {
+        let full = edit_distance(&a, &b);
+        match edit_distance_bounded(&a, &b, bound) {
+            Some(d) => prop_assert_eq!(d, full),
+            None => prop_assert!(full > bound),
+        }
+    }
+
+    /// L1, L2 and angular distances satisfy the triangle inequality.
+    #[test]
+    fn vector_metrics_triangle(a in arb_vec(6), b in arb_vec(6), c in arb_vec(6)) {
+        for metric in [ItemMetric::L1, ItemMetric::L2, ItemMetric::ANGULAR] {
+            let (ia, ib, ic) = (
+                Item::vector(a.clone()),
+                Item::vector(b.clone()),
+                Item::vector(c.clone()),
+            );
+            let dab = metric.distance(&ia, &ib);
+            let dac = metric.distance(&ia, &ic);
+            let dcb = metric.distance(&ic, &ib);
+            prop_assert!(
+                dab <= dac + dcb + 1e-6,
+                "{}: {} > {} + {}", metric.name(), dab, dac, dcb
+            );
+            prop_assert!((dab - metric.distance(&ib, &ia)).abs() < 1e-9, "symmetry");
+        }
+    }
+
+    /// Lemma 5.1 soundness: a pruned object really lies outside the radius.
+    #[test]
+    fn lemma51_sound_on_random_strings(
+        o in arb_word(), q in arb_word(), p in arb_word(), r in 0u32..6
+    ) {
+        let d_op = f64::from(edit_distance(&o, &p));
+        let d_qp = f64::from(edit_distance(&q, &p));
+        if prune_object_range(d_op, d_qp, f64::from(r)) {
+            prop_assert!(f64::from(edit_distance(&o, &q)) > f64::from(r));
+        }
+    }
+
+    /// Lemma 5.2 soundness: a pruned object cannot beat the current bound.
+    #[test]
+    fn lemma52_sound_on_random_vectors(
+        o in arb_vec(4), q in arb_vec(4), p in arb_vec(4), bound in 0.1f64..50.0
+    ) {
+        let m = ItemMetric::L2;
+        let (io, iq, ip) = (Item::vector(o), Item::vector(q), Item::vector(p));
+        let d_op = m.distance(&io, &ip);
+        let d_qp = m.distance(&iq, &ip);
+        if prune_object_knn(d_op, d_qp, bound) {
+            prop_assert!(m.distance(&io, &iq) >= bound - 1e-9);
+        }
+    }
+
+    /// Node-ring pruning never prunes a ring containing the query coordinate.
+    #[test]
+    fn ring_prune_never_covers_query(lo in 0.0f64..50.0, width in 0.0f64..50.0,
+                                     dq in 0.0f64..100.0, r in 0.0f64..10.0) {
+        let hi = lo + width;
+        if dq >= lo && dq <= hi {
+            prop_assert!(!prune_node_range(lo, hi, dq, r));
+        }
+    }
+
+    /// Device radix sort equals the std stable sort on random keys.
+    #[test]
+    fn device_sort_matches_std(keys in proptest::collection::vec(-1e9f64..1e9, 0..300)) {
+        let dev = Device::rtx_2080_ti();
+        let mut pairs: Vec<(f64, u32)> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let mut expect = pairs.clone();
+        expect.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1)));
+        gts::gpu::primitives::sort_pairs_by_key(&dev, &mut pairs);
+        prop_assert_eq!(pairs, expect);
+    }
+
+    /// GTS MRQ equals brute force on random 2-d point sets.
+    #[test]
+    fn gts_matches_bruteforce_random_points(
+        points in proptest::collection::vec(arb_vec(2), 30..120),
+        r in 0.5f64..100.0,
+        qsel in 0usize..30,
+    ) {
+        let items: Vec<Item> = points.iter().cloned().map(Item::vector).collect();
+        let metric = ItemMetric::L2;
+        let dev = Device::rtx_2080_ti();
+        let gts = Gts::build(&dev, items.clone(), metric, GtsParams::default().with_node_capacity(3))
+            .expect("build");
+        let q = items[qsel % items.len()].clone();
+        let mut want: Vec<Neighbor> = items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| {
+                let d = metric.distance(&q, o);
+                (d <= r).then_some(Neighbor::new(i as u32, d))
+            })
+            .collect();
+        gts::metric::index::sort_neighbors(&mut want);
+        let got = gts.range_query(&q, r).expect("query");
+        prop_assert_eq!(got, want);
+    }
+
+    /// GTS kNN distances equal brute force on random word sets.
+    #[test]
+    fn gts_knn_matches_bruteforce_random_words(
+        words in proptest::collection::vec(arb_word(), 25..80),
+        k in 1usize..10,
+    ) {
+        let items: Vec<Item> = words.iter().map(|w| Item::text(w.clone())).collect();
+        let metric = ItemMetric::Edit;
+        let dev = Device::rtx_2080_ti();
+        let gts = Gts::build(&dev, items.clone(), metric, GtsParams::default().with_node_capacity(4))
+            .expect("build");
+        let q = items[0].clone();
+        let mut all: Vec<Neighbor> = items
+            .iter()
+            .enumerate()
+            .map(|(i, o)| Neighbor::new(i as u32, metric.distance(&q, o)))
+            .collect();
+        gts::metric::index::sort_neighbors(&mut all);
+        all.truncate(k);
+        let got = gts.knn_query(&q, k).expect("query");
+        prop_assert_eq!(got.len(), all.len());
+        for (g, w) in got.iter().zip(&all) {
+            prop_assert!((g.dist - w.dist).abs() < 1e-9, "{} vs {}", g.dist, w.dist);
+        }
+    }
+}

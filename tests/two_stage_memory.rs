@@ -1,0 +1,132 @@
+//! The two-stage memory strategy (Challenge II): under severe device-memory
+//! pressure GTS must form query groups and still return exact answers;
+//! with grouping disabled the same workload must hit the memory deadlock
+//! (OutOfMemory), reproducing the naive-strategy failure it was designed to
+//! avoid.
+
+use gts::gpu::DeviceConfig;
+use gts::prelude::*;
+use gts::metric::index::IndexError;
+
+fn tiny_device(bytes: u64) -> std::sync::Arc<Device> {
+    Device::new(DeviceConfig::rtx_2080_ti().with_memory_bytes(bytes))
+}
+
+#[test]
+fn grouping_preserves_exactness_under_pressure() {
+    let data = DatasetKind::TLoc.generate(3_000, 13);
+    // Roomy device: reference answers, no grouping expected.
+    let roomy = Device::rtx_2080_ti();
+    let reference = Gts::build(
+        &roomy,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("reference build");
+    let queries: Vec<Item> = (0..128u32).map(|i| data.item(i * 3).clone()).collect();
+    let radii = vec![1.0; queries.len()];
+    let want = reference.batch_range(&queries, &radii).expect("reference");
+    assert_eq!(reference.stats().groups_formed, 0, "roomy run must not group");
+
+    // Tight device: just enough for the index + small frontiers.
+    let index_footprint = reference.memory_bytes() + data.data_bytes();
+    let tight = tiny_device(index_footprint + 96 * 1024);
+    let squeezed = Gts::build(
+        &tight,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("tight build");
+    let got = squeezed.batch_range(&queries, &radii).expect("tight batch");
+    assert_eq!(got, want, "grouped answers must be identical");
+    assert!(
+        squeezed.stats().groups_formed > 0,
+        "tight memory must force query groups"
+    );
+}
+
+#[test]
+fn grouping_disabled_deadlocks() {
+    let data = DatasetKind::TLoc.generate(3_000, 13);
+    let probe = Device::rtx_2080_ti();
+    let footprint = {
+        let idx = Gts::build(&probe, data.items.clone(), data.metric, GtsParams::default())
+            .expect("probe build");
+        idx.memory_bytes() + data.data_bytes()
+    };
+    let tight = tiny_device(footprint + 96 * 1024);
+    let params = GtsParams {
+        query_grouping: false,
+        ..GtsParams::default()
+    };
+    let naive = Gts::build(&tight, data.items.clone(), data.metric, params)
+        .expect("build still fits");
+    let queries: Vec<Item> = (0..512u32).map(|i| data.item(i % 3000).clone()).collect();
+    let radii = vec![2.0; queries.len()];
+    let err = naive.batch_range(&queries, &radii);
+    assert!(
+        matches!(err, Err(IndexError::OutOfMemory { .. })),
+        "naive strategy must deadlock: {err:?}"
+    );
+    // The grouped index on the same device handles the same batch.
+    let grouped = Gts::build(
+        &tiny_device(footprint + 96 * 1024),
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("build");
+    assert!(grouped.batch_range(&queries, &radii).is_ok());
+}
+
+#[test]
+fn knn_groups_share_bounds_and_stay_exact() {
+    let data = DatasetKind::Color.generate(1_500, 13);
+    let probe = Device::rtx_2080_ti();
+    let reference = Gts::build(&probe, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let queries: Vec<Item> = (0..96u32).map(|i| data.item(i * 7).clone()).collect();
+    let want = reference.batch_knn(&queries, 5).expect("reference");
+
+    let footprint = reference.memory_bytes() + data.data_bytes();
+    let tight = tiny_device(footprint + 128 * 1024);
+    let squeezed = Gts::build(&tight, data.items.clone(), data.metric, GtsParams::default())
+        .expect("tight build");
+    let got = squeezed.batch_knn(&queries, 5).expect("tight knn");
+    for (a, b) in want.iter().zip(&got) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x.dist - y.dist).abs() < 1e-9, "{} vs {}", x.dist, y.dist);
+        }
+    }
+    assert!(squeezed.stats().groups_formed > 0);
+}
+
+#[test]
+fn frontier_bound_respects_memory_limit() {
+    // The max frontier must stay below what the device could hold; the
+    // paper's size_limit guarantees it level by level.
+    let data = DatasetKind::TLoc.generate(4_000, 29);
+    let probe = Device::rtx_2080_ti();
+    let footprint = {
+        let idx = Gts::build(&probe, data.items.clone(), data.metric, GtsParams::default())
+            .expect("probe");
+        idx.memory_bytes() + data.data_bytes()
+    };
+    let budget = 256 * 1024u64;
+    let tight = tiny_device(footprint + budget);
+    let idx = Gts::build(&tight, data.items.clone(), data.metric, GtsParams::default())
+        .expect("build");
+    let queries: Vec<Item> = (0..256u32).map(|i| data.item(i * 11).clone()).collect();
+    let radii = vec![3.0; queries.len()];
+    idx.batch_range(&queries, &radii).expect("batch");
+    let max_frontier_bytes = idx.stats().max_frontier * 16;
+    assert!(
+        max_frontier_bytes <= budget * 2,
+        "frontier {}B exceeded ~budget {}B",
+        max_frontier_bytes,
+        budget
+    );
+}
