@@ -7,9 +7,7 @@
 
 use crate::clock::impl_cpu_clocked;
 use gpu_sim::CpuClock;
-use metric_space::index::{
-    sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex,
-};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::{Item, ItemMetric, Metric};
 
 const LEAF_CAP: usize = 16;

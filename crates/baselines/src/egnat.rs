@@ -11,9 +11,7 @@
 use crate::bst::insert_bounded;
 use crate::clock::impl_cpu_clocked;
 use gpu_sim::CpuClock;
-use metric_space::index::{
-    sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex,
-};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::pivot::fft_select;
 use metric_space::{Item, ItemMetric, Metric};
 
@@ -116,13 +114,21 @@ impl Egnat {
             return Ok((self.nodes.len() - 1) as u32);
         }
         // Split points by farthest-first traversal (charged).
-        let splits = fft_select(&self.items, &ids, &self.metric, SPLITS, 0x9e47 ^ ids.len() as u64);
+        let splits = fft_select(
+            &self.items,
+            &ids,
+            &self.metric,
+            SPLITS,
+            0x9e47 ^ ids.len() as u64,
+        );
         for &s in &splits {
             for &o in &ids {
                 // fft_select computed these internally; charge them here so
                 // the clock reflects the real FFT cost.
-                self.clock
-                    .charge(self.metric.work(&self.items[s as usize], &self.items[o as usize]));
+                self.clock.charge(
+                    self.metric
+                        .work(&self.items[s as usize], &self.items[o as usize]),
+                );
             }
         }
         let m = splits.len();
@@ -325,7 +331,9 @@ impl DynamicIndex<Item> for Egnat {
         loop {
             let step = match &self.nodes[node as usize] {
                 GnatNode::Leaf { .. } => None,
-                GnatNode::Internal { splits, children, .. } => {
+                GnatNode::Internal {
+                    splits, children, ..
+                } => {
                     let row: Vec<f64> = splits
                         .iter()
                         .map(|&s| self.dist(s, &self.items[id as usize]))
@@ -340,7 +348,8 @@ impl DynamicIndex<Item> for Egnat {
             };
             match step {
                 Some((j, row, next)) => {
-                    if let GnatNode::Internal { ranges, splits, .. } = &mut self.nodes[node as usize]
+                    if let GnatNode::Internal { ranges, splits, .. } =
+                        &mut self.nodes[node as usize]
                     {
                         let m = splits.len();
                         for (i, &d) in row.iter().enumerate() {
@@ -396,8 +405,18 @@ mod tests {
                 scan.range_query(q, 2.0).expect("scan"),
                 "range mismatch at {qid}"
             );
-            let da: Vec<f64> = t.knn_query(q, 6).expect("t").iter().map(|n| n.dist).collect();
-            let db: Vec<f64> = scan.knn_query(q, 6).expect("s").iter().map(|n| n.dist).collect();
+            let da: Vec<f64> = t
+                .knn_query(q, 6)
+                .expect("t")
+                .iter()
+                .map(|n| n.dist)
+                .collect();
+            let db: Vec<f64> = scan
+                .knn_query(q, 6)
+                .expect("s")
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             assert_eq!(da, db, "knn mismatch at {qid}");
         }
     }
@@ -431,10 +450,14 @@ mod tests {
         let d = DatasetKind::TLoc.generate(400, 13);
         let mut t = Egnat::build(d.items.clone(), d.metric).expect("build");
         let id = t.insert(Item::vector(vec![5e3, 5e3])).expect("ins");
-        let hits = t.range_query(&Item::vector(vec![5e3, 5e3]), 0.5).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![5e3, 5e3]), 0.5)
+            .expect("q");
         assert!(hits.iter().any(|n| n.id == id));
         assert!(t.remove(id).expect("rm"));
-        let hits = t.range_query(&Item::vector(vec![5e3, 5e3]), 0.5).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![5e3, 5e3]), 0.5)
+            .expect("q");
         assert!(!hits.iter().any(|n| n.id == id));
     }
 }

@@ -61,9 +61,7 @@ impl Ganns {
         metric: ItemMetric,
     ) -> Result<Self, IndexError> {
         if !metric.is_vector() {
-            return Err(IndexError::Unsupported(
-                "GANNS supports vector data only",
-            ));
+            return Err(IndexError::Unsupported("GANNS supports vector data only"));
         }
         if items.is_empty() {
             return Err(IndexError::EmptyIndex);
@@ -98,7 +96,10 @@ impl Ganns {
         let graph_bytes = (n * DEGREE * 4) as u64;
         let workspace = self
             .dev
-            .reserve(n as u64 * WORKSPACE_PER_NODE, "GANNS construction workspace")
+            .reserve(
+                n as u64 * WORKSPACE_PER_NODE,
+                "GANNS construction workspace",
+            )
             .map_err(gpu_err)?;
         let graph_mem = self
             .dev
@@ -117,8 +118,7 @@ impl Ganns {
             let (found, work, span) =
                 self.beam_search_graph(&self.items[i as usize].clone(), EF_CONSTRUCTION, &inserted);
             self.dev.charge_kernel(work, span);
-            let neighbours: Vec<u32> =
-                found.iter().take(DEGREE).map(|nb| nb.id).collect();
+            let neighbours: Vec<u32> = found.iter().take(DEGREE).map(|nb| nb.id).collect();
             for &nb in &neighbours {
                 self.adj[nb as usize].push(i);
                 if self.adj[nb as usize].len() > DEGREE {
@@ -366,7 +366,10 @@ mod tests {
         let probe = d.items[3].clone();
         let id = g.insert(probe.clone()).expect("ins");
         let knn = g.knn_query(&probe, 3).expect("q");
-        assert!(knn.iter().any(|n| n.id == id || n.id == 3), "near-duplicate found");
+        assert!(
+            knn.iter().any(|n| n.id == id || n.id == 3),
+            "near-duplicate found"
+        );
         assert!(g.remove(id).expect("rm"));
         let knn = g.knn_query(&probe, 3).expect("q");
         assert!(!knn.iter().any(|n| n.id == id));

@@ -12,9 +12,7 @@
 use crate::clock::impl_gpu_clocked;
 use gpu_sim::primitives::top_k_min;
 use gpu_sim::{Device, GpuError, Reservation};
-use metric_space::index::{
-    sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex,
-};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::{Footprint, Item, ItemMetric, Metric};
 use std::sync::Arc;
 
@@ -229,8 +227,18 @@ mod tests {
             t.range_query(q, r).expect("gpu"),
             scan.range_query(q, r).expect("scan")
         );
-        let da: Vec<f64> = t.knn_query(q, 5).expect("t").iter().map(|n| n.dist).collect();
-        let db: Vec<f64> = scan.knn_query(q, 5).expect("s").iter().map(|n| n.dist).collect();
+        let da: Vec<f64> = t
+            .knn_query(q, 5)
+            .expect("t")
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        let db: Vec<f64> = scan
+            .knn_query(q, 5)
+            .expect("s")
+            .iter()
+            .map(|n| n.dist)
+            .collect();
         assert_eq!(da, db);
     }
 
@@ -258,10 +266,14 @@ mod tests {
         let dev = Device::rtx_2080_ti();
         let mut t = GpuTable::new(&dev, d.items.clone(), d.metric).expect("new");
         let id = t.insert(Item::vector(vec![9e3, 9e3])).expect("ins");
-        let hits = t.range_query(&Item::vector(vec![9e3, 9e3]), 1.0).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![9e3, 9e3]), 1.0)
+            .expect("q");
         assert!(hits.iter().any(|n| n.id == id));
         t.remove(id).expect("rm");
-        let hits = t.range_query(&Item::vector(vec![9e3, 9e3]), 1.0).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![9e3, 9e3]), 1.0)
+            .expect("q");
         assert!(!hits.iter().any(|n| n.id == id));
         // kNN must also mask removed ids.
         let knn = t.knn_query(&Item::vector(vec![9e3, 9e3]), 3).expect("knn");

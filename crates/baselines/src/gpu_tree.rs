@@ -15,9 +15,7 @@
 
 use crate::clock::impl_gpu_clocked;
 use gpu_sim::{Device, GpuError, Reservation};
-use metric_space::index::{
-    sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex,
-};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::lemmas::{prune_node_knn, prune_node_range};
 use metric_space::{Footprint, Item, ItemMetric, Metric};
 use std::sync::Arc;
@@ -257,13 +255,7 @@ impl GpuTree {
 
     /// Serial (per-block) range traversal of one tree; returns accumulated
     /// (hits, work, span-cycles) under the fixed-block model.
-    fn range_tree(
-        &self,
-        tree: &SubTree,
-        q: &Item,
-        r: f64,
-        out: &mut Vec<Neighbor>,
-    ) -> (u64, u64) {
+    fn range_tree(&self, tree: &SubTree, q: &Item, r: f64, out: &mut Vec<Neighbor>) -> (u64, u64) {
         let mut work = 0u64;
         let mut span = 0u64;
         let mut stack = vec![tree.root];
@@ -307,13 +299,7 @@ impl GpuTree {
         (work, span)
     }
 
-    fn knn_tree(
-        &self,
-        tree: &SubTree,
-        q: &Item,
-        k: usize,
-        heap: &mut Vec<Neighbor>,
-    ) -> (u64, u64) {
+    fn knn_tree(&self, tree: &SubTree, q: &Item, k: usize, heap: &mut Vec<Neighbor>) -> (u64, u64) {
         let bound = |h: &Vec<Neighbor>| {
             if h.len() == k {
                 h.last().map_or(f64::INFINITY, |n| n.dist)
@@ -518,8 +504,18 @@ mod tests {
             t.range_query(q, 2.0).expect("t"),
             scan.range_query(q, 2.0).expect("s")
         );
-        let da: Vec<f64> = t.knn_query(q, 9).expect("t").iter().map(|n| n.dist).collect();
-        let db: Vec<f64> = scan.knn_query(q, 9).expect("s").iter().map(|n| n.dist).collect();
+        let da: Vec<f64> = t
+            .knn_query(q, 9)
+            .expect("t")
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        let db: Vec<f64> = scan
+            .knn_query(q, 9)
+            .expect("s")
+            .iter()
+            .map(|n| n.dist)
+            .collect();
         assert_eq!(da, db);
     }
 
@@ -564,10 +560,14 @@ mod tests {
         let dev = Device::rtx_2080_ti();
         let mut t = GpuTree::build(&dev, d.items.clone(), d.metric).expect("build");
         let id = t.insert(Item::vector(vec![4e3, 4e3])).expect("ins");
-        let hits = t.range_query(&Item::vector(vec![4e3, 4e3]), 0.5).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![4e3, 4e3]), 0.5)
+            .expect("q");
         assert!(hits.iter().any(|n| n.id == id));
         assert!(t.remove(id).expect("rm"));
-        let hits = t.range_query(&Item::vector(vec![4e3, 4e3]), 0.5).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![4e3, 4e3]), 0.5)
+            .expect("q");
         assert!(!hits.iter().any(|n| n.id == id));
     }
 }

@@ -11,9 +11,7 @@
 
 use crate::clock::impl_gpu_clocked;
 use gpu_sim::{Device, GpuError, Reservation};
-use metric_space::index::{
-    sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex,
-};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::{Footprint, Item, ItemMetric, Metric, VectorMetric};
 use std::sync::Arc;
 
@@ -247,8 +245,9 @@ impl LbpgTree {
                 let node = &self.levels[0][ni as usize];
                 work += (2 * self.dim) as u64;
                 if self.mindist(q, node) <= radii[qi] {
-                    candidates[qi]
-                        .extend_from_slice(&self.leaf_objs[node.start as usize..(node.start + node.count) as usize]);
+                    candidates[qi].extend_from_slice(
+                        &self.leaf_objs[node.start as usize..(node.start + node.count) as usize],
+                    );
                 }
             }
         }
@@ -445,8 +444,18 @@ mod tests {
             t.range_query(q, r).expect("t"),
             scan.range_query(q, r).expect("s")
         );
-        let da: Vec<f64> = t.knn_query(q, 6).expect("t").iter().map(|n| n.dist).collect();
-        let db: Vec<f64> = scan.knn_query(q, 6).expect("s").iter().map(|n| n.dist).collect();
+        let da: Vec<f64> = t
+            .knn_query(q, 6)
+            .expect("t")
+            .iter()
+            .map(|n| n.dist)
+            .collect();
+        let db: Vec<f64> = scan
+            .knn_query(q, 6)
+            .expect("s")
+            .iter()
+            .map(|n| n.dist)
+            .collect();
         assert_eq!(da, db);
     }
 
@@ -496,10 +505,14 @@ mod tests {
         let dev = Device::rtx_2080_ti();
         let mut t = LbpgTree::build(&dev, d.items.clone(), d.metric).expect("build");
         let id = t.insert(Item::vector(vec![3e3, 3e3])).expect("ins");
-        let hits = t.range_query(&Item::vector(vec![3e3, 3e3]), 0.5).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![3e3, 3e3]), 0.5)
+            .expect("q");
         assert!(hits.iter().any(|n| n.id == id));
         assert!(t.remove(id).expect("rm"));
-        let hits = t.range_query(&Item::vector(vec![3e3, 3e3]), 0.5).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![3e3, 3e3]), 0.5)
+            .expect("q");
         assert!(!hits.iter().any(|n| n.id == id));
         assert!(matches!(
             t.insert(Item::vector(vec![1.0])),

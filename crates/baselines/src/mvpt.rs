@@ -12,9 +12,7 @@
 use crate::bst::insert_bounded;
 use crate::clock::impl_cpu_clocked;
 use gpu_sim::CpuClock;
-use metric_space::index::{
-    sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex,
-};
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::lemmas::{prune_node_knn, prune_node_range};
 use metric_space::{Item, ItemMetric, Metric};
 
@@ -154,7 +152,14 @@ impl Mvpt {
         self.build_seconds
     }
 
-    fn range_rec(&self, node: u32, q: &Item, r: f64, qpath: &mut Vec<f64>, out: &mut Vec<Neighbor>) {
+    fn range_rec(
+        &self,
+        node: u32,
+        q: &Item,
+        r: f64,
+        qpath: &mut Vec<f64>,
+        out: &mut Vec<Neighbor>,
+    ) {
         match &self.nodes[node as usize] {
             MvptNode::Leaf { objs, path_d } => {
                 'obj: for (i, &o) in objs.iter().enumerate() {
@@ -189,7 +194,14 @@ impl Mvpt {
         }
     }
 
-    fn knn_rec(&self, node: u32, q: &Item, k: usize, qpath: &mut Vec<f64>, heap: &mut Vec<Neighbor>) {
+    fn knn_rec(
+        &self,
+        node: u32,
+        q: &Item,
+        k: usize,
+        qpath: &mut Vec<f64>,
+        heap: &mut Vec<Neighbor>,
+    ) {
         let bound = |h: &Vec<Neighbor>| {
             if h.len() == k {
                 h.last().map_or(f64::INFINITY, |n| n.dist)
@@ -282,8 +294,7 @@ impl SimilarityIndex<Item> for Mvpt {
             bytes += match n {
                 MvptNode::Internal { rings, .. } => 4 + rings.len() as u64 * 20,
                 MvptNode::Leaf { objs, path_d } => {
-                    4 * objs.len() as u64
-                        + path_d.iter().map(|p| 8 * p.len() as u64).sum::<u64>()
+                    4 * objs.len() as u64 + path_d.iter().map(|p| 8 * p.len() as u64).sum::<u64>()
                 }
             };
         }
@@ -375,8 +386,18 @@ mod tests {
                 scan.range_query(q, r).expect("scan"),
                 "{kind:?}"
             );
-            let da: Vec<f64> = t.knn_query(q, 8).expect("t").iter().map(|n| n.dist).collect();
-            let db: Vec<f64> = scan.knn_query(q, 8).expect("s").iter().map(|n| n.dist).collect();
+            let da: Vec<f64> = t
+                .knn_query(q, 8)
+                .expect("t")
+                .iter()
+                .map(|n| n.dist)
+                .collect();
+            let db: Vec<f64> = scan
+                .knn_query(q, 8)
+                .expect("s")
+                .iter()
+                .map(|n| n.dist)
+                .collect();
             assert_eq!(da, db, "{kind:?}");
         }
     }
@@ -405,10 +426,14 @@ mod tests {
         let d = DatasetKind::TLoc.generate(300, 9);
         let mut t = Mvpt::build(d.items.clone(), d.metric);
         let id = t.insert(Item::vector(vec![1e4, 1e4])).expect("ins");
-        let hits = t.range_query(&Item::vector(vec![1e4, 1e4]), 1.0).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![1e4, 1e4]), 1.0)
+            .expect("q");
         assert!(hits.iter().any(|n| n.id == id));
         assert!(t.remove(id).expect("rm"));
-        let hits = t.range_query(&Item::vector(vec![1e4, 1e4]), 1.0).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![1e4, 1e4]), 1.0)
+            .expect("q");
         assert!(!hits.iter().any(|n| n.id == id));
     }
 
@@ -416,7 +441,9 @@ mod tests {
     fn identical_objects_build() {
         let items: Vec<Item> = (0..200).map(|_| Item::vector(vec![1.0, 2.0])).collect();
         let t = Mvpt::build(items, ItemMetric::L2);
-        let hits = t.range_query(&Item::vector(vec![1.0, 2.0]), 0.0).expect("q");
+        let hits = t
+            .range_query(&Item::vector(vec![1.0, 2.0]), 0.0)
+            .expect("q");
         assert_eq!(hits.len(), 200);
     }
 }

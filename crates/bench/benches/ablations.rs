@@ -27,8 +27,14 @@ fn bench(c: &mut Criterion) {
     }
     // Extension: approximate beam search vs exact MkNNQ.
     let dev = cfg.device();
-    let built = AnyIndex::build(Method::Gts, &dev, &data, &cfg, gts_core::GtsParams::default())
-        .expect("build");
+    let built = AnyIndex::build(
+        Method::Gts,
+        &dev,
+        &data,
+        &cfg,
+        gts_core::GtsParams::default(),
+    )
+    .expect("build");
     let AnyIndex::Gts(gts) = &built.index else {
         unreachable!()
     };

@@ -1,0 +1,139 @@
+//! Distance-kernel microbench: batched arena path vs per-pair `Item` path.
+//!
+//! Measures the raw host cost of evaluating one query against a large block
+//! of stored objects — the exact shape of the GTS hot paths (pivot
+//! distances, leaf verification, construction mapping) — three ways:
+//!
+//! * **per-pair**: `Metric::distance(&Item, &Item)` in a loop, chasing a
+//!   boxed payload per evaluation (the pre-arena implementation);
+//! * **batch**: one `BatchMetric::distance_batch` call resolving ids
+//!   against the flat [`ObjectArena`] (contiguous payloads, shared DP
+//!   scratch);
+//! * **batch-bounded**: the early-abandoning variant (Ukkonen banding for
+//!   edit distance), reported for context.
+//!
+//! Results are printed and written to `BENCH_dist_kernels.json` at the
+//! workspace root (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench dist_kernels`.
+
+use metric_space::gen;
+use metric_space::{BatchMetric, Item, ItemMetric, Metric};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PAIRS: usize = 20_000;
+const REPS: usize = 15;
+
+struct KernelTimes {
+    metric: &'static str,
+    arity: usize,
+    per_pair_ns: f64,
+    batch_ns: f64,
+    bounded_ns: f64,
+}
+
+/// Minimum nanoseconds per distance over `REPS` timed repetitions of `f`
+/// (plus one untimed warm-up). The minimum is the standard noise-robust
+/// estimator: scheduler interference only ever adds time.
+fn time_per_distance(pairs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_nanos() as f64 / pairs as f64);
+    }
+    best
+}
+
+fn bench_metric(metric: ItemMetric, items: Vec<Item>, bound: f64) -> KernelTimes {
+    let arena = metric.build_arena(&items).expect("homogeneous dataset");
+    // Scattered id pattern (Knuth multiplicative hash): the table list after
+    // partitioning is a permutation of the store, so the kernels never walk
+    // objects in allocation order.
+    let n = items.len() as u64;
+    let ids: Vec<u32> = (0..PAIRS as u64)
+        .map(|i| ((i.wrapping_mul(2_654_435_761)) % n) as u32)
+        .collect();
+    let query = items[items.len() / 2].clone();
+    let mut out = vec![0.0f64; ids.len()];
+    let mut out_scalar = vec![0.0f64; ids.len()];
+    let mut out_bounded = vec![None; ids.len()];
+    let bounds = vec![bound; ids.len()];
+
+    // The per-pair path mirrors the replaced hot-path kernel closure, which
+    // produced `(distance, work)` per thread.
+    let mut work_acc = 0u64;
+    let per_pair_ns = time_per_distance(PAIRS, || {
+        for (slot, &id) in out_scalar.iter_mut().zip(&ids) {
+            let o = &items[id as usize];
+            *slot = metric.distance(&query, o);
+            work_acc = work_acc.wrapping_add(metric.work(&query, o));
+        }
+        std::hint::black_box(work_acc);
+    });
+    let batch_ns = time_per_distance(PAIRS, || {
+        metric.distance_batch(&items, Some(&arena), &query, &ids, &mut out);
+    });
+    let bounded_ns = time_per_distance(PAIRS, || {
+        metric.distance_batch_bounded(
+            &items,
+            Some(&arena),
+            &query,
+            &ids,
+            &bounds,
+            &mut out_bounded,
+        );
+    });
+
+    // The comparison is only meaningful if the two paths agree exactly.
+    assert_eq!(out, out_scalar, "batch and per-pair disagree");
+
+    KernelTimes {
+        metric: metric.name(),
+        arity: items.iter().map(Item::arity).sum::<usize>() / items.len(),
+        per_pair_ns,
+        batch_ns,
+        bounded_ns,
+    }
+}
+
+fn main() {
+    let runs = [
+        bench_metric(ItemMetric::L2, gen::vectors(4_096, 128, 7), 1.0),
+        bench_metric(ItemMetric::Edit, gen::words(4_096, 7), 3.0),
+    ];
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"pairs\": {PAIRS},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let speedup = r.per_pair_ns / r.batch_ns;
+        println!(
+            "dist_kernels/{:<7} ({} pairs, arity {:>3}): per-pair {:>8.1} ns/dist | batch {:>8.1} ns/dist | bounded {:>8.1} ns/dist | speedup {:.2}x",
+            r.metric, PAIRS, r.arity, r.per_pair_ns, r.batch_ns, r.bounded_ns, speedup
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"metric\": \"{}\", \"arity\": {}, \"per_pair_ns_per_dist\": {:.2}, \"batch_ns_per_dist\": {:.2}, \"bounded_ns_per_dist\": {:.2}, \"batch_speedup\": {:.3}}}{}",
+            r.metric,
+            r.arity,
+            r.per_pair_ns,
+            r.batch_ns,
+            r.bounded_ns,
+            speedup,
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_dist_kernels.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_dist_kernels.json");
+    println!("wrote {out_path}");
+}

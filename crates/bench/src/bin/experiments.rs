@@ -27,7 +27,10 @@ fn main() {
         args.iter().map(String::as_str).collect()
     };
 
-    if args.iter().any(|a| a == "--list" || a == "-l" || a == "help") {
+    if args
+        .iter()
+        .any(|a| a == "--list" || a == "-l" || a == "help")
+    {
         println!("available experiments:");
         for e in &experiments::ALL {
             println!("  {:10} {}", e.id, e.describe);
@@ -76,8 +79,8 @@ fn main() {
         let _ = writeln!(lock, "    ({wall:.1?} wall-clock)");
     }
 
-    if let Err(e) = std::fs::create_dir_all(&dir)
-        .and_then(|()| std::fs::write(dir.join("REPORT.md"), &report))
+    if let Err(e) =
+        std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(dir.join("REPORT.md"), &report))
     {
         eprintln!("failed to write combined report: {e}");
     } else {

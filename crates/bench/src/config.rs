@@ -98,8 +98,7 @@ impl Config {
     /// comparison. Scaling them preserves the paper's fixed-vs-proportional
     /// cost ratio at the reduced operating point (see EXPERIMENTS.md).
     pub fn device_with_memory_gb(&self, gb: f64) -> Arc<Device> {
-        let bytes =
-            (gb * (1u64 << 30) as f64 * self.scale * DEVICE_USABLE_FRACTION) as u64;
+        let bytes = (gb * (1u64 << 30) as f64 * self.scale * DEVICE_USABLE_FRACTION) as u64;
         let base = DeviceConfig::rtx_2080_ti();
         let cfg = DeviceConfig {
             kernel_launch_cycles: ((base.kernel_launch_cycles as f64 * self.scale) as u64).max(1),

@@ -21,7 +21,10 @@ pub fn run(cfg: &Config) -> Vec<Table> {
     for kind in [DatasetKind::TLoc, DatasetKind::Color] {
         let base = cfg.dataset(kind);
         let mut table = Table::new(
-            format!("fig10_distinct_{}", kind.name().to_lowercase().replace('-', "")),
+            format!(
+                "fig10_distinct_{}",
+                kind.name().to_lowercase().replace('-', "")
+            ),
             format!("Effect of identical objects on {}", kind.name()),
             &["distinct %", "MRQ (queries/min)", "MkNNQ (queries/min)"],
         );
@@ -61,7 +64,12 @@ mod tests {
         for t in &tables {
             assert_eq!(t.rows.len(), DISTINCT.len());
             let tputs: Vec<f64> = t.rows.iter().filter_map(|r| r[1].parse().ok()).collect();
-            assert_eq!(tputs.len(), DISTINCT.len(), "{}: no '/' cells allowed", t.id);
+            assert_eq!(
+                tputs.len(),
+                DISTINCT.len(),
+                "{}: no '/' cells allowed",
+                t.id
+            );
             let min = tputs.iter().copied().fold(f64::MAX, f64::min);
             let max = tputs.iter().copied().fold(0.0, f64::max);
             assert!(

@@ -62,15 +62,11 @@ pub fn run(cfg: &Config) -> Vec<Table> {
                     // (b) batch: remove 10% and reinsert in one bulk op.
                     let tenth = (data.len() / 10).max(1);
                     let victims: Vec<u32> = (0..tenth as u32).collect();
-                    let reinserts: Vec<metric_space::Item> = victims
-                        .iter()
-                        .map(|&v| data.item(v).clone())
-                        .collect();
+                    let reinserts: Vec<metric_space::Item> =
+                        victims.iter().map(|&v| data.item(v).clone()).collect();
                     let start = idx.mark();
                     idx.batch_update(reinserts, &victims).expect("batch update");
-                    brow.push(fmt_secs(
-                        idx.elapsed_since(start) / (2 * tenth) as f64,
-                    ));
+                    brow.push(fmt_secs(idx.elapsed_since(start) / (2 * tenth) as f64));
                 }
                 Err(_) => {
                     srow.push("/".into());

@@ -31,8 +31,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         for nc in CAPACITIES {
             let dev = cfg.device();
             let params = GtsParams::default().with_node_capacity(nc);
-            let built =
-                AnyIndex::build(Method::Gts, &dev, &data, cfg, params).expect("GTS build");
+            let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, params).expect("GTS build");
             let queries = workload.queries_n(cfg.queries_per_point);
             let radii = vec![workload.radius(defaults::R); queries.len()];
             let mrq = built.index.mrq_throughput(&queries, &radii).expect("mrq");

@@ -131,10 +131,7 @@ mod tests {
         // (EXPERIMENTS.md).
         for m in ["GPU-Table", "GPU-Tree"] {
             let other = tput(words_mrq, m, 4);
-            assert!(
-                gts * 10.0 > other,
-                "GTS ({gts}) collapsed vs {m} ({other})"
-            );
+            assert!(gts * 10.0 > other, "GTS ({gts}) collapsed vs {m} ({other})");
         }
     }
 

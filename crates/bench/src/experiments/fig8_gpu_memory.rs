@@ -26,14 +26,21 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         let queries = workload.queries_n(BATCH);
         let radii = vec![workload.radius(defaults::R); BATCH];
         let mut table = Table::new(
-            format!("fig8_memory_{}", kind.name().to_lowercase().replace('-', "")),
+            format!(
+                "fig8_memory_{}",
+                kind.name().to_lowercase().replace('-', "")
+            ),
             format!("Effect of GPU memory on {} (batch {BATCH})", kind.name()),
-            &["GPU memory (GB)", "MRQ (queries/min)", "MkNNQ (queries/min)", "groups"],
+            &[
+                "GPU memory (GB)",
+                "MRQ (queries/min)",
+                "MkNNQ (queries/min)",
+                "groups",
+            ],
         );
         for gb in MEMORY_GB {
             let dev = cfg.device_with_memory_gb(gb);
-            let row = match AnyIndex::build(Method::Gts, &dev, &data, cfg, GtsParams::default())
-            {
+            let row = match AnyIndex::build(Method::Gts, &dev, &data, cfg, GtsParams::default()) {
                 Ok(built) => {
                     let mrq = built
                         .index
@@ -69,11 +76,7 @@ mod tests {
         let cfg = Config::tiny();
         let tables = run(&cfg);
         for t in &tables {
-            let tputs: Vec<f64> = t
-                .rows
-                .iter()
-                .filter_map(|r| r[1].parse().ok())
-                .collect();
+            let tputs: Vec<f64> = t.rows.iter().filter_map(|r| r[1].parse().ok()).collect();
             assert!(!tputs.is_empty(), "{} produced no data", t.id);
             let first = tputs.first().expect("non-empty");
             let last = tputs.last().expect("non-empty");

@@ -23,7 +23,10 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         &headers,
     );
 
-    let datasets: Vec<_> = DatasetKind::ALL.iter().map(|&k| (k, cfg.dataset(k))).collect();
+    let datasets: Vec<_> = DatasetKind::ALL
+        .iter()
+        .map(|&k| (k, cfg.dataset(k)))
+        .collect();
     for method in Method::CONSTRUCTED {
         let mut row = vec![method.name().to_string()];
         for (kind, data) in &datasets {

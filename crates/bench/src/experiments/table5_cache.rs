@@ -46,8 +46,7 @@ pub fn run(cfg: &Config) -> Vec<Table> {
         for &(_, bytes) in &CACHE_SIZES {
             let dev = cfg.device();
             let params = GtsParams::default().with_cache_capacity(bytes);
-            let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, params)
-                .expect("GTS build");
+            let built = AnyIndex::build(Method::Gts, &dev, &data, cfg, params).expect("GTS build");
             let mut idx = built.index;
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7ab1e5);
             let start = idx.mark();

@@ -27,7 +27,7 @@ use crate::params::GtsParams;
 use crate::table::{TableEntry, TableList};
 use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
 use gpu_sim::{Device, GpuError};
-use metric_space::Metric;
+use metric_space::{BatchMetric, ObjectArena};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -40,7 +40,21 @@ pub(crate) struct Structure {
     pub build_distances: u64,
 }
 
+/// Reusable staging buffers for the construction kernels (one per
+/// `construct` call, shared by every level).
+#[derive(Default)]
+struct BuildScratch {
+    /// Object ids of one node segment, arena-kernel input.
+    ids: Vec<u32>,
+    /// Distance output per table position for the whole level.
+    out: Vec<f64>,
+}
+
 /// Construct the GTS structure over `ids` (a subset of `objects`).
+///
+/// `arena`, when present, is the flat payload arena over the **full**
+/// `objects` store (ids are arena ids); the mapping kernels resolve object
+/// payloads against it instead of chasing per-object pointers.
 ///
 /// Runs entirely "on device": every distance evaluation and data movement is
 /// charged to `dev`'s clock; the returned host structures mirror what would
@@ -48,13 +62,14 @@ pub(crate) struct Structure {
 pub(crate) fn construct<O, M>(
     dev: &Arc<Device>,
     objects: &[O],
+    arena: Option<&ObjectArena>,
     ids: &[u32],
     metric: &M,
     params: &GtsParams,
 ) -> Result<Structure, GpuError>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     assert!(!ids.is_empty(), "construct requires at least one object");
     let nc = params.node_capacity;
@@ -63,6 +78,7 @@ where
     let mut table = TableList::from_ids(ids);
     let n = ids.len();
     let mut build_distances = 0u64;
+    let mut scratch = BuildScratch::default();
 
     // Alg. 1 lines 2–5: initialise the root and the table list.
     *nodes.get_mut(1) = Node {
@@ -84,6 +100,7 @@ where
         mapping(
             dev,
             objects,
+            arena,
             metric,
             params,
             &mut nodes,
@@ -93,6 +110,7 @@ where
             level == 1,
             &mut rng,
             &mut build_distances,
+            &mut scratch,
         );
         partitioning(dev, &shape, &mut nodes, &mut table, start, width);
     }
@@ -109,6 +127,7 @@ where
 fn mapping<O, M>(
     dev: &Arc<Device>,
     objects: &[O],
+    arena: Option<&ObjectArena>,
     metric: &M,
     params: &GtsParams,
     nodes: &mut NodeList,
@@ -118,29 +137,34 @@ fn mapping<O, M>(
     is_root_level: bool,
     rng: &mut StdRng,
     build_distances: &mut u64,
+    scratch: &mut BuildScratch,
 ) where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     let n = table.len();
 
     // --- pivot selection -------------------------------------------------
     if is_root_level {
         // Root: FFT seeded by a random object — the pivot is the object
-        // farthest from the seed (one parallel distance pass + a reduce).
+        // farthest from the seed (one batched distance kernel + a reduce).
         let seed_pos = rng.gen_range(0..n);
         let seed_obj = table.get(seed_pos).obj;
         let pivot = if params.fft_pivots {
-            let dists = dev.launch_map(n, |i| {
-                let o = table.get(i).obj;
-                let d = metric.distance(&objects[o as usize], &objects[seed_obj as usize]);
-                let w = metric.work(&objects[o as usize], &objects[seed_obj as usize]);
-                (d, w)
+            let BuildScratch { ids, out } = scratch;
+            ids.clear();
+            table.fill_ids(0, n as u32, ids);
+            out.clear();
+            out.resize(n, 0.0);
+            dev.launch_batch(n, || {
+                let (w, s) =
+                    metric.distance_batch(objects, arena, &objects[seed_obj as usize], ids, out);
+                ((), w, s)
             });
             *build_distances += n as u64;
             let mut best = seed_pos;
             let mut best_d = -1.0;
-            for (i, &d) in dists.iter().enumerate() {
+            for (i, &d) in out.iter().enumerate() {
                 if d > best_d {
                     best_d = d;
                     best = i;
@@ -180,25 +204,38 @@ fn mapping<O, M>(
     }
 
     // --- distance computation ---------------------------------------------
-    // One kernel over the entire table: thread i finds its node's pivot
-    // (grid = nodes, block = the node's objects; pivots staged in shared
-    // memory per Alg. 2) and computes d(object_i, pivot).
-    let node_of_pos = node_rank_of_positions(nodes, level_start, level_width, n);
-    let entries = table.entries();
-    let results = dev.launch_map(n, |i| {
-        let rank = node_of_pos[i];
-        let pivot = nodes
-            .get(level_start + rank as usize)
-            .pivot
-            .expect("internal node has a pivot");
-        let o = entries[i].obj;
-        let d = metric.distance(&objects[o as usize], &objects[pivot as usize]);
-        let w = metric.work(&objects[o as usize], &objects[pivot as usize]);
-        (d, w)
-    });
-    *build_distances += n as u64;
-    for (i, d) in results.into_iter().enumerate() {
-        table.entries_mut()[i].dis = d;
+    // One batched kernel over the entire table (grid = nodes, block = the
+    // node's objects; pivots staged in shared memory per Alg. 2): each
+    // node's segment is contiguous in the table, so the level runs as one
+    // launch of per-node `distance_batch` calls resolving object ids
+    // against the arena, charged once for the whole level.
+    {
+        let BuildScratch { ids, out } = scratch;
+        out.clear();
+        out.resize(n, 0.0);
+        dev.launch_batch(n, || {
+            let mut total = 0u64;
+            let mut span = 0u64;
+            for rank in 0..level_width {
+                let node = *nodes.get(level_start + rank);
+                if node.size == 0 {
+                    continue;
+                }
+                let pivot = node.pivot.expect("internal node has a pivot");
+                ids.clear();
+                table.fill_ids(node.pos, node.size, ids);
+                let seg = &mut out[node.pos as usize..(node.pos + node.size) as usize];
+                let (w, s) =
+                    metric.distance_batch(objects, arena, &objects[pivot as usize], ids, seg);
+                total += w;
+                span = span.max(s);
+            }
+            ((), total, span)
+        });
+        *build_distances += n as u64;
+        for (e, &d) in table.entries_mut().iter_mut().zip(out.iter()) {
+            e.dis = d;
+        }
     }
 
     // Own-pivot radius per node (max distance to own pivot), needed by the
@@ -310,7 +347,7 @@ fn node_rank_of_positions(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metric_space::{DatasetKind, ItemMetric};
+    use metric_space::{DatasetKind, ItemMetric, Metric};
 
     fn build_kind(
         kind: DatasetKind,
@@ -321,7 +358,16 @@ mod tests {
         let dev = Device::rtx_2080_ti();
         let ids: Vec<u32> = (0..n as u32).collect();
         let params = GtsParams::default().with_node_capacity(nc);
-        let s = construct(&dev, &data.items, &ids, &data.metric, &params).expect("build");
+        let arena = data.metric.build_arena(&data.items);
+        let s = construct(
+            &dev,
+            &data.items,
+            arena.as_ref(),
+            &ids,
+            &data.metric,
+            &params,
+        )
+        .expect("build");
         (s, data.items, data.metric)
     }
 
@@ -397,11 +443,7 @@ mod tests {
             let mut prev = f64::NEG_INFINITY;
             for e in range {
                 let real = metric.distance(&items[e.obj as usize], &items[pivot]);
-                assert!(
-                    (real - e.dis).abs() < 1e-9,
-                    "stored {} real {real}",
-                    e.dis
-                );
+                assert!((real - e.dis).abs() < 1e-9, "stored {} real {real}", e.dis);
                 assert!(e.dis >= leaf.min_dis - 1e-9 && e.dis <= leaf.max_dis + 1e-9);
                 assert!(e.dis >= prev - 1e-12, "not ascending");
                 prev = e.dis;
@@ -449,6 +491,7 @@ mod tests {
         let s = construct(
             &dev,
             &data.items,
+            None,
             &[0, 1, 2],
             &data.metric,
             &GtsParams::default(),
@@ -475,7 +518,16 @@ mod tests {
         let dev = Device::rtx_2080_ti();
         let ids: Vec<u32> = (0..2000).collect();
         dev.reset_clock();
-        construct(&dev, &data.items, &ids, &data.metric, &GtsParams::default()).expect("build");
+        let arena = data.metric.build_arena(&data.items);
+        construct(
+            &dev,
+            &data.items,
+            arena.as_ref(),
+            &ids,
+            &data.metric,
+            &GtsParams::default(),
+        )
+        .expect("build");
         let s = dev.stats();
         assert!(s.kernels > 3, "multiple kernels launched");
         assert!(s.cycles > 0 && s.work > 0);
@@ -487,9 +539,14 @@ mod tests {
         let dev = Device::rtx_2080_ti();
         let ids: Vec<u32> = (0..200).collect();
         let p = GtsParams::default().with_seed(77);
-        let a = construct(&dev, &data.items, &ids, &data.metric, &p).expect("a");
-        let b = construct(&dev, &data.items, &ids, &data.metric, &p).expect("b");
-        assert_eq!(a.table.entries(), b.table.entries());
+        let arena = data.metric.build_arena(&data.items);
+        let a = construct(&dev, &data.items, arena.as_ref(), &ids, &data.metric, &p).expect("a");
+        let b = construct(&dev, &data.items, None, &ids, &data.metric, &p).expect("b");
+        assert_eq!(
+            a.table.entries(),
+            b.table.entries(),
+            "arena and per-pair construction agree bit-for-bit"
+        );
     }
 
     #[test]
@@ -497,8 +554,16 @@ mod tests {
         let data = DatasetKind::Words.generate(100, 3);
         let dev = Device::rtx_2080_ti();
         let ids: Vec<u32> = (0..100).step_by(2).map(|i| i as u32).collect();
-        let s = construct(&dev, &data.items, &ids, &data.metric, &GtsParams::default())
-            .expect("subset build");
+        let arena = data.metric.build_arena(&data.items);
+        let s = construct(
+            &dev,
+            &data.items,
+            arena.as_ref(),
+            &ids,
+            &data.metric,
+            &GtsParams::default(),
+        )
+        .expect("subset build");
         assert_eq!(s.table.len(), 50);
         assert!(s.table.entries().iter().all(|e| e.obj % 2 == 0));
     }

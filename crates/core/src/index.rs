@@ -10,7 +10,9 @@ use crate::table::TableList;
 use crate::update::CacheTable;
 use gpu_sim::{Device, GpuError, Reservation};
 use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
-use metric_space::{Footprint, Metric};
+use metric_space::{BatchMetric, Footprint, ObjectArena};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// GTS: the GPU-based tree index for similarity search in general metric
@@ -37,6 +39,11 @@ pub struct Gts<O, M> {
     params: GtsParams,
     /// Every object ever inserted; ids are indices here and never recycled.
     objects: Vec<O>,
+    /// Flat payload arena mirroring `objects` (same ids), fed to the
+    /// batched distance kernels. `None` when `params.use_arena` is off or
+    /// the metric has no flat layout — kernels then fall back to per-pair
+    /// object access with identical results and identical simulated cost.
+    arena: Option<ObjectArena>,
     /// Liveness per id (deletions flip this off).
     live: Vec<bool>,
     nodes: NodeList,
@@ -66,7 +73,7 @@ fn gpu_err(e: GpuError) -> IndexError {
 impl<O, M> Gts<O, M>
 where
     O: Clone + Send + Sync + Footprint,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     /// Build the index over `objects` on device `dev`.
     pub fn build(
@@ -84,8 +91,12 @@ where
             metric,
             params,
             objects,
+            arena: None,
             live,
-            nodes: NodeList::new(crate::node::TreeShape { nc: params.node_capacity, h: 1 }),
+            nodes: NodeList::new(crate::node::TreeShape {
+                nc: params.node_capacity,
+                h: 1,
+            }),
             table: TableList::default(),
             cache: CacheTable::new(params.cache_capacity_bytes),
             stats: SearchStats::default(),
@@ -105,6 +116,17 @@ where
         Ok(())
     }
 
+    /// (Re)build the flat arena over the current object store. The arena is
+    /// the device *layout* of the already-resident object payloads, not an
+    /// extra copy, so it carries no separate reservation.
+    fn refresh_arena(&mut self) {
+        self.arena = if self.params.use_arena {
+            self.metric.build_arena(&self.objects)
+        } else {
+            None
+        };
+    }
+
     fn reconstruct(&mut self) -> Result<(), IndexError> {
         let ids: Vec<u32> = (0..self.objects.len() as u32)
             .filter(|&i| self.live[i as usize])
@@ -114,12 +136,26 @@ where
         }
         // Free the previous structure before reserving the new one.
         self.residency = None;
+        if self
+            .arena
+            .as_ref()
+            .is_none_or(|a| a.len() != self.objects.len())
+        {
+            self.refresh_arena();
+        }
         let Structure {
             nodes,
             table,
             build_distances,
-        } = build::construct(&self.dev, &self.objects, &ids, &self.metric, &self.params)
-            .map_err(gpu_err)?;
+        } = build::construct(
+            &self.dev,
+            &self.objects,
+            self.arena.as_ref(),
+            &ids,
+            &self.metric,
+            &self.params,
+        )
+        .map_err(gpu_err)?;
         let data_bytes: u64 = ids
             .iter()
             .map(|&i| self.objects[i as usize].size_bytes())
@@ -153,8 +189,10 @@ where
             params: &self.params,
             nodes: &self.nodes,
             table: &self.table,
+            arena: self.arena.as_ref(),
             live: &self.live,
             stats: &self.stats,
+            memo: RefCell::new(HashMap::new()),
         }
     }
 
@@ -215,28 +253,34 @@ where
 
     /// Brute-force distances from every query to every cached insertion
     /// (the cache is bounded by a few KB, so a flat table scan — the §4.4
-    /// strategy).
+    /// strategy), one batched arena-resolved kernel for the whole scan.
     fn cache_distances(&self, queries: &[O]) -> Vec<(u32, u32, f64)> {
         let ids = self.cache.ids();
         if ids.is_empty() || queries.is_empty() {
             return Vec::new();
         }
-        let tasks: Vec<(u32, u32)> = (0..queries.len() as u32)
-            .flat_map(|q| ids.iter().map(move |&o| (q, o)))
-            .collect();
-        let dists = self.dev.launch_map(tasks.len(), |t| {
-            let (q, o) = tasks[t];
-            let qo = &queries[q as usize];
-            let oo = &self.objects[o as usize];
-            (self.metric.distance(qo, oo), self.metric.work(qo, oo))
+        let n = queries.len() * ids.len();
+        let mut out = vec![0.0f64; ids.len()];
+        let mut dists: Vec<(u32, u32, f64)> = Vec::with_capacity(n);
+        self.dev.launch_batch(n, || {
+            let mut total = 0u64;
+            let mut span = 0u64;
+            for (q, query) in queries.iter().enumerate() {
+                let (w, s) = self.metric.distance_batch(
+                    &self.objects,
+                    self.arena.as_ref(),
+                    query,
+                    ids,
+                    &mut out,
+                );
+                total += w;
+                span = span.max(s);
+                dists.extend(ids.iter().zip(&out).map(|(&o, &d)| (q as u32, o, d)));
+            }
+            ((), total, span)
         });
-        self.stats
-            .add(&self.stats.distance_computations, tasks.len() as u64);
-        tasks
-            .into_iter()
-            .zip(dists)
-            .map(|((q, o), d)| (q, o, d))
-            .collect()
+        self.stats.add(&self.stats.distance_computations, n as u64);
+        dists
     }
 
     fn merge_cache_range(&self, queries: &[O], radii: &[f64], results: &mut [Vec<Neighbor>]) {
@@ -366,11 +410,17 @@ where
         for &id in &decoded.cache_ids {
             cache.insert(id, objects[id as usize].size_bytes() as usize);
         }
+        let arena = if decoded.params.use_arena {
+            metric.build_arena(&objects)
+        } else {
+            None
+        };
         Ok(Gts {
             dev: Arc::clone(dev),
             metric,
             params: decoded.params,
             objects,
+            arena,
             live: decoded.live,
             nodes: decoded.nodes,
             table: decoded.table,
@@ -429,7 +479,7 @@ where
 impl<O, M> SimilarityIndex<O> for Gts<O, M>
 where
     O: Clone + Send + Sync + Footprint,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     fn name(&self) -> &'static str {
         "GTS"
@@ -469,15 +519,23 @@ where
 impl<O, M> DynamicIndex<O> for Gts<O, M>
 where
     O: Clone + Send + Sync + Footprint,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     /// Streaming insert (§4.4): `O(1)` into the cache table (the object is
     /// shipped to the device-resident cache); rebuilds when the cache
-    /// exceeds its byte budget.
+    /// exceeds its byte budget. The arena is extended in place — the
+    /// cache-scan kernel resolves fresh ids flat, too.
     fn insert(&mut self, obj: O) -> Result<u32, IndexError> {
         let id = self.objects.len() as u32;
         let bytes = obj.size_bytes() as usize;
         self.dev.h2d_transfer(bytes as u64);
+        if let Some(arena) = self.arena.as_mut() {
+            if !self.metric.arena_push(arena, &obj) {
+                // The object has no flat representation under this arena;
+                // degrade to per-pair kernels rather than desync ids.
+                self.arena = None;
+            }
+        }
         self.objects.push(obj);
         self.live.push(true);
         let overflow = self.cache.insert(id, bytes);
@@ -524,7 +582,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use metric_space::{DatasetKind, Item, ItemMetric};
+    use metric_space::{DatasetKind, Item, ItemMetric, Metric};
 
     fn words(n: usize) -> (Arc<Device>, Vec<Item>, ItemMetric) {
         let d = DatasetKind::Words.generate(n, 21);
@@ -558,7 +616,12 @@ mod tests {
     #[test]
     fn empty_build_rejected() {
         let dev = Device::rtx_2080_ti();
-        let err = Gts::build(&dev, Vec::<Item>::new(), ItemMetric::Edit, GtsParams::default());
+        let err = Gts::build(
+            &dev,
+            Vec::<Item>::new(),
+            ItemMetric::Edit,
+            GtsParams::default(),
+        );
         assert!(matches!(err, Err(IndexError::EmptyIndex)));
     }
 
@@ -577,7 +640,10 @@ mod tests {
         gts.rebuild().expect("rebuild");
         assert_eq!(gts.cache_len(), 0);
         let hits = gts.range_query(&Item::text("zzzz"), 0.0).expect("q");
-        assert!(hits.iter().any(|n| n.id == 200), "still findable after rebuild");
+        assert!(
+            hits.iter().any(|n| n.id == 200),
+            "still findable after rebuild"
+        );
     }
 
     #[test]
@@ -587,7 +653,8 @@ mod tests {
         let mut gts = Gts::build(&dev, items, metric, params).expect("build");
         let before = gts.rebuild_count();
         for i in 0..10 {
-            gts.insert(Item::text(format!("object{i:04}"))).expect("insert");
+            gts.insert(Item::text(format!("object{i:04}")))
+                .expect("insert");
         }
         assert!(gts.rebuild_count() > before, "tiny cache must overflow");
         assert_eq!(gts.len(), 160);
@@ -596,8 +663,7 @@ mod tests {
     #[test]
     fn remove_from_index_and_cache() {
         let (dev, items, metric) = words(100);
-        let mut gts =
-            Gts::build(&dev, items.clone(), metric, GtsParams::default()).expect("build");
+        let mut gts = Gts::build(&dev, items.clone(), metric, GtsParams::default()).expect("build");
         // Remove an indexed object: tombstoned, vanishes from answers.
         assert!(gts.remove(7).expect("rm"));
         assert!(!gts.remove(7).expect("rm twice"));
@@ -608,7 +674,10 @@ mod tests {
         assert!(gts.remove(id).expect("rm cache"));
         let hits = gts.range_query(&Item::text("qqq"), 0.0).expect("q");
         assert!(!hits.iter().any(|n| n.id == id));
-        assert!(!gts.remove(9999).expect("unknown id"), "absent id is Ok(false)");
+        assert!(
+            !gts.remove(9999).expect("unknown id"),
+            "absent id is Ok(false)"
+        );
     }
 
     #[test]
@@ -631,7 +700,10 @@ mod tests {
         let (dev, items, metric) = words(300);
         let before = dev.allocated_bytes();
         let gts = Gts::build(&dev, items, metric, GtsParams::default()).expect("build");
-        assert!(dev.allocated_bytes() > before, "index reserves device memory");
+        assert!(
+            dev.allocated_bytes() > before,
+            "index reserves device memory"
+        );
         assert!(gts.memory_bytes() > 0);
         drop(gts);
         assert_eq!(dev.allocated_bytes(), before, "drop releases residency");

@@ -22,7 +22,7 @@ use crate::index::Gts;
 use crate::params::GtsParams;
 use gpu_sim::Device;
 use metric_space::index::{sort_neighbors, IndexError, Neighbor, SimilarityIndex};
-use metric_space::{Footprint, Metric};
+use metric_space::{BatchMetric, Footprint};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -36,7 +36,7 @@ pub struct MultiGts<O, M> {
 impl<O, M> MultiGts<O, M>
 where
     O: Clone + Send + Sync + Footprint,
-    M: Metric<O> + Clone,
+    M: BatchMetric<O> + Clone,
 {
     /// Build over column-major data: `columns[c][row]` is row `row`'s value
     /// in column `c`. All columns must have equal length; weights must be
@@ -53,10 +53,7 @@ where
         assert_eq!(columns.len(), weights.len(), "one weight per column");
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let rows = columns[0].len();
-        assert!(
-            columns.iter().all(|c| c.len() == rows),
-            "ragged columns"
-        );
+        assert!(columns.iter().all(|c| c.len() == rows), "ragged columns");
         let built: Result<Vec<_>, _> = columns
             .into_iter()
             .zip(metrics)
@@ -225,8 +222,7 @@ mod tests {
         let all = brute_force(&cols, &metrics, &weights, &q);
         for r in [all[5].dist, all[20].dist] {
             let got = idx.range_query(&q, r).expect("range");
-            let want: Vec<Neighbor> =
-                all.iter().copied().take_while(|n| n.dist <= r).collect();
+            let want: Vec<Neighbor> = all.iter().copied().take_while(|n| n.dist <= r).collect();
             assert_eq!(got.len(), want.len(), "r={r}");
             for (g, w) in got.iter().zip(&want) {
                 assert!((g.dist - w.dist).abs() < 1e-9);
@@ -267,8 +263,14 @@ mod tests {
     fn knn_k_zero_and_oversized() {
         let (cols, metrics) = two_column_data(60);
         let dev = Device::rtx_2080_ti();
-        let idx = MultiGts::build(&dev, cols.clone(), metrics, vec![1.0, 1.0], GtsParams::default())
-            .expect("build");
+        let idx = MultiGts::build(
+            &dev,
+            cols.clone(),
+            metrics,
+            vec![1.0, 1.0],
+            GtsParams::default(),
+        )
+        .expect("build");
         let q = vec![cols[0][0].clone(), cols[1][0].clone()];
         assert!(idx.knn_query(&q, 0).expect("k=0").is_empty());
         assert_eq!(idx.knn_query(&q, 500).expect("k>n").len(), 60);

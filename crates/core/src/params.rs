@@ -24,6 +24,11 @@ pub struct GtsParams {
     /// grouping off, an oversized batch aborts with `OutOfMemory` — the
     /// memory-deadlock behaviour of the naive strategy.
     pub query_grouping: bool,
+    /// Resolve distance kernels against the flat object arena (`true`,
+    /// default). With it off, the batched kernels fall back to per-pair
+    /// object access — same answers, same simulated cycles, no flat-layout
+    /// wall-clock speedup (the invariance tests compare the two paths).
+    pub use_arena: bool,
 }
 
 impl Default for GtsParams {
@@ -35,6 +40,7 @@ impl Default for GtsParams {
             two_sided_pruning: true,
             fft_pivots: true,
             query_grouping: true,
+            use_arena: true,
         }
     }
 }
@@ -58,6 +64,12 @@ impl GtsParams {
         self.cache_capacity_bytes = bytes;
         self
     }
+
+    /// Builder-style arena toggle (disable to run the per-pair fallback).
+    pub fn with_use_arena(mut self, use_arena: bool) -> Self {
+        self.use_arena = use_arena;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -68,8 +80,13 @@ mod tests {
     fn defaults_match_paper() {
         let p = GtsParams::default();
         assert_eq!(p.node_capacity, 20, "paper's recommended Nc");
-        assert_eq!(p.cache_capacity_bytes, 5 * 1024, "paper's recommended cache");
+        assert_eq!(
+            p.cache_capacity_bytes,
+            5 * 1024,
+            "paper's recommended cache"
+        );
         assert!(p.two_sided_pruning && p.fft_pivots && p.query_grouping);
+        assert!(p.use_arena, "flat arena kernels are the default");
     }
 
     #[test]
@@ -78,6 +95,9 @@ mod tests {
             .with_node_capacity(40)
             .with_seed(9)
             .with_cache_capacity(100);
-        assert_eq!((p.node_capacity, p.seed, p.cache_capacity_bytes), (40, 9, 100));
+        assert_eq!(
+            (p.node_capacity, p.seed, p.cache_capacity_bytes),
+            (40, 9, 100)
+        );
     }
 }

@@ -5,6 +5,18 @@
 //! one uniform kernel over the whole frontier — never a per-query traversal,
 //! which is what starves GPU-Tree-style designs.
 //!
+//! **Batched distance kernels.** Every distance evaluation in the hot path
+//! goes through [`BatchMetric::distance_batch`]: frontier entries are
+//! resolved against the flat [`ObjectArena`](metric_space::ObjectArena)
+//! (contiguous payloads, no per-object pointer chasing) and each level
+//! launches **one** batched kernel via [`Device::launch_batch`], charged
+//! once per batch with the same work–span accounting as the per-pair path.
+//! A per-batch `(query, pivot)` **distance memo** short-circuits repeated
+//! evaluations of the same pair (e.g. a singleton child re-selecting its
+//! parent's pivot), and all level-loop buffers live in a [`SearchScratch`]
+//! reused across levels — the steady-state loop performs no `Vec`
+//! allocation.
+//!
 //! The **two-stage memory strategy** bounds the frontier at layer `i` to
 //! `size_GPU / ((h − i + 1)·Nc)` entries; a batch exceeding the bound is
 //! split into query groups processed sequentially (never splitting a single
@@ -18,7 +30,8 @@
 //! encode-and-global-sort machinery as construction). Leaf verification
 //! first applies the stored-distance filter (the table's `dis` column *is*
 //! `d(o, parent pivot)`, so the filter costs zero distance evaluations),
-//! then computes real distances for survivors only.
+//! then computes real distances for survivors only — one batched kernel per
+//! wave.
 
 use crate::node::TreeShape;
 use crate::params::GtsParams;
@@ -28,7 +41,9 @@ use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
 use gpu_sim::{Device, GpuError};
 use metric_space::index::{sort_neighbors, Neighbor};
 use metric_space::lemmas::{prune_node_knn, prune_node_range};
-use metric_space::Metric;
+use metric_space::{BatchMetric, ObjectArena};
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One intermediate-result element `E = {N, q, ...}` of the paper's `Q_Res`.
@@ -51,6 +66,52 @@ struct RawEntry {
     _dqp: f64,
 }
 
+/// Reusable host-side buffers for the level-synchronous loops.
+///
+/// One instance serves a whole batched query: frontier buffers ping-pong
+/// between levels through a small pool (also feeding query-group recursion),
+/// and every kernel-staging vector (`dq`, survivor ids, kernel outputs,
+/// encode pairs, verification waves) is cleared and refilled instead of
+/// reallocated. The level loop itself allocates nothing after warm-up.
+#[derive(Default)]
+pub(crate) struct SearchScratch {
+    /// Pool of frontier buffers (current/next/per-group), recycled.
+    frontier_pool: Vec<Vec<Frontier>>,
+    /// `d(query, node pivot)` per frontier entry of the current level.
+    dq: Vec<f64>,
+    /// Frontier indices whose pivot distance missed the memo.
+    pending: Vec<u32>,
+    /// Object-id staging for the batched kernels.
+    kernel_ids: Vec<u32>,
+    /// Distance output staging for the batched kernels.
+    kernel_out: Vec<f64>,
+    /// Ring gap per next-level entry (MkNNQ beam ranking).
+    gaps: Vec<f64>,
+    /// Encoded `(key, entry)` pairs for the MkNNQ bound update.
+    pairs: Vec<(f64, u32)>,
+    /// Per-block ranking indices for beam truncation.
+    ranked: Vec<u32>,
+    /// Entry ordering for leaf verification waves.
+    order: Vec<u32>,
+    /// Entries of the current verification wave.
+    wave: Vec<Frontier>,
+    /// `(entry index, table position)` verification tasks.
+    tasks: Vec<(u32, u32)>,
+    /// Per-query kNN bound snapshot for one wave.
+    bounds: Vec<f64>,
+}
+
+impl SearchScratch {
+    fn take_frontier(&mut self) -> Vec<Frontier> {
+        self.frontier_pool.pop().unwrap_or_default()
+    }
+
+    fn put_frontier(&mut self, mut buf: Vec<Frontier>) {
+        buf.clear();
+        self.frontier_pool.push(buf);
+    }
+}
+
 /// Borrowed view of everything a search needs.
 pub(crate) struct SearchCtx<'a, O, M> {
     pub dev: &'a Arc<Device>,
@@ -59,17 +120,26 @@ pub(crate) struct SearchCtx<'a, O, M> {
     pub params: &'a GtsParams,
     pub nodes: &'a crate::node::NodeList,
     pub table: &'a TableList,
+    /// Flat payload arena over `objects`, when the metric supports one
+    /// (`None` falls back to per-pair object access inside the kernels).
+    pub arena: Option<&'a ObjectArena>,
     /// Liveness per object id: tombstoned ids must neither appear in
     /// answers nor tighten kNN bounds (their pivot distances are still
     /// valid for *ring pruning*, which concerns the tree geometry).
     pub live: &'a [bool],
     pub stats: &'a SearchStats,
+    /// Per-batch `(query, pivot)` distance memo: ring-prune tests on
+    /// siblings share the parent-pivot distance via [`Frontier::dqp`], and
+    /// this memo extends the same guarantee to pivots re-encountered across
+    /// levels (a singleton node re-selects its parent's pivot) — those
+    /// pairs are never recomputed within a batch.
+    pub memo: RefCell<HashMap<(u32, u32), f64>>,
 }
 
 impl<'a, O, M> SearchCtx<'a, O, M>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     fn shape(&self) -> TreeShape {
         self.nodes.shape()
@@ -120,38 +190,90 @@ where
             .is_some_and(|(a, b)| a != b)
     }
 
-    /// Compute `d(query, node.pivot)` for every frontier entry (one kernel).
-    fn pivot_distances(&self, queries: &[O], entries: &[Frontier]) -> Vec<f64> {
-        let out = self.dev.launch_map(entries.len(), |i| {
-            let e = entries[i];
+    /// Compute `d(query, node.pivot)` for every frontier entry into
+    /// `scratch.dq`: memo lookups first, then **one batched kernel** over
+    /// the missing pairs (entries are query-contiguous, so the kernel runs
+    /// arena-resolved id blocks per query).
+    fn pivot_distances(&self, queries: &[O], entries: &[Frontier], scratch: &mut SearchScratch) {
+        let SearchScratch {
+            dq,
+            pending,
+            kernel_ids,
+            kernel_out,
+            ..
+        } = scratch;
+        dq.clear();
+        dq.resize(entries.len(), 0.0);
+        pending.clear();
+        let mut memo = self.memo.borrow_mut();
+        for (i, e) in entries.iter().enumerate() {
             let pivot = self
                 .nodes
                 .get(e.node as usize)
                 .pivot
                 .expect("expanded node is internal");
-            let q = &queries[e.query as usize];
-            let o = &self.objects[pivot as usize];
-            (self.metric.distance(q, o), self.metric.work(q, o))
+            match memo.get(&(e.query, pivot)) {
+                Some(&d) => dq[i] = d,
+                None => pending.push(i as u32),
+            }
+        }
+        let n = pending.len();
+        self.dev.launch_batch(n, || {
+            let mut total = 0u64;
+            let mut span = 0u64;
+            let mut i = 0usize;
+            while i < n {
+                let q = entries[pending[i] as usize].query;
+                let mut j = i;
+                while j < n && entries[pending[j] as usize].query == q {
+                    j += 1;
+                }
+                kernel_ids.clear();
+                kernel_ids.extend(pending[i..j].iter().map(|&pi| {
+                    self.nodes
+                        .get(entries[pi as usize].node as usize)
+                        .pivot
+                        .expect("expanded node is internal")
+                }));
+                kernel_out.clear();
+                kernel_out.resize(j - i, 0.0);
+                let (w, s) = self.metric.distance_batch(
+                    self.objects,
+                    self.arena,
+                    &queries[q as usize],
+                    kernel_ids,
+                    kernel_out,
+                );
+                total += w;
+                span = span.max(s);
+                for (k, &pi) in pending[i..j].iter().enumerate() {
+                    dq[pi as usize] = kernel_out[k];
+                    memo.insert((q, kernel_ids[k]), kernel_out[k]);
+                }
+                i = j;
+            }
+            ((), total, span)
         });
-        self.stats
-            .add(&self.stats.distance_computations, entries.len() as u64);
-        out
+        self.stats.add(&self.stats.distance_computations, n as u64);
     }
 
     /// Flatten leaf entries into per-object verification tasks
-    /// (`(entry index, table position)`), the thread granularity of the
-    /// verification kernel.
-    fn leaf_tasks(&self, entries: &[Frontier]) -> Vec<(u32, u32)> {
-        let mut tasks = Vec::new();
+    /// (`(entry index, table position)`, the thread granularity of the
+    /// verification kernel) into `scratch.tasks`.
+    fn fill_leaf_tasks(&self, entries: &[Frontier], tasks: &mut Vec<(u32, u32)>) {
+        tasks.clear();
         for (i, e) in entries.iter().enumerate() {
             let node = self.nodes.get(e.node as usize);
             for pos in node.pos..node.pos + node.size {
                 tasks.push((i as u32, pos));
             }
         }
-        tasks
     }
 }
+
+/// Per-verified-object overhead on top of the raw distance work (bound
+/// compare + result write), matching the historical per-pair accounting.
+const VERIFY_EXTRA_WORK: u64 = 3;
 
 // ---------------------------------------------------------------------------
 // Metric range query (Algorithm 4)
@@ -165,105 +287,120 @@ pub(crate) fn batch_range<O, M>(
 ) -> Result<Vec<Vec<Neighbor>>, GpuError>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     assert_eq!(queries.len(), radii.len());
     let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
     if ctx.table.is_empty() || queries.is_empty() {
         return Ok(results);
     }
-    let entries: Vec<Frontier> = (0..queries.len() as u32)
-        .map(|q| Frontier {
-            node: 1,
-            query: q,
-            dqp: f64::NAN,
-        })
-        .collect();
-    range_level(ctx, queries, radii, entries, 1, &mut results)?;
+    let mut scratch = SearchScratch::default();
+    let mut entries = scratch.take_frontier();
+    entries.extend((0..queries.len() as u32).map(|q| Frontier {
+        node: 1,
+        query: q,
+        dqp: f64::NAN,
+    }));
+    range_descend(ctx, queries, radii, entries, 1, &mut results, &mut scratch)?;
     for r in &mut results {
         sort_neighbors(r);
     }
     Ok(results)
 }
 
-fn range_level<O, M>(
+/// Drive one frontier from `level` down to the leaves: the level loop is
+/// iterative (current/next buffers swapped through the scratch pool);
+/// query-group splits recurse, reusing the same scratch.
+fn range_descend<O, M>(
     ctx: &SearchCtx<'_, O, M>,
     queries: &[O],
     radii: &[f64],
-    entries: Vec<Frontier>,
-    level: u32,
+    mut entries: Vec<Frontier>,
+    mut level: u32,
     results: &mut Vec<Vec<Neighbor>>,
+    scratch: &mut SearchScratch,
 ) -> Result<(), GpuError>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
-    if entries.is_empty() {
-        return Ok(());
-    }
-    let shape = ctx.shape();
-    ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
-
-    // Two-stage strategy: form query groups when the frontier would overrun
-    // the per-layer memory bound.
-    if ctx.params.query_grouping
-        && entries.len() > ctx.size_limit(level)
-        && SearchCtx::<O, M>::multiple_queries(&entries)
-    {
-        let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
-        ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
-        for g in groups {
-            range_level(ctx, queries, radii, g, level, results)?;
+    // Intermediate-result buffers of every level of this descent, held until
+    // the descent finishes — each level's Q'_Res stays live while deeper
+    // levels run (the memory pressure the two-stage strategy reacts to).
+    let mut held_bufs: Vec<gpu_sim::DeviceBuffer<RawEntry>> = Vec::new();
+    loop {
+        if entries.is_empty() {
+            scratch.put_frontier(entries);
+            return Ok(());
         }
-        return Ok(());
-    }
+        let shape = ctx.shape();
+        ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
 
-    if level == shape.h {
-        verify_range(ctx, queries, radii, &entries, results);
-        return Ok(());
-    }
-
-    // Next-level intermediate buffer, sized |E|·Nc like the paper's Q'_Res.
-    // With grouping on, the size-limit check above guarantees this fits;
-    // with it off this is exactly where the naive strategy deadlocks.
-    let _next_buf = ctx.dev.alloc::<RawEntry>(
-        entries.len() * shape.nc as usize,
-        "MRQ intermediate results",
-    )?;
-
-    // Expansion kernel: d(q, pivot) per entry, then the Lemma 5.1 ring test
-    // for each of the Nc children.
-    let dq = ctx.pivot_distances(queries, &entries);
-    let mut next: Vec<Frontier> = Vec::new();
-    for (i, e) in entries.iter().enumerate() {
-        let r = radii[e.query as usize];
-        for j in 0..shape.nc as usize {
-            let cid = shape.child(e.node as usize, j);
-            let child = ctx.nodes.get(cid);
-            if child.is_empty() {
-                continue;
+        // Two-stage strategy: form query groups when the frontier would
+        // overrun the per-layer memory bound.
+        if ctx.params.query_grouping
+            && entries.len() > ctx.size_limit(level)
+            && SearchCtx::<O, M>::multiple_queries(&entries)
+        {
+            let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
+            ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
+            for g in groups {
+                range_descend(ctx, queries, radii, g, level, results, scratch)?;
             }
-            let upper = if ctx.params.two_sided_pruning {
-                child.max_dis
-            } else {
-                f64::INFINITY
-            };
-            if prune_node_range(child.min_dis, upper, dq[i], r) {
-                ctx.stats.add(&ctx.stats.nodes_pruned, 1);
-            } else {
-                ctx.stats.add(&ctx.stats.nodes_expanded, 1);
-                next.push(Frontier {
-                    node: cid as u32,
-                    query: e.query,
-                    dqp: dq[i],
-                });
+            return Ok(());
+        }
+
+        if level == shape.h {
+            verify_range(ctx, queries, radii, &entries, results, scratch);
+            scratch.put_frontier(entries);
+            return Ok(());
+        }
+
+        // Next-level intermediate buffer, sized |E|·Nc like the paper's
+        // Q'_Res. With grouping on, the size-limit check above guarantees
+        // this fits; with it off this is exactly where the naive strategy
+        // deadlocks.
+        held_bufs.push(ctx.dev.alloc::<RawEntry>(
+            entries.len() * shape.nc as usize,
+            "MRQ intermediate results",
+        )?);
+
+        // Expansion kernel: d(q, pivot) per entry (one batched kernel),
+        // then the Lemma 5.1 ring test for each of the Nc children.
+        ctx.pivot_distances(queries, &entries, scratch);
+        let mut next = scratch.take_frontier();
+        for (i, e) in entries.iter().enumerate() {
+            let r = radii[e.query as usize];
+            let dqi = scratch.dq[i];
+            for j in 0..shape.nc as usize {
+                let cid = shape.child(e.node as usize, j);
+                let child = ctx.nodes.get(cid);
+                if child.is_empty() {
+                    continue;
+                }
+                let upper = if ctx.params.two_sided_pruning {
+                    child.max_dis
+                } else {
+                    f64::INFINITY
+                };
+                if prune_node_range(child.min_dis, upper, dqi, r) {
+                    ctx.stats.add(&ctx.stats.nodes_pruned, 1);
+                } else {
+                    ctx.stats.add(&ctx.stats.nodes_expanded, 1);
+                    next.push(Frontier {
+                        node: cid as u32,
+                        query: e.query,
+                        dqp: dqi,
+                    });
+                }
             }
         }
-    }
-    ctx.dev
-        .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
+        ctx.dev
+            .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
 
-    range_level(ctx, queries, radii, next, level + 1, results)
+        scratch.put_frontier(std::mem::replace(&mut entries, next));
+        level += 1;
+    }
 }
 
 fn verify_range<O, M>(
@@ -272,55 +409,81 @@ fn verify_range<O, M>(
     radii: &[f64],
     entries: &[Frontier],
     results: &mut [Vec<Neighbor>],
+    scratch: &mut SearchScratch,
 ) where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
-    let tasks = ctx.leaf_tasks(entries);
+    let SearchScratch {
+        tasks,
+        kernel_ids,
+        kernel_out,
+        ..
+    } = scratch;
+    ctx.fill_leaf_tasks(entries, tasks);
     if tasks.is_empty() {
         return;
     }
-    let outcomes: Vec<(Option<Neighbor>, bool)> = ctx.dev.launch_map(tasks.len(), |t| {
-        let (ei, pos) = tasks[t];
-        let e = entries[ei as usize];
-        let te = ctx.table.get(pos as usize);
-        if te.deleted {
-            return ((None, false), 1);
-        }
-        let r = radii[e.query as usize];
-        // Lemma 5.1 filter against the parent pivot: zero distance calls.
-        if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > r {
-            return ((None, false), 3);
-        }
-        let q = &queries[e.query as usize];
-        let o = &ctx.objects[te.obj as usize];
-        let d = ctx.metric.distance(q, o);
-        let hit = (d <= r).then_some(Neighbor::new(te.obj, d));
-        ((hit, true), self_work(ctx.metric, q, o))
-    });
+    let n = tasks.len();
     let mut verified = 0u64;
-    for (t, (hit, computed)) in outcomes.into_iter().enumerate() {
-        if computed {
-            verified += 1;
+    // One batched kernel over every verification task: the stored-distance
+    // filter (zero distance calls) runs inline; survivors are resolved
+    // against the arena in query-contiguous id blocks.
+    ctx.dev.launch_batch(n, || {
+        let mut total = 0u64;
+        let mut span = 0u64;
+        let mut t = 0usize;
+        while t < n {
+            let q = entries[tasks[t].0 as usize].query;
+            let mut u = t;
+            while u < n && entries[tasks[u].0 as usize].query == q {
+                u += 1;
+            }
+            let r = radii[q as usize];
+            kernel_ids.clear();
+            for &(ei, pos) in &tasks[t..u] {
+                let e = entries[ei as usize];
+                let te = ctx.table.get(pos as usize);
+                if te.deleted {
+                    total += 1;
+                    span = span.max(1);
+                    continue;
+                }
+                // Lemma 5.1 filter against the parent pivot: zero distance
+                // calls.
+                if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > r {
+                    total += 3;
+                    span = span.max(3);
+                    continue;
+                }
+                kernel_ids.push(te.obj);
+            }
+            if !kernel_ids.is_empty() {
+                kernel_out.clear();
+                kernel_out.resize(kernel_ids.len(), 0.0);
+                let (w, s) = ctx.metric.distance_batch(
+                    ctx.objects,
+                    ctx.arena,
+                    &queries[q as usize],
+                    kernel_ids,
+                    kernel_out,
+                );
+                total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
+                span = span.max(s + VERIFY_EXTRA_WORK);
+                verified += kernel_ids.len() as u64;
+                for (&obj, &d) in kernel_ids.iter().zip(kernel_out.iter()) {
+                    if d <= r {
+                        results[q as usize].push(Neighbor::new(obj, d));
+                    }
+                }
+            }
+            t = u;
         }
-        if let Some(n) = hit {
-            let q = entries[tasks[t].0 as usize].query as usize;
-            results[q].push(n);
-        }
-    }
+        ((), total, span)
+    });
     ctx.stats.add(&ctx.stats.leaf_verified, verified);
-    ctx.stats
-        .add(&ctx.stats.distance_computations, verified);
-    ctx.stats
-        .add(&ctx.stats.leaf_filtered, tasks.len() as u64 - verified);
-}
-
-#[inline]
-fn self_work<O, M: Metric<O>>(metric: &M, q: &O, o: &O) -> u64
-where
-    O: ?Sized,
-{
-    metric.work(q, o) + 3
+    ctx.stats.add(&ctx.stats.distance_computations, verified);
+    ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
 }
 
 // ---------------------------------------------------------------------------
@@ -380,7 +543,7 @@ pub(crate) fn batch_knn<O, M>(
 ) -> Result<Vec<Vec<Neighbor>>, GpuError>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     batch_knn_impl(ctx, queries, k, None)
 }
@@ -397,187 +560,207 @@ pub(crate) fn batch_knn_impl<O, M>(
 ) -> Result<Vec<Vec<Neighbor>>, GpuError>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     let mut pools: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
     if ctx.table.is_empty() || queries.is_empty() || k == 0 {
         return Ok(pools.into_iter().map(TopK::into_sorted).collect());
     }
-    let entries: Vec<Frontier> = (0..queries.len() as u32)
-        .map(|q| Frontier {
-            node: 1,
-            query: q,
-            dqp: f64::NAN,
-        })
-        .collect();
-    knn_level(ctx, queries, entries, 1, &mut pools, beam)?;
+    let mut scratch = SearchScratch::default();
+    let mut entries = scratch.take_frontier();
+    entries.extend((0..queries.len() as u32).map(|q| Frontier {
+        node: 1,
+        query: q,
+        dqp: f64::NAN,
+    }));
+    knn_descend(ctx, queries, entries, 1, &mut pools, beam, &mut scratch)?;
     Ok(pools.into_iter().map(TopK::into_sorted).collect())
 }
 
 /// Per-query beam truncation: keep the `beam` entries whose ring is closest
-/// to the query's mapped coordinate. Entries are query-contiguous.
+/// to the query's mapped coordinate. Entries are query-contiguous; `gaps`
+/// runs parallel to `entries`. Writes survivors into `out`; `ranked` is
+/// reused ranking scratch.
 fn truncate_beam<O, M>(
     ctx: &SearchCtx<'_, O, M>,
-    entries: Vec<(Frontier, f64)>,
+    entries: &[Frontier],
+    gaps: &[f64],
     beam: usize,
-) -> Vec<Frontier>
-where
+    out: &mut Vec<Frontier>,
+    ranked: &mut Vec<u32>,
+) where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
-    let mut out = Vec::with_capacity(entries.len());
     let mut i = 0usize;
     while i < entries.len() {
-        let q = entries[i].0.query;
+        let q = entries[i].query;
         let mut j = i;
-        while j < entries.len() && entries[j].0.query == q {
+        while j < entries.len() && entries[j].query == q {
             j += 1;
         }
-        let block = &entries[i..j];
-        if block.len() <= beam {
-            out.extend(block.iter().map(|&(f, _)| f));
+        if j - i <= beam {
+            out.extend_from_slice(&entries[i..j]);
         } else {
-            let mut ranked: Vec<&(Frontier, f64)> = block.iter().collect();
-            ranked.sort_by(|a, b| {
-                a.1.partial_cmp(&b.1)
+            ranked.clear();
+            ranked.extend(i as u32..j as u32);
+            ranked.sort_by(|&a, &b| {
+                gaps[a as usize]
+                    .partial_cmp(&gaps[b as usize])
                     .expect("finite gap")
-                    .then(a.0.node.cmp(&b.0.node))
+                    .then(entries[a as usize].node.cmp(&entries[b as usize].node))
             });
-            out.extend(ranked[..beam].iter().map(|e| e.0));
+            out.extend(ranked[..beam].iter().map(|&e| entries[e as usize]));
         }
         i = j;
     }
     ctx.dev.launch_charged(entries.len() as u64 * 4, 16);
-    out
 }
 
-fn knn_level<O, M>(
+fn knn_descend<O, M>(
     ctx: &SearchCtx<'_, O, M>,
     queries: &[O],
-    entries: Vec<Frontier>,
-    level: u32,
+    mut entries: Vec<Frontier>,
+    mut level: u32,
     pools: &mut Vec<TopK>,
     beam: Option<usize>,
+    scratch: &mut SearchScratch,
 ) -> Result<(), GpuError>
 where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
-    if entries.is_empty() {
-        return Ok(());
-    }
-    let shape = ctx.shape();
-    ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
-
-    // Group queries exactly as Algorithm 4 does (Alg. 5 line 4). Groups run
-    // sequentially and *share* the pools, so later groups inherit tightened
-    // bounds — a free bonus of sequential group processing.
-    if ctx.params.query_grouping
-        && entries.len() > ctx.size_limit(level)
-        && SearchCtx::<O, M>::multiple_queries(&entries)
-    {
-        let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
-        ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
-        for g in groups {
-            knn_level(ctx, queries, g, level, pools, beam)?;
+    // See `range_descend`: every level's Q'_Res buffer stays live for the
+    // whole descent.
+    let mut held_bufs: Vec<gpu_sim::DeviceBuffer<RawEntry>> = Vec::new();
+    loop {
+        if entries.is_empty() {
+            scratch.put_frontier(entries);
+            return Ok(());
         }
-        return Ok(());
-    }
+        let shape = ctx.shape();
+        ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
 
-    if level == shape.h {
-        verify_knn(ctx, queries, &entries, pools);
-        return Ok(());
-    }
-
-    let _next_buf = ctx.dev.alloc::<RawEntry>(
-        entries.len() * shape.nc as usize,
-        "MkNNQ intermediate results",
-    )?;
-
-    // Alg. 5 lines 7–10: pivot distances for the frontier. Pivots are real
-    // objects, so each distance is also a kNN candidate.
-    let dq = ctx.pivot_distances(queries, &entries);
-
-    // Alg. 5 lines 11–12: the per-query k-th bound is located by encoding
-    // `query_rank + dis/denom` and running the same global device sort as
-    // construction; walking the sorted runs inserts candidates in ascending
-    // order per query.
-    let maxd = reduce_max_f64(ctx.dev, &dq).max(0.0);
-    let denom = 2.0 * (maxd + 1.0);
-    let mut pairs: Vec<(f64, u32)> = entries
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (f64::from(e.query) + dq[i] / denom, i as u32))
-        .collect();
-    ctx.dev.launch_charged(pairs.len() as u64 * 2, 2);
-    sort_pairs_by_key(ctx.dev, &mut pairs);
-    for &(_, i) in &pairs {
-        let e = entries[i as usize];
-        let pivot = ctx
-            .nodes
-            .get(e.node as usize)
-            .pivot
-            .expect("internal node");
-        // A tombstoned pivot's distance must not become a candidate (it is
-        // no longer an answer) nor a bound (it could over-tighten pruning
-        // against live objects).
-        if ctx.live[pivot as usize] {
-            pools[e.query as usize].insert(Neighbor::new(pivot, dq[i as usize]));
+        // Group queries exactly as Algorithm 4 does (Alg. 5 line 4). Groups
+        // run sequentially and *share* the pools, so later groups inherit
+        // tightened bounds — a free bonus of sequential group processing.
+        if ctx.params.query_grouping
+            && entries.len() > ctx.size_limit(level)
+            && SearchCtx::<O, M>::multiple_queries(&entries)
+        {
+            let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
+            ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
+            for g in groups {
+                knn_descend(ctx, queries, g, level, pools, beam, scratch)?;
+            }
+            return Ok(());
         }
-    }
 
-    // Alg. 5 lines 13–17: prune with the updated bounds — the own-pivot
-    // test on the expanded node, then the parent-pivot ring test per child.
-    let mut next: Vec<(Frontier, f64)> = Vec::new();
-    for (i, e) in entries.iter().enumerate() {
-        let node = ctx.nodes.get(e.node as usize);
-        let bound = pools[e.query as usize].bound();
-        if dq[i] - node.own_max_dis >= bound {
-            ctx.stats
-                .add(&ctx.stats.nodes_pruned, u64::from(shape.nc));
-            continue;
+        if level == shape.h {
+            verify_knn(ctx, queries, &entries, pools, scratch);
+            scratch.put_frontier(entries);
+            return Ok(());
         }
-        for j in 0..shape.nc as usize {
-            let cid = shape.child(e.node as usize, j);
-            let child = ctx.nodes.get(cid);
-            if child.is_empty() {
+
+        held_bufs.push(ctx.dev.alloc::<RawEntry>(
+            entries.len() * shape.nc as usize,
+            "MkNNQ intermediate results",
+        )?);
+
+        // Alg. 5 lines 7–10: pivot distances for the frontier (one batched
+        // kernel + memo). Pivots are real objects, so each distance is also
+        // a kNN candidate.
+        ctx.pivot_distances(queries, &entries, scratch);
+
+        // Alg. 5 lines 11–12: the per-query k-th bound is located by
+        // encoding `query_rank + dis/denom` and running the same global
+        // device sort as construction; walking the sorted runs inserts
+        // candidates in ascending order per query.
+        let SearchScratch { dq, pairs, .. } = &mut *scratch;
+        let maxd = reduce_max_f64(ctx.dev, dq).max(0.0);
+        let denom = 2.0 * (maxd + 1.0);
+        pairs.clear();
+        pairs.extend(
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (f64::from(e.query) + dq[i] / denom, i as u32)),
+        );
+        ctx.dev.launch_charged(pairs.len() as u64 * 2, 2);
+        sort_pairs_by_key(ctx.dev, pairs);
+        for &(_, i) in pairs.iter() {
+            let e = entries[i as usize];
+            let pivot = ctx.nodes.get(e.node as usize).pivot.expect("internal node");
+            // A tombstoned pivot's distance must not become a candidate (it
+            // is no longer an answer) nor a bound (it could over-tighten
+            // pruning against live objects).
+            if ctx.live[pivot as usize] {
+                pools[e.query as usize].insert(Neighbor::new(pivot, dq[i as usize]));
+            }
+        }
+
+        // Alg. 5 lines 13–17: prune with the updated bounds — the own-pivot
+        // test on the expanded node, then the parent-pivot ring test per
+        // child.
+        let mut next = scratch.take_frontier();
+        scratch.gaps.clear();
+        for (i, e) in entries.iter().enumerate() {
+            let node = ctx.nodes.get(e.node as usize);
+            let bound = pools[e.query as usize].bound();
+            let dqi = scratch.dq[i];
+            if dqi - node.own_max_dis >= bound {
+                ctx.stats.add(&ctx.stats.nodes_pruned, u64::from(shape.nc));
                 continue;
             }
-            let upper = if ctx.params.two_sided_pruning {
-                child.max_dis
-            } else {
-                f64::INFINITY
-            };
-            if prune_node_knn(child.min_dis, upper, dq[i], bound) {
-                ctx.stats.add(&ctx.stats.nodes_pruned, 1);
-            } else {
-                ctx.stats.add(&ctx.stats.nodes_expanded, 1);
-                let gap = if dq[i] < child.min_dis {
-                    child.min_dis - dq[i]
-                } else if dq[i] > child.max_dis {
-                    dq[i] - child.max_dis
+            for j in 0..shape.nc as usize {
+                let cid = shape.child(e.node as usize, j);
+                let child = ctx.nodes.get(cid);
+                if child.is_empty() {
+                    continue;
+                }
+                let upper = if ctx.params.two_sided_pruning {
+                    child.max_dis
                 } else {
-                    0.0
+                    f64::INFINITY
                 };
-                next.push((
-                    Frontier {
+                if prune_node_knn(child.min_dis, upper, dqi, bound) {
+                    ctx.stats.add(&ctx.stats.nodes_pruned, 1);
+                } else {
+                    ctx.stats.add(&ctx.stats.nodes_expanded, 1);
+                    let gap = if dqi < child.min_dis {
+                        child.min_dis - dqi
+                    } else if dqi > child.max_dis {
+                        dqi - child.max_dis
+                    } else {
+                        0.0
+                    };
+                    next.push(Frontier {
                         node: cid as u32,
                         query: e.query,
-                        dqp: dq[i],
-                    },
-                    gap,
-                ));
+                        dqp: dqi,
+                    });
+                    scratch.gaps.push(gap);
+                }
             }
         }
-    }
-    ctx.dev
-        .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
+        ctx.dev
+            .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
 
-    let next: Vec<Frontier> = match beam {
-        Some(b) => truncate_beam(ctx, next, b.max(1)),
-        None => next.into_iter().map(|(f, _)| f).collect(),
-    };
-    knn_level(ctx, queries, next, level + 1, pools, beam)
+        let next = match beam {
+            Some(b) => {
+                let mut trimmed = scratch.take_frontier();
+                {
+                    let SearchScratch { gaps, ranked, .. } = &mut *scratch;
+                    truncate_beam(ctx, &next, gaps, b.max(1), &mut trimmed, ranked);
+                }
+                scratch.put_frontier(next);
+                trimmed
+            }
+            None => next,
+        };
+        scratch.put_frontier(std::mem::replace(&mut entries, next));
+        level += 1;
+    }
 }
 
 /// Leaf verification runs in `KNN_WAVES` sequential kernel waves, each
@@ -594,16 +777,19 @@ fn verify_knn<O, M>(
     queries: &[O],
     entries: &[Frontier],
     pools: &mut [TopK],
+    scratch: &mut SearchScratch,
 ) where
     O: Send + Sync,
-    M: Metric<O>,
+    M: BatchMetric<O>,
 {
     if entries.is_empty() {
         return;
     }
     // Order each query's leaves closest-ring-first so the first wave almost
     // certainly contains the true neighbours.
-    let mut order: Vec<u32> = (0..entries.len() as u32).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..entries.len() as u32);
     let gap = |e: &Frontier| {
         let node = ctx.nodes.get(e.node as usize);
         if e.dqp.is_nan() {
@@ -627,54 +813,94 @@ fn verify_knn<O, M>(
 
     // Round-robin the ordered entries into waves: wave 0 gets each query's
     // closest leaves.
-    for wave in 0..KNN_WAVES {
-        let wave_entries: Vec<Frontier> = order
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % KNN_WAVES == wave)
-            .map(|(_, &idx)| entries[idx as usize])
-            .collect();
-        let tasks = ctx.leaf_tasks(&wave_entries);
+    for wave_no in 0..KNN_WAVES {
+        let SearchScratch {
+            order,
+            wave,
+            tasks,
+            bounds,
+            kernel_ids,
+            kernel_out,
+            ..
+        } = scratch;
+        wave.clear();
+        wave.extend(
+            order
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % KNN_WAVES == wave_no)
+                .map(|(_, &idx)| entries[idx as usize]),
+        );
+        ctx.fill_leaf_tasks(wave, tasks);
         if tasks.is_empty() {
             continue;
         }
-        let bounds: Vec<f64> = pools.iter().map(TopK::bound).collect();
-        let outcomes: Vec<(Option<Neighbor>, bool)> = ctx.dev.launch_map(tasks.len(), |t| {
-            let (ei, pos) = tasks[t];
-            let e = wave_entries[ei as usize];
-            let te = ctx.table.get(pos as usize);
-            if te.deleted {
-                return ((None, false), 1);
-            }
-            // Lemma 5.2 filter against the parent pivot (strict ≥).
-            if !e.dqp.is_nan() && (te.dis - e.dqp).abs() >= bounds[e.query as usize] {
-                return ((None, false), 3);
-            }
-            let q = &queries[e.query as usize];
-            let o = &ctx.objects[te.obj as usize];
-            let d = ctx.metric.distance(q, o);
-            ((Some(Neighbor::new(te.obj, d)), true), self_work(ctx.metric, q, o))
-        });
+        bounds.clear();
+        bounds.extend(pools.iter().map(TopK::bound));
+        let n = tasks.len();
         let mut verified = 0u64;
-        for (t, (cand, computed)) in outcomes.into_iter().enumerate() {
-            if computed {
-                verified += 1;
+        // One batched kernel per wave: stored-distance filter inline,
+        // survivor distances arena-resolved per query block, candidates
+        // inserted after the kernel (threads cannot observe each other's
+        // pool updates within a wave).
+        ctx.dev.launch_batch(n, || {
+            let mut total = 0u64;
+            let mut span = 0u64;
+            let mut t = 0usize;
+            while t < n {
+                let q = wave[tasks[t].0 as usize].query;
+                let mut u = t;
+                while u < n && wave[tasks[u].0 as usize].query == q {
+                    u += 1;
+                }
+                kernel_ids.clear();
+                for &(ei, pos) in &tasks[t..u] {
+                    let e = wave[ei as usize];
+                    let te = ctx.table.get(pos as usize);
+                    if te.deleted {
+                        total += 1;
+                        span = span.max(1);
+                        continue;
+                    }
+                    // Lemma 5.2 filter against the parent pivot (strict ≥).
+                    if !e.dqp.is_nan() && (te.dis - e.dqp).abs() >= bounds[q as usize] {
+                        total += 3;
+                        span = span.max(3);
+                        continue;
+                    }
+                    kernel_ids.push(te.obj);
+                }
+                if !kernel_ids.is_empty() {
+                    kernel_out.clear();
+                    kernel_out.resize(kernel_ids.len(), 0.0);
+                    let (w, s) = ctx.metric.distance_batch(
+                        ctx.objects,
+                        ctx.arena,
+                        &queries[q as usize],
+                        kernel_ids,
+                        kernel_out,
+                    );
+                    total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
+                    span = span.max(s + VERIFY_EXTRA_WORK);
+                    verified += kernel_ids.len() as u64;
+                    for (&obj, &d) in kernel_ids.iter().zip(kernel_out.iter()) {
+                        pools[q as usize].insert(Neighbor::new(obj, d));
+                    }
+                }
+                t = u;
             }
-            if let Some(n) = cand {
-                let q = wave_entries[tasks[t].0 as usize].query as usize;
-                pools[q].insert(n);
-            }
-        }
+            ((), total, span)
+        });
         ctx.stats.add(&ctx.stats.leaf_verified, verified);
         ctx.stats.add(&ctx.stats.distance_computations, verified);
-        ctx.stats
-            .add(&ctx.stats.leaf_filtered, tasks.len() as u64 - verified);
+        ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use metric_space::Metric;
 
     #[test]
     fn topk_keeps_k_best_unique() {
@@ -734,6 +960,23 @@ mod tests {
         assert_eq!(groups[0].len(), 10);
     }
 
+    #[test]
+    fn scratch_pool_recycles_buffers() {
+        let mut s = SearchScratch::default();
+        let mut a = s.take_frontier();
+        a.push(Frontier {
+            node: 1,
+            query: 0,
+            dqp: 0.0,
+        });
+        a.reserve(100);
+        let cap = a.capacity();
+        s.put_frontier(a);
+        let b = s.take_frontier();
+        assert!(b.is_empty(), "recycled buffer is cleared");
+        assert_eq!(b.capacity(), cap, "recycled buffer keeps its capacity");
+    }
+
     struct DummyMetric;
     impl Metric<()> for DummyMetric {
         fn distance(&self, _: &(), _: &()) -> f64 {
@@ -746,4 +989,5 @@ mod tests {
             "dummy"
         }
     }
+    impl BatchMetric<()> for DummyMetric {}
 }

@@ -13,8 +13,9 @@ use crate::params::GtsParams;
 use crate::table::{TableEntry, TableList};
 use metric_space::index::IndexError;
 
-/// Magic + version tag.
-const MAGIC: &[u8; 4] = b"GTS1";
+/// Magic + version tag (bumped whenever the layout changes; `GTS2` added
+/// the `use_arena` parameter byte).
+const MAGIC: &[u8; 4] = b"GTS2";
 
 /// Little-endian writer.
 struct W(Vec<u8>);
@@ -55,13 +56,19 @@ impl<'a> R<'a> {
         Ok(self.take(1)?[0])
     }
     fn u32(&mut self) -> Result<u32, IndexError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, IndexError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn f64(&mut self) -> Result<f64, IndexError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
     fn done(&self) -> bool {
         self.pos == self.buf.len()
@@ -89,6 +96,7 @@ pub(crate) fn encode(parts: SnapshotParts<'_>) -> Vec<u8> {
     w.u8(u8::from(parts.params.two_sided_pruning));
     w.u8(u8::from(parts.params.fft_pivots));
     w.u8(u8::from(parts.params.query_grouping));
+    w.u8(u8::from(parts.params.use_arena));
     // Tree shape + nodes.
     let shape = parts.nodes.shape();
     w.u32(shape.nc);
@@ -154,6 +162,7 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         two_sided_pruning: r.u8()? != 0,
         fft_pivots: r.u8()? != 0,
         query_grouping: r.u8()? != 0,
+        use_arena: r.u8()? != 0,
     };
     if params.node_capacity < 2 {
         return Err(IndexError::Unsupported("corrupt snapshot: node capacity"));
@@ -250,14 +259,14 @@ mod tests {
     use super::*;
     use crate::index::Gts;
     use gpu_sim::Device;
-    use metric_space::{DatasetKind, Item, ItemMetric};
     use metric_space::index::{DynamicIndex, SimilarityIndex};
+    use metric_space::{DatasetKind, Item, ItemMetric};
 
     fn build() -> (Vec<Item>, ItemMetric, Gts<Item, ItemMetric>) {
         let data = DatasetKind::Words.generate(400, 81);
         let dev = Device::rtx_2080_ti();
-        let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-            .expect("build");
+        let gts =
+            Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
         (data.items, data.metric, gts)
     }
 

@@ -73,6 +73,13 @@ impl TableList {
         &self.entries[pos as usize..(pos + len) as usize]
     }
 
+    /// Append the object ids of the sub-range `[pos, pos + len)` to `out` —
+    /// the id-staging step of the batched distance kernels, which resolve
+    /// these ids against the flat object arena.
+    pub fn fill_ids(&self, pos: u32, len: u32, out: &mut Vec<u32>) {
+        out.extend(self.range(pos, len).iter().map(|e| e.obj));
+    }
+
     /// Tombstone every entry holding `obj`; returns how many were marked.
     /// (Duplicates — Fig. 10's identical objects — share the id only if the
     /// dataset assigned them the same id; each entry holds one id.)
@@ -119,6 +126,14 @@ mod tests {
         let r = t.range(1, 2);
         assert_eq!(r[0].obj, 3);
         assert_eq!(r[1].obj, 9);
+    }
+
+    #[test]
+    fn fill_ids_appends_range() {
+        let t = TableList::from_ids(&[5, 3, 9, 1]);
+        let mut out = vec![7u32];
+        t.fill_ids(1, 2, &mut out);
+        assert_eq!(out, vec![7, 3, 9], "appends without clearing");
     }
 
     #[test]

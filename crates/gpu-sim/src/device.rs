@@ -168,6 +168,38 @@ impl Device {
         self.charge_kernel(work, span);
     }
 
+    /// Launch a **batched** kernel over `n` logical threads.
+    ///
+    /// Where [`Device::launch_map`] invokes a per-thread closure and
+    /// collects per-thread work, `launch_batch` hands the whole grid to one
+    /// host-side batch routine `f` (e.g. a [`BatchMetric`-style] distance
+    /// kernel writing an output slice) which reports the batch's
+    /// `(result, total_work, span)` in one go — the work is charged **once
+    /// per batch**, not bookkept per pair. The cost model is *identical* to
+    /// `launch_map` over the same grid: warp padding idles the partial
+    /// warp's lanes for the mean thread duration, and the clock advances by
+    /// `max(⌈W/C⌉, span)` plus launch overhead.
+    ///
+    /// `n = 0` executes `f` without charging (no kernel is launched),
+    /// mirroring `launch_map`'s empty-grid behaviour.
+    ///
+    /// Unlike `launch_map`, the batch routine runs on the calling host
+    /// thread — simulated time is analytic either way, so only wall-clock
+    /// is affected; host-parallel batch kernels are a ROADMAP item.
+    ///
+    /// [`BatchMetric`-style]: Device::launch_map
+    pub fn launch_batch<T>(&self, n: usize, f: impl FnOnce() -> (T, u64, u64)) -> T {
+        let (out, total, span) = f();
+        if n == 0 {
+            return out;
+        }
+        let warp = u64::from(self.cfg.warp_size);
+        let lanes = (n as u64).div_ceil(warp) * warp;
+        let padded = total + (lanes - n as u64) * (total / n as u64);
+        self.charge_kernel(padded, span);
+        out
+    }
+
     // -- memory -------------------------------------------------------------
 
     /// Bytes of global memory currently free.
@@ -204,10 +236,8 @@ impl Device {
                 Err(actual) => cur = actual,
             }
         }
-        self.peak.fetch_max(
-            self.allocated.load(Ordering::Relaxed),
-            Ordering::Relaxed,
-        );
+        self.peak
+            .fetch_max(self.allocated.load(Ordering::Relaxed), Ordering::Relaxed);
         Ok(())
     }
 
@@ -434,6 +464,36 @@ mod tests {
         let (o8, c8) = mk(8);
         assert_eq!(o1, o8);
         assert_eq!(c1, c8, "simulated time must not depend on host threads");
+    }
+
+    #[test]
+    fn launch_batch_charges_exactly_like_launch_map() {
+        let per_pair = tiny_device(1 << 20);
+        let batched = tiny_device(1 << 20);
+        // Uneven per-thread work exercises both the span and the padding.
+        let works: Vec<u64> = (0..1000).map(|i| (i % 7 + 1) as u64).collect();
+        per_pair.launch_map(1000, |i| (i, works[i]));
+        batched.launch_batch(1000, || {
+            (
+                (),
+                works.iter().sum(),
+                *works.iter().max().expect("nonempty"),
+            )
+        });
+        assert_eq!(
+            per_pair.stats(),
+            batched.stats(),
+            "identical clock + counters"
+        );
+    }
+
+    #[test]
+    fn launch_batch_empty_grid_charges_nothing() {
+        let dev = tiny_device(1 << 20);
+        let out = dev.launch_batch(0, || (42u32, 0, 0));
+        assert_eq!(out, 42);
+        assert_eq!(dev.stats().kernels, 0);
+        assert_eq!(dev.cycles(), 0);
     }
 
     #[test]

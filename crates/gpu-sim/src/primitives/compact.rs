@@ -31,9 +31,6 @@ mod tests {
         let keep = [true, false, true, true, false];
         assert_eq!(compact_indices(&dev, &keep), vec![0, 2, 3]);
         assert!(compact_indices(&dev, &[]).is_empty());
-        assert_eq!(
-            compact_indices(&dev, &[false, false]),
-            Vec::<u32>::new()
-        );
+        assert_eq!(compact_indices(&dev, &[false, false]), Vec::<u32>::new());
     }
 }

@@ -35,10 +35,7 @@ pub fn sort_pairs_by_key(dev: &Device, pairs: &mut Vec<(f64, u32)>) {
         return;
     }
     // Radix sort on the encoded key.
-    let mut src: Vec<(u64, u32)> = pairs
-        .iter()
-        .map(|&(k, v)| (encode_f64_key(k), v))
-        .collect();
+    let mut src: Vec<(u64, u32)> = pairs.iter().map(|&(k, v)| (encode_f64_key(k), v)).collect();
     let mut dst: Vec<(u64, u32)> = vec![(0, 0); n];
     for pass in 0..8 {
         let shift = pass * 8;
@@ -121,14 +118,7 @@ mod tests {
     #[test]
     fn sorts_and_is_stable() {
         let dev = Device::new(DeviceConfig::rtx_2080_ti());
-        let mut pairs = vec![
-            (3.0, 0),
-            (1.0, 1),
-            (3.0, 2),
-            (0.5, 3),
-            (1.0, 4),
-            (3.0, 5),
-        ];
+        let mut pairs = vec![(3.0, 0), (1.0, 1), (3.0, 2), (0.5, 3), (1.0, 4), (3.0, 5)];
         sort_pairs_by_key(&dev, &mut pairs);
         let keys: Vec<f64> = pairs.iter().map(|p| p.0).collect();
         assert_eq!(keys, vec![0.5, 1.0, 1.0, 3.0, 3.0, 3.0]);

@@ -36,6 +36,27 @@ pub trait Metric<O: ?Sized>: Send + Sync {
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EditDistance;
 
+/// Reusable scratch for the two DP rows of the Levenshtein kernels.
+///
+/// The rows used to be `vec![...]`'d on every invocation — two heap
+/// allocations per distance inside leaf verification, the hottest loop in
+/// the system. Callers that evaluate many distances (the batched kernels of
+/// [`crate::BatchMetric`], the microbenches) hold one `EditScratch` for the
+/// whole batch; the scalar entry points share a thread-local instance.
+#[derive(Clone, Debug, Default)]
+pub struct EditScratch {
+    prev: Vec<u32>,
+    cur: Vec<u32>,
+}
+
+std::thread_local! {
+    /// Per-thread scratch backing the scalar `edit_distance*` entry points.
+    /// Kernel execution may fan out over host threads (`gpu_sim::exec`), so
+    /// the fallback scratch must be per-thread, not global.
+    static EDIT_SCRATCH: std::cell::RefCell<EditScratch> =
+        std::cell::RefCell::new(EditScratch::default());
+}
+
 /// Classic two-row dynamic-programming Levenshtein distance.
 ///
 /// Operates on bytes; the generators emit ASCII, matching the paper's word
@@ -44,14 +65,23 @@ pub fn edit_distance(a: &str, b: &str) -> u32 {
     edit_distance_bytes(a.as_bytes(), b.as_bytes())
 }
 
-fn edit_distance_bytes(a: &[u8], b: &[u8]) -> u32 {
+/// Byte-level Levenshtein distance (thread-local scratch).
+pub fn edit_distance_bytes(a: &[u8], b: &[u8]) -> u32 {
+    EDIT_SCRATCH.with(|s| edit_distance_bytes_with(a, b, &mut s.borrow_mut()))
+}
+
+/// Byte-level Levenshtein distance using caller-provided row scratch.
+pub fn edit_distance_bytes_with(a: &[u8], b: &[u8], scratch: &mut EditScratch) -> u32 {
     // Keep the shorter string in the inner dimension to minimise the rows.
     let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     if b.is_empty() {
         return a.len() as u32;
     }
-    let mut prev: Vec<u32> = (0..=b.len() as u32).collect();
-    let mut cur = vec![0u32; b.len() + 1];
+    scratch.prev.clear();
+    scratch.prev.extend(0..=b.len() as u32);
+    scratch.cur.clear();
+    scratch.cur.resize(b.len() + 1, 0);
+    let (mut prev, mut cur) = (&mut scratch.prev, &mut scratch.cur);
     for (i, &ca) in a.iter().enumerate() {
         cur[0] = i as u32 + 1;
         for (j, &cb) in b.iter().enumerate() {
@@ -69,29 +99,42 @@ fn edit_distance_bytes(a: &[u8], b: &[u8]) -> u32 {
 /// Used by verification steps where a query radius is known; charged the
 /// banded work by [`EditDistance::work_bounded`].
 pub fn edit_distance_bounded(a: &str, b: &str, bound: u32) -> Option<u32> {
-    let (a, b) = {
-        let (x, y) = (a.as_bytes(), b.as_bytes());
-        if x.len() < y.len() {
-            (y, x)
-        } else {
-            (x, y)
-        }
-    };
+    EDIT_SCRATCH.with(|s| {
+        edit_distance_bounded_bytes_with(a.as_bytes(), b.as_bytes(), bound, &mut s.borrow_mut())
+    })
+}
+
+/// Byte-level banded edit distance using caller-provided row scratch.
+pub fn edit_distance_bounded_bytes_with(
+    a: &[u8],
+    b: &[u8],
+    bound: u32,
+    scratch: &mut EditScratch,
+) -> Option<u32> {
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
     if (a.len() - b.len()) as u32 > bound {
         return None;
     }
     if b.is_empty() {
         return Some(a.len() as u32);
     }
-    let inf = bound + 1;
-    let mut prev: Vec<u32> = (0..=b.len() as u32).map(|v| v.min(inf)).collect();
-    let mut cur = vec![inf; b.len() + 1];
+    // Saturating sentinel: `bound = u32::MAX` must not wrap `inf` to 0
+    // (which would report every distance as 0); the DP already saturates
+    // its cell updates, so a saturated sentinel stays exact.
+    let inf = bound.saturating_add(1);
+    scratch.prev.clear();
+    scratch
+        .prev
+        .extend((0..=b.len() as u32).map(|v| v.min(inf)));
+    scratch.cur.clear();
+    scratch.cur.resize(b.len() + 1, inf);
+    let (mut prev, mut cur) = (&mut scratch.prev, &mut scratch.cur);
     let band = bound as usize;
     for (i, &ca) in a.iter().enumerate() {
         cur[0] = (i as u32 + 1).min(inf);
         // Only the diagonal band [i-band, i+band] can stay within `bound`.
         let lo = i.saturating_sub(band);
-        let hi = (i + band + 1).min(b.len());
+        let hi = i.saturating_add(band).saturating_add(1).min(b.len());
         if lo > 0 {
             cur[lo] = inf;
         }
@@ -120,13 +163,24 @@ pub fn edit_distance_bounded(a: &str, b: &str, bound: u32) -> Option<u32> {
 impl EditDistance {
     /// Work of the full DP: `(|a|+1)·(|b|+1)` cell updates, ~3 ops each.
     pub fn work_full(a: &str, b: &str) -> u64 {
-        3 * ((a.len() as u64 + 1) * (b.len() as u64 + 1))
+        Self::work_full_lens(a.len(), b.len())
+    }
+
+    /// [`EditDistance::work_full`] from payload lengths alone (the batched
+    /// kernels read lengths off the arena offsets without touching bytes).
+    pub fn work_full_lens(a_len: usize, b_len: usize) -> u64 {
+        3 * ((a_len as u64 + 1) * (b_len as u64 + 1))
     }
 
     /// Work of the banded DP with half-width `bound`.
     pub fn work_bounded(a: &str, b: &str, bound: u32) -> u64 {
-        let band = (2 * bound as u64 + 1).min(b.len() as u64 + 1);
-        3 * (a.len() as u64 + 1) * band
+        Self::work_bounded_lens(a.len(), b.len(), bound)
+    }
+
+    /// [`EditDistance::work_bounded`] from payload lengths alone.
+    pub fn work_bounded_lens(a_len: usize, b_len: usize, bound: u32) -> u64 {
+        let band = (2 * u64::from(bound) + 1).min(b_len as u64 + 1);
+        3 * (a_len as u64 + 1) * band
     }
 }
 
@@ -167,10 +221,7 @@ pub enum VectorMetric {
 /// L1 (Manhattan) distance.
 pub fn l1(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| f64::from((x - y).abs()))
-        .sum()
+    a.iter().zip(b).map(|(x, y)| f64::from((x - y).abs())).sum()
 }
 
 /// L2 (Euclidean) distance.
@@ -335,6 +386,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn edit_bounded_survives_maximal_bound() {
+        // `bound = u32::MAX` must not wrap the `inf` sentinel to 0.
+        assert_eq!(
+            edit_distance_bounded("kitten", "sitting", u32::MAX),
+            Some(3)
+        );
+        assert_eq!(edit_distance_bounded("", "abc", u32::MAX), Some(3));
     }
 
     #[test]

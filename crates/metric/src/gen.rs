@@ -126,7 +126,7 @@ pub fn dna(n: usize, len: usize, seed: u64) -> Vec<Item> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xd7a_u64);
     let k = (n / 64).clamp(1, 4096);
     let seeds: Vec<Vec<u8>> = (0..k)
-        .map(|_| (0..len).map(|_| BASES[rng.gen_range(0..4)]).collect())
+        .map(|_| (0..len).map(|_| BASES[rng.gen_range(0..4usize)]).collect())
         .collect();
     (0..n)
         .map(|_| {
@@ -134,7 +134,7 @@ pub fn dna(n: usize, len: usize, seed: u64) -> Vec<Item> {
             let sub_rate = rng.gen_range(0.02..0.10);
             for b in s.iter_mut() {
                 if rng.gen_bool(sub_rate) {
-                    *b = BASES[rng.gen_range(0..4)];
+                    *b = BASES[rng.gen_range(0..4usize)];
                 }
             }
             // Rare short indels keep lengths near (but not exactly) `len`.
@@ -145,7 +145,7 @@ pub fn dna(n: usize, len: usize, seed: u64) -> Vec<Item> {
                 } else {
                     for _ in 0..cut {
                         let pos = rng.gen_range(0..=s.len());
-                        s.insert(pos, BASES[rng.gen_range(0..4)]);
+                        s.insert(pos, BASES[rng.gen_range(0..4usize)]);
                     }
                 }
             }
@@ -173,7 +173,7 @@ pub fn color(n: usize, dim: usize, seed: u64) -> Vec<Item> {
             let mut sum = 0f64;
             for a in 0..active {
                 let d = if rng.gen_bool(0.8) {
-                    (base + a * 3 + rng.gen_range(0..3)) % dim
+                    (base + a * 3 + rng.gen_range(0..3usize)) % dim
                 } else {
                     rng.gen_range(0..dim)
                 };
@@ -246,7 +246,11 @@ fn unit_vector(rng: &mut StdRng, dim: usize) -> Vec<f64> {
 }
 
 fn normalize(v: &mut [f32]) {
-    let norm = v.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt();
+    let norm = v
+        .iter()
+        .map(|&x| f64::from(x) * f64::from(x))
+        .sum::<f64>()
+        .sqrt();
     if norm > 1e-12 {
         let inv = (1.0 / norm) as f32;
         for x in v.iter_mut() {

@@ -107,7 +107,9 @@ mod tests {
     /// really exceeds the radius (triangle inequality), on random strings.
     #[test]
     fn lemma51_soundness_randomised() {
-        let words = ["a", "ab", "bac", "acba", "aabc", "abbc", "abcc", "aabcc", "babcc", "abbcc"];
+        let words = [
+            "a", "ab", "bac", "acba", "aabc", "abbc", "abcc", "aabcc", "babcc", "abbcc",
+        ];
         for p in words {
             for q in words {
                 let d_qp = f64::from(edit_distance(q, p));

@@ -11,6 +11,10 @@
 //! * [`Item`]/[`ItemMetric`] — a dynamic object/metric pair covering the five
 //!   evaluation datasets (strings under edit distance, vectors under L1 / L2 /
 //!   angular-cosine distance);
+//! * [`ObjectArena`]/[`BatchMetric`] — the flat object arena (contiguous
+//!   payload buffers + offsets) and the batched distance-kernel layer the
+//!   index hot paths launch one level at a time, with an early-abandoning
+//!   (Ukkonen-banded) variant for bounded verification;
 //! * [`Dataset`] and [`gen`] — seeded synthetic generators mirroring the
 //!   paper's Words, T-Loc, Vector, DNA, and Color datasets (Table 2);
 //! * [`SimilarityIndex`] — the query interface shared by GTS and every
@@ -22,6 +26,8 @@
 //! * [`stats`] — sampled distance-distribution statistics feeding the §5.3
 //!   cost model.
 
+pub mod arena;
+pub mod batch;
 pub mod dataset;
 pub mod dist;
 pub mod gen;
@@ -31,8 +37,10 @@ pub mod object;
 pub mod pivot;
 pub mod stats;
 
+pub use arena::{ArenaKind, ObjectArena};
+pub use batch::BatchMetric;
 pub use dataset::{Dataset, DatasetKind};
-pub use dist::{EditDistance, ItemMetric, Metric, VectorMetric};
+pub use dist::{EditDistance, EditScratch, ItemMetric, Metric, VectorMetric};
 pub use index::{DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 pub use object::{Footprint, Item};
 

@@ -6,8 +6,8 @@
 //! cargo run --release --example cost_model_tuning
 //! ```
 
-use gts::prelude::*;
 use gts::metric::stats::{radius_for_selectivity, sample_queries};
+use gts::prelude::*;
 
 fn main() {
     let data = DatasetKind::Color.generate(10_000, 3);
@@ -22,8 +22,13 @@ fn main() {
 
     // Fit the cost model once (on the default-capacity index).
     let device = Device::rtx_2080_ti();
-    let index = Gts::build(&device, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let index = Gts::build(
+        &device,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("build");
     let model = index.cost_model(300, 9);
     println!(
         "cost model: n={}, σ={:.4}, distance work ≈ {:.0} ops, regime {:?}",
@@ -37,7 +42,10 @@ fn main() {
     println!("model recommends Nc = {recommended}\n");
 
     // Empirical sweep.
-    println!("{:>5} {:>10} {:>16} {:>14}", "Nc", "height", "model cost", "measured ms");
+    println!(
+        "{:>5} {:>10} {:>16} {:>14}",
+        "Nc", "height", "model cost", "measured ms"
+    );
     let mut best = (0u32, f64::MAX);
     for nc in candidates {
         let dev = Device::rtx_2080_ti();

@@ -13,8 +13,13 @@ fn main() {
     // Synthetic NCBI-like reads: ~108 bases, mutated families.
     let data = DatasetKind::Dna.generate(5_000, 7);
     let device = Device::rtx_2080_ti();
-    let index = Gts::build(&device, data.items.clone(), data.metric, GtsParams::default())
-        .expect("construction");
+    let index = Gts::build(
+        &device,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("construction");
     println!(
         "indexed {} reads (height {}, {:.2} MB)",
         data.len(),

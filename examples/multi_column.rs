@@ -55,7 +55,10 @@ fn main() {
             nb.dist,
             names[nb.id as usize].as_text().expect("text"),
         );
-        assert!((combined(nb.id) - nb.dist).abs() < 1e-9, "distances are real");
+        assert!(
+            (combined(nb.id) - nb.dist).abs() < 1e-9,
+            "distances are real"
+        );
     }
 
     let r = knn.last().expect("k-th").dist * 1.5;

@@ -6,8 +6,8 @@
 //! cargo run --release --example multimedia_color
 //! ```
 
-use gts::prelude::*;
 use gts::metric::stats::{radius_for_selectivity, sample_queries};
+use gts::prelude::*;
 
 fn main() {
     let data = DatasetKind::Color.generate(8_000, 21);
@@ -61,8 +61,8 @@ fn main() {
 
     // GTS.
     let dev = Device::rtx_2080_ti();
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("gts build");
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("gts build");
     let c0 = dev.cycles();
     gts.batch_range(&queries, &radii).expect("gts mrq");
     let gts_mrq = tput(queries.len(), dev.seconds_since(c0));

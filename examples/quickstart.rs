@@ -22,8 +22,13 @@ fn main() {
 
     // 3. Build the index. Node capacity 20 is the paper's recommendation.
     let t0 = std::time::Instant::now();
-    let index = Gts::build(&device, data.items.clone(), data.metric, GtsParams::default())
-        .expect("construction");
+    let index = Gts::build(
+        &device,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("construction");
     println!(
         "built GTS: height {}, Nc {}, {:.2} MB index, {:.2} ms simulated, {:.0?} wall",
         index.height(),
@@ -36,7 +41,11 @@ fn main() {
     // 4. Metric range query: all words within 1 edit of a query word.
     let q = Item::text("stone");
     let hits = index.range_query(&q, 1.0).expect("range query");
-    println!("\nMRQ({:?}, r=1) -> {} hits", q.as_text().expect("text"), hits.len());
+    println!(
+        "\nMRQ({:?}, r=1) -> {} hits",
+        q.as_text().expect("text"),
+        hits.len()
+    );
     for n in hits.iter().take(5) {
         println!("  {:>6}  d={}  {:?}", n.id, n.dist, data.item(n.id));
     }
@@ -57,10 +66,7 @@ fn main() {
     println!(
         "\nsearch stats: {} distance computations, {} nodes pruned, {} nodes expanded,\n\
          {} leaf entries filtered for free by the stored-distance column",
-        stats.distance_computations,
-        stats.nodes_pruned,
-        stats.nodes_expanded,
-        stats.leaf_filtered
+        stats.distance_computations, stats.nodes_pruned, stats.nodes_expanded, stats.leaf_filtered
     );
     println!(
         "simulated device time total: {:.3} ms",

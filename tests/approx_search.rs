@@ -18,8 +18,8 @@ fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
 fn wide_beam_recovers_exact_answers() {
     let data = DatasetKind::Vector.generate(800, 71);
     let dev = Device::rtx_2080_ti();
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     let queries: Vec<Item> = (0..24u32).map(|i| data.item(i * 31).clone()).collect();
     let exact = gts.batch_knn(&queries, 10).expect("exact");
     let wide = gts
@@ -37,8 +37,8 @@ fn wide_beam_recovers_exact_answers() {
 fn recall_improves_with_beam_and_narrow_beam_is_cheaper() {
     let data = DatasetKind::Color.generate(3_000, 73);
     let dev = Device::rtx_2080_ti();
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     let queries: Vec<Item> = (0..32u32).map(|i| data.item(i * 13).clone()).collect();
     let exact = gts.batch_knn(&queries, 10).expect("exact");
 
@@ -80,8 +80,8 @@ fn approx_results_are_real_objects_with_true_distances() {
     use gts::metric::Metric as _;
     let data = DatasetKind::Words.generate(600, 75);
     let dev = Device::rtx_2080_ti();
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     let q = data.item(5).clone();
     let got = gts
         .batch_knn_approx(std::slice::from_ref(&q), 8, 2)

@@ -1,0 +1,110 @@
+//! Arena invariance: the flat-arena batched kernels are a pure layout
+//! optimisation. Searches over the arena path must return **identical**
+//! MRQ/MkNNQ answers *and identical simulated cycle counts* to the per-pair
+//! fallback path (`use_arena = false`), which accesses boxed `Item` payloads
+//! one pair at a time exactly like the original implementation.
+
+use gts::gpu::DeviceStats;
+use gts::prelude::*;
+
+struct Run {
+    build_stats: DeviceStats,
+    mrq: Vec<Vec<Neighbor>>,
+    knn: Vec<Vec<Neighbor>>,
+    search_cycles: u64,
+    search_stats: gts::core::stats::StatsSnapshot,
+}
+
+fn run(kind: DatasetKind, n: usize, use_arena: bool, radius: f64) -> Run {
+    let data = kind.generate(n, 1234);
+    let dev = Device::rtx_2080_ti();
+    let gts = Gts::build(
+        &dev,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_use_arena(use_arena),
+    )
+    .expect("build");
+    let build_stats = dev.stats();
+    let queries: Vec<Item> = (0..48u32).map(|i| data.item(i * 7).clone()).collect();
+    let radii = vec![radius; queries.len()];
+    let mark = dev.cycles();
+    let mrq = gts.batch_range(&queries, &radii).expect("mrq");
+    let knn = gts.batch_knn(&queries, 6).expect("knn");
+    let search_cycles = dev.cycles() - mark;
+    Run {
+        build_stats,
+        mrq,
+        knn,
+        search_cycles,
+        search_stats: gts.stats(),
+    }
+}
+
+fn assert_invariant(kind: DatasetKind, radius: f64) {
+    let arena = run(kind, 700, true, radius);
+    let per_pair = run(kind, 700, false, radius);
+    assert_eq!(
+        arena.mrq, per_pair.mrq,
+        "{kind:?}: MRQ answers must be bit-identical"
+    );
+    assert_eq!(
+        arena.knn, per_pair.knn,
+        "{kind:?}: MkNNQ answers must be bit-identical"
+    );
+    assert_eq!(
+        arena.build_stats, per_pair.build_stats,
+        "{kind:?}: construction must charge identical cycles/work/kernels"
+    );
+    assert_eq!(
+        arena.search_cycles, per_pair.search_cycles,
+        "{kind:?}: search must charge identical cycles"
+    );
+    assert_eq!(
+        arena.search_stats, per_pair.search_stats,
+        "{kind:?}: identical pruning/verification counters"
+    );
+}
+
+#[test]
+fn words_arena_matches_per_pair_path() {
+    assert_invariant(DatasetKind::Words, 2.0);
+}
+
+#[test]
+fn vector_arena_matches_per_pair_path() {
+    assert_invariant(DatasetKind::Vector, 0.35);
+}
+
+#[test]
+fn updates_preserve_invariance_through_the_cache_scan() {
+    let data = DatasetKind::Words.generate(300, 77);
+    let run = |use_arena: bool| {
+        let dev = Device::rtx_2080_ti();
+        let mut gts = Gts::build(
+            &dev,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_use_arena(use_arena),
+        )
+        .expect("build");
+        gts.remove(3).expect("rm");
+        for i in 0..8 {
+            gts.insert(Item::text(format!("inserted{i}"))).expect("ins");
+        }
+        let queries = vec![Item::text("inserted3"), data.items[10].clone()];
+        let mark = dev.cycles();
+        let mrq = gts.batch_range(&queries, &[1.0, 2.0]).expect("mrq");
+        let knn = gts.batch_knn(&queries, 4).expect("knn");
+        (mrq, knn, dev.cycles() - mark)
+    };
+    let (mrq_a, knn_a, cycles_a) = run(true);
+    let (mrq_b, knn_b, cycles_b) = run(false);
+    assert_eq!(mrq_a, mrq_b);
+    assert_eq!(knn_a, knn_b);
+    assert_eq!(cycles_a, cycles_b, "cache-scan kernels charge identically");
+    assert!(
+        mrq_a[0].iter().any(|n| n.id >= 300),
+        "cached insertions are found through the arena-extended scan"
+    );
+}

@@ -19,8 +19,8 @@ fn all_exact_methods_agree() {
         let egnat = Egnat::build(data.items.clone(), data.metric).expect("egnat");
         let table = GpuTable::new(&dev, data.items.clone(), data.metric).expect("gpu-table");
         let gtree = GpuTree::build(&dev, data.items.clone(), data.metric).expect("gpu-tree");
-        let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-            .expect("gts");
+        let gts =
+            Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("gts");
 
         for qi in [3u32, 177, 399] {
             let q = data.item(qi).clone();
@@ -107,12 +107,15 @@ fn gts_agrees_with_mvpt_batch_wise() {
     let data = DatasetKind::Dna.generate(250, 57);
     let dev = Device::rtx_2080_ti();
     let mvpt = Mvpt::build(data.items.clone(), data.metric);
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("gts");
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("gts");
     let queries: Vec<Item> = (0..16u32).map(|i| data.item(i * 7).clone()).collect();
     let radii = vec![12.0; queries.len()];
     let batched = gts.batch_range(&queries, &radii).expect("batch");
     for (i, q) in queries.iter().enumerate() {
-        assert_eq!(batched[i], mvpt.range_query(q, radii[i]).expect("mvpt"), "query {i}");
+        assert_eq!(
+            batched[i],
+            mvpt.range_query(q, radii[i]).expect("mvpt"),
+            "query {i}"
+        );
     }
 }

@@ -13,8 +13,8 @@ fn simulated_time_is_deterministic_end_to_end() {
             ..DeviceConfig::rtx_2080_ti()
         });
         let data = DatasetKind::TLoc.generate(3_000, 5);
-        let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-            .expect("build");
+        let gts =
+            Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
         let queries: Vec<Item> = (0..64u32).map(|i| data.item(i * 13).clone()).collect();
         let radii = vec![0.7; queries.len()];
         let answers = gts.batch_range(&queries, &radii).expect("batch");
@@ -34,8 +34,8 @@ fn device_memory_returns_to_baseline_after_drop() {
     let baseline = dev.allocated_bytes();
     let data = DatasetKind::Color.generate(1_000, 5);
     {
-        let mut gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-            .expect("build");
+        let mut gts =
+            Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
         assert!(dev.allocated_bytes() > baseline);
         // Rebuilds must not leak reservations.
         for _ in 0..3 {
@@ -55,8 +55,8 @@ fn device_memory_returns_to_baseline_after_drop() {
 fn more_work_means_more_simulated_time() {
     let dev = Device::rtx_2080_ti();
     let data = DatasetKind::Words.generate(2_000, 5);
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     let queries: Vec<Item> = (0..32u32).map(|i| data.item(i).clone()).collect();
 
     let m = dev.cycles();
@@ -76,13 +76,16 @@ fn more_work_means_more_simulated_time() {
 fn transfers_show_up_in_stats() {
     let dev = Device::rtx_2080_ti();
     let data = DatasetKind::Vector.generate(500, 5);
-    let gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     let s0 = dev.stats();
     let queries: Vec<Item> = data.items[..16].to_vec();
     gts.batch_knn(&queries, 3).expect("knn");
     let s1 = dev.stats();
-    assert!(s1.h2d_bytes > s0.h2d_bytes, "queries must be shipped to device");
+    assert!(
+        s1.h2d_bytes > s0.h2d_bytes,
+        "queries must be shipped to device"
+    );
     assert!(s1.d2h_bytes > s0.d2h_bytes, "answers must be shipped back");
     assert!(s1.kernels > s0.kernels);
 }
@@ -97,8 +100,7 @@ fn gts_build_time_scales_sublinearly_in_simulated_time() {
         let dev = Device::rtx_2080_ti();
         let data = DatasetKind::TLoc.generate(n, 5);
         let start = dev.cycles();
-        let _g = Gts::build(&dev, data.items, data.metric, GtsParams::default())
-            .expect("build");
+        let _g = Gts::build(&dev, data.items, data.metric, GtsParams::default()).expect("build");
         dev.cycles() - start
     };
     let t1 = time_for(2_000);

@@ -91,7 +91,11 @@ fn batch_answers_equal_single_answers() {
     }
     let bk = gts.batch_knn(&queries, 6).expect("batch knn");
     for (i, q) in queries.iter().enumerate() {
-        assert_knn_equiv(&bk[i], &gts.knn_query(q, 6).expect("single"), "batch-vs-single");
+        assert_knn_equiv(
+            &bk[i],
+            &gts.knn_query(q, 6).expect("single"),
+            "batch-vs-single",
+        );
     }
 }
 
@@ -114,7 +118,10 @@ fn k_larger_than_dataset_returns_everything() {
     let got = gts.knn_query(&data.item(0).clone(), 500).expect("knn");
     assert_eq!(got.len(), 50);
     // Zero k, zero radius edge cases.
-    assert!(gts.knn_query(&data.item(0).clone(), 0).expect("k=0").is_empty());
+    assert!(gts
+        .knn_query(&data.item(0).clone(), 0)
+        .expect("k=0")
+        .is_empty());
     let zero = gts.range_query(&data.item(0).clone(), 0.0).expect("r=0");
     assert!(zero.iter().any(|n| n.id == 0), "self at distance 0");
 }

@@ -1,9 +1,11 @@
 //! Property-based tests (proptest) over the core invariants:
 //! metric axioms, pruning-lemma soundness, device-sort correctness,
-//! and GTS-vs-scan equivalence on random inputs.
+//! batch-kernel/scalar agreement, and GTS-vs-scan equivalence on random
+//! inputs.
 
 use gts::metric::dist::{edit_distance, edit_distance_bounded};
 use gts::metric::lemmas::{prune_node_range, prune_object_knn, prune_object_range};
+use gts::metric::BatchMetric;
 use gts::metric::Metric as _;
 use gts::prelude::*;
 use proptest::prelude::*;
@@ -108,6 +110,87 @@ proptest! {
         expect.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN").then(a.1.cmp(&b.1)));
         gts::gpu::primitives::sort_pairs_by_key(&dev, &mut pairs);
         prop_assert_eq!(pairs, expect);
+    }
+
+    /// The batched edit-distance kernel agrees **exactly** (bit-identical
+    /// values, identical work accounting) with the scalar metric.
+    #[test]
+    fn batch_edit_matches_scalar(words in proptest::collection::vec(arb_word(), 2..40), qsel in 0usize..40) {
+        let items: Vec<Item> = words.iter().map(|w| Item::text(w.clone())).collect();
+        let metric = ItemMetric::Edit;
+        let arena = metric.build_arena(&items).expect("homogeneous text");
+        let q = &items[qsel % items.len()];
+        let ids: Vec<u32> = (0..items.len() as u32).collect();
+        let mut out = vec![0.0; ids.len()];
+        let (total, span) = metric.distance_batch(&items, Some(&arena), q, &ids, &mut out);
+        let mut want_total = 0u64;
+        let mut want_span = 0u64;
+        for (&id, &got) in ids.iter().zip(&out) {
+            let o = &items[id as usize];
+            prop_assert_eq!(got.to_bits(), metric.distance(q, o).to_bits());
+            let w = metric.work(q, o);
+            want_total += w;
+            want_span = want_span.max(w);
+        }
+        prop_assert_eq!(total, want_total);
+        prop_assert_eq!(span, want_span);
+    }
+
+    /// The batched vector kernels (L1, L2, angular) agree exactly with the
+    /// scalar metrics.
+    #[test]
+    fn batch_vector_matches_scalar(vecs in proptest::collection::vec(arb_vec(6), 2..40), qsel in 0usize..40) {
+        let items: Vec<Item> = vecs.iter().cloned().map(Item::vector).collect();
+        for metric in [ItemMetric::L1, ItemMetric::L2, ItemMetric::ANGULAR] {
+            let arena = metric.build_arena(&items).expect("homogeneous vectors");
+            let q = &items[qsel % items.len()];
+            let ids: Vec<u32> = (0..items.len() as u32).collect();
+            let mut out = vec![0.0; ids.len()];
+            let (total, span) = metric.distance_batch(&items, Some(&arena), q, &ids, &mut out);
+            let mut want_total = 0u64;
+            let mut want_span = 0u64;
+            for (&id, &got) in ids.iter().zip(&out) {
+                let o = &items[id as usize];
+                prop_assert_eq!(got.to_bits(), metric.distance(q, o).to_bits(), "{}", metric.name());
+                let w = metric.work(q, o);
+                want_total += w;
+                want_span = want_span.max(w);
+            }
+            prop_assert_eq!(total, want_total, "{}", metric.name());
+            prop_assert_eq!(span, want_span, "{}", metric.name());
+        }
+    }
+
+    /// The early-abandoning batched kernel is exact whenever it answers
+    /// `Some`, and only abandons pairs that genuinely exceed their bound.
+    #[test]
+    fn batch_bounded_exact_when_some(
+        words in proptest::collection::vec(arb_word(), 2..30),
+        vecs in proptest::collection::vec(arb_vec(4), 2..30),
+        bound in 0.0f64..8.0,
+    ) {
+        let cases: [(ItemMetric, Vec<Item>); 2] = [
+            (ItemMetric::Edit, words.iter().map(|w| Item::text(w.clone())).collect()),
+            (ItemMetric::L2, vecs.iter().cloned().map(Item::vector).collect()),
+        ];
+        for (metric, items) in cases {
+            let arena = metric.build_arena(&items).expect("homogeneous");
+            let q = &items[0];
+            let ids: Vec<u32> = (0..items.len() as u32).collect();
+            let bounds = vec![bound; ids.len()];
+            let mut out = vec![None; ids.len()];
+            metric.distance_batch_bounded(&items, Some(&arena), q, &ids, &bounds, &mut out);
+            for (&id, slot) in ids.iter().zip(&out) {
+                let real = metric.distance(q, &items[id as usize]);
+                match slot {
+                    Some(d) => {
+                        prop_assert_eq!(d.to_bits(), real.to_bits(), "{}", metric.name());
+                        prop_assert!(*d <= bound);
+                    }
+                    None => prop_assert!(real > bound, "{}: abandoned {real} <= {bound}", metric.name()),
+                }
+            }
+        }
     }
 
     /// GTS MRQ equals brute force on random 2-d point sets.

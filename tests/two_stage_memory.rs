@@ -5,8 +5,8 @@
 //! avoid.
 
 use gts::gpu::DeviceConfig;
-use gts::prelude::*;
 use gts::metric::index::IndexError;
+use gts::prelude::*;
 
 fn tiny_device(bytes: u64) -> std::sync::Arc<Device> {
     Device::new(DeviceConfig::rtx_2080_ti().with_memory_bytes(bytes))
@@ -27,7 +27,11 @@ fn grouping_preserves_exactness_under_pressure() {
     let queries: Vec<Item> = (0..128u32).map(|i| data.item(i * 3).clone()).collect();
     let radii = vec![1.0; queries.len()];
     let want = reference.batch_range(&queries, &radii).expect("reference");
-    assert_eq!(reference.stats().groups_formed, 0, "roomy run must not group");
+    assert_eq!(
+        reference.stats().groups_formed,
+        0,
+        "roomy run must not group"
+    );
 
     // Tight device: just enough for the index + small frontiers.
     let index_footprint = reference.memory_bytes() + data.data_bytes();
@@ -52,8 +56,13 @@ fn grouping_disabled_deadlocks() {
     let data = DatasetKind::TLoc.generate(3_000, 13);
     let probe = Device::rtx_2080_ti();
     let footprint = {
-        let idx = Gts::build(&probe, data.items.clone(), data.metric, GtsParams::default())
-            .expect("probe build");
+        let idx = Gts::build(
+            &probe,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default(),
+        )
+        .expect("probe build");
         idx.memory_bytes() + data.data_bytes()
     };
     let tight = tiny_device(footprint + 96 * 1024);
@@ -61,8 +70,8 @@ fn grouping_disabled_deadlocks() {
         query_grouping: false,
         ..GtsParams::default()
     };
-    let naive = Gts::build(&tight, data.items.clone(), data.metric, params)
-        .expect("build still fits");
+    let naive =
+        Gts::build(&tight, data.items.clone(), data.metric, params).expect("build still fits");
     let queries: Vec<Item> = (0..512u32).map(|i| data.item(i % 3000).clone()).collect();
     let radii = vec![2.0; queries.len()];
     let err = naive.batch_range(&queries, &radii);
@@ -85,15 +94,25 @@ fn grouping_disabled_deadlocks() {
 fn knn_groups_share_bounds_and_stay_exact() {
     let data = DatasetKind::Color.generate(1_500, 13);
     let probe = Device::rtx_2080_ti();
-    let reference = Gts::build(&probe, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let reference = Gts::build(
+        &probe,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("build");
     let queries: Vec<Item> = (0..96u32).map(|i| data.item(i * 7).clone()).collect();
     let want = reference.batch_knn(&queries, 5).expect("reference");
 
     let footprint = reference.memory_bytes() + data.data_bytes();
     let tight = tiny_device(footprint + 128 * 1024);
-    let squeezed = Gts::build(&tight, data.items.clone(), data.metric, GtsParams::default())
-        .expect("tight build");
+    let squeezed = Gts::build(
+        &tight,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("tight build");
     let got = squeezed.batch_knn(&queries, 5).expect("tight knn");
     for (a, b) in want.iter().zip(&got) {
         assert_eq!(a.len(), b.len());
@@ -111,14 +130,24 @@ fn frontier_bound_respects_memory_limit() {
     let data = DatasetKind::TLoc.generate(4_000, 29);
     let probe = Device::rtx_2080_ti();
     let footprint = {
-        let idx = Gts::build(&probe, data.items.clone(), data.metric, GtsParams::default())
-            .expect("probe");
+        let idx = Gts::build(
+            &probe,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default(),
+        )
+        .expect("probe");
         idx.memory_bytes() + data.data_bytes()
     };
     let budget = 256 * 1024u64;
     let tight = tiny_device(footprint + budget);
-    let idx = Gts::build(&tight, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let idx = Gts::build(
+        &tight,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default(),
+    )
+    .expect("build");
     let queries: Vec<Item> = (0..256u32).map(|i| data.item(i * 11).clone()).collect();
     let radii = vec![3.0; queries.len()];
     idx.batch_range(&queries, &radii).expect("batch");

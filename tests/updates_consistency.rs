@@ -58,7 +58,8 @@ where
             0 => {
                 // Insert a perturbed copy of an existing object.
                 let base = rng.gen_range(0..oracle.items.len() as u32);
-                let obj = gts::metric::gen::perturb(&oracle.items[base as usize], seed + step as u64);
+                let obj =
+                    gts::metric::gen::perturb(&oracle.items[base as usize], seed + step as u64);
                 let id = idx.insert(obj.clone()).expect("insert");
                 assert_eq!(id as usize, oracle.items.len(), "ids must be sequential");
                 oracle.items.push(obj);
@@ -109,8 +110,8 @@ where
 fn deleting_a_pivot_object_is_safe() {
     let data = DatasetKind::TLoc.generate(400, 71);
     let dev = Device::rtx_2080_ti();
-    let mut gts = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let mut gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     // Delete a broad swath so internal pivots are certainly hit.
     for id in 0..200u32 {
         gts.remove(id).expect("rm");
@@ -151,21 +152,33 @@ fn gts_randomized_updates_words() {
 fn gts_randomized_updates_tloc() {
     let data = DatasetKind::TLoc.generate(500, 33);
     let dev = Device::rtx_2080_ti();
-    let idx = Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default())
-        .expect("build");
+    let idx =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
     run_mixed_workload(idx, &data, 2, 120, 0.8);
 }
 
 #[test]
 fn bst_randomized_updates() {
     let data = DatasetKind::TLoc.generate(300, 35);
-    run_mixed_workload(Bst::build(data.items.clone(), data.metric), &data, 3, 90, 0.8);
+    run_mixed_workload(
+        Bst::build(data.items.clone(), data.metric),
+        &data,
+        3,
+        90,
+        0.8,
+    );
 }
 
 #[test]
 fn mvpt_randomized_updates() {
     let data = DatasetKind::Words.generate(250, 37);
-    run_mixed_workload(Mvpt::build(data.items.clone(), data.metric), &data, 4, 90, 2.0);
+    run_mixed_workload(
+        Mvpt::build(data.items.clone(), data.metric),
+        &data,
+        4,
+        90,
+        2.0,
+    );
 }
 
 #[test]

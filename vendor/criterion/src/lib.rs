@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! minimal benchmark harness covering the API the `gts-bench` benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Each benchmark runs `sample_size` timed
+//! samples (after one warm-up) and prints the mean wall-clock time per
+//! iteration; there is no statistical analysis or HTML report.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean seconds per iteration of the most recent `iter` call.
+    last_mean: f64,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `samples` timed calls; records the
+    /// mean seconds per call.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        std_black_box(f()); // warm-up, outside the timed window
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std_black_box(f());
+        }
+        self.last_mean = start.elapsed().as_secs_f64() / self.samples as f64;
+    }
+}
+
+/// A named group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark and print its mean time.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            last_mean: 0.0,
+        };
+        f(&mut b);
+        let mean = Duration::from_secs_f64(b.last_mean);
+        match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_mean > 0.0 => println!(
+                "bench {}/{}: {:?}/iter ({:.0} elem/s)",
+                self.name,
+                id,
+                mean,
+                n as f64 / b.last_mean
+            ),
+            Some(Throughput::Bytes(n)) if b.last_mean > 0.0 => println!(
+                "bench {}/{}: {:?}/iter ({:.0} B/s)",
+                self.name,
+                id,
+                mean,
+                n as f64 / b.last_mean
+            ),
+            _ => println!("bench {}/{}: {:?}/iter", self.name, id, mean),
+        }
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op marker).
+    pub fn finish(self) {}
+}
+
+/// Entry point collecting benchmark groups (mirrors criterion's type).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("default").bench_function(id, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 6, "one warm-up + five samples");
+    }
+
+    criterion_group!(smoke, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn macros_expand() {
+        smoke();
+    }
+}
