@@ -18,7 +18,17 @@
 //! CPU methods charge a [`gpu_sim::CpuClock`] (sequential work); GPU methods
 //! charge the shared [`gpu_sim::Device`]. The [`Clocked`] trait exposes
 //! simulated time uniformly to the experiment harness.
+//!
+//! **Where this sits in the arena/batch/launch stack:** the baselines
+//! evaluate distances per pair through [`metric_space::Metric`] and charge
+//! the clocks directly — they do not use the flat
+//! [`metric_space::ObjectArena`] or the batched
+//! [`metric_space::BatchMetric`] kernels that GTS's hot paths launch
+//! through `Device::launch_batch` (batching the baselines over the same
+//! arena is a ROADMAP item). Simulated-cycle comparisons are unaffected:
+//! the arena and host-parallel layers are wall-clock optimisations only.
 
+#![warn(missing_docs)]
 pub mod bst;
 pub mod clock;
 pub mod egnat;

@@ -1,0 +1,115 @@
+//! Micro-comparison of the per-batch `(query, pivot)` distance memo:
+//! `std::collections::HashMap<(u32, u32), f64>` (what the search path used
+//! through PR 1) vs the flat open-addressing `gts_core::PairMemo` that
+//! replaced it.
+//!
+//! The workload replays the memo's real access pattern: a batch of queries
+//! descending a tree inserts each `(query, pivot)` distance once, then
+//! probes the same pairs repeatedly across deeper levels (hits) mixed with
+//! fresh pivots (misses). Results go to `BENCH_memo.json` at the workspace
+//! root (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench memo_table`.
+
+use gts_core::PairMemo;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const QUERIES: u32 = 64;
+const PIVOTS: u32 = 2_000;
+const PROBE_ROUNDS: usize = 8;
+const REPS: usize = 15;
+
+fn ops_total() -> usize {
+    (QUERIES as usize) * (PIVOTS as usize) * (1 + PROBE_ROUNDS)
+}
+
+fn time_per_op(mut f: impl FnMut() -> f64) -> (f64, f64) {
+    let mut checksum = 0.0;
+    checksum += f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        checksum += f();
+        best = best.min(start.elapsed().as_nanos() as f64 / ops_total() as f64);
+    }
+    (best, checksum)
+}
+
+/// Pivot id for `(query, round)` probes: strided so neighbouring queries
+/// touch different slots, like real frontiers do.
+fn pivot_of(q: u32, i: u32) -> u32 {
+    (i.wrapping_mul(2_654_435_761) ^ q) % PIVOTS
+}
+
+fn bench_flat() -> (f64, f64) {
+    let mut memo = PairMemo::default();
+    time_per_op(|| {
+        memo.clear();
+        let mut acc = 0.0f64;
+        for q in 0..QUERIES {
+            for i in 0..PIVOTS {
+                memo.insert(q, pivot_of(q, i), f64::from(i));
+            }
+        }
+        for _ in 0..PROBE_ROUNDS {
+            for q in 0..QUERIES {
+                for i in 0..PIVOTS {
+                    acc += memo.get(q, pivot_of(q, i)).unwrap_or(0.5);
+                }
+            }
+        }
+        std::hint::black_box(acc)
+    })
+}
+
+fn bench_hashmap() -> (f64, f64) {
+    let mut memo: HashMap<(u32, u32), f64> = HashMap::new();
+    time_per_op(|| {
+        memo.clear();
+        let mut acc = 0.0f64;
+        for q in 0..QUERIES {
+            for i in 0..PIVOTS {
+                memo.insert((q, pivot_of(q, i)), f64::from(i));
+            }
+        }
+        for _ in 0..PROBE_ROUNDS {
+            for q in 0..QUERIES {
+                for i in 0..PIVOTS {
+                    acc += memo.get(&(q, pivot_of(q, i))).copied().unwrap_or(0.5);
+                }
+            }
+        }
+        std::hint::black_box(acc)
+    })
+}
+
+fn main() {
+    let (hash_ns, hash_sum) = bench_hashmap();
+    let (flat_ns, flat_sum) = bench_flat();
+    assert_eq!(
+        hash_sum.to_bits(),
+        flat_sum.to_bits(),
+        "both memos must agree on every probe"
+    );
+    let speedup = hash_ns / flat_ns;
+    println!(
+        "memo_table: HashMap {hash_ns:.2} ns/op | PairMemo {flat_ns:.2} ns/op | speedup {speedup:.2}x \
+         ({QUERIES} queries x {PIVOTS} pivots, {PROBE_ROUNDS} probe rounds)"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"queries\": {QUERIES},");
+    let _ = writeln!(json, "  \"pivots\": {PIVOTS},");
+    let _ = writeln!(json, "  \"probe_rounds\": {PROBE_ROUNDS},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"hashmap_ns_per_op\": {hash_ns:.3},");
+    let _ = writeln!(json, "  \"flat_ns_per_op\": {flat_ns:.3},");
+    let _ = writeln!(json, "  \"flat_speedup\": {speedup:.3}");
+    json.push_str("}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_memo.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_memo.json");
+    println!("wrote {out_path}");
+}

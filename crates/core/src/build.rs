@@ -22,6 +22,7 @@
 //! is the pre-sort position, so stored distances are *gathered*, never
 //! re-derived from the encoded key — no precision loss.
 
+use crate::dispatch::distance_block;
 use crate::node::{Node, NodeList, TreeShape};
 use crate::params::GtsParams;
 use crate::table::{TableEntry, TableList};
@@ -156,9 +157,18 @@ fn mapping<O, M>(
             table.fill_ids(0, n as u32, ids);
             out.clear();
             out.resize(n, 0.0);
+            let threads = params.effective_host_threads(dev.host_threads());
             dev.launch_batch(n, || {
-                let (w, s) =
-                    metric.distance_batch(objects, arena, &objects[seed_obj as usize], ids, out);
+                let (w, s) = distance_block(
+                    dev,
+                    threads,
+                    metric,
+                    objects,
+                    arena,
+                    &objects[seed_obj as usize],
+                    ids,
+                    out,
+                );
                 ((), w, s)
             });
             *build_distances += n as u64;
@@ -207,12 +217,14 @@ fn mapping<O, M>(
     // One batched kernel over the entire table (grid = nodes, block = the
     // node's objects; pivots staged in shared memory per Alg. 2): each
     // node's segment is contiguous in the table, so the level runs as one
-    // launch of per-node `distance_batch` calls resolving object ids
-    // against the arena, charged once for the whole level.
+    // launch of per-node `distance_block` calls resolving object ids
+    // against the arena — large segments fan out over host threads in
+    // fixed-size chunks — charged once for the whole level.
     {
         let BuildScratch { ids, out } = scratch;
         out.clear();
         out.resize(n, 0.0);
+        let threads = params.effective_host_threads(dev.host_threads());
         dev.launch_batch(n, || {
             let mut total = 0u64;
             let mut span = 0u64;
@@ -225,8 +237,16 @@ fn mapping<O, M>(
                 ids.clear();
                 table.fill_ids(node.pos, node.size, ids);
                 let seg = &mut out[node.pos as usize..(node.pos + node.size) as usize];
-                let (w, s) =
-                    metric.distance_batch(objects, arena, &objects[pivot as usize], ids, seg);
+                let (w, s) = distance_block(
+                    dev,
+                    threads,
+                    metric,
+                    objects,
+                    arena,
+                    &objects[pivot as usize],
+                    ids,
+                    seg,
+                );
                 total += w;
                 span = span.max(s);
             }

@@ -2,6 +2,8 @@
 
 use crate::build::{self, Structure};
 use crate::cost::CostModel;
+use crate::dispatch::distance_block;
+use crate::memo::PairMemo;
 use crate::node::NodeList;
 use crate::params::GtsParams;
 use crate::search::{self, SearchCtx};
@@ -12,7 +14,6 @@ use gpu_sim::{Device, GpuError, Reservation};
 use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::{BatchMetric, Footprint, ObjectArena};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// GTS: the GPU-based tree index for similarity search in general metric
@@ -76,6 +77,27 @@ where
     M: BatchMetric<O>,
 {
     /// Build the index over `objects` on device `dev`.
+    ///
+    /// Construction is the paper's level-synchronous parallel algorithm
+    /// (§4.3): one mapping + partitioning round per level, every distance
+    /// of a level computed by one batched kernel. The returned index holds
+    /// its device residency (node list, table list, object payloads) until
+    /// dropped.
+    ///
+    /// ```
+    /// use gts_core::{Gts, GtsParams};
+    /// use gpu_sim::Device;
+    /// use metric_space::DatasetKind;
+    ///
+    /// // A metric dataset: English-like words under edit distance.
+    /// let data = DatasetKind::Words.generate(1_000, 42);
+    /// let device = Device::rtx_2080_ti();
+    /// let index = Gts::build(&device, data.items.clone(), data.metric, GtsParams::default())
+    ///     .expect("construction");
+    /// assert!(index.height() >= 1);
+    /// assert_eq!(index.node_capacity(), 20, "the paper's recommended Nc");
+    /// assert!(device.sim_seconds() > 0.0, "construction charges the simulated clock");
+    /// ```
     pub fn build(
         dev: &Arc<Device>,
         objects: Vec<O>,
@@ -192,12 +214,36 @@ where
             arena: self.arena.as_ref(),
             live: &self.live,
             stats: &self.stats,
-            memo: RefCell::new(HashMap::new()),
+            threads: self.params.effective_host_threads(self.dev.host_threads()),
+            memo: RefCell::new(PairMemo::default()),
         }
     }
 
     /// Batched metric range query (Algorithm 4) plus the cache-list scan of
     /// §4.4, answers merged per query in canonical order.
+    ///
+    /// `answers[i]` holds every indexed object within `radii[i]` of
+    /// `queries[i]` (exact, sorted by distance then id). Batching is GTS's
+    /// headline strength: the whole batch descends the tree together,
+    /// level-synchronously.
+    ///
+    /// ```
+    /// use gts_core::{Gts, GtsParams};
+    /// use gpu_sim::Device;
+    /// use metric_space::{DatasetKind, Item};
+    ///
+    /// let data = DatasetKind::Words.generate(1_000, 42);
+    /// let device = Device::rtx_2080_ti();
+    /// let index = Gts::build(&device, data.items.clone(), data.metric, GtsParams::default())
+    ///     .expect("construction");
+    ///
+    /// // All words within 1 edit of each query word.
+    /// let queries = vec![data.items[0].clone(), data.items[1].clone()];
+    /// let answers = index.batch_range(&queries, &[1.0, 1.0]).expect("search");
+    /// assert_eq!(answers.len(), 2, "one answer list per query");
+    /// assert!(answers[0].iter().any(|n| n.id == 0), "a query finds itself");
+    /// assert!(answers[0].windows(2).all(|w| w[0].dist <= w[1].dist), "canonical order");
+    /// ```
     pub fn batch_range(
         &self,
         queries: &[O],
@@ -212,6 +258,32 @@ where
     }
 
     /// Batched metric kNN query (Algorithm 5) plus the cache-list scan.
+    ///
+    /// `answers[i]` holds the `k` nearest distinct indexed objects to
+    /// `queries[i]` (exact, sorted by distance then id). The per-query
+    /// distance bound tightens level by level — the paper's "progressively
+    /// narrowed distance boundary".
+    ///
+    /// ```
+    /// use gts_core::{Gts, GtsParams};
+    /// use gpu_sim::Device;
+    /// use metric_space::DatasetKind;
+    ///
+    /// let data = DatasetKind::Words.generate(1_000, 42);
+    /// let device = Device::rtx_2080_ti();
+    /// let index = Gts::build(&device, data.items.clone(), data.metric, GtsParams::default())
+    ///     .expect("construction");
+    ///
+    /// let queries = vec![data.items[0].clone(), data.items[7].clone()];
+    /// let knn = index.batch_knn(&queries, 5).expect("search");
+    /// assert_eq!(knn[0].len(), 5);
+    /// assert_eq!(knn[0][0].id, 0, "the query object is its own 1-NN");
+    ///
+    /// // What the search actually did (the counters of `SearchStats`).
+    /// let stats = index.stats();
+    /// assert!(stats.distance_computations > 0);
+    /// assert!(stats.nodes_expanded > 0, "the frontier descended the tree");
+    /// ```
     pub fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         self.transfer_queries_in(queries);
         let mut results = search::batch_knn(&self.ctx(), queries, k).map_err(gpu_err)?;
@@ -260,13 +332,17 @@ where
             return Vec::new();
         }
         let n = queries.len() * ids.len();
+        let threads = self.params.effective_host_threads(self.dev.host_threads());
         let mut out = vec![0.0f64; ids.len()];
         let mut dists: Vec<(u32, u32, f64)> = Vec::with_capacity(n);
         self.dev.launch_batch(n, || {
             let mut total = 0u64;
             let mut span = 0u64;
             for (q, query) in queries.iter().enumerate() {
-                let (w, s) = self.metric.distance_batch(
+                let (w, s) = distance_block(
+                    &self.dev,
+                    threads,
+                    &self.metric,
                     &self.objects,
                     self.arena.as_ref(),
                     query,

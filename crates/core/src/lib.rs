@@ -36,9 +36,12 @@
 //! the whole index is rebuilt with the parallel constructor (`O(log³ n)`
 //! simulated time).
 
+#![warn(missing_docs)]
 pub mod build;
 pub mod cost;
+mod dispatch;
 pub mod index;
+pub mod memo;
 pub mod multi;
 pub mod node;
 pub mod params;
@@ -50,6 +53,7 @@ pub mod update;
 
 pub use cost::CostModel;
 pub use index::Gts;
+pub use memo::PairMemo;
 pub use multi::MultiGts;
 pub use params::GtsParams;
 pub use stats::SearchStats;

@@ -1,0 +1,226 @@
+//! Flat open-addressing memo for per-batch `(query, pivot)` distances.
+//!
+//! The search hot path memoises every `d(query, pivot)` it computes so a
+//! pivot re-encountered deeper in the tree (a singleton node re-selecting
+//! its parent's pivot) is never evaluated twice within a batch. That memo
+//! used to be a `std::collections::HashMap<(u32, u32), f64>` — SipHash over
+//! a 8-byte key plus a heap-boxed bucket layout, probed once per frontier
+//! entry per level. [`PairMemo`] replaces it with the classic kernel-side
+//! layout: both ids packed into one `u64` key (`query << 32 | pivot`),
+//! Fibonacci multiplicative hashing, and linear probing over two flat
+//! arrays (keys, values) sized to a power of two. Lookups touch one cache
+//! line in the common case and the table is reusable across batches via
+//! [`PairMemo::clear`] (no deallocation).
+//!
+//! `BENCH_memo.json` (see `REPORT.md`) carries the micro-comparison
+//! against the `HashMap` it replaced.
+
+/// Sentinel for an empty slot. Corresponds to the pair
+/// `(u32::MAX, u32::MAX)`, which cannot occur: query indices are bounded
+/// by the batch size and pivot ids by the object-store length, both
+/// strictly below `u32::MAX` (the store's ids are `u32` indices into a
+/// `Vec`, so a full store would exceed addressable memory long before).
+const EMPTY: u64 = u64::MAX;
+
+/// Minimum table capacity (slots); small batches stay cache-resident.
+const MIN_CAPACITY: usize = 64;
+
+/// A flat open-addressing hash table from `(query, pivot)` id pairs to
+/// distances.
+///
+/// Deterministic by construction — iteration order is never exposed, and
+/// insert/lookup results depend only on the inserted set. The table grows
+/// by doubling at ⅞ load so probe chains stay short; `f64` values are
+/// stored verbatim (bit-exact, NaN-safe: presence is keyed on the slot
+/// key, never on the value).
+#[derive(Clone, Debug)]
+pub struct PairMemo {
+    /// Slot keys (`EMPTY` = vacant), length `mask + 1` (power of two).
+    keys: Vec<u64>,
+    /// Slot values, parallel to `keys`.
+    vals: Vec<f64>,
+    /// Capacity mask (`capacity - 1`).
+    mask: usize,
+    /// Occupied slots.
+    len: usize,
+}
+
+impl Default for PairMemo {
+    fn default() -> Self {
+        PairMemo::with_capacity(MIN_CAPACITY)
+    }
+}
+
+#[inline]
+fn pack(query: u32, pivot: u32) -> u64 {
+    (u64::from(query) << 32) | u64::from(pivot)
+}
+
+/// Fibonacci (multiplicative) hash: spreads consecutive packed ids across
+/// the table; the shift keeps the high-quality top bits.
+#[inline]
+fn slot_of(key: u64, mask: usize) -> usize {
+    let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (h >> 32) as usize & mask
+}
+
+impl PairMemo {
+    /// A memo with room for at least `capacity` slots (rounded up to a
+    /// power of two, floored at an internal minimum).
+    pub fn with_capacity(capacity: usize) -> PairMemo {
+        let cap = capacity.next_power_of_two().max(MIN_CAPACITY);
+        PairMemo {
+            keys: vec![EMPTY; cap],
+            vals: vec![0.0; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of memoised pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The memoised distance for `(query, pivot)`, if any.
+    #[inline]
+    pub fn get(&self, query: u32, pivot: u32) -> Option<f64> {
+        let key = pack(query, pivot);
+        debug_assert_ne!(key, EMPTY, "the sentinel pair cannot be queried");
+        let mut slot = slot_of(key, self.mask);
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return Some(self.vals[slot]);
+            }
+            if k == EMPTY {
+                return None;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Memoise `d` for `(query, pivot)`; a repeated insert overwrites (the
+    /// hot paths only ever re-insert the identical value).
+    #[inline]
+    pub fn insert(&mut self, query: u32, pivot: u32, d: f64) {
+        if (self.len + 1) * 8 > (self.mask + 1) * 7 {
+            self.grow();
+        }
+        let key = pack(query, pivot);
+        debug_assert_ne!(key, EMPTY, "the sentinel pair cannot be inserted");
+        let mut slot = slot_of(key, self.mask);
+        loop {
+            let k = self.keys[slot];
+            if k == EMPTY {
+                self.keys[slot] = key;
+                self.vals[slot] = d;
+                self.len += 1;
+                return;
+            }
+            if k == key {
+                self.vals[slot] = d;
+                return;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    /// Drop every entry, keeping the allocation (the per-batch reset).
+    pub fn clear(&mut self) {
+        self.keys.fill(EMPTY);
+        self.len = 0;
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.mask + 1) * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; new_cap]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![0.0; new_cap]);
+        self.mask = new_cap - 1;
+        for (k, v) in old_keys.into_iter().zip(old_vals) {
+            if k == EMPTY {
+                continue;
+            }
+            let mut slot = slot_of(k, self.mask);
+            while self.keys[slot] != EMPTY {
+                slot = (slot + 1) & self.mask;
+            }
+            self.keys[slot] = k;
+            self.vals[slot] = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut m = PairMemo::default();
+        assert!(m.is_empty());
+        assert_eq!(m.get(1, 2), None);
+        m.insert(1, 2, 3.5);
+        m.insert(2, 1, -0.0);
+        assert_eq!(m.get(1, 2), Some(3.5));
+        assert_eq!(m.get(2, 1).map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(m.get(2, 2), None, "asymmetric keys stay distinct");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_keeps_len() {
+        let mut m = PairMemo::default();
+        m.insert(7, 9, 1.0);
+        m.insert(7, 9, 2.0);
+        assert_eq!(m.get(7, 9), Some(2.0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn grows_past_load_factor_and_agrees_with_hashmap() {
+        let mut m = PairMemo::with_capacity(4);
+        let mut reference = std::collections::HashMap::new();
+        // Adversarial-ish key pattern: strided queries and clustered pivots.
+        for i in 0..10_000u32 {
+            let (q, p) = (i % 97, i.wrapping_mul(2_654_435_761) % 5_000);
+            let d = f64::from(i) * 0.25;
+            m.insert(q, p, d);
+            reference.insert((q, p), d);
+        }
+        assert_eq!(m.len(), reference.len());
+        for (&(q, p), &d) in &reference {
+            assert_eq!(m.get(q, p), Some(d));
+        }
+        assert_eq!(m.get(96, 4_999), reference.get(&(96, 4_999)).copied());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = PairMemo::default();
+        for i in 0..1000 {
+            m.insert(i, i, 0.0);
+        }
+        let cap = m.mask + 1;
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.mask + 1, cap);
+        assert_eq!(m.get(5, 5), None);
+        m.insert(5, 5, 9.0);
+        assert_eq!(m.get(5, 5), Some(9.0));
+    }
+
+    #[test]
+    fn nan_values_are_present() {
+        // Presence must be keyed on the slot, not the value: a NaN distance
+        // (the root's dqp convention) must still be a hit.
+        let mut m = PairMemo::default();
+        m.insert(0, 0, f64::NAN);
+        assert!(m.get(0, 0).expect("present").is_nan());
+    }
+}

@@ -29,6 +29,15 @@ pub struct GtsParams {
     /// object access — same answers, same simulated cycles, no flat-layout
     /// wall-clock speedup (the invariance tests compare the two paths).
     pub use_arena: bool,
+    /// Host threads executing the batched distance kernels; `0` (default)
+    /// means "auto" — use the device's configured
+    /// [`host_threads`](gpu_sim::DeviceConfig::host_threads). Purely a
+    /// wall-clock knob: id blocks are cut into fixed-size chunks before
+    /// the thread count is consulted, so answers, tie-breaks, and
+    /// simulated cycle counts are bit-identical for any value (the
+    /// thread-invariance tests prove it). Not persisted by snapshots —
+    /// restored indexes come back with `0 = auto`.
+    pub host_threads: usize,
 }
 
 impl Default for GtsParams {
@@ -41,6 +50,7 @@ impl Default for GtsParams {
             fft_pivots: true,
             query_grouping: true,
             use_arena: true,
+            host_threads: 0,
         }
     }
 }
@@ -70,6 +80,23 @@ impl GtsParams {
         self.use_arena = use_arena;
         self
     }
+
+    /// Builder-style host-thread override (`0` = auto, i.e. defer to the
+    /// device configuration).
+    pub fn with_host_threads(mut self, host_threads: usize) -> Self {
+        self.host_threads = host_threads;
+        self
+    }
+
+    /// The thread count the batched kernels should actually use, given the
+    /// device's configured auto value.
+    pub fn effective_host_threads(&self, device_auto: usize) -> usize {
+        if self.host_threads == 0 {
+            device_auto.max(1)
+        } else {
+            self.host_threads
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,6 +114,16 @@ mod tests {
         );
         assert!(p.two_sided_pruning && p.fft_pivots && p.query_grouping);
         assert!(p.use_arena, "flat arena kernels are the default");
+        assert_eq!(p.host_threads, 0, "auto host threads by default");
+    }
+
+    #[test]
+    fn host_thread_resolution() {
+        let auto = GtsParams::default();
+        assert_eq!(auto.effective_host_threads(8), 8);
+        assert_eq!(auto.effective_host_threads(0), 1, "auto floors at 1");
+        let pinned = GtsParams::default().with_host_threads(3);
+        assert_eq!(pinned.effective_host_threads(8), 3);
     }
 
     #[test]

@@ -7,15 +7,20 @@
 //!
 //! **Batched distance kernels.** Every distance evaluation in the hot path
 //! goes through [`BatchMetric::distance_batch`]: frontier entries are
-//! resolved against the flat [`ObjectArena`](metric_space::ObjectArena)
+//! resolved against the flat [`ObjectArena`]
 //! (contiguous payloads, no per-object pointer chasing) and each level
 //! launches **one** batched kernel via [`Device::launch_batch`], charged
 //! once per batch with the same work–span accounting as the per-pair path.
-//! A per-batch `(query, pivot)` **distance memo** short-circuits repeated
-//! evaluations of the same pair (e.g. a singleton child re-selecting its
-//! parent's pivot), and all level-loop buffers live in a [`SearchScratch`]
-//! reused across levels — the steady-state loop performs no `Vec`
-//! allocation.
+//! Inside a launch, large id blocks are fanned out over real host threads
+//! by the dispatch layer (`crate::dispatch`): fixed-size chunks, per-chunk
+//! work-span combined by sum/max, so the thread count
+//! ([`GtsParams::host_threads`]) changes wall-clock only — never answers,
+//! tie-breaks, or simulated cycles. A per-batch `(query, pivot)`
+//! **distance memo** (a flat open-addressing [`PairMemo`]) short-circuits
+//! repeated evaluations of the same pair (e.g. a singleton child
+//! re-selecting its parent's pivot), and all level-loop buffers live in a
+//! `SearchScratch` reused across levels — the steady-state loop performs
+//! no `Vec` allocation.
 //!
 //! The **two-stage memory strategy** bounds the frontier at layer `i` to
 //! `size_GPU / ((h − i + 1)·Nc)` entries; a batch exceeding the bound is
@@ -33,6 +38,8 @@
 //! then computes real distances for survivors only — one batched kernel per
 //! wave.
 
+use crate::dispatch::distance_block;
+use crate::memo::PairMemo;
 use crate::node::TreeShape;
 use crate::params::GtsParams;
 use crate::stats::SearchStats;
@@ -43,7 +50,6 @@ use metric_space::index::{sort_neighbors, Neighbor};
 use metric_space::lemmas::{prune_node_knn, prune_node_range};
 use metric_space::{BatchMetric, ObjectArena};
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// One intermediate-result element `E = {N, q, ...}` of the paper's `Q_Res`.
@@ -128,12 +134,18 @@ pub(crate) struct SearchCtx<'a, O, M> {
     /// valid for *ring pruning*, which concerns the tree geometry).
     pub live: &'a [bool],
     pub stats: &'a SearchStats,
+    /// Host threads for the batched kernels (resolved from
+    /// [`GtsParams::effective_host_threads`]); wall-clock only — the
+    /// dispatch layer cuts fixed-size chunks so results and cycle counts
+    /// never depend on it.
+    pub threads: usize,
     /// Per-batch `(query, pivot)` distance memo: ring-prune tests on
     /// siblings share the parent-pivot distance via [`Frontier::dqp`], and
     /// this memo extends the same guarantee to pivots re-encountered across
     /// levels (a singleton node re-selects its parent's pivot) — those
-    /// pairs are never recomputed within a batch.
-    pub memo: RefCell<HashMap<(u32, u32), f64>>,
+    /// pairs are never recomputed within a batch. A flat open-addressing
+    /// table ([`PairMemo`]), probed once per frontier entry per level.
+    pub memo: RefCell<PairMemo>,
 }
 
 impl<'a, O, M> SearchCtx<'a, O, M>
@@ -212,8 +224,8 @@ where
                 .get(e.node as usize)
                 .pivot
                 .expect("expanded node is internal");
-            match memo.get(&(e.query, pivot)) {
-                Some(&d) => dq[i] = d,
+            match memo.get(e.query, pivot) {
+                Some(d) => dq[i] = d,
                 None => pending.push(i as u32),
             }
         }
@@ -237,7 +249,10 @@ where
                 }));
                 kernel_out.clear();
                 kernel_out.resize(j - i, 0.0);
-                let (w, s) = self.metric.distance_batch(
+                let (w, s) = distance_block(
+                    self.dev.as_ref(),
+                    self.threads,
+                    self.metric,
                     self.objects,
                     self.arena,
                     &queries[q as usize],
@@ -248,7 +263,7 @@ where
                 span = span.max(s);
                 for (k, &pi) in pending[i..j].iter().enumerate() {
                     dq[pi as usize] = kernel_out[k];
-                    memo.insert((q, kernel_ids[k]), kernel_out[k]);
+                    memo.insert(q, kernel_ids[k], kernel_out[k]);
                 }
                 i = j;
             }
@@ -461,7 +476,10 @@ fn verify_range<O, M>(
             if !kernel_ids.is_empty() {
                 kernel_out.clear();
                 kernel_out.resize(kernel_ids.len(), 0.0);
-                let (w, s) = ctx.metric.distance_batch(
+                let (w, s) = distance_block(
+                    ctx.dev.as_ref(),
+                    ctx.threads,
+                    ctx.metric,
                     ctx.objects,
                     ctx.arena,
                     &queries[q as usize],
@@ -873,7 +891,10 @@ fn verify_knn<O, M>(
                 if !kernel_ids.is_empty() {
                     kernel_out.clear();
                     kernel_out.resize(kernel_ids.len(), 0.0);
-                    let (w, s) = ctx.metric.distance_batch(
+                    let (w, s) = distance_block(
+                        ctx.dev.as_ref(),
+                        ctx.threads,
+                        ctx.metric,
                         ctx.objects,
                         ctx.arena,
                         &queries[q as usize],

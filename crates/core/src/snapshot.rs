@@ -163,6 +163,9 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         fft_pivots: r.u8()? != 0,
         query_grouping: r.u8()? != 0,
         use_arena: r.u8()? != 0,
+        // Host execution knobs are not index state: a snapshot restored on
+        // a different machine should use that machine's parallelism.
+        host_threads: 0,
     };
     if params.node_capacity < 2 {
         return Err(IndexError::Unsupported("corrupt snapshot: node capacity"));

@@ -183,9 +183,19 @@ impl Device {
     /// `n = 0` executes `f` without charging (no kernel is launched),
     /// mirroring `launch_map`'s empty-grid behaviour.
     ///
-    /// Unlike `launch_map`, the batch routine runs on the calling host
-    /// thread — simulated time is analytic either way, so only wall-clock
-    /// is affected; host-parallel batch kernels are a ROADMAP item.
+    /// # Host parallelism and the determinism contract
+    ///
+    /// The batch routine is entered on the calling host thread, but it may
+    /// fan its heavy lifting out over real host threads by handing
+    /// fixed-size chunk work items to [`Device::run_batch_chunks`] and
+    /// folding the returned `(work, span)` into the triple it reports —
+    /// that is the parallel execution strategy of the GTS hot paths.
+    /// Simulated time is analytic either way: chunks are cut at
+    /// [`exec::BATCH_CHUNK`] boundaries *before* any thread count is
+    /// consulted, per-chunk `(work, span)` combine by `u64` sum/max, and
+    /// the batch is still charged **once**, so answers, tie-breaks, and
+    /// cycle counts are bit-identical for 1 or N host threads — only
+    /// wall-clock changes.
     ///
     /// [`BatchMetric`-style]: Device::launch_map
     pub fn launch_batch<T>(&self, n: usize, f: impl FnOnce() -> (T, u64, u64)) -> T {
@@ -198,6 +208,39 @@ impl Device {
         let padded = total + (lanes - n as u64) * (total / n as u64);
         self.charge_kernel(padded, span);
         out
+    }
+
+    /// Execute pre-split chunk work items of a batched kernel across host
+    /// threads, returning their combined `(total_work, span)` — the
+    /// parallel execution strategy used *inside* [`Device::launch_batch`]
+    /// closures.
+    ///
+    /// `threads = 0` means "auto": use the device's configured
+    /// [`host_threads`](DeviceConfig::host_threads). Charging stays with
+    /// the enclosing `launch_batch` call (once per batch); this method only
+    /// executes and aggregates. Chunk items must write disjoint output
+    /// slices — cut them with a fixed chunk size
+    /// ([`exec::BATCH_CHUNK`]) so results and accounting are independent of
+    /// the thread count; see [`exec::par_run`] for the determinism
+    /// argument.
+    pub fn run_batch_chunks<I: Send>(
+        &self,
+        threads: usize,
+        items: Vec<I>,
+        f: impl Fn(I) -> (u64, u64) + Sync,
+    ) -> (u64, u64) {
+        let threads = if threads == 0 {
+            self.cfg.host_threads
+        } else {
+            threads
+        };
+        exec::par_run(items, threads, f)
+    }
+
+    /// Host threads the device uses to execute kernels (wall-clock only;
+    /// never affects results or simulated time).
+    pub fn host_threads(&self) -> usize {
+        self.cfg.host_threads
     }
 
     // -- memory -------------------------------------------------------------
@@ -485,6 +528,38 @@ mod tests {
             batched.stats(),
             "identical clock + counters"
         );
+    }
+
+    #[test]
+    fn chunked_parallel_batch_charges_exactly_like_serial_batch() {
+        // The same grid, executed three ways: per-pair launch_map, serial
+        // launch_batch, and launch_batch with run_batch_chunks fan-out.
+        // All three must leave identical device counters.
+        let n = 10_000usize;
+        let works: Vec<u64> = (0..n).map(|i| (i % 11 + 1) as u64).collect();
+        let serial = tiny_device(1 << 20);
+        serial.launch_batch(n, || {
+            (
+                (),
+                works.iter().sum(),
+                *works.iter().max().expect("nonempty"),
+            )
+        });
+        for threads in [1usize, 4, 8] {
+            let dev = tiny_device(1 << 20);
+            dev.launch_batch(n, || {
+                let chunks: Vec<&[u64]> = works.chunks(crate::exec::BATCH_CHUNK).collect();
+                let (total, span) = dev.run_batch_chunks(threads, chunks, |c| {
+                    (c.iter().sum(), *c.iter().max().expect("nonempty"))
+                });
+                ((), total, span)
+            });
+            assert_eq!(
+                dev.stats(),
+                serial.stats(),
+                "threads = {threads}: chunked execution must charge identically"
+            );
+        }
     }
 
     #[test]

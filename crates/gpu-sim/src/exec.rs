@@ -5,6 +5,19 @@
 //! disjoint, index-ordered chunk, and chunks are concatenated in order. Host
 //! threading affects wall-clock time only; simulated cycles are computed
 //! analytically from the work the closures report.
+//!
+//! Two execution shapes live here:
+//!
+//! * [`par_map`] — per-item closures producing one value each (the
+//!   [`Device::launch_map`](crate::Device::launch_map) grid shape);
+//! * [`par_run`] — pre-split *chunk* work items, each reporting the
+//!   `(work, span)` it performed (the batched-kernel shape of
+//!   [`Device::run_batch_chunks`](crate::Device::run_batch_chunks)). Chunks
+//!   are cut to the fixed size [`BATCH_CHUNK`] by the caller, so the chunk
+//!   boundaries — and therefore every per-chunk result — are independent of
+//!   the thread count; `(work, span)` combine by `u64` sum/max, which are
+//!   associative and commutative, so the aggregate charge is bit-identical
+//!   for 1 or N threads.
 
 /// Map `f` over `0..n`, producing results in index order.
 ///
@@ -44,6 +57,63 @@ where
 /// Below this many items the spawn cost outweighs the win; run inline.
 pub const PAR_THRESHOLD: usize = 4096;
 
+/// Fixed chunk length (in grid items, i.e. distance pairs) for
+/// host-parallel batched kernels.
+///
+/// Batched kernels split each id block into chunks of exactly this many
+/// items *before* choosing how many threads execute them, so the set of
+/// chunks — and every chunk's `(work, span)` contribution — is a pure
+/// function of the block, never of the host. This is the same
+/// fixed-boundary scheme [`par_map`] uses for its index-ordered result
+/// chunks, applied to the batch shape.
+pub const BATCH_CHUNK: usize = 2048;
+
+/// Execute pre-split chunk work items across up to `threads` host threads,
+/// returning the combined `(total_work, span)`.
+///
+/// Work items are assigned to workers round-robin by chunk index (worker
+/// `t` runs chunks `t, t + T, t + 2T, …` in order), each item reports the
+/// `(work, span)` it performed, and the results combine by sum/max — both
+/// associative and commutative over `u64`, so the return value is
+/// **bit-identical regardless of `threads`**. Runs inline when `threads
+/// <= 1` or there is at most one item.
+///
+/// The items themselves must keep their side effects disjoint (each chunk
+/// writes its own output slice); the batched kernels guarantee this by
+/// construction.
+pub fn par_run<I, F>(items: Vec<I>, threads: usize, f: F) -> (u64, u64)
+where
+    I: Send,
+    F: Fn(I) -> (u64, u64) + Sync,
+{
+    let combine = |(total, span): (u64, u64), (w, s): (u64, u64)| (total + w, span.max(s));
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(&f).fold((0, 0), combine);
+    }
+    let threads = threads.min(items.len());
+    // Round-robin partition: worker t owns chunks t, t+T, … — contiguous
+    // blocks vary in payload size, so striding balances better than
+    // splitting the chunk list in half.
+    let mut per_worker: Vec<Vec<I>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        per_worker[i % threads].push(item);
+    }
+    let mut acc = (0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|chunk_list| {
+                let f = &f;
+                s.spawn(move || chunk_list.into_iter().map(f).fold((0, 0), combine))
+            })
+            .collect();
+        for h in handles {
+            acc = combine(acc, h.join().expect("batch kernel worker panicked"));
+        }
+    });
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,5 +136,50 @@ mod tests {
         let a = par_map(20_000, 1, |i| i as u64 * 7 % 13);
         let b = par_map(20_000, 7, |i| i as u64 * 7 % 13);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_run_combines_work_span_identically_across_thread_counts() {
+        // Uneven per-chunk work: chunk i reports (i*3 + 1, i % 5).
+        let mk_items = || (0..37u64).map(|i| (i * 3 + 1, i % 5)).collect::<Vec<_>>();
+        let expect = mk_items()
+            .into_iter()
+            .fold((0u64, 0u64), |(t, s), (w, sp)| (t + w, s.max(sp)));
+        for threads in [1, 2, 3, 8, 64] {
+            let got = par_run(mk_items(), threads, |x| x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_run_writes_disjoint_chunks() {
+        let n = BATCH_CHUNK * 5 + 123;
+        let mut out = vec![0u64; n];
+        // Pre-split `out` into BATCH_CHUNK-sized work items.
+        let mut items: Vec<(usize, &mut [u64])> = Vec::new();
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        while rest.len() > BATCH_CHUNK {
+            let (head, tail) = rest.split_at_mut(BATCH_CHUNK);
+            items.push((start, head));
+            start += BATCH_CHUNK;
+            rest = tail;
+        }
+        items.push((start, rest));
+        let (total, span) = par_run(items, 4, |(start, slice)| {
+            for (i, v) in slice.iter_mut().enumerate() {
+                *v = (start + i) as u64 * 2;
+            }
+            (slice.len() as u64, 1)
+        });
+        assert_eq!(total, n as u64);
+        assert_eq!(span, 1);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn par_run_empty_and_single() {
+        assert_eq!(par_run(Vec::<(u64, u64)>::new(), 8, |x| x), (0, 0));
+        assert_eq!(par_run(vec![(7, 3)], 8, |x| x), (7, 3));
     }
 }

@@ -24,6 +24,7 @@
 //! results and identical simulated cycle counts regardless of how many host
 //! threads execute it.
 
+#![warn(missing_docs)]
 pub mod config;
 pub mod cpu;
 pub mod device;

@@ -19,10 +19,18 @@
 //! * `distance_batch_bounded` may abandon early (Ukkonen banding for edit
 //!   distance) but is exact whenever it reports `Some(d)`, and `Some(d)` is
 //!   reported iff `d ≤ bound`.
+//! * The kernels are **chunk-safe**: evaluating disjoint sub-slices of one
+//!   id block concurrently from several host threads (see [`chunk_pairs`])
+//!   produces the same outputs and the same summed `(total, span)` as one
+//!   serial call over the whole block. Each pair's result depends only on
+//!   `(query, id)`, mutable state is confined to per-thread DP scratch
+//!   ([`crate::dist::with_edit_scratch`]), and the arena is read-only — so
+//!   callers may slice the arena-resolved block at any fixed chunk
+//!   boundary and fan the chunks out.
 
 use crate::arena::{ArenaKind, ObjectArena};
 use crate::dist::{
-    edit_distance_bounded_bytes_with, edit_distance_bytes_with, EditDistance, EditScratch,
+    edit_distance_bounded_bytes_with, edit_distance_bytes_with, with_edit_scratch, EditDistance,
     ItemMetric, Metric,
 };
 use crate::object::Item;
@@ -78,6 +86,17 @@ fn scalar_batch_bounded<O, M: Metric<O> + ?Sized>(
 /// batched entry points then dispatch to [`Metric::distance`] per pair with
 /// identical results and work accounting, just without the flat-layout
 /// speedup. [`ItemMetric`] overrides everything with arena-backed kernels.
+///
+/// # Chunk-safety contract
+///
+/// The index hot paths may split one id block into fixed-size chunks (see
+/// [`chunk_pairs`]) and call `distance_batch` on the chunks from several
+/// host threads concurrently. Implementations must therefore keep each
+/// pair's result a pure function of `(query, id)` and confine any mutable
+/// scratch to the call or the thread (the shipped edit kernels use the
+/// per-thread scratch of [`crate::dist::with_edit_scratch`]). The scalar
+/// defaults satisfy this automatically — `Metric` is `Send + Sync` and the
+/// defaults hold no state.
 pub trait BatchMetric<O>: Metric<O> {
     /// Build the flat arena for `objects`, or `None` when this metric (or
     /// this object type) has no flat layout — callers then pass
@@ -136,6 +155,52 @@ pub trait BatchMetric<O>: Metric<O> {
     }
 }
 
+/// One chunk of a batched distance kernel: a disjoint slice of the id
+/// block and the output slice it fills.
+///
+/// Produced by [`chunk_pairs`]; consumed by a host-thread worker calling
+/// [`BatchMetric::distance_batch`] on exactly this slice pair. Chunks of
+/// one block never overlap, so they can execute concurrently.
+#[derive(Debug)]
+pub struct BatchChunk<'a> {
+    /// Object ids this chunk resolves (against the arena or object store).
+    pub ids: &'a [u32],
+    /// Output slots, parallel to `ids`.
+    pub out: &'a mut [f64],
+}
+
+/// Split one `(ids, out)` block into fixed-size chunks of at most `chunk`
+/// pairs each, in index order.
+///
+/// The boundaries depend only on `chunk` and the block length — never on
+/// how many threads will run the chunks — which is what makes the
+/// host-parallel execution deterministic: every chunk computes the same
+/// pairs and reports the same `(work, span)` no matter which worker picks
+/// it up. An empty block yields no chunks.
+///
+/// # Panics
+/// Panics if `chunk == 0` or `ids.len() != out.len()`.
+pub fn chunk_pairs<'a>(chunk: usize, ids: &'a [u32], out: &'a mut [f64]) -> Vec<BatchChunk<'a>> {
+    assert!(chunk > 0, "chunk size must be positive");
+    assert_eq!(ids.len(), out.len());
+    let mut jobs = Vec::with_capacity(ids.len().div_ceil(chunk));
+    let (mut ids, mut out) = (ids, out);
+    while ids.len() > chunk {
+        let (id_head, id_tail) = ids.split_at(chunk);
+        let (out_head, out_tail) = out.split_at_mut(chunk);
+        jobs.push(BatchChunk {
+            ids: id_head,
+            out: out_head,
+        });
+        ids = id_tail;
+        out = out_tail;
+    }
+    if !ids.is_empty() {
+        jobs.push(BatchChunk { ids, out });
+    }
+    jobs
+}
+
 /// Clamp a float radius to the integer bound the banded edit DP expects:
 /// an integer distance `d` satisfies `d ≤ r` iff `d ≤ ⌊r⌋`. Negative and
 /// NaN radii admit no distance at all.
@@ -175,14 +240,15 @@ impl BatchMetric<Item> for ItemMetric {
         match (self, arena, query) {
             (ItemMetric::Edit, Some(arena), Item::Text(q)) => {
                 let q = q.as_bytes();
-                let mut scratch = EditScratch::default();
-                for (slot, &id) in out.iter_mut().zip(ids) {
-                    let o = arena.text_bytes(id);
-                    *slot = f64::from(edit_distance_bytes_with(q, o, &mut scratch));
-                    let w = EditDistance::work_full_lens(q.len(), o.len());
-                    total += w;
-                    span = span.max(w);
-                }
+                with_edit_scratch(|scratch| {
+                    for (slot, &id) in out.iter_mut().zip(ids) {
+                        let o = arena.text_bytes(id);
+                        *slot = f64::from(edit_distance_bytes_with(q, o, scratch));
+                        let w = EditDistance::work_full_lens(q.len(), o.len());
+                        total += w;
+                        span = span.max(w);
+                    }
+                });
             }
             (ItemMetric::Vector(m), Some(arena), Item::Vector(q)) => {
                 for (slot, &id) in out.iter_mut().zip(ids) {
@@ -216,27 +282,28 @@ impl BatchMetric<Item> for ItemMetric {
         match (self, query) {
             (ItemMetric::Edit, Item::Text(q)) => {
                 let qb = q.as_bytes();
-                let mut scratch = EditScratch::default();
-                for ((slot, &id), &bound) in out.iter_mut().zip(ids).zip(bounds) {
-                    let o = match arena {
-                        Some(arena) => arena.text_bytes(id),
-                        None => objects[id as usize]
-                            .as_text()
-                            .expect("edit metric over text items")
-                            .as_bytes(),
-                    };
-                    match edit_bound(bound) {
-                        None => *slot = None,
-                        Some(b) => {
-                            *slot = edit_distance_bounded_bytes_with(qb, o, b, &mut scratch)
-                                .map(f64::from);
-                            // Charge the banded DP, not the full table.
-                            let w = EditDistance::work_bounded_lens(qb.len(), o.len(), b);
-                            total += w;
-                            span = span.max(w);
+                with_edit_scratch(|scratch| {
+                    for ((slot, &id), &bound) in out.iter_mut().zip(ids).zip(bounds) {
+                        let o = match arena {
+                            Some(arena) => arena.text_bytes(id),
+                            None => objects[id as usize]
+                                .as_text()
+                                .expect("edit metric over text items")
+                                .as_bytes(),
+                        };
+                        match edit_bound(bound) {
+                            None => *slot = None,
+                            Some(b) => {
+                                *slot = edit_distance_bounded_bytes_with(qb, o, b, scratch)
+                                    .map(f64::from);
+                                // Charge the banded DP, not the full table.
+                                let w = EditDistance::work_bounded_lens(qb.len(), o.len(), b);
+                                total += w;
+                                span = span.max(w);
+                            }
                         }
                     }
-                }
+                });
             }
             (ItemMetric::Vector(m), Item::Vector(q)) => {
                 for ((slot, &id), &bound) in out.iter_mut().zip(ids).zip(bounds) {
@@ -375,6 +442,55 @@ mod tests {
                 metric.distance_batch_bounded(&items, None, q, &ids, &bounds, &mut without);
             assert_eq!(with, without, "{}", metric.name());
             assert_eq!(charged_with, charged_without, "{}", metric.name());
+        }
+    }
+
+    #[test]
+    fn chunk_pairs_fixed_boundaries() {
+        let ids: Vec<u32> = (0..10).collect();
+        let mut out = vec![0.0; 10];
+        let jobs = chunk_pairs(4, &ids, &mut out);
+        let lens: Vec<usize> = jobs.iter().map(|j| j.ids.len()).collect();
+        assert_eq!(lens, vec![4, 4, 2]);
+        assert_eq!(jobs[2].ids, &[8, 9]);
+        let mut empty_out: Vec<f64> = Vec::new();
+        assert!(chunk_pairs(4, &[], &mut empty_out).is_empty());
+        // A block no larger than one chunk stays whole.
+        let mut out1 = vec![0.0; 4];
+        assert_eq!(chunk_pairs(4, &ids[..4], &mut out1).len(), 1);
+    }
+
+    #[test]
+    fn chunked_parallel_execution_matches_serial() {
+        // Run the same id block serially and as concurrently-executed
+        // chunks; outputs must be bit-identical and (total, span) must sum
+        // to the same aggregate.
+        for (metric, items) in [(ItemMetric::Edit, words()), (ItemMetric::L2, vectors())] {
+            let arena = metric.build_arena(&items).expect("arena");
+            let n = 1000usize;
+            let ids: Vec<u32> = (0..n as u32).map(|i| i % items.len() as u32).collect();
+            let q = items[3].clone();
+            let mut serial = vec![0.0; n];
+            let expect = metric.distance_batch(&items, Some(&arena), &q, &ids, &mut serial);
+            let mut parallel = vec![0.0; n];
+            let jobs = chunk_pairs(64, &ids, &mut parallel);
+            let got = std::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .into_iter()
+                    .map(|job| {
+                        let (metric, items, arena, q) = (&metric, &items, &arena, &q);
+                        s.spawn(move || {
+                            metric.distance_batch(items, Some(arena), q, job.ids, job.out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chunk worker"))
+                    .fold((0u64, 0u64), |(t, sp), (w, s)| (t + w, sp.max(s)))
+            });
+            assert_eq!(serial, parallel, "{}", metric.name());
+            assert_eq!(expect, got, "{}: chunked accounting", metric.name());
         }
     }
 

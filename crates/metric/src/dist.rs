@@ -50,11 +50,20 @@ pub struct EditScratch {
 }
 
 std::thread_local! {
-    /// Per-thread scratch backing the scalar `edit_distance*` entry points.
-    /// Kernel execution may fan out over host threads (`gpu_sim::exec`), so
-    /// the fallback scratch must be per-thread, not global.
+    /// Per-thread scratch backing the scalar `edit_distance*` entry points
+    /// **and** the batched edit kernels. Kernel execution fans out over
+    /// host threads (`gpu_sim::exec` chunk workers), so the scratch must be
+    /// per-thread, not global: each worker reuses its own DP rows across
+    /// every chunk it executes, and chunks never contend.
     static EDIT_SCRATCH: std::cell::RefCell<EditScratch> =
         std::cell::RefCell::new(EditScratch::default());
+}
+
+/// Run `f` with this thread's reusable [`EditScratch`] — the chunk-safe
+/// scratch entry the batched kernels use (one DP-row pair per host thread,
+/// reused across batches and chunks, never shared between threads).
+pub fn with_edit_scratch<R>(f: impl FnOnce(&mut EditScratch) -> R) -> R {
+    EDIT_SCRATCH.with(|s| f(&mut s.borrow_mut()))
 }
 
 /// Classic two-row dynamic-programming Levenshtein distance.

@@ -26,6 +26,7 @@
 //! * [`stats`] — sampled distance-distribution statistics feeding the §5.3
 //!   cost model.
 
+#![warn(missing_docs)]
 pub mod arena;
 pub mod batch;
 pub mod dataset;
@@ -38,7 +39,7 @@ pub mod pivot;
 pub mod stats;
 
 pub use arena::{ArenaKind, ObjectArena};
-pub use batch::BatchMetric;
+pub use batch::{chunk_pairs, BatchChunk, BatchMetric};
 pub use dataset::{Dataset, DatasetKind};
 pub use dist::{EditDistance, EditScratch, ItemMetric, Metric, VectorMetric};
 pub use index::{DynamicIndex, IndexError, Neighbor, SimilarityIndex};

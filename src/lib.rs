@@ -37,6 +37,7 @@
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the reproduction methodology.
 
+#![warn(missing_docs)]
 pub use baselines;
 pub use gpu_sim as gpu;
 pub use gts_core as core;

@@ -1,8 +1,11 @@
 //! Arena invariance: the flat-arena batched kernels are a pure layout
+//! optimisation, and host-parallel chunked execution is a pure wall-clock
 //! optimisation. Searches over the arena path must return **identical**
 //! MRQ/MkNNQ answers *and identical simulated cycle counts* to the per-pair
 //! fallback path (`use_arena = false`), which accesses boxed `Item` payloads
-//! one pair at a time exactly like the original implementation.
+//! one pair at a time exactly like the original implementation — and runs
+//! with any `host_threads` setting must be bit-identical to single-threaded
+//! runs, cycle counts included.
 
 use gts::gpu::DeviceStats;
 use gts::prelude::*;
@@ -15,16 +18,10 @@ struct Run {
     search_stats: gts::core::stats::StatsSnapshot,
 }
 
-fn run(kind: DatasetKind, n: usize, use_arena: bool, radius: f64) -> Run {
+fn run_with(kind: DatasetKind, n: usize, params: GtsParams, radius: f64) -> Run {
     let data = kind.generate(n, 1234);
     let dev = Device::rtx_2080_ti();
-    let gts = Gts::build(
-        &dev,
-        data.items.clone(),
-        data.metric,
-        GtsParams::default().with_use_arena(use_arena),
-    )
-    .expect("build");
+    let gts = Gts::build(&dev, data.items.clone(), data.metric, params).expect("build");
     let build_stats = dev.stats();
     let queries: Vec<Item> = (0..48u32).map(|i| data.item(i * 7).clone()).collect();
     let radii = vec![radius; queries.len()];
@@ -39,6 +36,15 @@ fn run(kind: DatasetKind, n: usize, use_arena: bool, radius: f64) -> Run {
         search_cycles,
         search_stats: gts.stats(),
     }
+}
+
+fn run(kind: DatasetKind, n: usize, use_arena: bool, radius: f64) -> Run {
+    run_with(
+        kind,
+        n,
+        GtsParams::default().with_use_arena(use_arena),
+        radius,
+    )
 }
 
 fn assert_invariant(kind: DatasetKind, radius: f64) {
@@ -74,6 +80,49 @@ fn words_arena_matches_per_pair_path() {
 #[test]
 fn vector_arena_matches_per_pair_path() {
     assert_invariant(DatasetKind::Vector, 0.35);
+}
+
+/// Thread-count invariance: `host_threads` may change wall-clock only.
+/// The dataset is sized so id blocks exceed the chunking threshold
+/// (2 × `BATCH_CHUNK` pairs) and the parallel dispatch path actually runs;
+/// answers, device counters, and search cycle counts must be bit-identical
+/// between a single-threaded run and a many-threaded run.
+fn assert_thread_invariant(kind: DatasetKind, radius: f64) {
+    let base = GtsParams::default();
+    let single = run_with(kind, 6_000, base.with_host_threads(1), radius);
+    for threads in [3usize, 8] {
+        let multi = run_with(kind, 6_000, base.with_host_threads(threads), radius);
+        assert_eq!(
+            single.mrq, multi.mrq,
+            "{kind:?}: MRQ answers must not depend on host_threads={threads}"
+        );
+        assert_eq!(
+            single.knn, multi.knn,
+            "{kind:?}: MkNNQ answers must not depend on host_threads={threads}"
+        );
+        assert_eq!(
+            single.build_stats, multi.build_stats,
+            "{kind:?}: construction counters must not depend on host_threads={threads}"
+        );
+        assert_eq!(
+            single.search_cycles, multi.search_cycles,
+            "{kind:?}: search cycles must not depend on host_threads={threads}"
+        );
+        assert_eq!(
+            single.search_stats, multi.search_stats,
+            "{kind:?}: pruning counters must not depend on host_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn words_thread_count_invariance() {
+    assert_thread_invariant(DatasetKind::Words, 2.0);
+}
+
+#[test]
+fn vector_thread_count_invariance() {
+    assert_thread_invariant(DatasetKind::Vector, 0.35);
 }
 
 #[test]

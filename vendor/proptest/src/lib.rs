@@ -88,7 +88,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specification of [`vec`]: a fixed size or a half-open range.
+    /// Length specification of [`vec()`]: a fixed size or a half-open range.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         lo: usize,
