@@ -1,0 +1,138 @@
+//! Shard-count scaling sweep: the same batched MRQ + MkNNQ workload
+//! executed by a [`ShardedGts`] over 1 / 2 / 4 / 8 devices.
+//!
+//! The figure of merit is **simulated span** — the max per-device cycle
+//! count after the batch, i.e. the critical path of shards executing
+//! concurrently — because that is the clock the sharded topology is built
+//! to shrink. Wall-clock is reported alongside (it benefits only when the
+//! host has idle cores for the shard scatter; see `host_cores` in the
+//! JSON). Every sweep point first asserts its answers are **bit-identical**
+//! to the 1-shard run, so the numbers never drift from exactness.
+//!
+//! Results are printed and written to `BENCH_shard.json` at the workspace
+//! root (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench shard_scaling`.
+
+use gpu_sim::DevicePool;
+use gts_core::{GtsParams, ShardedGts};
+use metric_space::index::Neighbor;
+use metric_space::{DatasetKind, Item, ItemMetric};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 8_000;
+const QUERIES: usize = 128;
+const K: usize = 8;
+const SHARD_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+struct SweepPoint {
+    dataset: &'static str,
+    shards: u32,
+    span_cycles: u64,
+    total_cycles: u64,
+    wall_ms: f64,
+}
+
+/// Per-query answer lists of one run (MRQ, MkNNQ).
+type Answers = (Vec<Vec<Neighbor>>, Vec<Vec<Neighbor>>);
+
+struct Workload {
+    items: Vec<Item>,
+    metric: ItemMetric,
+    queries: Vec<Item>,
+    radii: Vec<f64>,
+}
+
+fn workload(kind: DatasetKind, radius: f64) -> Workload {
+    let data = kind.generate(N, 4242);
+    let queries: Vec<Item> = (0..QUERIES)
+        .map(|i| data.items[(i * 37) % data.items.len()].clone())
+        .collect();
+    Workload {
+        items: data.items,
+        metric: data.metric,
+        radii: vec![radius; queries.len()],
+        queries,
+    }
+}
+
+fn sweep(label: &'static str, w: &Workload, out: &mut Vec<SweepPoint>) {
+    let mut reference: Option<Answers> = None;
+    for shards in SHARD_SWEEP {
+        let pool = DevicePool::rtx_2080_ti(shards as usize);
+        let index = ShardedGts::build(
+            &pool,
+            w.items.clone(),
+            w.metric,
+            GtsParams::default().with_shards(shards),
+        )
+        .expect("sharded build");
+        pool.reset_clocks();
+
+        let wall = Instant::now();
+        let mrq = index.batch_range(&w.queries, &w.radii).expect("mrq");
+        let knn = index.batch_knn(&w.queries, K).expect("knn");
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+        match &reference {
+            None => reference = Some((mrq, knn)),
+            Some((ref_mrq, ref_knn)) => {
+                assert_eq!(&mrq, ref_mrq, "{label}: MRQ diverged at {shards} shards");
+                assert_eq!(&knn, ref_knn, "{label}: MkNNQ diverged at {shards} shards");
+            }
+        }
+
+        let agg = pool.aggregate();
+        out.push(SweepPoint {
+            dataset: label,
+            shards,
+            span_cycles: agg.span_cycles,
+            total_cycles: agg.cycles_total,
+            wall_ms,
+        });
+    }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points = Vec::new();
+    let words = workload(DatasetKind::Words, 2.0);
+    sweep("edit-words", &words, &mut points);
+    let vectors = workload(DatasetKind::Vector, 0.3);
+    sweep("L2-vector", &vectors, &mut points);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"queries\": {QUERIES},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, p) in points.iter().enumerate() {
+        let base = points
+            .iter()
+            .find(|b| b.dataset == p.dataset && b.shards == 1)
+            .expect("sweep includes shards=1");
+        let speedup = base.span_cycles as f64 / p.span_cycles as f64;
+        println!(
+            "shard_scaling/{:<10} shards {:>2}: span {:>9} cycles | total {:>9} | span speedup vs 1 shard {:.2}x | {:>7.1} ms wall",
+            p.dataset, p.shards, p.span_cycles, p.total_cycles, speedup, p.wall_ms
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"dataset\": \"{}\", \"shards\": {}, \"span_cycles\": {}, \"total_cycles\": {}, \"span_speedup_vs_1\": {:.3}, \"wall_ms\": {:.2}}}{}",
+            p.dataset,
+            p.shards,
+            p.span_cycles,
+            p.total_cycles,
+            speedup,
+            p.wall_ms,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_shard.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_shard.json");
+    println!("wrote {out_path}");
+}

@@ -14,7 +14,7 @@ use gpu_sim::{Device, GpuError, Reservation};
 use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::{BatchMetric, Footprint, ObjectArena};
 use std::cell::RefCell;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// GTS: the GPU-based tree index for similarity search in general metric
 /// spaces (the paper's contribution).
@@ -51,6 +51,13 @@ pub struct Gts<O, M> {
     table: TableList,
     cache: CacheTable,
     stats: SearchStats,
+    /// Cross-batch `(query, pivot)` memo allocation: each batched search
+    /// takes it (emptied), probes/fills it level by level, and returns it
+    /// cleared-but-capacity-preserved, so steady-state batches never
+    /// reallocate the table. A `Mutex` (not `RefCell`) so the index stays
+    /// `Sync` — the sharded scatter runs whole searches from scoped
+    /// threads. Uncontended in practice: one batch per index at a time.
+    memo: Mutex<PairMemo>,
     rebuilds: u64,
     build_distances: u64,
     /// Device residency of (node list, table list, object payloads).
@@ -122,6 +129,7 @@ where
             table: TableList::default(),
             cache: CacheTable::new(params.cache_capacity_bytes),
             stats: SearchStats::default(),
+            memo: Mutex::new(PairMemo::default()),
             rebuilds: 0,
             build_distances: 0,
             residency: None,
@@ -204,6 +212,9 @@ where
     }
 
     fn ctx(&self) -> SearchCtx<'_, O, M> {
+        // Take the shared memo allocation (leaving an empty default); it is
+        // returned — cleared, capacity intact — by `reclaim_memo`.
+        let memo = std::mem::take(&mut *self.memo.lock().expect("memo lock"));
         SearchCtx {
             dev: &self.dev,
             objects: &self.objects,
@@ -215,8 +226,17 @@ where
             live: &self.live,
             stats: &self.stats,
             threads: self.params.effective_host_threads(self.dev.host_threads()),
-            memo: RefCell::new(PairMemo::default()),
+            memo: RefCell::new(memo),
         }
+    }
+
+    /// Return the batch memo to the index: cleared (memo entries are valid
+    /// for one batch only — the object store may change between batches)
+    /// but with its grown allocation preserved for the next batch.
+    fn reclaim_memo(&self, ctx: SearchCtx<'_, O, M>) {
+        let mut memo = ctx.memo.into_inner();
+        memo.clear();
+        *self.memo.lock().expect("memo lock") = memo;
     }
 
     /// Batched metric range query (Algorithm 4) plus the cache-list scan of
@@ -251,7 +271,10 @@ where
     ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         assert_eq!(queries.len(), radii.len());
         self.transfer_queries_in(queries);
-        let mut results = search::batch_range(&self.ctx(), queries, radii).map_err(gpu_err)?;
+        let ctx = self.ctx();
+        let searched = search::batch_range(&ctx, queries, radii);
+        self.reclaim_memo(ctx);
+        let mut results = searched.map_err(gpu_err)?;
         self.merge_cache_range(queries, radii, &mut results);
         self.transfer_results_out(&results);
         Ok(results)
@@ -260,9 +283,12 @@ where
     /// Batched metric kNN query (Algorithm 5) plus the cache-list scan.
     ///
     /// `answers[i]` holds the `k` nearest distinct indexed objects to
-    /// `queries[i]` (exact, sorted by distance then id). The per-query
-    /// distance bound tightens level by level — the paper's "progressively
-    /// narrowed distance boundary".
+    /// `queries[i]` — exactly the **canonical** `k` smallest `(dist, id)`
+    /// pairs, so ties at the k-th distance resolve deterministically by id
+    /// (the property [`ShardedGts`](crate::ShardedGts) relies on to merge
+    /// per-shard answers bit-identically). The per-query distance bound
+    /// tightens level by level — the paper's "progressively narrowed
+    /// distance boundary".
     ///
     /// ```
     /// use gts_core::{Gts, GtsParams};
@@ -286,7 +312,10 @@ where
     /// ```
     pub fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         self.transfer_queries_in(queries);
-        let mut results = search::batch_knn(&self.ctx(), queries, k).map_err(gpu_err)?;
+        let ctx = self.ctx();
+        let searched = search::batch_knn(&ctx, queries, k);
+        self.reclaim_memo(ctx);
+        let mut results = searched.map_err(gpu_err)?;
         self.merge_cache_knn(queries, k, &mut results);
         self.transfer_results_out(&results);
         Ok(results)
@@ -305,8 +334,10 @@ where
         beam: usize,
     ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         self.transfer_queries_in(queries);
-        let mut results =
-            search::batch_knn_impl(&self.ctx(), queries, k, Some(beam)).map_err(gpu_err)?;
+        let ctx = self.ctx();
+        let searched = search::batch_knn_impl(&ctx, queries, k, Some(beam));
+        self.reclaim_memo(ctx);
+        let mut results = searched.map_err(gpu_err)?;
         self.merge_cache_knn(queries, k, &mut results);
         self.transfer_results_out(&results);
         Ok(results)
@@ -395,6 +426,13 @@ where
     /// Construction/search parameters.
     pub fn params(&self) -> &GtsParams {
         &self.params
+    }
+
+    /// Override the host-thread knob (wall-clock only; never affects
+    /// answers or simulated cycles). Used by the sharded restore path to
+    /// divide the auto thread budget among shards.
+    pub(crate) fn set_host_threads(&mut self, host_threads: usize) {
+        self.params.host_threads = host_threads;
     }
 
     /// Tree height `h`.
@@ -502,6 +540,7 @@ where
             table: decoded.table,
             cache,
             stats: SearchStats::default(),
+            memo: Mutex::new(PairMemo::default()),
             rebuilds: 0,
             build_distances: 0,
             residency: Some([res_nodes, res_table, res_data]),
@@ -783,6 +822,27 @@ mod tests {
         assert!(gts.memory_bytes() > 0);
         drop(gts);
         assert_eq!(dev.allocated_bytes(), before, "drop releases residency");
+    }
+
+    #[test]
+    fn memo_allocation_is_shared_across_batches() {
+        let (dev, items, metric) = words(2000);
+        let gts = Gts::build(&dev, items.clone(), metric, GtsParams::default()).expect("build");
+        let queries: Vec<Item> = items[..64].to_vec();
+        gts.batch_knn(&queries, 5).expect("knn");
+        let cap_after_first = gts.memo.lock().expect("lock").capacity();
+        assert!(
+            cap_after_first > PairMemo::default().capacity(),
+            "a 64-query batch must grow the memo past its default capacity"
+        );
+        gts.batch_knn(&queries, 5).expect("knn");
+        let memo = gts.memo.lock().expect("lock");
+        assert_eq!(
+            memo.capacity(),
+            cap_after_first,
+            "the second batch reuses the grown allocation"
+        );
+        assert!(memo.is_empty(), "the memo comes back cleared");
     }
 
     #[test]

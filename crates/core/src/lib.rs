@@ -35,6 +35,14 @@
 //! When the cache exceeds its size bound — or on explicit batch updates —
 //! the whole index is rebuilt with the parallel constructor (`O(log³ n)`
 //! simulated time).
+//!
+//! ## Sharding (beyond the paper)
+//! [`ShardedGts`] partitions the dataset across multiple devices with a
+//! deterministic [`Partitioner`](metric_space::Partitioner), scatters
+//! batched queries to every shard concurrently, and merges the per-shard
+//! answers exactly — bit-identical to the single-device index, ties
+//! included. Updates route to the owning shard, so an overflow rebuilds
+//! one shard while the other devices' clocks never move.
 
 #![warn(missing_docs)]
 pub mod build;
@@ -46,6 +54,7 @@ pub mod multi;
 pub mod node;
 pub mod params;
 pub mod search;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
@@ -56,4 +65,5 @@ pub use index::Gts;
 pub use memo::PairMemo;
 pub use multi::MultiGts;
 pub use params::GtsParams;
+pub use shard::ShardedGts;
 pub use stats::SearchStats;

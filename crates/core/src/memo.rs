@@ -87,6 +87,13 @@ impl PairMemo {
         self.len == 0
     }
 
+    /// Current slot capacity (always a power of two). [`PairMemo::clear`]
+    /// preserves it — the property the cross-batch memo reuse on
+    /// [`Gts`](crate::Gts) relies on.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
     /// The memoised distance for `(query, pivot)`, if any.
     #[inline]
     pub fn get(&self, query: u32, pivot: u32) -> Option<f64> {

@@ -38,6 +38,14 @@ pub struct GtsParams {
     /// thread-invariance tests prove it). Not persisted by snapshots —
     /// restored indexes come back with `0 = auto`.
     pub host_threads: usize,
+    /// Number of shards for [`ShardedGts`](crate::ShardedGts): the dataset
+    /// is partitioned into this many per-device sub-indexes whose answers
+    /// are merged exactly. `1` (default) is the paper's single-GPU setup; a
+    /// plain [`Gts`](crate::Gts) ignores this knob entirely. Like
+    /// `host_threads`, it describes execution topology, not single-index
+    /// structure, so single-index snapshots do not persist it (the sharded
+    /// snapshot envelope records its own shard count).
+    pub shards: u32,
 }
 
 impl Default for GtsParams {
@@ -51,6 +59,7 @@ impl Default for GtsParams {
             query_grouping: true,
             use_arena: true,
             host_threads: 0,
+            shards: 1,
         }
     }
 }
@@ -88,6 +97,14 @@ impl GtsParams {
         self
     }
 
+    /// Builder-style shard-count override (≥ 1; only
+    /// [`ShardedGts`](crate::ShardedGts) consults it).
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = shards;
+        self
+    }
+
     /// The thread count the batched kernels should actually use, given the
     /// device's configured auto value.
     pub fn effective_host_threads(&self, device_auto: usize) -> usize {
@@ -115,6 +132,7 @@ mod tests {
         assert!(p.two_sided_pruning && p.fft_pivots && p.query_grouping);
         assert!(p.use_arena, "flat arena kernels are the default");
         assert_eq!(p.host_threads, 0, "auto host threads by default");
+        assert_eq!(p.shards, 1, "single-device by default");
     }
 
     #[test]

@@ -30,9 +30,15 @@
 //!
 //! Pruning: internal children are pruned by the ring test of Lemma 5.1/5.2
 //! against the parent pivot; MkNNQ additionally uses the own-pivot prune
-//! (`d(q, pivot) − own_max ≥ bound`) after the per-level bound update, which
+//! (`d(q, pivot) − own_max > bound`) after the per-level bound update, which
 //! mirrors Alg. 5 lines 11–16 (the bound update runs through the same
-//! encode-and-global-sort machinery as construction). Leaf verification
+//! encode-and-global-sort machinery as construction). All MkNNQ prunes are
+//! **tie-safe**: they fire only when a candidate would be *strictly* worse
+//! than the current bound (the closed-ball form of the lemmas, with the
+//! bound as the radius), so every object tied with the k-th distance is
+//! verified and the final pool is the **canonical** k smallest `(dis, id)`
+//! pairs — the property that lets the sharded index merge per-shard top-k
+//! lists bit-identically. Leaf verification
 //! first applies the stored-distance filter (the table's `dis` column *is*
 //! `d(o, parent pivot)`, so the filter costs zero distance evaluations),
 //! then computes real distances for survivors only — one batched kernel per
@@ -47,7 +53,7 @@ use crate::table::TableList;
 use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
 use gpu_sim::{Device, GpuError};
 use metric_space::index::{sort_neighbors, Neighbor};
-use metric_space::lemmas::{prune_node_knn, prune_node_range};
+use metric_space::lemmas::prune_node_range;
 use metric_space::{BatchMetric, ObjectArena};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -719,14 +725,17 @@ where
 
         // Alg. 5 lines 13–17: prune with the updated bounds — the own-pivot
         // test on the expanded node, then the parent-pivot ring test per
-        // child.
+        // child. Both tests are tie-safe (strict `>`): a node that could
+        // still contain an object at exactly the bound distance survives,
+        // because such an object can enter the canonical answer through the
+        // `(dis, id)` tie-break.
         let mut next = scratch.take_frontier();
         scratch.gaps.clear();
         for (i, e) in entries.iter().enumerate() {
             let node = ctx.nodes.get(e.node as usize);
             let bound = pools[e.query as usize].bound();
             let dqi = scratch.dq[i];
-            if dqi - node.own_max_dis >= bound {
+            if dqi - node.own_max_dis > bound {
                 ctx.stats.add(&ctx.stats.nodes_pruned, u64::from(shape.nc));
                 continue;
             }
@@ -741,7 +750,7 @@ where
                 } else {
                     f64::INFINITY
                 };
-                if prune_node_knn(child.min_dis, upper, dqi, bound) {
+                if prune_node_range(child.min_dis, upper, dqi, bound) {
                     ctx.stats.add(&ctx.stats.nodes_pruned, 1);
                 } else {
                     ctx.stats.add(&ctx.stats.nodes_expanded, 1);
@@ -880,8 +889,10 @@ fn verify_knn<O, M>(
                         span = span.max(1);
                         continue;
                     }
-                    // Lemma 5.2 filter against the parent pivot (strict ≥).
-                    if !e.dqp.is_nan() && (te.dis - e.dqp).abs() >= bounds[q as usize] {
+                    // Lemma 5.2 filter against the parent pivot, tie-safe
+                    // (strict `>`): entries at exactly the bound distance
+                    // are verified so the canonical tie-break decides.
+                    if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > bounds[q as usize] {
                         total += 3;
                         span = span.max(3);
                         continue;

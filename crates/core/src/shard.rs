@@ -1,0 +1,753 @@
+//! Multi-device sharded GTS: partition the table list across devices,
+//! scatter batched queries, merge exactly.
+//!
+//! The paper's evaluation is single-GPU, but the architecture was built to
+//! shard: the [`Device`](gpu_sim::Device) is `Arc`-shared with atomic
+//! counters, and search is expressed as per-level batched kernels with no
+//! cross-query state. [`ShardedGts`] exploits that the classic way
+//! (data-parallel sharding with a host-side merge, as in billion-scale GPU
+//! similarity search):
+//!
+//! * a deterministic [`Partitioner`] splits the object store into `S`
+//!   shards — round-robin by default, so shards stay balanced under
+//!   sequential id assignment;
+//! * each shard is a complete [`Gts`] over its objects, pinned to its own
+//!   device from a [`DevicePool`];
+//! * a batched MRQ/MkNNQ is **scattered to every shard** (shards execute
+//!   concurrently on real host threads — each drives its own device, so
+//!   per-device simulated clocks stay deterministic) and the per-shard
+//!   answers are **merged exactly** on the host:
+//!   - range: concatenation + canonical `(distance, id)` sort;
+//!   - kNN: a k-way merge of the per-shard top-`k` lists under the same
+//!     `(distance, id)` tie-break the single-device search uses.
+//!
+//! **Exactness.** Every distance is computed against the same objects as
+//! on one device, so per-shard answers are exact over their partition;
+//! range answers union losslessly, and the global top-`k` is contained in
+//! the union of per-shard top-`k`s. Tie-breaking stays bit-identical
+//! because each shard's local ids ascend in global-id order (the
+//! partitioner's `split` guarantee), making local `(dis, id)` order agree
+//! with global `(dis, id)` order under remapping — `tests/shard_invariance.rs`
+//! proves 1-, 2-, and 4-shard answers equal the single-device answers
+//! bit-for-bit, ties included.
+//!
+//! **Updates** route through the partitioner to the owning shard's cache
+//! table, so a cache overflow rebuilds only that shard — the other devices'
+//! clocks never move. **Stats** aggregate by summing per-shard counters;
+//! the pool reports the max per-device cycle count
+//! ([`PoolStats::span_cycles`](gpu_sim::PoolStats::span_cycles)) — the
+//! sharded critical path, since shards run concurrently. **Snapshots**
+//! wrap every shard's [`Gts::snapshot`] in one envelope together with the
+//! partition spec (shard count, strategy, object count — the assignment
+//! itself is a pure function of these and is recomputed on
+//! [`ShardedGts::restore`]).
+
+use crate::index::Gts;
+use crate::params::GtsParams;
+use crate::snapshot::{R, W};
+use crate::stats::StatsSnapshot;
+use gpu_sim::DevicePool;
+use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
+use metric_space::{BatchMetric, Footprint, PartitionStrategy, Partitioner};
+
+/// Magic + version tag of the sharded snapshot envelope.
+const SHARD_MAGIC: &[u8; 4] = b"GTSH";
+
+/// One shard: a complete [`Gts`] over a partition of the dataset, plus the
+/// monotone local→global id mapping.
+struct Shard<O, M> {
+    gts: Gts<O, M>,
+    /// `global_ids[local]` = global id; strictly ascending, so local
+    /// `(dis, id)` tie-break order equals global order under remapping.
+    global_ids: Vec<u32>,
+}
+
+impl<O, M> Shard<O, M> {
+    /// Rewrite per-query answer lists from local to global ids. Monotone
+    /// remapping preserves the canonical `(dis, id)` order.
+    fn remap(&self, mut lists: Vec<Vec<Neighbor>>) -> Vec<Vec<Neighbor>> {
+        for list in &mut lists {
+            for n in list {
+                n.id = self.global_ids[n.id as usize];
+            }
+        }
+        lists
+    }
+}
+
+/// A GTS index sharded over multiple devices.
+///
+/// Built from a [`DevicePool`] with one device per shard
+/// ([`GtsParams::shards`] picks the shard count); behaves like a single
+/// [`Gts`] — same query API, same exact answers, same streaming-update
+/// semantics — while each shard's kernels run on its own simulated device.
+///
+/// ```
+/// use gts_core::{Gts, GtsParams, ShardedGts};
+/// use gpu_sim::{Device, DevicePool};
+/// use metric_space::DatasetKind;
+///
+/// let data = DatasetKind::Words.generate(600, 42);
+/// let params = GtsParams::default().with_shards(2);
+/// let pool = DevicePool::rtx_2080_ti(2);
+/// let sharded = ShardedGts::build(&pool, data.items.clone(), data.metric, params).unwrap();
+///
+/// // Answers are bit-identical to a single-device index.
+/// let single = Gts::build(&Device::rtx_2080_ti(), data.items.clone(), data.metric,
+///                         GtsParams::default()).unwrap();
+/// let queries = vec![data.items[0].clone(), data.items[1].clone()];
+/// assert_eq!(
+///     sharded.batch_knn(&queries, 5).unwrap(),
+///     single.batch_knn(&queries, 5).unwrap(),
+/// );
+/// ```
+pub struct ShardedGts<O, M> {
+    pool: DevicePool,
+    partitioner: Partitioner,
+    shards: Vec<Shard<O, M>>,
+    /// Total objects ever inserted (the global id counter).
+    global_len: usize,
+}
+
+/// Map `f` over owned work items, one scoped host thread per item (inline
+/// when there is at most one), joining in item order — the spawn/join
+/// shape shared by the sharded build and the query scatter. Determinism:
+/// each item drives only its own device, and results are collected in
+/// item order.
+fn scoped_map<I: Send, T: Send>(items: Vec<I>, f: impl Fn(usize, I) -> T + Sync) -> Vec<T> {
+    if items.len() <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| scope.spawn(move || f(i, it)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
+
+/// Auto host-thread budget for one shard: shards scatter onto their own
+/// host threads, so the device's auto thread count is divided by the shard
+/// count — otherwise S shards × T chunk workers oversubscribe the host
+/// S-fold. Wall-clock only (answers and simulated cycles are
+/// thread-invariant); shared by build and restore so a snapshot round-trip
+/// keeps per-shard budgets identical, including on heterogeneous pools.
+fn divided_auto_threads(dev: &gpu_sim::Device, shards: usize) -> usize {
+    (dev.host_threads().max(1) / shards).max(1)
+}
+
+/// Merge per-shard top-`k` lists (each in canonical ascending `(dis, id)`
+/// order) into the global top-`k`, preserving the single-device tie-break.
+fn kway_merge(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+    let mut heads = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let mut best: Option<(usize, (f64, u32))> = None;
+        for (s, list) in lists.iter().enumerate() {
+            if let Some(n) = list.get(heads[s]) {
+                let key = (n.dist, n.id);
+                if best.is_none_or(|(_, b)| key < b) {
+                    best = Some((s, key));
+                }
+            }
+        }
+        let Some((s, _)) = best else { break };
+        out.push(lists[s][heads[s]]);
+        heads[s] += 1;
+    }
+    out
+}
+
+impl<O, M> ShardedGts<O, M>
+where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    /// Build a sharded index: `params.shards` shards, round-robin
+    /// partitioning, shard `s` pinned to `pool.get(s)`.
+    ///
+    /// The pool must supply at least one device per shard, and every shard
+    /// must receive at least one object — `n ≥ shards` guarantees this
+    /// under round-robin; under [`PartitionStrategy::Hash`] small datasets
+    /// can still leave a shard empty, which is rejected with a dedicated
+    /// error ([`IndexError::EmptyIndex`] is reserved for an actually-empty
+    /// dataset).
+    pub fn build(
+        pool: &DevicePool,
+        objects: Vec<O>,
+        metric: M,
+        params: GtsParams,
+    ) -> Result<Self, IndexError> {
+        Self::build_with_strategy(pool, objects, metric, params, PartitionStrategy::RoundRobin)
+    }
+
+    /// [`ShardedGts::build`] with an explicit partitioning strategy.
+    pub fn build_with_strategy(
+        pool: &DevicePool,
+        objects: Vec<O>,
+        metric: M,
+        params: GtsParams,
+        strategy: PartitionStrategy,
+    ) -> Result<Self, IndexError> {
+        let shards = params.shards as usize;
+        assert!(
+            pool.len() >= shards,
+            "pool must supply one device per shard ({} < {shards})",
+            pool.len()
+        );
+        if objects.is_empty() {
+            return Err(IndexError::EmptyIndex);
+        }
+        let partitioner = Partitioner::new(params.shards, strategy);
+        let assignment = partitioner.split(objects.len());
+        if assignment.iter().any(Vec::is_empty) {
+            return Err(IndexError::Unsupported(
+                "partitioning produced an empty shard (use fewer shards, more \
+                 objects, or round-robin partitioning)",
+            ));
+        }
+        // Carve the per-shard object stores (ids ascend within each shard).
+        let stores: Vec<Vec<O>> = assignment
+            .iter()
+            .map(|ids| ids.iter().map(|&g| objects[g as usize].clone()).collect())
+            .collect();
+        let global_len = objects.len();
+        drop(objects);
+        // Build every shard concurrently, one host thread per device.
+        let built: Vec<Result<Gts<O, M>, IndexError>> = scoped_map(stores, |s, store| {
+            let mut shard_params = params;
+            if params.host_threads == 0 {
+                shard_params.host_threads = divided_auto_threads(pool.get(s), shards);
+            }
+            Gts::build(pool.get(s), store, metric.clone(), shard_params)
+        });
+        let mut shard_vec = Vec::with_capacity(shards);
+        for (gts, global_ids) in built.into_iter().zip(assignment) {
+            shard_vec.push(Shard {
+                gts: gts?,
+                global_ids,
+            });
+        }
+        Ok(ShardedGts {
+            pool: DevicePool::from_devices(pool.devices()[..shards].to_vec()),
+            partitioner,
+            shards: shard_vec,
+            global_len,
+        })
+    }
+
+    /// Run `f` on every shard concurrently (one host thread per shard),
+    /// collecting results in shard order — the scatter half of
+    /// scatter/merge. Each shard drives only its own device, so per-device
+    /// counters stay deterministic regardless of interleaving.
+    fn scatter<T: Send>(&self, f: impl Fn(&Shard<O, M>) -> T + Sync) -> Vec<T> {
+        scoped_map(self.shards.iter().collect(), |_, shard| f(shard))
+    }
+
+    /// Batched metric range query: every query runs on every shard;
+    /// per-shard answers (already exact over their partition) are
+    /// concatenated and canonically sorted — the exact union.
+    pub fn batch_range(
+        &self,
+        queries: &[O],
+        radii: &[f64],
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        assert_eq!(queries.len(), radii.len());
+        let per_shard = self.scatter(|sh| sh.gts.batch_range(queries, radii).map(|r| sh.remap(r)));
+        let mut merged: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+        for lists in per_shard {
+            for (m, mut list) in merged.iter_mut().zip(lists?) {
+                m.append(&mut list);
+            }
+        }
+        for m in &mut merged {
+            sort_neighbors(m);
+        }
+        Ok(merged)
+    }
+
+    /// Batched metric kNN query: every shard returns its local top-`k`;
+    /// the global top-`k` is a k-way merge under the `(distance, id)`
+    /// tie-break — bit-identical to the single-device answer.
+    pub fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        let per_shard = self.scatter(|sh| sh.gts.batch_knn(queries, k).map(|r| sh.remap(r)));
+        let mut shard_lists: Vec<Vec<Vec<Neighbor>>> = Vec::with_capacity(self.shards.len());
+        for lists in per_shard {
+            shard_lists.push(lists?);
+        }
+        Ok((0..queries.len())
+            .map(|q| {
+                let lists: Vec<Vec<Neighbor>> = shard_lists
+                    .iter_mut()
+                    .map(|per_q| std::mem::take(&mut per_q[q]))
+                    .collect();
+                kway_merge(&lists, k)
+            })
+            .collect())
+    }
+
+    // -- accessors ------------------------------------------------------------
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard index `s` (e.g. for per-shard stats).
+    pub fn shard(&self, s: usize) -> &Gts<O, M> {
+        &self.shards[s].gts
+    }
+
+    /// The device pool backing the shards (its
+    /// [`aggregate`](DevicePool::aggregate) sums per-device counters and
+    /// reports the sharded critical path `span_cycles`).
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// The id→shard assignment.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Aggregate search counters: per-shard snapshots summed
+    /// ([`StatsSnapshot::combine`]; `max_frontier` maxes, as shard
+    /// frontiers occupy different devices).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shards
+            .iter()
+            .map(|s| s.gts.stats())
+            .fold(StatsSnapshot::default(), StatsSnapshot::combine)
+    }
+
+    /// Search counters of shard `s` alone.
+    pub fn shard_stats(&self, s: usize) -> StatsSnapshot {
+        self.shards[s].gts.stats()
+    }
+
+    /// Reset every shard's search counters.
+    pub fn reset_stats(&self) {
+        for s in &self.shards {
+            s.gts.reset_stats();
+        }
+    }
+
+    /// The sharded critical path: the slowest device's simulated cycle
+    /// count (shards execute concurrently, so elapsed simulated time is
+    /// the max, not the sum).
+    pub fn span_cycles(&self) -> u64 {
+        self.pool.aggregate().span_cycles
+    }
+
+    /// Serialize the whole sharded index into one envelope: the partition
+    /// spec (shard count, strategy, global object count — the per-shard id
+    /// assignment is a pure function of these) followed by every shard's
+    /// [`Gts::snapshot`]; see [`ShardedGts::restore`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = W(Vec::new());
+        w.0.extend_from_slice(SHARD_MAGIC);
+        w.u32(self.partitioner.shards());
+        w.u8(self.partitioner.strategy().tag());
+        w.u64(self.global_len as u64);
+        for shard in &self.shards {
+            let inner = shard.gts.snapshot();
+            w.u64(inner.len() as u64);
+            w.0.extend_from_slice(&inner);
+        }
+        w.0
+    }
+
+    /// Rebuild a sharded index from a [`ShardedGts::snapshot`] and the
+    /// caller's **global** object store (every object ever inserted, in
+    /// global-id order). The partition assignment is recomputed from the
+    /// envelope's `(strategy, global_len)`; each shard's inner snapshot is
+    /// validated by [`Gts::restore`] against the carved store.
+    pub fn restore(
+        pool: &DevicePool,
+        objects: Vec<O>,
+        metric: M,
+        bytes: &[u8],
+    ) -> Result<Self, IndexError> {
+        let mut r = R { buf: bytes, pos: 0 };
+        if r.take(4)? != SHARD_MAGIC {
+            return Err(IndexError::Unsupported("bad sharded snapshot magic"));
+        }
+        let shards = r.u32()?;
+        if shards < 1 {
+            return Err(IndexError::Unsupported("corrupt sharded snapshot: shards"));
+        }
+        let strategy = PartitionStrategy::from_tag(r.u8()?)
+            .ok_or(IndexError::Unsupported("unknown partition strategy"))?;
+        let global_len = r.u64()? as usize;
+        if global_len != objects.len() {
+            return Err(IndexError::Unsupported(
+                "sharded snapshot object count does not match the provided store",
+            ));
+        }
+        assert!(
+            pool.len() >= shards as usize,
+            "pool must supply one device per shard ({} < {shards})",
+            pool.len()
+        );
+        let shards = shards as usize;
+        let partitioner = Partitioner::new(shards as u32, strategy);
+        // Slice every shard's inner snapshot out of the envelope first,
+        // then restore all shards concurrently (same `scoped_map` shape as
+        // the build; restore does device transfers and validation per
+        // shard, so it parallelises the same way).
+        let mut parts: Vec<(Vec<u32>, &[u8])> = Vec::with_capacity(shards);
+        for global_ids in partitioner.split(global_len) {
+            let inner_len = r.u64()? as usize;
+            parts.push((global_ids, r.take(inner_len)?));
+        }
+        if !r.done() {
+            return Err(IndexError::Unsupported(
+                "trailing bytes in sharded snapshot",
+            ));
+        }
+        let restored: Vec<Result<Shard<O, M>, IndexError>> =
+            scoped_map(parts, |s, (global_ids, inner)| {
+                let store: Vec<O> = global_ids
+                    .iter()
+                    .map(|&g| objects[g as usize].clone())
+                    .collect();
+                let mut gts = Gts::restore(pool.get(s), store, metric.clone(), inner)?;
+                // Same auto thread-budget division as the build path.
+                gts.set_host_threads(divided_auto_threads(pool.get(s), shards));
+                Ok(Shard { gts, global_ids })
+            });
+        let mut shard_vec = Vec::with_capacity(shards);
+        for shard in restored {
+            shard_vec.push(shard?);
+        }
+        Ok(ShardedGts {
+            pool: DevicePool::from_devices(pool.devices()[..shards].to_vec()),
+            partitioner,
+            shards: shard_vec,
+            global_len,
+        })
+    }
+}
+
+impl<O, M> SimilarityIndex<O> for ShardedGts<O, M>
+where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    fn name(&self) -> &'static str {
+        "GTS-sharded"
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.gts.len()).sum()
+    }
+
+    fn range_query(&self, q: &O, r: f64) -> Result<Vec<Neighbor>, IndexError> {
+        Ok(self
+            .batch_range(std::slice::from_ref(q), &[r])?
+            .pop()
+            .expect("one answer per query"))
+    }
+
+    fn knn_query(&self, q: &O, k: usize) -> Result<Vec<Neighbor>, IndexError> {
+        Ok(self
+            .batch_knn(std::slice::from_ref(q), k)?
+            .pop()
+            .expect("one answer per query"))
+    }
+
+    fn batch_range(&self, queries: &[O], radii: &[f64]) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        ShardedGts::batch_range(self, queries, radii)
+    }
+
+    fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        ShardedGts::batch_knn(self, queries, k)
+    }
+
+    fn memory_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.gts.memory_bytes()).sum()
+    }
+}
+
+impl<O, M> DynamicIndex<O> for ShardedGts<O, M>
+where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    /// Streaming insert: the partitioner routes the new global id to its
+    /// owning shard's cache table. A cache overflow rebuilds **only that
+    /// shard** — the other devices' clocks never move.
+    fn insert(&mut self, obj: O) -> Result<u32, IndexError> {
+        let gid = self.global_len as u32;
+        let s = self.partitioner.shard_of(gid) as usize;
+        let shard = &mut self.shards[s];
+        let inserted = shard.gts.insert(obj);
+        // The inner store records the object before its only fallible step
+        // (the overflow rebuild), so the local→global mapping must advance
+        // even on `Err` — otherwise the next insert's local id would
+        // outrun `global_ids` and remapping would go out of bounds.
+        shard.global_ids.push(gid);
+        self.global_len += 1;
+        inserted.map(|_| gid)
+    }
+
+    /// Streaming delete, routed to the owning shard.
+    fn remove(&mut self, id: u32) -> Result<bool, IndexError> {
+        if id as usize >= self.global_len {
+            return Ok(false);
+        }
+        let s = self.partitioner.shard_of(id) as usize;
+        let shard = &mut self.shards[s];
+        let local = shard
+            .global_ids
+            .binary_search(&id)
+            .expect("every assigned id is present in its shard");
+        shard.gts.remove(local as u32)
+    }
+
+    /// Batch update: changes are routed per shard; **only shards that
+    /// received changes reconstruct**, the rest are untouched.
+    fn batch_update(&mut self, insertions: Vec<O>, deletions: &[u32]) -> Result<(), IndexError> {
+        let s = self.shards.len();
+        let mut per_ins: Vec<Vec<O>> = (0..s).map(|_| Vec::new()).collect();
+        let mut per_del: Vec<Vec<u32>> = (0..s).map(|_| Vec::new()).collect();
+        for obj in insertions {
+            let gid = self.global_len as u32;
+            let shard = self.partitioner.shard_of(gid) as usize;
+            per_ins[shard].push(obj);
+            // Insertions append in order per shard, matching the local ids
+            // the inner batch_update will assign.
+            self.shards[shard].global_ids.push(gid);
+            self.global_len += 1;
+        }
+        for &d in deletions {
+            if d as usize >= self.global_len {
+                continue;
+            }
+            let shard = self.partitioner.shard_of(d) as usize;
+            let local = self.shards[shard]
+                .global_ids
+                .binary_search(&d)
+                .expect("every assigned id is present in its shard");
+            per_del[shard].push(local as u32);
+        }
+        // Every affected shard must receive its routed changes even if an
+        // earlier shard's rebuild failed: the global ids are already
+        // recorded above, and the inner `batch_update` applies its object
+        // mutations before its only fallible step (the rebuild), so
+        // applying all shards keeps every local→global mapping consistent.
+        // The first error is reported after the loop.
+        let mut first_err = None;
+        for (shard, (ins, del)) in self.shards.iter_mut().zip(per_ins.into_iter().zip(per_del)) {
+            if !ins.is_empty() || !del.is_empty() {
+                if let Err(e) = shard.gts.batch_update(ins, &del) {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::Device;
+    use metric_space::{DatasetKind, Item, ItemMetric};
+
+    fn data(n: usize) -> (Vec<Item>, ItemMetric) {
+        let d = DatasetKind::Words.generate(n, 33);
+        (d.items, d.metric)
+    }
+
+    fn sharded(n: usize, s: u32) -> (Vec<Item>, ItemMetric, ShardedGts<Item, ItemMetric>) {
+        let (items, metric) = data(n);
+        let pool = DevicePool::rtx_2080_ti(s as usize);
+        let idx = ShardedGts::build(
+            &pool,
+            items.clone(),
+            metric,
+            GtsParams::default().with_shards(s),
+        )
+        .expect("build");
+        (items, metric, idx)
+    }
+
+    #[test]
+    fn kway_merge_respects_tie_break() {
+        let lists = vec![
+            vec![Neighbor::new(5, 1.0), Neighbor::new(9, 2.0)],
+            vec![Neighbor::new(2, 1.0), Neighbor::new(3, 1.0)],
+        ];
+        let merged = kway_merge(&lists, 3);
+        let ids: Vec<u32> = merged.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![2, 3, 5], "ties at d=1.0 break by ascending id");
+    }
+
+    #[test]
+    fn kway_merge_short_lists() {
+        let lists = vec![vec![Neighbor::new(1, 0.5)], Vec::new()];
+        assert_eq!(kway_merge(&lists, 10).len(), 1);
+        assert!(kway_merge(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn sharded_matches_single_device() {
+        let (items, metric, idx) = sharded(400, 3);
+        let single = Gts::build(
+            &Device::rtx_2080_ti(),
+            items.clone(),
+            metric,
+            GtsParams::default(),
+        )
+        .expect("build");
+        let queries: Vec<Item> = (0..10).map(|i| items[i * 17].clone()).collect();
+        let radii = vec![2.0; queries.len()];
+        assert_eq!(
+            idx.batch_range(&queries, &radii).expect("mrq"),
+            single.batch_range(&queries, &radii).expect("mrq"),
+        );
+        assert_eq!(
+            idx.batch_knn(&queries, 7).expect("knn"),
+            single.batch_knn(&queries, 7).expect("knn"),
+        );
+        assert_eq!(idx.len(), 400);
+        assert_eq!(idx.num_shards(), 3);
+    }
+
+    #[test]
+    fn insert_routes_to_owning_shard_only() {
+        let (_, _, mut idx) = sharded(90, 3);
+        let before: Vec<u64> = (0..3).map(|s| idx.pool().get(s).cycles()).collect();
+        let gid = idx.insert(Item::text("routed")).expect("insert");
+        assert_eq!(gid, 90);
+        let owner = idx.partitioner().shard_of(gid) as usize;
+        for (s, &b) in before.iter().enumerate() {
+            let moved = idx.pool().get(s).cycles() != b;
+            assert_eq!(moved, s == owner, "only the owning shard's clock moves");
+        }
+        // The insertion is findable (through the owning shard's cache).
+        let hits = idx.range_query(&Item::text("routed"), 0.0).expect("q");
+        assert!(hits.iter().any(|n| n.id == gid));
+        // And removable by its global id.
+        assert!(idx.remove(gid).expect("rm"));
+        assert!(!idx.remove(gid).expect("rm twice"));
+        assert!(
+            !idx.remove(9_999).expect("unknown"),
+            "absent id is Ok(false)"
+        );
+    }
+
+    #[test]
+    fn batch_update_rebuilds_only_affected_shards() {
+        let (_, _, mut idx) = sharded(120, 4);
+        // Delete ids owned by shard 1 only (round-robin: id % 4 == 1).
+        let before: Vec<u64> = (0..4).map(|s| idx.pool().get(s).cycles()).collect();
+        idx.batch_update(Vec::new(), &[1, 5, 9]).expect("update");
+        for (s, &b) in before.iter().enumerate() {
+            let moved = idx.pool().get(s).cycles() != b;
+            assert_eq!(moved, s == 1, "only shard 1 reconstructs");
+        }
+        assert_eq!(idx.len(), 117);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let (items, metric, mut idx) = sharded(200, 2);
+        idx.remove(7).expect("rm");
+        let gid = idx.insert(Item::text("snap")).expect("ins");
+        let mut store = items.clone();
+        store.push(Item::text("snap"));
+
+        let bytes = idx.snapshot();
+        let pool = DevicePool::rtx_2080_ti(2);
+        let restored = ShardedGts::restore(&pool, store, metric, &bytes).expect("restore");
+        assert_eq!(restored.len(), idx.len());
+        assert_eq!(restored.num_shards(), 2);
+        let q = Item::text("snap");
+        assert_eq!(
+            restored.range_query(&q, 1.0).expect("q"),
+            idx.range_query(&q, 1.0).expect("q"),
+        );
+        assert!(restored
+            .range_query(&q, 0.0)
+            .expect("q")
+            .iter()
+            .any(|n| n.id == gid));
+        assert!(!restored
+            .range_query(&items[7], 0.0)
+            .expect("q")
+            .iter()
+            .any(|n| n.id == 7));
+    }
+
+    #[test]
+    fn corrupt_sharded_snapshots_rejected() {
+        let (items, metric, idx) = sharded(100, 2);
+        let bytes = idx.snapshot();
+        let pool = DevicePool::rtx_2080_ti(2);
+        // Truncation.
+        assert!(
+            ShardedGts::restore(&pool, items.clone(), metric, &bytes[..bytes.len() / 2]).is_err()
+        );
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(ShardedGts::restore(&pool, items.clone(), metric, &bad).is_err());
+        // Store mismatch.
+        assert!(ShardedGts::restore(&pool, items[..50].to_vec(), metric, &bytes).is_err());
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(ShardedGts::restore(&pool, items, metric, &long).is_err());
+    }
+
+    #[test]
+    fn empty_shard_rejected() {
+        let (items, metric) = data(3);
+        let pool = DevicePool::rtx_2080_ti(4);
+        let err = ShardedGts::build(&pool, items, metric, GtsParams::default().with_shards(4));
+        assert!(
+            matches!(err, Err(IndexError::Unsupported(msg)) if msg.contains("empty shard")),
+            "an empty shard gets a dedicated error, not EmptyIndex"
+        );
+        let err = ShardedGts::build(
+            &pool,
+            Vec::<Item>::new(),
+            ItemMetric::Edit,
+            GtsParams::default().with_shards(4),
+        );
+        assert!(
+            matches!(err, Err(IndexError::EmptyIndex)),
+            "EmptyIndex is reserved for an actually-empty dataset"
+        );
+    }
+
+    #[test]
+    fn aggregate_stats_sum_across_shards() {
+        let (items, _, idx) = sharded(300, 2);
+        let queries: Vec<Item> = items[..8].to_vec();
+        idx.batch_knn(&queries, 3).expect("knn");
+        let total = idx.stats();
+        let summed = idx.shard_stats(0).combine(idx.shard_stats(1));
+        assert_eq!(total, summed);
+        assert!(total.distance_computations > 0);
+        assert!(idx.span_cycles() > 0);
+        assert!(idx.span_cycles() <= idx.pool().aggregate().cycles_total);
+        idx.reset_stats();
+        assert_eq!(idx.stats(), StatsSnapshot::default());
+    }
+}

@@ -17,17 +17,18 @@ use metric_space::index::IndexError;
 /// the `use_arena` parameter byte).
 const MAGIC: &[u8; 4] = b"GTS2";
 
-/// Little-endian writer.
-struct W(Vec<u8>);
+/// Little-endian writer (shared with the sharded-index snapshot, which
+/// embeds per-shard `encode` payloads in its own envelope).
+pub(crate) struct W(pub(crate) Vec<u8>);
 
 impl W {
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.0.extend_from_slice(&v.to_le_bytes());
     }
     fn f64(&mut self, v: f64) {
@@ -36,13 +37,13 @@ impl W {
 }
 
 /// Little-endian reader with bounds checking.
-struct R<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct R<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> R<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], IndexError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], IndexError> {
         let end = self
             .pos
             .checked_add(n)
@@ -52,15 +53,15 @@ impl<'a> R<'a> {
         self.pos = end;
         Ok(s)
     }
-    fn u8(&mut self) -> Result<u8, IndexError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, IndexError> {
         Ok(self.take(1)?[0])
     }
-    fn u32(&mut self) -> Result<u32, IndexError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, IndexError> {
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
-    fn u64(&mut self) -> Result<u64, IndexError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, IndexError> {
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
@@ -70,7 +71,7 @@ impl<'a> R<'a> {
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -163,9 +164,11 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         fft_pivots: r.u8()? != 0,
         query_grouping: r.u8()? != 0,
         use_arena: r.u8()? != 0,
-        // Host execution knobs are not index state: a snapshot restored on
-        // a different machine should use that machine's parallelism.
+        // Execution-topology knobs are not single-index state: a restored
+        // index uses the restoring machine's parallelism, and the sharded
+        // envelope records its own shard count.
         host_threads: 0,
+        shards: 1,
     };
     if params.node_capacity < 2 {
         return Err(IndexError::Unsupported("corrupt snapshot: node capacity"));

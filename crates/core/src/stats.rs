@@ -78,6 +78,24 @@ pub struct StatsSnapshot {
     pub max_frontier: u64,
 }
 
+impl StatsSnapshot {
+    /// Combine two snapshots from *different* index instances (the sharded
+    /// aggregate): throughput counters sum; `max_frontier` maxes, because
+    /// shard frontiers live on different devices and never coexist in one
+    /// memory budget.
+    pub fn combine(self, other: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            distance_computations: self.distance_computations + other.distance_computations,
+            nodes_pruned: self.nodes_pruned + other.nodes_pruned,
+            nodes_expanded: self.nodes_expanded + other.nodes_expanded,
+            leaf_filtered: self.leaf_filtered + other.leaf_filtered,
+            leaf_verified: self.leaf_verified + other.leaf_verified,
+            groups_formed: self.groups_formed + other.groups_formed,
+            max_frontier: self.max_frontier.max(other.max_frontier),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +111,27 @@ mod tests {
         assert_eq!(snap.max_frontier, 10);
         s.reset();
         assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn combine_sums_counters_and_maxes_frontier() {
+        let a = StatsSnapshot {
+            distance_computations: 5,
+            nodes_pruned: 1,
+            nodes_expanded: 2,
+            leaf_filtered: 3,
+            leaf_verified: 4,
+            groups_formed: 1,
+            max_frontier: 10,
+        };
+        let b = StatsSnapshot {
+            distance_computations: 7,
+            max_frontier: 4,
+            ..StatsSnapshot::default()
+        };
+        let c = a.combine(b);
+        assert_eq!(c.distance_computations, 12);
+        assert_eq!(c.nodes_pruned, 1);
+        assert_eq!(c.max_frontier, 10, "frontiers never coexist — max");
     }
 }

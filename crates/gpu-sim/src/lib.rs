@@ -30,9 +30,11 @@ pub mod cpu;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod pool;
 pub mod primitives;
 
 pub use config::DeviceConfig;
 pub use cpu::CpuClock;
 pub use device::{Device, DeviceBuffer, DeviceStats, Reservation};
 pub use error::GpuError;
+pub use pool::{DevicePool, PoolStats};

@@ -1,0 +1,167 @@
+//! Multi-device pools: a set of [`Device`]s backing a sharded index.
+//!
+//! Every [`Device`] is already `Arc`-shared with atomic counters, so a pool
+//! is simply an ordered list of devices plus aggregate accounting. The one
+//! modelling decision worth stating: shards execute **concurrently**, so
+//! the pool's elapsed simulated time is the *maximum* of the per-device
+//! clocks (the sharded critical path, [`PoolStats::span_cycles`]), while
+//! throughput-style counters (work, kernel launches, transferred bytes)
+//! sum across devices.
+
+use crate::config::DeviceConfig;
+use crate::device::{Device, DeviceStats};
+use std::sync::Arc;
+
+/// An ordered collection of simulated devices, one per shard.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<Arc<Device>>,
+}
+
+/// Aggregate counters over a whole pool.
+///
+/// Sums every throughput counter of [`DeviceStats`] across devices and
+/// additionally reports `span_cycles` — the maximum per-device cycle count,
+/// i.e. the simulated elapsed time of shards running concurrently.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Number of devices in the pool.
+    pub devices: usize,
+    /// Sum of per-device simulated cycles (total device-time consumed).
+    pub cycles_total: u64,
+    /// Max per-device simulated cycles — the sharded critical path.
+    pub span_cycles: u64,
+    /// Total charged work units across devices.
+    pub work: u64,
+    /// Total kernel launches across devices.
+    pub kernels: u64,
+    /// Live allocated bytes across devices.
+    pub allocated: u64,
+    /// Sum of per-device peak allocations.
+    pub peak_allocated: u64,
+    /// Host→device bytes transferred across devices.
+    pub h2d_bytes: u64,
+    /// Device→host bytes transferred across devices.
+    pub d2h_bytes: u64,
+    /// Allocation failures across devices.
+    pub oom_events: u64,
+}
+
+impl DevicePool {
+    /// A pool of existing devices (at least one).
+    pub fn from_devices(devices: Vec<Arc<Device>>) -> DevicePool {
+        assert!(!devices.is_empty(), "a pool needs at least one device");
+        DevicePool { devices }
+    }
+
+    /// `n` freshly created devices sharing one configuration.
+    pub fn homogeneous(n: usize, cfg: DeviceConfig) -> DevicePool {
+        assert!(n >= 1, "a pool needs at least one device");
+        DevicePool {
+            devices: (0..n).map(|_| Device::new(cfg)).collect(),
+        }
+    }
+
+    /// `n` devices of the paper's testbed preset (RTX 2080 Ti, 11 GB each).
+    pub fn rtx_2080_ti(n: usize) -> DevicePool {
+        DevicePool::homogeneous(n, DeviceConfig::rtx_2080_ti())
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the pool holds no devices (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Device `i` (panics when out of range).
+    pub fn get(&self, i: usize) -> &Arc<Device> {
+        &self.devices[i]
+    }
+
+    /// All devices, in shard order.
+    pub fn devices(&self) -> &[Arc<Device>] {
+        &self.devices
+    }
+
+    /// Aggregate counters: throughput counters summed, `span_cycles` maxed.
+    pub fn aggregate(&self) -> PoolStats {
+        let mut agg = PoolStats {
+            devices: self.devices.len(),
+            ..PoolStats::default()
+        };
+        for dev in &self.devices {
+            let s: DeviceStats = dev.stats();
+            agg.cycles_total += s.cycles;
+            agg.span_cycles = agg.span_cycles.max(s.cycles);
+            agg.work += s.work;
+            agg.kernels += s.kernels;
+            agg.allocated += s.allocated;
+            agg.peak_allocated += s.peak_allocated;
+            agg.h2d_bytes += s.h2d_bytes;
+            agg.d2h_bytes += s.d2h_bytes;
+            agg.oom_events += s.oom_events;
+        }
+        agg
+    }
+
+    /// Simulated elapsed seconds of the pool: the slowest device's clock
+    /// (shards run concurrently, so the critical path is the max).
+    pub fn span_seconds(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.sim_seconds())
+            .fold(0.0, f64::max)
+    }
+
+    /// Reset every device's clock and traffic counters (not allocations).
+    pub fn reset_clocks(&self) {
+        for d in &self.devices {
+            d.reset_clock();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_sums_counters_and_maxes_span() {
+        let pool = DevicePool::rtx_2080_ti(3);
+        pool.get(0).charge_kernel(4352 * 10, 1); // 10 cycles + launch
+        pool.get(1).charge_kernel(4352 * 30, 1); // 30 cycles + launch
+        let agg = pool.aggregate();
+        assert_eq!(agg.devices, 3);
+        assert_eq!(agg.kernels, 2);
+        let launch = pool.get(0).config().kernel_launch_cycles;
+        assert_eq!(agg.span_cycles, 30 + launch, "critical path = slowest");
+        assert_eq!(agg.cycles_total, 40 + 2 * launch);
+        assert_eq!(agg.work, 4352 * 40);
+    }
+
+    #[test]
+    fn span_seconds_tracks_slowest_device() {
+        let pool = DevicePool::rtx_2080_ti(2);
+        pool.get(1).h2d_transfer(12_000_000); // ~1 ms at 12 GB/s
+        assert!((pool.span_seconds() - 1e-3).abs() < 1e-4);
+        pool.reset_clocks();
+        assert_eq!(pool.span_seconds(), 0.0);
+    }
+
+    #[test]
+    fn devices_are_independent() {
+        let pool = DevicePool::rtx_2080_ti(2);
+        pool.get(0).charge_kernel(100, 1);
+        assert_eq!(pool.get(1).cycles(), 0, "other devices untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_rejected() {
+        let _ = DevicePool::homogeneous(0, DeviceConfig::rtx_2080_ti());
+    }
+}

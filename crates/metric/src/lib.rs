@@ -20,6 +20,8 @@
 //! * [`SimilarityIndex`] — the query interface shared by GTS and every
 //!   baseline (metric range query MRQ, Def. 3.1; metric kNN query MkNNQ,
 //!   Def. 3.2);
+//! * [`Partitioner`] — deterministic id→shard assignment (round-robin or
+//!   multiplicative hash) used by the multi-device sharded index;
 //! * [`pivot`] — farthest-first-traversal (FFT) pivot selection;
 //! * [`lemmas`] — the triangle-inequality pruning predicates of Lemmas 5.1
 //!   and 5.2;
@@ -35,6 +37,7 @@ pub mod gen;
 pub mod index;
 pub mod lemmas;
 pub mod object;
+pub mod partition;
 pub mod pivot;
 pub mod stats;
 
@@ -44,6 +47,7 @@ pub use dataset::{Dataset, DatasetKind};
 pub use dist::{EditDistance, EditScratch, ItemMetric, Metric, VectorMetric};
 pub use index::{DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 pub use object::{Footprint, Item};
+pub use partition::{PartitionStrategy, Partitioner};
 
 /// Identifier of an object inside a dataset (index into `Dataset::items`).
 pub type ObjId = u32;

@@ -46,8 +46,10 @@ pub use metric_space as metric;
 /// Everything most programs need.
 pub mod prelude {
     pub use baselines::{Bst, Egnat, Ganns, GpuTable, GpuTree, LbpgTree, LinearScan, Mvpt};
-    pub use gpu_sim::{Device, DeviceConfig};
-    pub use gts_core::{CostModel, Gts, GtsParams};
+    pub use gpu_sim::{Device, DeviceConfig, DevicePool};
+    pub use gts_core::{CostModel, Gts, GtsParams, ShardedGts};
     pub use metric_space::index::{DynamicIndex, Neighbor, SimilarityIndex};
-    pub use metric_space::{Dataset, DatasetKind, Item, ItemMetric};
+    pub use metric_space::{
+        Dataset, DatasetKind, Item, ItemMetric, PartitionStrategy, Partitioner,
+    };
 }

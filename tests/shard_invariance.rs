@@ -1,0 +1,216 @@
+//! Shard invariance: a [`ShardedGts`] must be a pure execution-topology
+//! change. For any shard count, batched MRQ and MkNNQ answers must be
+//! **bit-identical** to the single-device [`Gts`] — including tie-heavy
+//! datasets, where the canonical `(distance, id)` tie-break is the only
+//! thing standing between "exact" and "bit-identical". Updates route to
+//! the owning shard, and an overflow rebuild on one shard must leave every
+//! other shard's device cycle counter untouched.
+
+use gts::prelude::*;
+
+const SHARD_SWEEP: [u32; 3] = [1, 2, 4];
+
+fn words(n: usize, seed: u64) -> (Vec<Item>, ItemMetric) {
+    let d = DatasetKind::Words.generate(n, seed);
+    (d.items, d.metric)
+}
+
+/// A dataset where ties dominate: every word appears three times, so
+/// distance-0 duplicates and k-boundary ties are everywhere, and the
+/// duplicates land on *different* shards under round-robin.
+fn tie_heavy(n: usize, seed: u64) -> (Vec<Item>, ItemMetric) {
+    let base = DatasetKind::Words.generate(n.div_ceil(3), seed).items;
+    let items: Vec<Item> = (0..n).map(|i| base[i % base.len()].clone()).collect();
+    (items, ItemMetric::Edit)
+}
+
+fn assert_invariant(label: &str, items: &[Item], metric: ItemMetric) {
+    let single = Gts::build(
+        &Device::rtx_2080_ti(),
+        items.to_vec(),
+        metric,
+        GtsParams::default(),
+    )
+    .expect("single-device build");
+    let queries: Vec<Item> = (0..32usize)
+        .map(|i| items[(i * 13) % items.len()].clone())
+        .collect();
+    let radii = vec![2.0; queries.len()];
+    let want_mrq = single.batch_range(&queries, &radii).expect("single mrq");
+    let want_knn = single.batch_knn(&queries, 8).expect("single knn");
+
+    for s in SHARD_SWEEP {
+        let pool = DevicePool::rtx_2080_ti(s as usize);
+        let sharded = ShardedGts::build(
+            &pool,
+            items.to_vec(),
+            metric,
+            GtsParams::default().with_shards(s),
+        )
+        .expect("sharded build");
+        assert_eq!(
+            sharded.batch_range(&queries, &radii).expect("sharded mrq"),
+            want_mrq,
+            "{label}: MRQ answers must be bit-identical at {s} shards"
+        );
+        assert_eq!(
+            sharded.batch_knn(&queries, 8).expect("sharded knn"),
+            want_knn,
+            "{label}: MkNNQ answers must be bit-identical at {s} shards"
+        );
+    }
+}
+
+#[test]
+fn sharded_answers_bit_identical_across_shard_counts() {
+    let (items, metric) = words(600, 1234);
+    assert_invariant("words", &items, metric);
+}
+
+#[test]
+fn sharded_answers_bit_identical_on_tie_heavy_data() {
+    let (items, metric) = tie_heavy(600, 77);
+    assert_invariant("tie-heavy", &items, metric);
+}
+
+#[test]
+fn hash_partitioning_is_equally_exact() {
+    let (items, metric) = tie_heavy(600, 9);
+    let single = Gts::build(
+        &Device::rtx_2080_ti(),
+        items.clone(),
+        metric,
+        GtsParams::default(),
+    )
+    .expect("build");
+    let queries: Vec<Item> = items[..24].to_vec();
+    let radii = vec![2.0; queries.len()];
+    let pool = DevicePool::rtx_2080_ti(4);
+    let sharded = ShardedGts::build_with_strategy(
+        &pool,
+        items,
+        metric,
+        GtsParams::default().with_shards(4),
+        PartitionStrategy::Hash,
+    )
+    .expect("hash-sharded build");
+    assert_eq!(
+        sharded.batch_range(&queries, &radii).expect("mrq"),
+        single.batch_range(&queries, &radii).expect("mrq"),
+    );
+    assert_eq!(
+        sharded.batch_knn(&queries, 6).expect("knn"),
+        single.batch_knn(&queries, 6).expect("knn"),
+    );
+}
+
+#[test]
+fn one_shard_equals_single_device_exactly_including_cycles() {
+    let (items, metric) = words(500, 5);
+    let queries: Vec<Item> = items[..16].to_vec();
+    let radii = vec![2.0; queries.len()];
+
+    let dev = Device::rtx_2080_ti();
+    let single = Gts::build(&dev, items.clone(), metric, GtsParams::default()).expect("build");
+    let single_mrq = single.batch_range(&queries, &radii).expect("mrq");
+    let single_knn = single.batch_knn(&queries, 5).expect("knn");
+
+    let pool = DevicePool::rtx_2080_ti(1);
+    let sharded =
+        ShardedGts::build(&pool, items, metric, GtsParams::default()).expect("sharded build");
+    let sharded_mrq = sharded.batch_range(&queries, &radii).expect("mrq");
+    let sharded_knn = sharded.batch_knn(&queries, 5).expect("knn");
+
+    assert_eq!(sharded_mrq, single_mrq);
+    assert_eq!(sharded_knn, single_knn);
+    assert_eq!(
+        pool.get(0).stats(),
+        dev.stats(),
+        "one shard on one device is the single-device index, cycle counts included"
+    );
+    assert_eq!(sharded.stats(), single.stats(), "identical search counters");
+}
+
+#[test]
+fn overflow_rebuild_on_one_shard_leaves_other_clocks_untouched() {
+    let (items, metric) = words(200, 21);
+    let pool = DevicePool::rtx_2080_ti(4);
+    // A cache capacity so small the very first insert overflows.
+    let params = GtsParams::default().with_shards(4).with_cache_capacity(4);
+    let mut idx = ShardedGts::build(&pool, items.clone(), metric, params).expect("build");
+
+    let cycles_before: Vec<u64> = (0..4).map(|s| pool.get(s).cycles()).collect();
+    let rebuilds_before: Vec<u64> = (0..4).map(|s| idx.shard(s).rebuild_count()).collect();
+    let gid = idx.insert(Item::text("overflowing")).expect("insert");
+    let owner = idx.partitioner().shard_of(gid) as usize;
+
+    assert_eq!(
+        idx.shard(owner).rebuild_count(),
+        rebuilds_before[owner] + 1,
+        "the tiny cache must overflow and rebuild the owning shard"
+    );
+    for s in 0..4 {
+        if s == owner {
+            assert!(
+                pool.get(s).cycles() > cycles_before[s],
+                "the owning shard's device pays for the rebuild"
+            );
+        } else {
+            assert_eq!(
+                pool.get(s).cycles(),
+                cycles_before[s],
+                "shard {s}: untouched shards' clocks must not move"
+            );
+            assert_eq!(idx.shard(s).rebuild_count(), rebuilds_before[s]);
+        }
+    }
+
+    // The rebuilt sharded index still answers bit-identically to a fresh
+    // single-device index over the updated store.
+    let mut store = items;
+    store.push(Item::text("overflowing"));
+    let single = Gts::build(
+        &Device::rtx_2080_ti(),
+        store.clone(),
+        metric,
+        GtsParams::default(),
+    )
+    .expect("build");
+    let queries = vec![Item::text("overflowing"), store[10].clone()];
+    let radii = [1.0, 2.0];
+    assert_eq!(
+        idx.batch_range(&queries, &radii).expect("mrq"),
+        single.batch_range(&queries, &radii).expect("mrq"),
+    );
+    assert_eq!(
+        idx.batch_knn(&queries, 4).expect("knn"),
+        single.batch_knn(&queries, 4).expect("knn"),
+    );
+}
+
+#[test]
+fn sharded_snapshot_roundtrip_preserves_bit_identical_answers() {
+    let (items, metric) = tie_heavy(300, 3);
+    let pool = DevicePool::rtx_2080_ti(2);
+    let idx = ShardedGts::build(
+        &pool,
+        items.clone(),
+        metric,
+        GtsParams::default().with_shards(2),
+    )
+    .expect("build");
+    let bytes = idx.snapshot();
+
+    let pool2 = DevicePool::rtx_2080_ti(2);
+    let restored = ShardedGts::restore(&pool2, items.clone(), metric, &bytes).expect("restore");
+    let queries: Vec<Item> = items[..12].to_vec();
+    let radii = vec![2.0; queries.len()];
+    assert_eq!(
+        restored.batch_range(&queries, &radii).expect("mrq"),
+        idx.batch_range(&queries, &radii).expect("mrq"),
+    );
+    assert_eq!(
+        restored.batch_knn(&queries, 6).expect("knn"),
+        idx.batch_knn(&queries, 6).expect("knn"),
+    );
+}
