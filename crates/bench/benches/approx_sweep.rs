@@ -1,0 +1,130 @@
+//! Approximate-search sweep (paper §7 future work): recall vs simulated
+//! latency of `batch_knn_approx` as the per-level beam narrows, on a
+//! vector (L2) and a colour-histogram workload.
+//!
+//! Every sweep point reports average recall against the exact MkNNQ
+//! answers, throughput in the paper's queries/minute unit (from simulated
+//! device time), and span cycles; the exact search is the reference row.
+//! A beam wide enough to cover the whole level recovers recall 1.0 by
+//! construction — the bench asserts the wide end stays ≥ 0.9 so the
+//! checked-in sweep can never silently regress into noise.
+//!
+//! Results print and land in `BENCH_approx.json` at the workspace root
+//! (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench approx_sweep`.
+
+use gpu_sim::Device;
+use gts_core::{Gts, GtsParams};
+use metric_space::index::Neighbor;
+use metric_space::{DatasetKind, Item};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+const N: usize = 4_000;
+const QUERIES: usize = 64;
+const K: usize = 10;
+const BEAMS: [usize; 6] = [1, 2, 4, 8, 16, 64];
+
+fn recall(exact: &[Neighbor], approx: &[Neighbor]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let want: HashSet<u32> = exact.iter().map(|n| n.id).collect();
+    approx.iter().filter(|n| want.contains(&n.id)).count() as f64 / exact.len() as f64
+}
+
+struct SweepPoint {
+    dataset: &'static str,
+    beam: String,
+    recall: f64,
+    span_cycles: u64,
+    qpm_sim: f64,
+}
+
+fn sweep(kind: DatasetKind, label: &'static str, out: &mut Vec<SweepPoint>) {
+    let data = kind.generate(N, 777);
+    let dev = Device::rtx_2080_ti();
+    let gts =
+        Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
+    let queries: Vec<Item> = (0..QUERIES)
+        .map(|i| data.items[(i * 61) % data.items.len()].clone())
+        .collect();
+    // The reference run doubles as the "exact" sweep row (span deltas are
+    // deterministic and independent of clock position, so measuring the
+    // reference costs nothing extra).
+    let mark = dev.cycles();
+    let exact = gts.batch_knn(&queries, K).expect("exact knn");
+    let exact_span = dev.cycles() - mark;
+
+    for beam in BEAMS {
+        let mark = dev.cycles();
+        let answers = gts.batch_knn_approx(&queries, K, beam).expect("approx knn");
+        let span = dev.cycles() - mark;
+        let r = exact
+            .iter()
+            .zip(&answers)
+            .map(|(e, a)| recall(e, a))
+            .sum::<f64>()
+            / exact.len() as f64;
+        out.push(SweepPoint {
+            dataset: label,
+            beam: beam.to_string(),
+            recall: r,
+            span_cycles: span,
+            qpm_sim: QUERIES as f64 / (span as f64 / dev.config().clock_hz) * 60.0,
+        });
+    }
+    out.push(SweepPoint {
+        dataset: label,
+        beam: "exact".into(),
+        recall: 1.0,
+        span_cycles: exact_span,
+        qpm_sim: QUERIES as f64 / (exact_span as f64 / dev.config().clock_hz) * 60.0,
+    });
+
+    let widest = out
+        .iter()
+        .find(|p| p.dataset == label && p.beam == "64")
+        .expect("beam 64 swept");
+    assert!(
+        widest.recall >= 0.9,
+        "{label}: beam 64 recall collapsed to {:.3}",
+        widest.recall
+    );
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut points = Vec::new();
+    sweep(DatasetKind::Vector, "L2-vector", &mut points);
+    sweep(DatasetKind::Color, "L1-color", &mut points);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"queries\": {QUERIES},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, p) in points.iter().enumerate() {
+        println!(
+            "approx_sweep/{:<10} beam {:>5}: recall {:.3} | span {:>10} cycles | {:>10.0} queries/min simulated",
+            p.dataset, p.beam, p.recall, p.span_cycles, p.qpm_sim
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"dataset\": \"{}\", \"beam\": \"{}\", \"recall\": {:.4}, \"span_cycles\": {}, \"qpm_sim\": {:.0}}}{}",
+            p.dataset,
+            p.beam,
+            p.recall,
+            p.span_cycles,
+            p.qpm_sim,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_approx.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_approx.json");
+    println!("wrote {out_path}");
+}

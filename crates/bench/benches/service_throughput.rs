@@ -1,0 +1,246 @@
+//! Online-service bench: what microbatching buys over one-request-per-batch
+//! submission, and how throughput/latency respond to arrival pacing and the
+//! flush deadline.
+//!
+//! Two parts:
+//!
+//! 1. **Comparison** — the same 10k-request kNN workload pushed through the
+//!    service twice: batch target 256 (microbatched) vs batch target 1
+//!    (every request is its own index call — what naive per-request serving
+//!    does). The figure of merit is **simulated span cycles** of the device
+//!    pool: batching amortises kernel launches, the per-level global sorts,
+//!    and the scatter/merge, so the microbatched span must be ≥ 2× smaller.
+//!    The comparison *asserts* that floor, so CI enforces the acceptance
+//!    criterion; answers are spot-checked against a direct batched call.
+//! 2. **Open-loop sweep** — arrival pacing × flush deadline, recording
+//!    wall-clock throughput, queue-wait quantiles, span quantiles, and the
+//!    flush-trigger mix (the latency/throughput trade the deadline knob
+//!    buys). Wall-clock numbers depend on the host (see `host_cores`).
+//!
+//! Results print and land in `BENCH_service.json` at the workspace root
+//! (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench service_throughput`.
+
+use gpu_sim::DevicePool;
+use gts_core::{GtsParams, ShardedGts};
+use gts_service::{BatchSizing, QueryService, Request, ServiceConfig, ServiceError};
+use metric_space::{DatasetKind, Item, ItemMetric};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 2_000;
+const SHARDS: u32 = 2;
+const K: usize = 8;
+const COMPARE_REQUESTS: usize = 10_000;
+const SWEEP_REQUESTS: usize = 2_000;
+
+fn build_index(items: &[Item], metric: ItemMetric) -> Arc<ShardedGts<Item, ItemMetric>> {
+    let pool = DevicePool::rtx_2080_ti(SHARDS as usize);
+    Arc::new(
+        ShardedGts::build(
+            &pool,
+            items.to_vec(),
+            metric,
+            GtsParams::default().with_shards(SHARDS),
+        )
+        .expect("sharded build"),
+    )
+}
+
+struct RunResult {
+    span_cycles: u64,
+    total_cycles: u64,
+    batches: u64,
+    size_flushes: u64,
+    deadline_flushes: u64,
+    shutdown_flushes: u64,
+    queue_wait_p50_us: u64,
+    queue_wait_p99_us: u64,
+    span_p99_cycles: u64,
+    wall_ms: f64,
+    completed: u64,
+}
+
+/// Drive `requests` kNN submissions through a fresh service over `index`,
+/// pacing arrivals by `arrival_gap` (zero = closed-loop burst), retrying on
+/// backpressure. Clocks are reset before serving so the reported cycles are
+/// the serving work alone.
+fn drive(
+    index: &Arc<ShardedGts<Item, ItemMetric>>,
+    items: &[Item],
+    requests: usize,
+    cfg: ServiceConfig,
+    arrival_gap: Duration,
+) -> RunResult {
+    index.pool().reset_clocks();
+    index.reset_stats();
+    let svc = QueryService::start(Arc::clone(index), cfg);
+    let h = svc.handle();
+    let wall = Instant::now();
+    let mut tickets = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let req = Request::Knn {
+            query: items[(i * 17) % items.len()].clone(),
+            k: K,
+        };
+        loop {
+            match h.submit(req.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(ServiceError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => panic!("submit: {e}"),
+            }
+        }
+        if !arrival_gap.is_zero() {
+            std::thread::sleep(arrival_gap);
+        }
+    }
+    for t in tickets {
+        let r = t.wait().expect("answered");
+        assert_eq!(r.result.expect("ok").len(), K);
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, requests as u64, "nothing lost");
+    RunResult {
+        span_cycles: index.span_cycles(),
+        total_cycles: index.pool().aggregate().cycles_total,
+        batches: stats.batches,
+        size_flushes: stats.size_flushes,
+        deadline_flushes: stats.deadline_flushes,
+        shutdown_flushes: stats.shutdown_flushes,
+        queue_wait_p50_us: stats.queue_wait_us.quantile(0.5),
+        queue_wait_p99_us: stats.queue_wait_us.quantile(0.99),
+        span_p99_cycles: stats.batch_span_cycles.quantile(0.99),
+        wall_ms,
+        completed: stats.completed,
+    }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let data = DatasetKind::Vector.generate(N, 4242);
+    let index = build_index(&data.items, data.metric);
+
+    // Spot-check target: service answers must equal a direct batched call.
+    let probe: Vec<Item> = (0..4).map(|i| data.items[i * 17].clone()).collect();
+    let direct = index.batch_knn(&probe, K).expect("direct");
+
+    // -- Part 1: microbatched vs one-request-per-batch ---------------------
+    let batched_cfg = ServiceConfig::default()
+        .with_queue_depth(4096)
+        .with_sizing(BatchSizing::Fixed(256))
+        .with_flush_deadline(Duration::from_millis(1));
+    let single_cfg = ServiceConfig::default()
+        .with_queue_depth(4096)
+        .with_sizing(BatchSizing::Fixed(1))
+        .with_flush_deadline(Duration::from_millis(1));
+    let batched = drive(
+        &index,
+        &data.items,
+        COMPARE_REQUESTS,
+        batched_cfg,
+        Duration::ZERO,
+    );
+    let single = drive(
+        &index,
+        &data.items,
+        COMPARE_REQUESTS,
+        single_cfg,
+        Duration::ZERO,
+    );
+    assert_eq!(
+        index.batch_knn(&probe, K).expect("direct after serving"),
+        direct,
+        "serving must not perturb answers"
+    );
+    let speedup = single.span_cycles as f64 / batched.span_cycles as f64;
+    println!(
+        "service_throughput/compare: batched span {:>12} cycles ({} batches) | single span {:>12} cycles ({} batches) | speedup {:.2}x",
+        batched.span_cycles, batched.batches, single.span_cycles, single.batches, speedup
+    );
+    assert!(
+        speedup >= 2.0,
+        "microbatching must beat one-request-per-batch by ≥2x span cycles, got {speedup:.2}x"
+    );
+
+    // -- Part 2: open-loop sweep (arrival pacing × flush deadline) ---------
+    let mut sweep_rows = Vec::new();
+    for &arrival_us in &[0u64, 50, 200] {
+        for &deadline_us in &[500u64, 2_000, 8_000] {
+            let cfg = ServiceConfig::default()
+                .with_queue_depth(4096)
+                .with_sizing(BatchSizing::Fixed(256))
+                .with_flush_deadline(Duration::from_micros(deadline_us));
+            let r = drive(
+                &index,
+                &data.items,
+                SWEEP_REQUESTS,
+                cfg,
+                Duration::from_micros(arrival_us),
+            );
+            println!(
+                "service_throughput/sweep: arrival {:>4} us deadline {:>5} us | {:>8.0} req/s wall | wait p50 {:>6} p99 {:>7} us | span p99 {:>9} | flushes size/deadline/drain {}/{}/{}",
+                arrival_us,
+                deadline_us,
+                r.completed as f64 / (r.wall_ms / 1e3),
+                r.queue_wait_p50_us,
+                r.queue_wait_p99_us,
+                r.span_p99_cycles,
+                r.size_flushes,
+                r.deadline_flushes,
+                r.shutdown_flushes,
+            );
+            sweep_rows.push((arrival_us, deadline_us, r));
+        }
+    }
+
+    // -- JSON --------------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"compare_requests\": {COMPARE_REQUESTS},");
+    let _ = writeln!(json, "  \"comparison\": {{");
+    for (name, r, target, comma) in [
+        ("microbatched", &batched, 256usize, ","),
+        ("single_request", &single, 1, ","),
+    ] {
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"batch_target\": {target}, \"span_cycles\": {}, \"total_cycles\": {}, \"batches\": {}, \"wall_ms\": {:.2}}}{comma}",
+            r.span_cycles, r.total_cycles, r.batches, r.wall_ms
+        );
+    }
+    let _ = writeln!(json, "    \"span_speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sweep_requests\": {SWEEP_REQUESTS},");
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, (arrival_us, deadline_us, r)) in sweep_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"arrival_us\": {arrival_us}, \"deadline_us\": {deadline_us}, \"throughput_rps_wall\": {:.0}, \"queue_wait_p50_us\": {}, \"queue_wait_p99_us\": {}, \"batch_span_p99_cycles\": {}, \"batches\": {}, \"size_flushes\": {}, \"deadline_flushes\": {}, \"shutdown_flushes\": {}}}{}",
+            r.completed as f64 / (r.wall_ms / 1e3),
+            r.queue_wait_p50_us,
+            r.queue_wait_p99_us,
+            r.span_p99_cycles,
+            r.batches,
+            r.size_flushes,
+            r.deadline_flushes,
+            r.shutdown_flushes,
+            if i + 1 < sweep_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_service.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_service.json");
+    println!("wrote {out_path}");
+}

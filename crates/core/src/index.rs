@@ -589,6 +589,27 @@ where
             distance_work: work as f64 / samples as f64,
         }
     }
+
+    /// Largest query batch the §5.3 model expects this index to run without
+    /// query grouping, sized against **this device's** current free memory
+    /// ([`CostModel::max_batch_queries`] over the index's actual tree shape).
+    pub fn max_batch_queries(&self, model: &CostModel, radius: f64) -> usize {
+        self.max_batch_queries_with_free(self.dev.free_bytes(), model, radius)
+    }
+
+    /// [`Gts::max_batch_queries`] against an explicit free-memory budget —
+    /// the entry point a *global* scheduler uses to size one batch across
+    /// several shards (passing the pool-wide minimum free bytes instead of
+    /// this device's own view; see
+    /// [`ShardedGts::max_batch_queries`](crate::ShardedGts::max_batch_queries)).
+    pub fn max_batch_queries_with_free(
+        &self,
+        free_bytes: u64,
+        model: &CostModel,
+        radius: f64,
+    ) -> usize {
+        model.max_batch_queries(free_bytes, self.params.node_capacity, self.height(), radius)
+    }
 }
 
 impl<O, M> SimilarityIndex<O> for Gts<O, M>

@@ -66,4 +66,4 @@ pub use memo::PairMemo;
 pub use multi::MultiGts;
 pub use params::GtsParams;
 pub use shard::ShardedGts;
-pub use stats::SearchStats;
+pub use stats::{LatencyHistogram, SearchStats, StatsSnapshot};

@@ -29,6 +29,21 @@ pub struct GtsParams {
     /// object access — same answers, same simulated cycles, no flat-layout
     /// wall-clock speedup (the invariance tests compare the two paths).
     pub use_arena: bool,
+    /// Leaf verification through the **early-abandoning bounded kernel**
+    /// ([`BatchMetric::distance_batch_bounded`](metric_space::BatchMetric::distance_batch_bounded)):
+    /// each survivor of the stored-distance filter is evaluated against its
+    /// query's radius (MRQ) or current kNN bound (MkNNQ), so an edit
+    /// distance can abandon via the Ukkonen band once it provably exceeds
+    /// the bound — and is charged only the banded work. Answers are
+    /// bit-identical to the default path (the bound kernels are exact
+    /// whenever they report a distance, and the kNN bounds are tie-safe);
+    /// **simulated cycles differ** (that is the point — the banded DP is
+    /// cheaper), with abandoned evaluations counted in
+    /// [`StatsSnapshot::leaf_abandoned`](crate::stats::StatsSnapshot::leaf_abandoned).
+    /// Off by default so the cycle-invariance suites keep their baseline. A
+    /// kernel-strategy knob like `host_threads`, so not persisted by
+    /// snapshots.
+    pub bounded_verification: bool,
     /// Host threads executing the batched distance kernels; `0` (default)
     /// means "auto" — use the device's configured
     /// [`host_threads`](gpu_sim::DeviceConfig::host_threads). Purely a
@@ -58,6 +73,7 @@ impl Default for GtsParams {
             fft_pivots: true,
             query_grouping: true,
             use_arena: true,
+            bounded_verification: false,
             host_threads: 0,
             shards: 1,
         }
@@ -87,6 +103,13 @@ impl GtsParams {
     /// Builder-style arena toggle (disable to run the per-pair fallback).
     pub fn with_use_arena(mut self, use_arena: bool) -> Self {
         self.use_arena = use_arena;
+        self
+    }
+
+    /// Builder-style bounded-verification toggle (enable the
+    /// early-abandoning banded leaf kernels).
+    pub fn with_bounded_verification(mut self, bounded: bool) -> Self {
+        self.bounded_verification = bounded;
         self
     }
 
@@ -131,6 +154,10 @@ mod tests {
         );
         assert!(p.two_sided_pruning && p.fft_pivots && p.query_grouping);
         assert!(p.use_arena, "flat arena kernels are the default");
+        assert!(
+            !p.bounded_verification,
+            "bounded verification is opt-in (cycle baselines stay put)"
+        );
         assert_eq!(p.host_threads, 0, "auto host threads by default");
         assert_eq!(p.shards, 1, "single-device by default");
     }

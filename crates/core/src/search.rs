@@ -78,6 +78,21 @@ struct RawEntry {
     _dqp: f64,
 }
 
+/// Device bytes one frontier entry occupies — the unit the two-stage memory
+/// bound and the cost-model batch sizing are denominated in.
+pub(crate) const FRONTIER_ENTRY_BYTES: usize = std::mem::size_of::<RawEntry>();
+
+/// The paper's per-layer intermediate-result bound, in frontier entries:
+/// `size_limit = size_GPU / ((h − layer + 1)·Nc)` with `size_GPU` the free
+/// device bytes. Shared by the search loops (which split into query groups
+/// past it) and by [`CostModel::max_batch_queries`](crate::CostModel), so
+/// the admission-side batch planner and the in-search grouping agree on the
+/// budget.
+pub(crate) fn layer_size_limit(free_bytes: u64, h: u32, level: u32, nc: u32) -> usize {
+    let denom = (h - level + 1) as usize * nc as usize * FRONTIER_ENTRY_BYTES;
+    (free_bytes as usize / denom.max(1)).max(1)
+}
+
 /// Reusable host-side buffers for the level-synchronous loops.
 ///
 /// One instance serves a whole batched query: frontier buffers ping-pong
@@ -97,6 +112,10 @@ pub(crate) struct SearchScratch {
     kernel_ids: Vec<u32>,
     /// Distance output staging for the batched kernels.
     kernel_out: Vec<f64>,
+    /// Per-pair bound staging for the bounded verification kernels.
+    kernel_bounds: Vec<f64>,
+    /// `Option<f64>` output staging for the bounded verification kernels.
+    kernel_opt: Vec<Option<f64>>,
     /// Ring gap per next-level entry (MkNNQ beam ranking).
     gaps: Vec<f64>,
     /// Encoded `(key, entry)` pairs for the MkNNQ bound update.
@@ -167,10 +186,7 @@ where
     /// `size_limit = size_GPU / ((h − layer + 1)·Nc)`, in frontier entries.
     fn size_limit(&self, level: u32) -> usize {
         let shape = self.shape();
-        let free = self.dev.free_bytes() as usize;
-        let denom =
-            (shape.h - level + 1) as usize * shape.nc as usize * std::mem::size_of::<RawEntry>();
-        (free / denom.max(1)).max(1)
+        layer_size_limit(self.dev.free_bytes(), shape.h, level, shape.nc)
     }
 
     /// Split a frontier into query groups each within `limit` entries
@@ -295,6 +311,77 @@ where
 /// Per-verified-object overhead on top of the raw distance work (bound
 /// compare + result write), matching the historical per-pair accounting.
 const VERIFY_EXTRA_WORK: u64 = 3;
+
+/// Run one query block's leaf-verification kernel — exact or
+/// early-abandoning, per [`GtsParams::bounded_verification`] — feeding
+/// every computed `(object, distance)` pair to `sink` and returning the
+/// block's `(work, span, abandoned)`.
+///
+/// Under the bounded kernel only pairs with `d ≤ bound` reach the sink
+/// (abandoned evaluations are counted, not sunk); under the exact kernel
+/// every pair does. The caller's sink applies its own acceptance rule
+/// (range: `d ≤ r`; kNN: [`TopK::insert`]), so the two kernels feed it
+/// equivalent *accepted* sets whenever `bound` upper-bounds acceptance —
+/// the shared body is what keeps the MRQ and MkNNQ paths provably
+/// identical in staging and accounting.
+#[allow(clippy::too_many_arguments)]
+fn verify_block<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    query: &O,
+    bound: f64,
+    kernel_ids: &[u32],
+    kernel_out: &mut Vec<f64>,
+    kernel_bounds: &mut Vec<f64>,
+    kernel_opt: &mut Vec<Option<f64>>,
+    mut sink: impl FnMut(u32, f64),
+) -> (u64, u64, u64)
+where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    if ctx.params.bounded_verification {
+        kernel_bounds.clear();
+        kernel_bounds.resize(kernel_ids.len(), bound);
+        kernel_opt.clear();
+        kernel_opt.resize(kernel_ids.len(), None);
+        let (w, s) = crate::dispatch::distance_block_bounded(
+            ctx.dev.as_ref(),
+            ctx.threads,
+            ctx.metric,
+            ctx.objects,
+            ctx.arena,
+            query,
+            kernel_ids,
+            kernel_bounds,
+            kernel_opt,
+        );
+        let mut abandoned = 0u64;
+        for (&obj, d) in kernel_ids.iter().zip(kernel_opt.iter()) {
+            match d {
+                Some(d) => sink(obj, *d),
+                None => abandoned += 1,
+            }
+        }
+        (w, s, abandoned)
+    } else {
+        kernel_out.clear();
+        kernel_out.resize(kernel_ids.len(), 0.0);
+        let (w, s) = distance_block(
+            ctx.dev.as_ref(),
+            ctx.threads,
+            ctx.metric,
+            ctx.objects,
+            ctx.arena,
+            query,
+            kernel_ids,
+            kernel_out,
+        );
+        for (&obj, &d) in kernel_ids.iter().zip(kernel_out.iter()) {
+            sink(obj, d);
+        }
+        (w, s, 0)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Metric range query (Algorithm 4)
@@ -439,6 +526,8 @@ fn verify_range<O, M>(
         tasks,
         kernel_ids,
         kernel_out,
+        kernel_bounds,
+        kernel_opt,
         ..
     } = scratch;
     ctx.fill_leaf_tasks(entries, tasks);
@@ -447,6 +536,7 @@ fn verify_range<O, M>(
     }
     let n = tasks.len();
     let mut verified = 0u64;
+    let mut abandoned = 0u64;
     // One batched kernel over every verification task: the stored-distance
     // filter (zero distance calls) runs inline; survivors are resolved
     // against the arena in query-contiguous id blocks.
@@ -480,32 +570,34 @@ fn verify_range<O, M>(
                 kernel_ids.push(te.obj);
             }
             if !kernel_ids.is_empty() {
-                kernel_out.clear();
-                kernel_out.resize(kernel_ids.len(), 0.0);
-                let (w, s) = distance_block(
-                    ctx.dev.as_ref(),
-                    ctx.threads,
-                    ctx.metric,
-                    ctx.objects,
-                    ctx.arena,
+                // With bounding on, the query's radius *is* the bound: a
+                // returned distance is exactly a range hit and an abandoned
+                // evaluation a certified miss charged only its banded work.
+                let (w, s, ab) = verify_block(
+                    ctx,
                     &queries[q as usize],
+                    r,
                     kernel_ids,
                     kernel_out,
+                    kernel_bounds,
+                    kernel_opt,
+                    |obj, d| {
+                        if d <= r {
+                            results[q as usize].push(Neighbor::new(obj, d));
+                        }
+                    },
                 );
+                abandoned += ab;
                 total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
                 span = span.max(s + VERIFY_EXTRA_WORK);
                 verified += kernel_ids.len() as u64;
-                for (&obj, &d) in kernel_ids.iter().zip(kernel_out.iter()) {
-                    if d <= r {
-                        results[q as usize].push(Neighbor::new(obj, d));
-                    }
-                }
             }
             t = u;
         }
         ((), total, span)
     });
     ctx.stats.add(&ctx.stats.leaf_verified, verified);
+    ctx.stats.add(&ctx.stats.leaf_abandoned, abandoned);
     ctx.stats.add(&ctx.stats.distance_computations, verified);
     ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
 }
@@ -848,6 +940,8 @@ fn verify_knn<O, M>(
             bounds,
             kernel_ids,
             kernel_out,
+            kernel_bounds,
+            kernel_opt,
             ..
         } = scratch;
         wave.clear();
@@ -866,6 +960,7 @@ fn verify_knn<O, M>(
         bounds.extend(pools.iter().map(TopK::bound));
         let n = tasks.len();
         let mut verified = 0u64;
+        let mut abandoned = 0u64;
         // One batched kernel per wave: stored-distance filter inline,
         // survivor distances arena-resolved per query block, candidates
         // inserted after the kernel (threads cannot observe each other's
@@ -900,30 +995,33 @@ fn verify_knn<O, M>(
                     kernel_ids.push(te.obj);
                 }
                 if !kernel_ids.is_empty() {
-                    kernel_out.clear();
-                    kernel_out.resize(kernel_ids.len(), 0.0);
-                    let (w, s) = distance_block(
-                        ctx.dev.as_ref(),
-                        ctx.threads,
-                        ctx.metric,
-                        ctx.objects,
-                        ctx.arena,
+                    // With bounding on, the wave's bound snapshot is the
+                    // kernel bound — tie-safe: `Some(d)` iff `d ≤ bound`,
+                    // so candidates at exactly the bound are returned and
+                    // the canonical `(dis, id)` tie-break decides; an
+                    // abandoned candidate has `d > bound` and could never
+                    // enter a full pool whose k-th distance *is* the bound.
+                    let (w, s, ab) = verify_block(
+                        ctx,
                         &queries[q as usize],
+                        bounds[q as usize],
                         kernel_ids,
                         kernel_out,
+                        kernel_bounds,
+                        kernel_opt,
+                        |obj, d| pools[q as usize].insert(Neighbor::new(obj, d)),
                     );
+                    abandoned += ab;
                     total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
                     span = span.max(s + VERIFY_EXTRA_WORK);
                     verified += kernel_ids.len() as u64;
-                    for (&obj, &d) in kernel_ids.iter().zip(kernel_out.iter()) {
-                        pools[q as usize].insert(Neighbor::new(obj, d));
-                    }
                 }
                 t = u;
             }
             ((), total, span)
         });
         ctx.stats.add(&ctx.stats.leaf_verified, verified);
+        ctx.stats.add(&ctx.stats.leaf_abandoned, abandoned);
         ctx.stats.add(&ctx.stats.distance_computations, verified);
         ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
     }

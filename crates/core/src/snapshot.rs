@@ -164,9 +164,11 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         fft_pivots: r.u8()? != 0,
         query_grouping: r.u8()? != 0,
         use_arena: r.u8()? != 0,
-        // Execution-topology knobs are not single-index state: a restored
-        // index uses the restoring machine's parallelism, and the sharded
-        // envelope records its own shard count.
+        // Execution-topology and kernel-strategy knobs are not single-index
+        // state: a restored index uses the restoring machine's parallelism
+        // and default kernel strategy, and the sharded envelope records its
+        // own shard count.
+        bounded_verification: false,
         host_threads: 0,
         shards: 1,
     };

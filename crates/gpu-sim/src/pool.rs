@@ -87,6 +87,20 @@ impl DevicePool {
         &self.devices
     }
 
+    /// Pool-wide free-memory view, pessimistic: the **minimum** free bytes
+    /// across devices. A batched query scatters to *every* shard, so the
+    /// device with the least headroom is the binding constraint on any
+    /// globally-planned batch — this is the number a cross-shard scheduler
+    /// (e.g. the `gts-service` microbatcher) should size against, rather
+    /// than each shard consulting only its own free memory.
+    pub fn free_bytes_min(&self) -> u64 {
+        self.devices
+            .iter()
+            .map(|d| d.free_bytes())
+            .min()
+            .expect("a pool holds at least one device")
+    }
+
     /// Aggregate counters: throughput counters summed, `span_cycles` maxed.
     pub fn aggregate(&self) -> PoolStats {
         let mut agg = PoolStats {
@@ -150,6 +164,18 @@ mod tests {
         assert!((pool.span_seconds() - 1e-3).abs() < 1e-4);
         pool.reset_clocks();
         assert_eq!(pool.span_seconds(), 0.0);
+    }
+
+    #[test]
+    fn free_memory_view_tracks_most_loaded_device() {
+        let pool = DevicePool::rtx_2080_ti(2);
+        assert_eq!(pool.free_bytes_min(), pool.get(0).free_bytes());
+        let _held = pool.get(1).reserve(1 << 20, "test").expect("fits");
+        assert_eq!(
+            pool.free_bytes_min(),
+            pool.get(1).free_bytes(),
+            "min tracks the most-loaded device"
+        );
     }
 
     #[test]

@@ -183,22 +183,14 @@ pub struct BatchChunk<'a> {
 pub fn chunk_pairs<'a>(chunk: usize, ids: &'a [u32], out: &'a mut [f64]) -> Vec<BatchChunk<'a>> {
     assert!(chunk > 0, "chunk size must be positive");
     assert_eq!(ids.len(), out.len());
-    let mut jobs = Vec::with_capacity(ids.len().div_ceil(chunk));
-    let (mut ids, mut out) = (ids, out);
-    while ids.len() > chunk {
-        let (id_head, id_tail) = ids.split_at(chunk);
-        let (out_head, out_tail) = out.split_at_mut(chunk);
-        jobs.push(BatchChunk {
-            ids: id_head,
-            out: out_head,
-        });
-        ids = id_tail;
-        out = out_tail;
-    }
-    if !ids.is_empty() {
-        jobs.push(BatchChunk { ids, out });
-    }
-    jobs
+    // `slice::chunks` *is* the boundary policy: every chunk exactly
+    // `chunk` items except a shorter tail. Parallel slices cut with the
+    // same call share boundaries by construction — the property the
+    // bounded-kernel chunker in gts-core relies on too.
+    ids.chunks(chunk)
+        .zip(out.chunks_mut(chunk))
+        .map(|(ids, out)| BatchChunk { ids, out })
+        .collect()
 }
 
 /// Clamp a float radius to the integer bound the banded edit DP expects:

@@ -1,0 +1,162 @@
+//! The request/response surface of the online query service.
+
+use metric_space::index::{IndexError, Neighbor};
+use std::fmt;
+use std::sync::mpsc;
+
+/// One similarity-search request, as a client submits it: a single query
+/// object plus its parameters. The microbatcher coalesces many of these
+/// into one batched index call.
+#[derive(Clone, Debug)]
+pub enum Request<O> {
+    /// Metric range query `MRQ(query, radius)` (paper Definition 3.1).
+    Range {
+        /// The query object.
+        query: O,
+        /// The search radius.
+        radius: f64,
+    },
+    /// Metric kNN query `MkNNQ(query, k)` (paper Definition 3.2).
+    Knn {
+        /// The query object.
+        query: O,
+        /// Number of nearest neighbours requested.
+        k: usize,
+    },
+}
+
+/// Which trigger flushed the batch a request rode in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushTrigger {
+    /// The queue reached the batch target (the §5.3 cost-model size).
+    Size,
+    /// The oldest queued request aged past the flush deadline.
+    Deadline,
+    /// The service was shutting down and drained the queue.
+    Shutdown,
+}
+
+/// Per-request latency breakdown, reported with every [`Response`].
+#[derive(Clone, Copy, Debug)]
+pub struct LatencyBreakdown {
+    /// Host wall-clock microseconds the request spent in the admission
+    /// queue, from submission to batch flush.
+    pub queue_wait_us: u64,
+    /// Simulated device cycles the executing batch call added to the
+    /// sharded critical path ([`ShardedGts::span_cycles`]
+    /// delta around the sub-batch this request was answered in).
+    ///
+    /// [`ShardedGts::span_cycles`]: gts_core::ShardedGts::span_cycles
+    pub batch_span_cycles: u64,
+    /// Total requests in the flushed batch this request rode in (the
+    /// sub-batch that executed it may be smaller: ranges and distinct `k`
+    /// values run as separate index calls).
+    pub batch_size: usize,
+    /// Why the batch flushed.
+    pub trigger: FlushTrigger,
+}
+
+/// The service's answer to one [`Request`].
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The per-request answer, in the canonical `(distance, id)` order —
+    /// bit-identical to a direct batched index call over the same
+    /// requests. `Err` surfaces index-side failures (e.g. device OOM).
+    pub result: Result<Vec<Neighbor>, IndexError>,
+    /// Where this request's latency went.
+    pub latency: LatencyBreakdown,
+}
+
+/// Errors surfaced by request submission and result collection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The admission queue is at its configured depth — backpressure.
+    /// The request was **rejected**, not queued; clients retry or shed.
+    QueueFull {
+        /// The configured admission-queue depth that was hit.
+        depth: usize,
+    },
+    /// The service has begun shutting down and admits no new requests.
+    Stopped,
+    /// The service dropped this request's response channel without
+    /// answering (it was torn down mid-flight).
+    Disconnected,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::QueueFull { depth } => {
+                write!(f, "admission queue full (depth {depth}); request rejected")
+            }
+            ServiceError::Stopped => write!(f, "service stopped; request rejected"),
+            ServiceError::Disconnected => write!(f, "service dropped the response channel"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// A claim check for one submitted request; redeem it with
+/// [`Ticket::wait`] to receive the [`Response`].
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Block until the request's batch executes and return the response.
+    pub fn wait(self) -> Result<Response, ServiceError> {
+        self.rx.recv().map_err(|_| ServiceError::Disconnected)
+    }
+
+    /// Non-blocking poll: `Ok(Some(..))` when the response has arrived,
+    /// `Ok(None)` while the request is still queued or executing.
+    pub fn try_wait(&self) -> Result<Option<Response>, ServiceError> {
+        match self.rx.try_recv() {
+            Ok(r) => Ok(Some(r)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ServiceError::Disconnected),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(ServiceError::QueueFull { depth: 8 }
+            .to_string()
+            .contains("depth 8"));
+        assert!(ServiceError::Stopped.to_string().contains("stopped"));
+        assert!(ServiceError::Disconnected.to_string().contains("dropped"));
+    }
+
+    #[test]
+    fn ticket_roundtrip_and_disconnect() {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let ticket = Ticket { rx };
+        assert!(ticket.try_wait().expect("pending").is_none());
+        tx.send(Response {
+            result: Ok(Vec::new()),
+            latency: LatencyBreakdown {
+                queue_wait_us: 1,
+                batch_span_cycles: 2,
+                batch_size: 3,
+                trigger: FlushTrigger::Size,
+            },
+        })
+        .expect("send");
+        let r = ticket.wait().expect("answered");
+        assert_eq!(r.latency.batch_size, 3);
+
+        let (tx2, rx2) = mpsc::sync_channel::<Response>(1);
+        drop(tx2);
+        assert_eq!(
+            Ticket { rx: rx2 }.wait().expect_err("dropped"),
+            ServiceError::Disconnected
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! Admission queue + microbatcher: the coalescing half of the service.
+//!
+//! Requests enter through a [`SubmitHandle`] into a **bounded FIFO
+//! admission queue** — past [`ServiceConfig::queue_depth`] entries,
+//! submission rejects with [`ServiceError::QueueFull`] (reject-with-error
+//! backpressure, never blocking the caller). The **microbatcher** thread
+//! drains the queue into batches on two triggers:
+//!
+//! * **size** — the queue holds at least the *batch target*: the number of
+//!   queries the §5.3 cost model expects the whole device pool to descend
+//!   in one pass without query grouping
+//!   ([`ShardedGts::max_batch_queries`](gts_core::ShardedGts::max_batch_queries),
+//!   evaluated against the pool-wide free-memory minimum — the global
+//!   two-stage budget), clamped by [`ServiceConfig::max_batch`];
+//! * **deadline** — the oldest queued request has waited
+//!   [`ServiceConfig::flush_deadline`], so a partially-filled batch ships
+//!   rather than stalling a quiet period (the latency/throughput knob of
+//!   open-loop serving).
+//!
+//! Flushed batches travel to the service's single executor over a
+//! **bounded** pipeline channel (`EXECUTOR_PIPELINE_BATCHES`) and are
+//! executed strictly in flush order, so batch formation under the size
+//! trigger — and every simulated cycle the batch charges — is
+//! reproducible for a given arrival sequence, and a slow executor backs
+//! pressure up into the admission queue instead of buffering batches
+//! without bound.
+
+use crate::api::{FlushTrigger, Request, Response, ServiceError, Ticket};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the service derives its batch-size trigger.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSizing {
+    /// A fixed batch target (operator override; also how the benches pin
+    /// the degenerate one-request-per-batch baseline).
+    Fixed(usize),
+    /// Derive the target from the §5.3 cost model fitted by seeded
+    /// sampling, sized against the pool-wide free-memory minimum — the
+    /// global two-stage memory budget shared by all shards.
+    CostModel {
+        /// Representative query radius the survivor estimate is evaluated
+        /// at (a workload hint, not a correctness bound).
+        radius_hint: f64,
+        /// Distance samples used to fit σ and the mean distance work.
+        samples: usize,
+        /// RNG seed for the sampling — the service's tie-breaking seed:
+        /// the same seed always derives the same batch target, which is
+        /// what makes size-triggered batch formation reproducible.
+        seed: u64,
+    },
+}
+
+/// Configuration of the online query service.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Admission-queue bound: submissions beyond this many queued requests
+    /// are rejected with [`ServiceError::QueueFull`].
+    pub queue_depth: usize,
+    /// Flush a partially-filled batch once its oldest request has waited
+    /// this long.
+    pub flush_deadline: Duration,
+    /// Batch-size trigger derivation.
+    pub sizing: BatchSizing,
+    /// Hard cap on the batch target regardless of what the cost model
+    /// recommends (bounds per-batch latency and host staging memory).
+    pub max_batch: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_depth: 4096,
+            flush_deadline: Duration::from_millis(2),
+            sizing: BatchSizing::CostModel {
+                radius_hint: 2.0,
+                samples: 256,
+                seed: 0x67_74_73,
+            },
+            max_batch: 4096,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Builder-style queue-depth override.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        assert!(depth >= 1, "queue depth must admit at least one request");
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Builder-style flush-deadline override.
+    pub fn with_flush_deadline(mut self, deadline: Duration) -> Self {
+        self.flush_deadline = deadline;
+        self
+    }
+
+    /// Builder-style sizing override.
+    pub fn with_sizing(mut self, sizing: BatchSizing) -> Self {
+        self.sizing = sizing;
+        self
+    }
+
+    /// Builder-style batch cap override.
+    pub fn with_max_batch(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "a batch holds at least one request");
+        self.max_batch = cap;
+        self
+    }
+}
+
+/// One queued request: the payload, its response channel, and its
+/// admission timestamp (for the queue-wait measurement and the deadline
+/// trigger).
+pub(crate) struct Pending<O> {
+    pub(crate) req: Request<O>,
+    pub(crate) tx: mpsc::SyncSender<Response>,
+    pub(crate) enqueued: Instant,
+}
+
+/// One flushed batch: FIFO-ordered entries with their queue waits stamped
+/// at flush time, plus the trigger that shipped it.
+pub(crate) struct Batch<O> {
+    pub(crate) entries: Vec<(Request<O>, mpsc::SyncSender<Response>, u64)>,
+    pub(crate) trigger: FlushTrigger,
+}
+
+/// Queue state guarded by the admission mutex.
+struct QueueState<O> {
+    queue: VecDeque<Pending<O>>,
+    stopped: bool,
+}
+
+/// State shared between submit handles and the microbatcher thread.
+pub(crate) struct Shared<O> {
+    state: Mutex<QueueState<O>>,
+    cv: Condvar,
+    depth: usize,
+    pub(crate) target: usize,
+    deadline: Duration,
+    pub(crate) admitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+}
+
+impl<O> Shared<O> {
+    pub(crate) fn new(depth: usize, target: usize, deadline: Duration) -> Arc<Shared<O>> {
+        Arc::new(Shared {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::new(),
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+            depth,
+            target,
+            deadline,
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        })
+    }
+
+    /// Flip the stopped flag and wake the batcher so it drains and exits.
+    pub(crate) fn stop(&self) {
+        self.state.lock().expect("admission lock").stopped = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Cloneable submission endpoint of a running
+/// [`QueryService`](crate::QueryService).
+pub struct SubmitHandle<O> {
+    pub(crate) shared: Arc<Shared<O>>,
+}
+
+impl<O> Clone for SubmitHandle<O> {
+    fn clone(&self) -> Self {
+        SubmitHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<O> SubmitHandle<O> {
+    /// Submit one request. Returns a [`Ticket`] redeemable for the
+    /// response, or an immediate rejection when the admission queue is at
+    /// depth ([`ServiceError::QueueFull`] — the backpressure contract:
+    /// submission never blocks) or the service is stopping.
+    pub fn submit(&self, req: Request<O>) -> Result<Ticket, ServiceError> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let mut st = self.shared.state.lock().expect("admission lock");
+        if st.stopped {
+            return Err(ServiceError::Stopped);
+        }
+        if st.queue.len() >= self.shared.depth {
+            self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::QueueFull {
+                depth: self.shared.depth,
+            });
+        }
+        st.queue.push_back(Pending {
+            req,
+            tx,
+            enqueued: Instant::now(),
+        });
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        let len = st.queue.len();
+        drop(st);
+        // Wake the batcher only when this admission changes what it would
+        // do: the empty→non-empty transition (it sits in an untimed wait)
+        // or reaching the size target (an immediate flush is due). Arrivals
+        // in between are covered by its deadline-timed wait, so notifying
+        // per request would only add lock contention on the hot path.
+        if len == 1 || len >= self.shared.target {
+            self.shared.cv.notify_all();
+        }
+        Ok(Ticket { rx })
+    }
+
+    /// Current queue occupancy (instantaneous; for load shedding and the
+    /// open-loop bench driver).
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("admission lock")
+            .queue
+            .len()
+    }
+}
+
+/// Drain up to `limit` FIFO entries into a [`Batch`], stamping each
+/// request's queue wait against one shared flush instant (a single clock
+/// read per flush — this runs inside the admission critical section).
+fn drain<O>(queue: &mut VecDeque<Pending<O>>, limit: usize, trigger: FlushTrigger) -> Batch<O> {
+    let take = queue.len().min(limit);
+    let now = Instant::now();
+    let entries = queue
+        .drain(..take)
+        .map(|p| {
+            let wait = now.saturating_duration_since(p.enqueued);
+            let wait_us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
+            (p.req, p.tx, wait_us)
+        })
+        .collect();
+    Batch { entries, trigger }
+}
+
+/// Capacity of the batcher→executor pipeline, in batches: one executing
+/// plus one staged. The channel being **bounded** is what ties the whole
+/// backpressure story together — if it were unbounded, a slow executor
+/// would let the batcher drain the admission queue forever and
+/// [`ServiceError::QueueFull`] would never fire (flushed batches would
+/// pile up in host memory instead). With a bounded channel the batcher
+/// blocks on a full pipeline, arrivals back the admission queue up to its
+/// depth, and submission starts rejecting exactly as documented.
+pub(crate) const EXECUTOR_PIPELINE_BATCHES: usize = 2;
+
+/// Tear the queue down after the executor has vanished mid-run (its end
+/// of the pipeline channel dropped, e.g. an executor panic): refuse new
+/// work and **disconnect every queued ticket** by dropping the pending
+/// entries — and with them their response senders — so waiting clients
+/// get [`ServiceError::Disconnected`] instead of blocking forever on a
+/// service that can no longer answer anything.
+fn poison<O>(shared: &Shared<O>) {
+    let mut st = shared.state.lock().expect("admission lock");
+    st.stopped = true;
+    st.queue.clear();
+}
+
+/// The microbatcher loop: runs on its own thread until stopped, sending
+/// flushed batches (FIFO) to the executor over the bounded pipeline
+/// channel. Every `send` happens **outside** the admission lock, so a
+/// full pipeline stalls only this thread — [`SubmitHandle::submit`] stays
+/// non-blocking throughout. Dropping `batch_tx` on exit is what tells the
+/// executor to finish; conversely a failed send means the executor died,
+/// and the queue is poisoned so nothing hangs.
+pub(crate) fn run<O>(shared: &Shared<O>, batch_tx: &mpsc::SyncSender<Batch<O>>) {
+    let mut st = shared.state.lock().expect("admission lock");
+    loop {
+        // Size trigger: a full batch is ready — ship it immediately.
+        if st.queue.len() >= shared.target {
+            let batch = drain(&mut st.queue, shared.target, FlushTrigger::Size);
+            drop(st);
+            if batch_tx.send(batch).is_err() {
+                return poison(shared);
+            }
+            st = shared.state.lock().expect("admission lock");
+            continue;
+        }
+        // Shutdown: drain the remainder in FIFO target-sized chunks.
+        if st.stopped {
+            loop {
+                if st.queue.is_empty() {
+                    return;
+                }
+                let batch = drain(&mut st.queue, shared.target, FlushTrigger::Shutdown);
+                drop(st);
+                if batch_tx.send(batch).is_err() {
+                    return poison(shared);
+                }
+                st = shared.state.lock().expect("admission lock");
+            }
+        }
+        // Deadline trigger: the oldest request has waited long enough.
+        match st.queue.front().map(|p| p.enqueued.elapsed()) {
+            Some(age) if age >= shared.deadline => {
+                let batch = drain(&mut st.queue, shared.target, FlushTrigger::Deadline);
+                drop(st);
+                if batch_tx.send(batch).is_err() {
+                    return poison(shared);
+                }
+                st = shared.state.lock().expect("admission lock");
+            }
+            Some(age) => {
+                let (guard, _) = shared
+                    .cv
+                    .wait_timeout(st, shared.deadline - age)
+                    .expect("admission lock");
+                st = guard;
+            }
+            None => {
+                st = shared.cv.wait(st).expect("admission lock");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(depth: usize, target: usize) -> (SubmitHandle<u32>, Arc<Shared<u32>>) {
+        let shared = Shared::new(depth, target, Duration::from_millis(1));
+        (
+            SubmitHandle {
+                shared: Arc::clone(&shared),
+            },
+            shared,
+        )
+    }
+
+    #[test]
+    fn backpressure_rejects_past_depth() {
+        let (h, shared) = handle(2, 100);
+        let _t1 = h.submit(Request::Knn { query: 1, k: 1 }).expect("fits");
+        let _t2 = h.submit(Request::Knn { query: 2, k: 1 }).expect("fits");
+        let err = h.submit(Request::Knn { query: 3, k: 1 }).expect_err("full");
+        assert_eq!(err, ServiceError::QueueFull { depth: 2 });
+        assert_eq!(shared.admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(shared.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(h.queue_len(), 2);
+    }
+
+    #[test]
+    fn stopped_queue_rejects_everything() {
+        let (h, shared) = handle(10, 100);
+        shared.stop();
+        assert_eq!(
+            h.submit(Request::Knn { query: 1, k: 1 }).expect_err("down"),
+            ServiceError::Stopped
+        );
+    }
+
+    #[test]
+    fn drain_is_fifo_and_stamps_waits() {
+        let mut q = VecDeque::new();
+        let (tx, _rx) = mpsc::sync_channel(1);
+        for i in 0..5u32 {
+            q.push_back(Pending {
+                req: Request::Knn { query: i, k: 1 },
+                tx: tx.clone(),
+                enqueued: Instant::now(),
+            });
+        }
+        let batch = drain(&mut q, 3, FlushTrigger::Size);
+        assert_eq!(batch.entries.len(), 3);
+        assert_eq!(q.len(), 2);
+        for (i, (req, _, _)) in batch.entries.iter().enumerate() {
+            let Request::Knn { query, .. } = req else {
+                panic!("knn expected")
+            };
+            assert_eq!(*query as usize, i, "FIFO order preserved");
+        }
+    }
+
+    #[test]
+    fn batcher_flushes_on_size_and_shutdown() {
+        let shared = Shared::<u32>::new(64, 4, Duration::from_secs(3600));
+        let h = SubmitHandle {
+            shared: Arc::clone(&shared),
+        };
+        let (tx, rx) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run(&shared, &tx))
+        };
+        let _tickets: Vec<Ticket> = (0..10)
+            .map(|i| h.submit(Request::Knn { query: i, k: 1 }).expect("fits"))
+            .collect();
+        // Two full size-triggered batches arrive without any deadline help
+        // (the deadline is an hour out).
+        let b1 = rx.recv_timeout(Duration::from_secs(5)).expect("batch 1");
+        let b2 = rx.recv_timeout(Duration::from_secs(5)).expect("batch 2");
+        assert_eq!(b1.trigger, FlushTrigger::Size);
+        assert_eq!(b1.entries.len(), 4);
+        assert_eq!(b2.entries.len(), 4);
+        // Shutdown drains the two stragglers.
+        shared.stop();
+        let b3 = rx.recv_timeout(Duration::from_secs(5)).expect("drain");
+        assert_eq!(b3.trigger, FlushTrigger::Shutdown);
+        assert_eq!(b3.entries.len(), 2);
+        worker.join().expect("batcher exits");
+    }
+
+    #[test]
+    fn executor_death_poisons_the_service() {
+        let shared = Shared::<u32>::new(64, 4, Duration::from_secs(3600));
+        let h = SubmitHandle {
+            shared: Arc::clone(&shared),
+        };
+        let (tx, rx) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        drop(rx); // the "executor" dies immediately
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run(&shared, &tx))
+        };
+        // A full batch triggers a flush whose send fails: the batcher must
+        // poison the queue — disconnect every waiting ticket and refuse
+        // new work — rather than leave the service a silent black hole.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| h.submit(Request::Knn { query: i, k: 1 }).expect("fits"))
+            .collect();
+        worker.join().expect("batcher exits");
+        for t in tickets {
+            assert_eq!(
+                t.wait().expect_err("disconnected"),
+                ServiceError::Disconnected
+            );
+        }
+        assert_eq!(
+            h.submit(Request::Knn { query: 9, k: 1 })
+                .expect_err("poisoned"),
+            ServiceError::Stopped
+        );
+    }
+
+    #[test]
+    fn batcher_flushes_on_deadline() {
+        let shared = Shared::<u32>::new(64, 1000, Duration::from_millis(5));
+        let h = SubmitHandle {
+            shared: Arc::clone(&shared),
+        };
+        let (tx, rx) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run(&shared, &tx))
+        };
+        let _t = h.submit(Request::Range {
+            query: 9,
+            radius: 1.0,
+        });
+        let b = rx.recv_timeout(Duration::from_secs(5)).expect("deadline");
+        assert_eq!(b.trigger, FlushTrigger::Deadline);
+        assert_eq!(b.entries.len(), 1);
+        shared.stop();
+        worker.join().expect("batcher exits");
+    }
+}

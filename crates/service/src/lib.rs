@@ -1,0 +1,58 @@
+//! # gts-service
+//!
+//! An **online query service** over a sharded GTS index: the layer that
+//! turns individual similarity-search requests — the shape real serving
+//! traffic arrives in — into the large MRQ/MkNNQ batches the paper's
+//! concurrent-query design (§4), cost model (§5.3), and two-stage memory
+//! strategy are built to exploit.
+//!
+//! ```text
+//!  clients ──▶ SubmitHandle ──▶ admission queue ──▶ microbatcher ──▶ executor ──▶ ShardedGts
+//!              (submit())       (bounded depth,     (size trigger      (FIFO,       (scatter to
+//!                ▲ Ticket        reject past it)     from §5.3 cost     one batch     shards,
+//!                │                                   model + global     at a time)    exact merge)
+//!                └──────────── Response: result + latency breakdown ◀───┘
+//! ```
+//!
+//! Three pieces, each its own module:
+//!
+//! * [`api`] — the request/response surface: [`Request`], [`Ticket`],
+//!   [`Response`] with its per-request [`LatencyBreakdown`], and
+//!   [`ServiceError`];
+//! * [`batcher`] — the bounded **admission queue** (backpressure: past the
+//!   configured depth, [`SubmitHandle::submit`] rejects with
+//!   [`ServiceError::QueueFull`] instead of blocking) and the
+//!   **microbatcher** that flushes a batch when either the **size trigger**
+//!   fires (queue depth reaches the batch target derived from
+//!   [`CostModel::max_batch_queries`](gts_core::CostModel::max_batch_queries)
+//!   against the pool-wide free-memory view) or the **deadline trigger**
+//!   fires (the oldest queued request has waited the configured flush
+//!   deadline);
+//! * [`service`] — [`QueryService`]: owns the batcher and executor
+//!   threads, drives flushed batches through
+//!   [`ShardedGts::batch_range`](gts_core::ShardedGts::batch_range) /
+//!   [`ShardedGts::batch_knn`](gts_core::ShardedGts::batch_knn) in FIFO
+//!   flush order, and aggregates [`ServiceStats`].
+//!
+//! **Determinism.** Batch *formation* under the size trigger is a pure
+//! function of the arrival sequence: requests are admitted FIFO, the batch
+//! target is computed once at startup from seeded cost-model sampling
+//! ([`BatchSizing::CostModel`]), and batches are flushed and executed in
+//! FIFO order by a single executor — so a given arrival sequence always
+//! produces the same batches, and the simulated device clocks advance
+//! identically run to run. The deadline trigger necessarily depends on
+//! wall-clock timing, but **answers never do**: every batch shape returns
+//! bit-identical results to a direct [`ShardedGts`](gts_core::ShardedGts)
+//! call over the same requests (`tests/service_invariance.rs`).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod batcher;
+pub mod service;
+pub mod stats;
+
+pub use api::{FlushTrigger, LatencyBreakdown, Request, Response, ServiceError, Ticket};
+pub use batcher::{BatchSizing, ServiceConfig, SubmitHandle};
+pub use service::QueryService;
+pub use stats::ServiceStats;

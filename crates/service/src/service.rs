@@ -1,0 +1,505 @@
+//! [`QueryService`]: the running service — batcher thread + executor
+//! thread over a [`ShardedGts`].
+
+use crate::api::{FlushTrigger, LatencyBreakdown, Request, Response};
+use crate::batcher::EXECUTOR_PIPELINE_BATCHES;
+use crate::batcher::{self, Batch, BatchSizing, ServiceConfig, Shared, SubmitHandle};
+use crate::stats::{ExecutorStats, ServiceStats};
+use gts_core::ShardedGts;
+use metric_space::index::{IndexError, Neighbor};
+use metric_space::{BatchMetric, Footprint};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// The online query service: accepts individual [`Request`]s through
+/// [`SubmitHandle`]s, microbatches them, and executes the batches against
+/// a [`ShardedGts`] on a dedicated executor thread in FIFO flush order.
+///
+/// ```
+/// use gts_core::{GtsParams, ShardedGts};
+/// use gts_service::{QueryService, Request, ServiceConfig};
+/// use gpu_sim::DevicePool;
+/// use metric_space::DatasetKind;
+/// use std::sync::Arc;
+///
+/// let data = DatasetKind::Words.generate(600, 42);
+/// let pool = DevicePool::rtx_2080_ti(2);
+/// let index = ShardedGts::build(&pool, data.items.clone(), data.metric,
+///                               GtsParams::default().with_shards(2)).unwrap();
+/// let service = QueryService::start(Arc::new(index), ServiceConfig::default());
+///
+/// let ticket = service.handle().submit(Request::Knn {
+///     query: data.items[0].clone(),
+///     k: 3,
+/// }).unwrap();
+/// let response = ticket.wait().unwrap();
+/// assert_eq!(response.result.unwrap().len(), 3);
+/// let stats = service.shutdown();
+/// assert_eq!(stats.completed, 1);
+/// ```
+pub struct QueryService<O, M> {
+    shared: Arc<Shared<O>>,
+    index: Arc<ShardedGts<O, M>>,
+    exec_stats: Arc<Mutex<ExecutorStats>>,
+    batcher: Option<JoinHandle<()>>,
+    executor: Option<JoinHandle<()>>,
+    batch_target: usize,
+}
+
+impl<O, M> QueryService<O, M>
+where
+    O: Clone + Send + Sync + Footprint + 'static,
+    M: BatchMetric<O> + Clone + Send + Sync + 'static,
+{
+    /// Start the service over `index`: derives the batch target from
+    /// `cfg.sizing` (one seeded cost-model fit per shard for
+    /// [`BatchSizing::CostModel`], sized against the pool-wide free-memory
+    /// minimum — the global two-stage budget), then spawns the batcher and
+    /// executor threads.
+    pub fn start(index: Arc<ShardedGts<O, M>>, cfg: ServiceConfig) -> Self {
+        // The builder asserts these, but the fields are pub — validate here
+        // too so a hand-built config fails with a meaningful message.
+        assert!(
+            cfg.max_batch >= 1,
+            "max_batch must admit at least one request"
+        );
+        assert!(
+            cfg.queue_depth >= 1,
+            "queue_depth must admit at least one request"
+        );
+        let batch_target = match cfg.sizing {
+            BatchSizing::Fixed(n) => n,
+            BatchSizing::CostModel {
+                radius_hint,
+                samples,
+                seed,
+            } => index.max_batch_queries(radius_hint, samples, seed),
+        }
+        // Clamped to the queue depth as well as the batch cap: a target the
+        // admission queue cannot physically hold would make the size
+        // trigger silently unreachable (every flush would wait out the
+        // deadline).
+        .clamp(1, cfg.max_batch.min(cfg.queue_depth));
+        let shared = Shared::new(cfg.queue_depth, batch_target, cfg.flush_deadline);
+        let exec_stats = Arc::new(Mutex::new(ExecutorStats::default()));
+        // Bounded pipeline: a slow executor backs pressure up through the
+        // batcher into the admission queue instead of accumulating flushed
+        // batches in host memory.
+        let (batch_tx, batch_rx) = mpsc::sync_channel::<Batch<O>>(EXECUTOR_PIPELINE_BATCHES);
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher::run(&shared, &batch_tx))
+        };
+        let executor = {
+            let index = Arc::clone(&index);
+            let stats = Arc::clone(&exec_stats);
+            std::thread::spawn(move || run_executor(&index, &batch_rx, &stats))
+        };
+        QueryService {
+            shared,
+            index,
+            exec_stats,
+            batcher: Some(batcher),
+            executor: Some(executor),
+            batch_target,
+        }
+    }
+
+    /// A cloneable submission endpoint.
+    pub fn handle(&self) -> SubmitHandle<O> {
+        SubmitHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The batch target in force: requests per size-triggered flush.
+    pub fn batch_target(&self) -> usize {
+        self.batch_target
+    }
+
+    /// The index the service executes against.
+    pub fn index(&self) -> &Arc<ShardedGts<O, M>> {
+        &self.index
+    }
+
+    /// Point-in-time statistics (the service keeps running).
+    pub fn stats(&self) -> ServiceStats {
+        self.collect_stats()
+    }
+
+    /// Stop admitting, drain the queue (every in-flight request is still
+    /// answered, via shutdown-triggered flushes), join both threads, and
+    /// return the final statistics.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.stop_and_join();
+        self.collect_stats()
+    }
+
+    fn collect_stats(&self) -> ServiceStats {
+        let e = self.exec_stats.lock().expect("executor stats lock");
+        ServiceStats {
+            admitted: self.shared.admitted.load(Ordering::Relaxed),
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            completed: e.completed,
+            batches: e.batches,
+            size_flushes: e.size_flushes,
+            deadline_flushes: e.deadline_flushes,
+            shutdown_flushes: e.shutdown_flushes,
+            batch_target: self.batch_target,
+            queue_wait_us: e.queue_wait_us.clone(),
+            batch_span_cycles: e.batch_span_cycles.clone(),
+            index: self.index.stats(),
+        }
+    }
+}
+
+// Teardown needs none of the query-path bounds, and living in an
+// unbounded impl lets `Drop` share it verbatim with `shutdown`.
+impl<O, M> QueryService<O, M> {
+    fn stop_and_join(&mut self) {
+        self.shared.stop();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<O, M> Drop for QueryService<O, M> {
+    fn drop(&mut self) {
+        // Same teardown as `shutdown`, so a dropped service never leaks its
+        // threads (after shutdown both handles are already taken — no-op).
+        self.stop_and_join();
+    }
+}
+
+/// One executable sub-batch: indices into the flushed batch plus the
+/// uniform call shape (every range request can share one `batch_range`
+/// call; kNN requests share a call per distinct `k`).
+enum SubBatch {
+    Range(Vec<usize>),
+    Knn(Vec<usize>, usize),
+}
+
+/// Split one flushed batch into its index calls, deterministically: all
+/// range requests first (FIFO order), then kNN groups by ascending `k`
+/// (FIFO within each group). The split is a pure function of the batch, so
+/// FIFO batches imply FIFO sub-batches — and reproducible device clocks.
+fn split_batch<O>(entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)]) -> Vec<SubBatch> {
+    let mut ranges = Vec::new();
+    let mut knn: Vec<(usize, Vec<usize>)> = Vec::new(); // (k, FIFO indices)
+    for (i, (req, _, _)) in entries.iter().enumerate() {
+        match req {
+            Request::Range { .. } => ranges.push(i),
+            Request::Knn { k, .. } => match knn.binary_search_by_key(k, |g| g.0) {
+                Ok(g) => knn[g].1.push(i),
+                Err(g) => knn.insert(g, (*k, vec![i])),
+            },
+        }
+    }
+    let mut out = Vec::new();
+    if !ranges.is_empty() {
+        out.push(SubBatch::Range(ranges));
+    }
+    out.extend(knn.into_iter().map(|(k, idx)| SubBatch::Knn(idx, k)));
+    out
+}
+
+/// The executor loop: receives flushed batches in FIFO order and runs each
+/// to completion before the next — one batch in flight at a time, so the
+/// per-batch span-cycle deltas it records are exact (no interleaving on
+/// the simulated clocks).
+fn run_executor<O, M>(
+    index: &ShardedGts<O, M>,
+    batch_rx: &mpsc::Receiver<Batch<O>>,
+    stats: &Mutex<ExecutorStats>,
+) where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    for batch in batch_rx.iter() {
+        let size = batch.entries.len();
+        {
+            let mut s = stats.lock().expect("executor stats lock");
+            s.batches += 1;
+            match batch.trigger {
+                FlushTrigger::Size => s.size_flushes += 1,
+                FlushTrigger::Deadline => s.deadline_flushes += 1,
+                FlushTrigger::Shutdown => s.shutdown_flushes += 1,
+            }
+            for (_, _, wait_us) in &batch.entries {
+                s.queue_wait_us.record(*wait_us);
+            }
+        }
+        for sub in split_batch(&batch.entries) {
+            let (indices, answers, span) = execute_sub(index, &batch.entries, sub);
+            stats
+                .lock()
+                .expect("executor stats lock")
+                .batch_span_cycles
+                .record(span);
+            let mut answered = 0u64;
+            match answers {
+                Ok(mut per_query) => {
+                    // Walk in reverse so `pop` hands each index its answer
+                    // without cloning.
+                    for &i in indices.iter().rev() {
+                        let result = Ok(per_query.pop().expect("one answer per request"));
+                        answered += respond(&batch.entries[i], result, span, size, batch.trigger);
+                    }
+                }
+                Err(e) => {
+                    for &i in &indices {
+                        answered +=
+                            respond(&batch.entries[i], Err(e.clone()), span, size, batch.trigger);
+                    }
+                }
+            }
+            stats.lock().expect("executor stats lock").completed += answered;
+        }
+    }
+}
+
+/// Run one sub-batch against the index, returning the request indices it
+/// answered, the per-request answers, and the span-cycle delta the call
+/// added to the sharded critical path.
+fn execute_sub<O, M>(
+    index: &ShardedGts<O, M>,
+    entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)],
+    sub: SubBatch,
+) -> (Vec<usize>, Result<Vec<Vec<Neighbor>>, IndexError>, u64)
+where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    let before = index.span_cycles();
+    let (indices, answers) = match sub {
+        SubBatch::Range(indices) => {
+            let mut queries = Vec::with_capacity(indices.len());
+            let mut radii = Vec::with_capacity(indices.len());
+            for &i in &indices {
+                let Request::Range { query, radius } = &entries[i].0 else {
+                    unreachable!("range sub-batch holds range requests")
+                };
+                queries.push(query.clone());
+                radii.push(*radius);
+            }
+            (indices, index.batch_range(&queries, &radii))
+        }
+        SubBatch::Knn(indices, k) => {
+            let queries: Vec<O> = indices
+                .iter()
+                .map(|&i| {
+                    let Request::Knn { query, .. } = &entries[i].0 else {
+                        unreachable!("knn sub-batch holds knn requests")
+                    };
+                    query.clone()
+                })
+                .collect();
+            (indices, index.batch_knn(&queries, k))
+        }
+    };
+    (indices, answers, index.span_cycles() - before)
+}
+
+/// Send one response; returns 1 when delivered, 0 when the client dropped
+/// its [`Ticket`](crate::Ticket) (not an error — fire-and-forget clients
+/// are allowed).
+fn respond<O>(
+    entry: &(Request<O>, mpsc::SyncSender<Response>, u64),
+    result: Result<Vec<Neighbor>, IndexError>,
+    span: u64,
+    batch_size: usize,
+    trigger: FlushTrigger,
+) -> u64 {
+    let (_, tx, wait_us) = entry;
+    let response = Response {
+        result,
+        latency: LatencyBreakdown {
+            queue_wait_us: *wait_us,
+            batch_span_cycles: span,
+            batch_size,
+            trigger,
+        },
+    };
+    u64::from(tx.send(response).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::ServiceError;
+    use gpu_sim::DevicePool;
+    use gts_core::{Gts, GtsParams};
+    use metric_space::index::SimilarityIndex;
+    use metric_space::{DatasetKind, Item, ItemMetric};
+    use std::time::Duration;
+
+    fn service(
+        n: usize,
+        shards: u32,
+        cfg: ServiceConfig,
+    ) -> (Vec<Item>, ItemMetric, QueryService<Item, ItemMetric>) {
+        let data = DatasetKind::Words.generate(n, 77);
+        let pool = DevicePool::rtx_2080_ti(shards as usize);
+        let index = ShardedGts::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_shards(shards),
+        )
+        .expect("build");
+        (
+            data.items,
+            data.metric,
+            QueryService::start(Arc::new(index), cfg),
+        )
+    }
+
+    #[test]
+    fn split_batch_groups_deterministically() {
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let mk = |req| (req, tx.clone(), 0u64);
+        let entries = vec![
+            mk(Request::Knn { query: 0u32, k: 5 }),
+            mk(Request::Range {
+                query: 1,
+                radius: 1.0,
+            }),
+            mk(Request::Knn { query: 2, k: 3 }),
+            mk(Request::Knn { query: 3, k: 5 }),
+        ];
+        let subs = split_batch(&entries);
+        assert_eq!(subs.len(), 3, "ranges + two distinct k groups");
+        let SubBatch::Range(r) = &subs[0] else {
+            panic!("ranges first")
+        };
+        assert_eq!(r, &vec![1]);
+        let SubBatch::Knn(g3, k3) = &subs[1] else {
+            panic!("knn ascending")
+        };
+        assert_eq!((g3.as_slice(), *k3), ([2usize].as_slice(), 3));
+        let SubBatch::Knn(g5, k5) = &subs[2] else {
+            panic!("knn ascending")
+        };
+        assert_eq!((g5.as_slice(), *k5), ([0usize, 3].as_slice(), 5));
+    }
+
+    #[test]
+    fn end_to_end_mixed_batch() {
+        let (items, metric, svc) = service(
+            400,
+            2,
+            ServiceConfig::default()
+                .with_sizing(BatchSizing::Fixed(4))
+                .with_flush_deadline(Duration::from_millis(1)),
+        );
+        let h = svc.handle();
+        let tickets: Vec<_> = (0..8)
+            .map(|i| {
+                let req = if i % 2 == 0 {
+                    Request::Range {
+                        query: items[i].clone(),
+                        radius: 2.0,
+                    }
+                } else {
+                    Request::Knn {
+                        query: items[i].clone(),
+                        k: 3,
+                    }
+                };
+                h.submit(req).expect("admitted")
+            })
+            .collect();
+        let single = Gts::build(
+            &gpu_sim::Device::rtx_2080_ti(),
+            items.clone(),
+            metric,
+            GtsParams::default(),
+        )
+        .expect("build");
+        for (i, t) in tickets.into_iter().enumerate() {
+            let r = t.wait().expect("answered");
+            let got = r.result.expect("no index error");
+            let want = if i % 2 == 0 {
+                single.range_query(&items[i], 2.0).expect("direct")
+            } else {
+                single.knn_query(&items[i], 3).expect("direct")
+            };
+            assert_eq!(got, want, "request {i}");
+            assert!(r.latency.batch_size >= 1);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.admitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert!(stats.batches >= 2);
+        assert_eq!(stats.queue_wait_us.count(), 8);
+        assert!(stats.index.distance_computations > 0);
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let (items, _, svc) = service(
+            300,
+            1,
+            ServiceConfig::default()
+                .with_sizing(BatchSizing::Fixed(1000))
+                .with_flush_deadline(Duration::from_secs(3600)),
+        );
+        let h = svc.handle();
+        let tickets: Vec<_> = (0..5)
+            .map(|i| {
+                h.submit(Request::Knn {
+                    query: items[i].clone(),
+                    k: 2,
+                })
+                .expect("admitted")
+            })
+            .collect();
+        // Neither trigger can fire (huge target, hour-long deadline);
+        // shutdown must still answer everything.
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.shutdown_flushes, 1);
+        for t in tickets {
+            assert_eq!(t.wait().expect("drained").result.expect("ok").len(), 2);
+        }
+    }
+
+    #[test]
+    fn cost_model_sizing_is_deterministic() {
+        let cfg = ServiceConfig::default().with_sizing(BatchSizing::CostModel {
+            radius_hint: 2.0,
+            samples: 64,
+            seed: 9,
+        });
+        let (_, _, a) = service(500, 2, cfg);
+        let (_, _, b) = service(500, 2, cfg);
+        assert_eq!(
+            a.batch_target(),
+            b.batch_target(),
+            "seeded sizing is reproducible"
+        );
+        assert!(a.batch_target() >= 1);
+        a.shutdown();
+        b.shutdown();
+    }
+
+    #[test]
+    fn stopped_service_rejects_submission() {
+        let (items, _, svc) = service(200, 1, ServiceConfig::default());
+        let h = svc.handle();
+        drop(svc); // Drop tears the service down like shutdown.
+        assert_eq!(
+            h.submit(Request::Knn {
+                query: items[0].clone(),
+                k: 1
+            })
+            .expect_err("stopped"),
+            ServiceError::Stopped
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Service-level statistics: admission counters, flush-trigger breakdown,
+//! latency histograms, and the underlying index's search counters.
+
+use gts_core::stats::{LatencyHistogram, StatsSnapshot};
+
+/// A point-in-time snapshot of everything the service has done.
+///
+/// Latency is recorded into two [`LatencyHistogram`]s — host-side **queue
+/// wait** (microseconds from submission to batch flush) and simulated
+/// **batch span** (device cycles each executing sub-batch added to the
+/// sharded critical path) — and the underlying
+/// [`ShardedGts`](gts_core::ShardedGts) search counters are aggregated in
+/// as [`StatsSnapshot`], so one snapshot tells the whole serving story:
+/// admission → batching → device work.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests accepted into the admission queue.
+    pub admitted: u64,
+    /// Requests rejected by backpressure (queue at depth).
+    pub rejected: u64,
+    /// Responses actually delivered to a waiting [`Ticket`](crate::Ticket).
+    /// A fire-and-forget client that drops its ticket before the batch
+    /// executes is *not* counted here, so `completed` can lawfully trail
+    /// `admitted` even with `rejected == 0`.
+    pub completed: u64,
+    /// Batches flushed by the microbatcher.
+    pub batches: u64,
+    /// Batches flushed by the size trigger.
+    pub size_flushes: u64,
+    /// Batches flushed by the deadline trigger.
+    pub deadline_flushes: u64,
+    /// Batches flushed while draining at shutdown.
+    pub shutdown_flushes: u64,
+    /// The batch target in force (requests per size-triggered batch),
+    /// derived once at startup from the configured
+    /// [`BatchSizing`](crate::BatchSizing).
+    pub batch_target: usize,
+    /// Host microseconds requests spent queued, stamped at flush time.
+    pub queue_wait_us: LatencyHistogram,
+    /// Simulated span cycles per executed sub-batch (one sample per index
+    /// call, weighted once — not per request).
+    pub batch_span_cycles: LatencyHistogram,
+    /// Aggregated search counters of the underlying sharded index.
+    pub index: StatsSnapshot,
+}
+
+/// The mutable half the executor updates as batches run (everything except
+/// the submit-side atomics and the index snapshot, which are folded in
+/// when a [`ServiceStats`] is taken).
+#[derive(Debug, Default)]
+pub(crate) struct ExecutorStats {
+    pub(crate) completed: u64,
+    pub(crate) batches: u64,
+    pub(crate) size_flushes: u64,
+    pub(crate) deadline_flushes: u64,
+    pub(crate) shutdown_flushes: u64,
+    pub(crate) queue_wait_us: LatencyHistogram,
+    pub(crate) batch_span_cycles: LatencyHistogram,
+}

@@ -11,6 +11,9 @@
 //!   (edit / L1 / L2 / angular), dataset generators, pruning lemmas;
 //! * [`gpu`](gpu_sim) — the deterministic SIMT device model (work–span
 //!   clock, memory allocator, parallel primitives);
+//! * [`service`] — the online query service: a bounded
+//!   admission queue plus a cost-model microbatcher that coalesces
+//!   individual requests into the batches the index is built for;
 //! * [`baselines`] — every comparator of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -41,6 +44,7 @@
 pub use baselines;
 pub use gpu_sim as gpu;
 pub use gts_core as core;
+pub use gts_service as service;
 pub use metric_space as metric;
 
 /// Everything most programs need.
@@ -48,6 +52,10 @@ pub mod prelude {
     pub use baselines::{Bst, Egnat, Ganns, GpuTable, GpuTree, LbpgTree, LinearScan, Mvpt};
     pub use gpu_sim::{Device, DeviceConfig, DevicePool};
     pub use gts_core::{CostModel, Gts, GtsParams, ShardedGts};
+    pub use gts_service::{
+        BatchSizing, FlushTrigger, LatencyBreakdown, QueryService, Request, Response,
+        ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket,
+    };
     pub use metric_space::index::{DynamicIndex, Neighbor, SimilarityIndex};
     pub use metric_space::{
         Dataset, DatasetKind, Item, ItemMetric, PartitionStrategy, Partitioner,
