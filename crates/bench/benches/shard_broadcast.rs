@@ -1,0 +1,144 @@
+//! Cross-shard kNN bound broadcast sweep: the same batched MkNNQ workload
+//! executed by a [`ShardedGts`] over 1 / 2 / 4 / 8 devices, with the
+//! lockstep bound broadcast ([`GtsParams::bound_broadcast`]) off and on.
+//!
+//! Independent per-shard descent prunes each shard against only its *local*
+//! k-th-NN bound — looser than the global one, since every shard holds just
+//! `n/S` objects. The broadcast recoups that: after every level a barrier
+//! takes the element-wise min of the per-query bounds across shards and
+//! injects it into every shard's next level, so the figures of merit are
+//! **verified leaf pairs** and **pruned nodes** (the work the tighter bound
+//! saves) against **simulated span** (which now also pays the modeled
+//! barrier alignment and bound-exchange transfers). Every point first
+//! asserts its answers are bit-identical to the broadcast-off run — the
+//! broadcast may only change *work*, never answers.
+//!
+//! The workload is spatial (T-Loc under L2) over a deep tree (`Nc = 5`):
+//! depth gives the broadcast levels to act between, and metric pruning that
+//! actually bites — see REPORT.md §7 for why shallow trees bound the win.
+//!
+//! The run asserts that at least one multi-shard configuration verifies
+//! **strictly fewer** leaf pairs with the broadcast on (the acceptance
+//! criterion of the broadcast engine). Results are printed and written to
+//! `BENCH_broadcast.json` at the workspace root (override with
+//! `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench shard_broadcast`.
+
+use gpu_sim::DevicePool;
+use gts_core::{GtsParams, ShardedGts};
+use metric_space::index::Neighbor;
+use metric_space::{DatasetKind, Item};
+use std::fmt::Write as _;
+
+const N: usize = 8_000;
+const QUERIES: usize = 64;
+const K: usize = 8;
+const NODE_CAPACITY: u32 = 5;
+const SHARD_SWEEP: [u32; 4] = [1, 2, 4, 8];
+
+struct SweepPoint {
+    shards: u32,
+    broadcast: bool,
+    span_cycles: u64,
+    total_cycles: u64,
+    leaf_verified: u64,
+    nodes_pruned: u64,
+    broadcast_tightened: u64,
+}
+
+fn main() {
+    let data = DatasetKind::TLoc.generate(N, 4242);
+    let queries: Vec<Item> = (0..QUERIES)
+        .map(|i| data.items[(i * 37) % N].clone())
+        .collect();
+
+    let mut reference: Option<Vec<Vec<Neighbor>>> = None;
+    let mut points = Vec::new();
+    for shards in SHARD_SWEEP {
+        for broadcast in [false, true] {
+            let pool = DevicePool::rtx_2080_ti(shards as usize);
+            let index = ShardedGts::build(
+                &pool,
+                data.items.clone(),
+                data.metric,
+                GtsParams::default()
+                    .with_node_capacity(NODE_CAPACITY)
+                    .with_shards(shards)
+                    .with_bound_broadcast(broadcast),
+            )
+            .expect("sharded build");
+            pool.reset_clocks();
+            let knn = index.batch_knn(&queries, K).expect("knn");
+            match &reference {
+                None => reference = Some(knn),
+                Some(want) => assert_eq!(
+                    &knn, want,
+                    "broadcast={broadcast} at {shards} shards changed answers"
+                ),
+            }
+            let agg = pool.aggregate();
+            let stats = index.stats();
+            points.push(SweepPoint {
+                shards,
+                broadcast,
+                span_cycles: agg.span_cycles,
+                total_cycles: agg.cycles_total,
+                leaf_verified: stats.leaf_verified,
+                nodes_pruned: stats.nodes_pruned,
+                broadcast_tightened: stats.broadcast_tightened,
+            });
+        }
+    }
+
+    let mut any_strictly_fewer = false;
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset\": \"tloc-L2\",");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"queries\": {QUERIES},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"node_capacity\": {NODE_CAPACITY},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, p) in points.iter().enumerate() {
+        let off = points
+            .iter()
+            .find(|b| b.shards == p.shards && !b.broadcast)
+            .expect("sweep includes broadcast-off");
+        if p.broadcast && p.shards > 1 && p.leaf_verified < off.leaf_verified {
+            any_strictly_fewer = true;
+        }
+        println!(
+            "shard_broadcast shards {:>2} broadcast {:>5}: verified {:>6} | pruned {:>6} | tightened {:>4} | span {:>9} cycles | total {:>10}",
+            p.shards,
+            if p.broadcast { "on" } else { "off" },
+            p.leaf_verified,
+            p.nodes_pruned,
+            p.broadcast_tightened,
+            p.span_cycles,
+            p.total_cycles,
+        );
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"broadcast\": {}, \"leaf_verified\": {}, \"nodes_pruned\": {}, \"broadcast_tightened\": {}, \"span_cycles\": {}, \"total_cycles\": {}}}{}",
+            p.shards,
+            p.broadcast,
+            p.leaf_verified,
+            p.nodes_pruned,
+            p.broadcast_tightened,
+            p.span_cycles,
+            p.total_cycles,
+            if i + 1 < points.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    assert!(
+        any_strictly_fewer,
+        "the broadcast must verify strictly fewer leaf pairs for at least \
+         one multi-shard configuration"
+    );
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_broadcast.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_broadcast.json");
+    println!("wrote {out_path}");
+}

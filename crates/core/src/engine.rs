@@ -1,0 +1,960 @@
+//! The level-synchronized **descent engine**: the resumable core of the
+//! batched search loops (paper §5, Alg. 4–5).
+//!
+//! Before this module existed, `range_descend`/`knn_descend` were monolithic
+//! recursive loops: one call descended a frontier from the root to the
+//! leaves, recursing on two-stage query-group splits, and only returned when
+//! every leaf was verified. That shape is perfect for a single device but
+//! leaves nothing for a *multi-device* search to grab onto: the paper's
+//! Alg. 5 bound-update runs between levels, which is exactly where a
+//! lockstep cross-shard search wants to exchange bounds — so the loop is now
+//! an explicit state machine.
+//!
+//! [`DescentEngine`] holds everything one batched descent owns — the frame
+//! stack (frontier + per-level intermediate-result buffers + pending query
+//! groups), the per-query kNN pools, the externally injected bounds, and the
+//! reused [`SearchScratch`] — and advances in three phases:
+//!
+//! * **start** ([`DescentEngine::start_range`] /
+//!   [`DescentEngine::start_knn`]): seed the root frontier (or come up
+//!   already finished for an empty batch);
+//! * **step_level** ([`DescentEngine::step_level`]): run *one* device-level
+//!   action — one level expansion (pivot-distance kernel, Alg. 5 bound
+//!   update, ring pruning) or one segment's leaf verification — then
+//!   suspend. Administrative work (group splits, starting the next group,
+//!   retiring empty frontiers) is folded into the next step, charging
+//!   nothing;
+//! * **finish_leaves** ([`DescentEngine::finish_leaves`]): drain the
+//!   remaining steps to completion — the whole descent for the single-device
+//!   drivers, the tail for a lockstep driver that stops exchanging bounds.
+//!
+//! Between steps a kNN engine exposes its per-query bound snapshot
+//! ([`DescentEngine::write_bounds`]) and accepts an externally tightened one
+//! ([`DescentEngine::inject_bounds`]) — the seam the sharded
+//! [bound broadcast](crate::GtsParams::bound_broadcast) drives through a
+//! [`BoundExchange`]. An injected bound participates in every prune and
+//! leaf-wave filter as `min(local k-th bound, injected)`.
+//!
+//! **Exactness under injection.** Every published bound is some shard's
+//! current k-th-best distance over a *subset* of the data, so it upper-bounds
+//! the true global k-th distance; the element-wise min across shards still
+//! does. All pruning and bounded verification is tie-safe (strict `>` against
+//! the bound), so no object at or below the true k-th distance — in
+//! particular no member of the canonical global top-k — is ever discarded,
+//! and the per-shard answer lists keep containing every global answer they
+//! own. The k-way merge therefore returns bit-identical answers with the
+//! broadcast on or off; only the pruning work differs.
+//!
+//! **Step-order fidelity.** The engine replays the recursive loops' exact
+//! order of device-visible actions — allocations (one intermediate-result
+//! buffer per level, held until the segment and its groups finish, mirroring
+//! the recursion's buffer lifetimes), kernel launches, and stat updates —
+//! so driving an engine to completion is bit- **and cycle-identical** to the
+//! pre-refactor monolithic descent (`tests/shard_invariance.rs` pins this
+//! against a checked-in fingerprint).
+
+use crate::search::{
+    verify_block, Frontier, RawEntry, SearchCtx, SearchScratch, TopK, VERIFY_EXTRA_WORK,
+};
+use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
+use gpu_sim::{DeviceBuffer, GpuError};
+use metric_space::index::{sort_neighbors, Neighbor};
+use metric_space::lemmas::prune_node_range;
+use metric_space::BatchMetric;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+/// One suspended descent segment: a frontier at a level, the
+/// intermediate-result buffers its levels allocated, and any query groups
+/// it split into. Frames stack exactly like the recursive descent's call
+/// frames did: a segment that splits keeps its buffers alive while its
+/// groups (pushed as child frames) run to completion, then retires.
+struct Frame {
+    /// The segment's current frontier; `None` once the segment has split
+    /// into query groups and only manages them.
+    entries: Option<Vec<Frontier>>,
+    /// Level `entries` sits at (the root frontier starts at 1).
+    level: u32,
+    /// Per-level intermediate-result buffers (the paper's `Q'_Res`),
+    /// allocated on expansion and held until this frame pops — each level's
+    /// buffer stays live while deeper levels run, which is the memory
+    /// pressure the two-stage strategy reacts to.
+    held: Vec<DeviceBuffer<RawEntry>>,
+    /// Pending query groups in reverse order (`pop()` yields the next),
+    /// formed when the frontier overran the per-layer memory bound.
+    groups: Vec<Vec<Frontier>>,
+    /// The level the group split happened at; every group resumes there.
+    group_level: u32,
+}
+
+impl Frame {
+    fn running(entries: Vec<Frontier>, level: u32) -> Frame {
+        Frame {
+            entries: Some(entries),
+            level,
+            held: Vec::new(),
+            groups: Vec::new(),
+            group_level: 0,
+        }
+    }
+}
+
+/// What kind of query the engine is descending, plus its per-query state.
+enum Mode<'a> {
+    /// MRQ (Alg. 4): fixed per-query radii, hits accumulated per query.
+    Range {
+        radii: &'a [f64],
+        results: Vec<Vec<Neighbor>>,
+    },
+    /// MkNNQ (Alg. 5): per-query best-k pools whose k-th distance is the
+    /// pruning bound, optionally tightened by externally injected bounds
+    /// and truncated to a per-level beam (approximate search).
+    Knn {
+        beam: Option<usize>,
+        pools: Vec<TopK>,
+        /// Externally injected per-query bounds (∞ until a broadcast
+        /// tightens them); the effective pruning bound is
+        /// `min(pools[q].bound(), external[q])`.
+        external: Vec<f64>,
+    },
+}
+
+/// The resumable per-batch descent state machine. See the module docs for
+/// the phase protocol; constructed by [`DescentEngine::start_range`] or
+/// [`DescentEngine::start_knn`], borrowing the batch's [`SearchCtx`].
+pub(crate) struct DescentEngine<'a, O, M> {
+    ctx: &'a SearchCtx<'a, O, M>,
+    queries: &'a [O],
+    mode: Mode<'a>,
+    /// Descent segments, deepest last — the explicit form of the recursive
+    /// group descent's call stack.
+    stack: Vec<Frame>,
+    scratch: SearchScratch,
+}
+
+impl<'a, O, M> DescentEngine<'a, O, M>
+where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    /// Start a batched MRQ descent (`answers[i] = MRQ(queries[i],
+    /// radii[i])`). Comes up already finished when the batch is empty.
+    pub(crate) fn start_range(
+        ctx: &'a SearchCtx<'a, O, M>,
+        queries: &'a [O],
+        radii: &'a [f64],
+    ) -> Self {
+        let mode = Mode::Range {
+            radii,
+            results: vec![Vec::new(); queries.len()],
+        };
+        let seed = !ctx.table.is_empty() && !queries.is_empty();
+        Self::start(ctx, queries, mode, seed)
+    }
+
+    /// Start a batched MkNNQ descent (`beam = None` is the exact search).
+    /// Comes up already finished when the batch is empty or `k == 0`.
+    pub(crate) fn start_knn(
+        ctx: &'a SearchCtx<'a, O, M>,
+        queries: &'a [O],
+        k: usize,
+        beam: Option<usize>,
+    ) -> Self {
+        let mode = Mode::Knn {
+            beam,
+            pools: (0..queries.len()).map(|_| TopK::new(k)).collect(),
+            external: vec![f64::INFINITY; queries.len()],
+        };
+        let seed = !ctx.table.is_empty() && !queries.is_empty() && k > 0;
+        Self::start(ctx, queries, mode, seed)
+    }
+
+    fn start(ctx: &'a SearchCtx<'a, O, M>, queries: &'a [O], mode: Mode<'a>, seed: bool) -> Self {
+        let mut engine = DescentEngine {
+            ctx,
+            queries,
+            mode,
+            stack: Vec::new(),
+            scratch: SearchScratch::default(),
+        };
+        if seed {
+            let mut entries = engine.scratch.take_frontier();
+            entries.extend((0..queries.len() as u32).map(|q| Frontier {
+                node: 1,
+                query: q,
+                dqp: f64::NAN,
+            }));
+            engine.stack.push(Frame::running(entries, 1));
+        }
+        engine
+    }
+
+    /// True once every segment has verified its leaves (or the engine
+    /// started empty): no further step will do device work.
+    pub(crate) fn is_done(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// Advance by one device-level action — one level expansion or one
+    /// segment's leaf verification — returning `Ok(true)` while the descent
+    /// is still running. Administrative transitions (group splits, starting
+    /// the next group, retiring empty frontiers) are folded in and charge
+    /// nothing. On error (device OOM on an intermediate buffer) the engine
+    /// is dead; the caller must not step it again.
+    pub(crate) fn step_level(&mut self) -> Result<bool, GpuError> {
+        loop {
+            let Some(top) = self.stack.last_mut() else {
+                return Ok(false);
+            };
+            // Group-manager frame: start the next group or retire.
+            let Some(entries) = top.entries.take() else {
+                match top.groups.pop() {
+                    Some(g) => {
+                        let level = top.group_level;
+                        self.stack.push(Frame::running(g, level));
+                    }
+                    None => {
+                        self.stack.pop(); // drops this segment's held buffers
+                    }
+                }
+                continue;
+            };
+            if entries.is_empty() {
+                self.scratch.put_frontier(entries);
+                self.stack.pop();
+                continue;
+            }
+            let level = top.level;
+            let shape = self.ctx.shape();
+            self.ctx
+                .stats
+                .max(&self.ctx.stats.max_frontier, entries.len() as u64);
+
+            // Two-stage strategy: form query groups when the frontier would
+            // overrun the per-layer memory bound (Alg. 4 line 4 / Alg. 5
+            // line 4). Groups run sequentially; for kNN they *share* the
+            // pools, so later groups inherit tightened bounds — a free bonus
+            // of sequential group processing.
+            if self.ctx.params.query_grouping
+                && entries.len() > self.ctx.size_limit(level)
+                && SearchCtx::<O, M>::multiple_queries(&entries)
+            {
+                let groups = SearchCtx::<O, M>::split_groups(entries, self.ctx.size_limit(level));
+                self.ctx
+                    .stats
+                    .add(&self.ctx.stats.groups_formed, groups.len() as u64);
+                top.groups = groups;
+                top.groups.reverse();
+                top.group_level = level;
+                continue;
+            }
+
+            if level == shape.h {
+                // The segment's finish-leaves phase: verify, then retire.
+                match &mut self.mode {
+                    Mode::Range { radii, results } => verify_range(
+                        self.ctx,
+                        self.queries,
+                        radii,
+                        &entries,
+                        results,
+                        &mut self.scratch,
+                    ),
+                    Mode::Knn {
+                        pools, external, ..
+                    } => verify_knn(
+                        self.ctx,
+                        self.queries,
+                        &entries,
+                        pools,
+                        external,
+                        &mut self.scratch,
+                    ),
+                }
+                self.scratch.put_frontier(entries);
+                self.stack.pop();
+                return Ok(!self.stack.is_empty());
+            }
+
+            // Expand one level. The intermediate buffer is sized |E|·Nc like
+            // the paper's Q'_Res; with grouping on, the size-limit check
+            // above guarantees it fits — with it off this is exactly where
+            // the naive strategy deadlocks.
+            let next = match &mut self.mode {
+                Mode::Range { radii, .. } => {
+                    top.held.push(self.ctx.dev.alloc::<RawEntry>(
+                        entries.len() * shape.nc as usize,
+                        "MRQ intermediate results",
+                    )?);
+                    expand_range(self.ctx, self.queries, radii, &entries, &mut self.scratch)
+                }
+                Mode::Knn {
+                    beam,
+                    pools,
+                    external,
+                } => {
+                    top.held.push(self.ctx.dev.alloc::<RawEntry>(
+                        entries.len() * shape.nc as usize,
+                        "MkNNQ intermediate results",
+                    )?);
+                    expand_knn(
+                        self.ctx,
+                        self.queries,
+                        &entries,
+                        pools,
+                        external,
+                        *beam,
+                        &mut self.scratch,
+                    )
+                }
+            };
+            top.entries = Some(next);
+            top.level = level + 1;
+            self.scratch.put_frontier(entries);
+            return Ok(true);
+        }
+    }
+
+    /// Drain the remaining steps to completion — the whole descent when
+    /// called right after `start`, the tail when a lockstep driver stops
+    /// exchanging bounds.
+    pub(crate) fn finish_leaves(&mut self) -> Result<(), GpuError> {
+        while self.step_level()? {}
+        Ok(())
+    }
+
+    /// Snapshot the per-query effective kNN bounds
+    /// (`min(local k-th bound, injected)`) into `out` (length = batch
+    /// size). Each value upper-bounds that query's true global k-th
+    /// distance, so element-wise minima across shards stay valid bounds.
+    pub(crate) fn write_bounds(&self, out: &mut [f64]) {
+        let Mode::Knn {
+            pools, external, ..
+        } = &self.mode
+        else {
+            unreachable!("kNN bounds are only defined for a kNN descent");
+        };
+        for ((o, p), e) in out.iter_mut().zip(pools).zip(external) {
+            *o = p.bound().min(*e);
+        }
+    }
+
+    /// Accept externally tightened per-query bounds (the cross-shard
+    /// broadcast): each query's injected bound is kept as the running min,
+    /// and strictly-tightening injections are counted in
+    /// [`StatsSnapshot::broadcast_tightened`](crate::stats::StatsSnapshot).
+    pub(crate) fn inject_bounds(&mut self, global: &[f64]) {
+        let Mode::Knn {
+            pools, external, ..
+        } = &mut self.mode
+        else {
+            unreachable!("kNN bounds are only defined for a kNN descent");
+        };
+        let mut tightened = 0u64;
+        for ((&g, p), e) in global.iter().zip(pools.iter()).zip(external.iter_mut()) {
+            if g < p.bound().min(*e) {
+                tightened += 1;
+                *e = g;
+            }
+        }
+        if tightened > 0 {
+            self.ctx
+                .stats
+                .add(&self.ctx.stats.broadcast_tightened, tightened);
+        }
+    }
+
+    /// Consume the finished engine into per-query answer lists in canonical
+    /// `(distance, id)` order. Must only be called once the engine
+    /// [is done](DescentEngine::is_done).
+    pub(crate) fn into_results(self) -> Vec<Vec<Neighbor>> {
+        debug_assert!(self.stack.is_empty(), "descent not finished");
+        match self.mode {
+            Mode::Range { mut results, .. } => {
+                for r in &mut results {
+                    sort_neighbors(r);
+                }
+                results
+            }
+            Mode::Knn { pools, .. } => pools.into_iter().map(TopK::into_sorted).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Level expansion (the loop bodies of Alg. 4 / Alg. 5)
+// ---------------------------------------------------------------------------
+
+/// Expand one MRQ level: one pivot-distance kernel over the frontier, then
+/// the Lemma 5.1 ring test for each of the `Nc` children. Returns the
+/// next-level frontier.
+fn expand_range<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    radii: &[f64],
+    entries: &[Frontier],
+    scratch: &mut SearchScratch,
+) -> Vec<Frontier>
+where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    let shape = ctx.shape();
+    ctx.pivot_distances(queries, entries, scratch);
+    let mut next = scratch.take_frontier();
+    for (i, e) in entries.iter().enumerate() {
+        let r = radii[e.query as usize];
+        let dqi = scratch.dq[i];
+        for j in 0..shape.nc as usize {
+            let cid = shape.child(e.node as usize, j);
+            let child = ctx.nodes.get(cid);
+            if child.is_empty() {
+                continue;
+            }
+            let upper = if ctx.params.two_sided_pruning {
+                child.max_dis
+            } else {
+                f64::INFINITY
+            };
+            if prune_node_range(child.min_dis, upper, dqi, r) {
+                ctx.stats.add(&ctx.stats.nodes_pruned, 1);
+            } else {
+                ctx.stats.add(&ctx.stats.nodes_expanded, 1);
+                next.push(Frontier {
+                    node: cid as u32,
+                    query: e.query,
+                    dqp: dqi,
+                });
+            }
+        }
+    }
+    ctx.dev
+        .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
+    next
+}
+
+/// Expand one MkNNQ level (Alg. 5 lines 7–17): pivot distances (the pivots
+/// are real objects, so each distance is also a candidate), the
+/// encode-and-global-sort bound update, then tie-safe pruning against the
+/// **effective** bound `min(pools[q].bound(), external[q])` — the injected
+/// cross-shard bound participates exactly like the local one. Returns the
+/// (optionally beam-truncated) next-level frontier.
+fn expand_knn<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    entries: &[Frontier],
+    pools: &mut [TopK],
+    external: &[f64],
+    beam: Option<usize>,
+    scratch: &mut SearchScratch,
+) -> Vec<Frontier>
+where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    let shape = ctx.shape();
+    // Alg. 5 lines 7–10: pivot distances for the frontier (one batched
+    // kernel + memo).
+    ctx.pivot_distances(queries, entries, scratch);
+
+    // Alg. 5 lines 11–12: the per-query k-th bound is located by encoding
+    // `query_rank + dis/denom` and running the same global device sort as
+    // construction; walking the sorted runs inserts candidates in ascending
+    // order per query.
+    let SearchScratch { dq, pairs, .. } = &mut *scratch;
+    let maxd = reduce_max_f64(ctx.dev, dq).max(0.0);
+    let denom = 2.0 * (maxd + 1.0);
+    pairs.clear();
+    pairs.extend(
+        entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (f64::from(e.query) + dq[i] / denom, i as u32)),
+    );
+    ctx.dev.launch_charged(pairs.len() as u64 * 2, 2);
+    sort_pairs_by_key(ctx.dev, pairs);
+    for &(_, i) in pairs.iter() {
+        let e = entries[i as usize];
+        let pivot = ctx.nodes.get(e.node as usize).pivot.expect("internal node");
+        // A tombstoned pivot's distance must not become a candidate (it is
+        // no longer an answer) nor a bound (it could over-tighten pruning
+        // against live objects).
+        if ctx.live[pivot as usize] {
+            pools[e.query as usize].insert(Neighbor::new(pivot, dq[i as usize]));
+        }
+    }
+
+    // Alg. 5 lines 13–17: prune with the updated bounds — the own-pivot
+    // test on the expanded node, then the parent-pivot ring test per child.
+    // Both tests are tie-safe (strict `>`): a node that could still contain
+    // an object at exactly the bound distance survives, because such an
+    // object can enter the canonical answer through the `(dis, id)`
+    // tie-break — which also makes an injected cross-shard bound safe, as
+    // it never drops below the true global k-th distance.
+    let mut next = scratch.take_frontier();
+    scratch.gaps.clear();
+    for (i, e) in entries.iter().enumerate() {
+        let node = ctx.nodes.get(e.node as usize);
+        let bound = pools[e.query as usize]
+            .bound()
+            .min(external[e.query as usize]);
+        let dqi = scratch.dq[i];
+        if dqi - node.own_max_dis > bound {
+            ctx.stats.add(&ctx.stats.nodes_pruned, u64::from(shape.nc));
+            continue;
+        }
+        for j in 0..shape.nc as usize {
+            let cid = shape.child(e.node as usize, j);
+            let child = ctx.nodes.get(cid);
+            if child.is_empty() {
+                continue;
+            }
+            let upper = if ctx.params.two_sided_pruning {
+                child.max_dis
+            } else {
+                f64::INFINITY
+            };
+            if prune_node_range(child.min_dis, upper, dqi, bound) {
+                ctx.stats.add(&ctx.stats.nodes_pruned, 1);
+            } else {
+                ctx.stats.add(&ctx.stats.nodes_expanded, 1);
+                let gap = if dqi < child.min_dis {
+                    child.min_dis - dqi
+                } else if dqi > child.max_dis {
+                    dqi - child.max_dis
+                } else {
+                    0.0
+                };
+                next.push(Frontier {
+                    node: cid as u32,
+                    query: e.query,
+                    dqp: dqi,
+                });
+                scratch.gaps.push(gap);
+            }
+        }
+    }
+    ctx.dev
+        .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
+
+    match beam {
+        Some(b) => {
+            let mut trimmed = scratch.take_frontier();
+            {
+                let SearchScratch { gaps, ranked, .. } = &mut *scratch;
+                truncate_beam(ctx, &next, gaps, b.max(1), &mut trimmed, ranked);
+            }
+            scratch.put_frontier(next);
+            trimmed
+        }
+        None => next,
+    }
+}
+
+/// Per-query beam truncation: keep the `beam` entries whose ring is closest
+/// to the query's mapped coordinate. Entries are query-contiguous; `gaps`
+/// runs parallel to `entries`. Writes survivors into `out`; `ranked` is
+/// reused ranking scratch.
+fn truncate_beam<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    entries: &[Frontier],
+    gaps: &[f64],
+    beam: usize,
+    out: &mut Vec<Frontier>,
+    ranked: &mut Vec<u32>,
+) where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    let mut i = 0usize;
+    while i < entries.len() {
+        let q = entries[i].query;
+        let mut j = i;
+        while j < entries.len() && entries[j].query == q {
+            j += 1;
+        }
+        if j - i <= beam {
+            out.extend_from_slice(&entries[i..j]);
+        } else {
+            ranked.clear();
+            ranked.extend(i as u32..j as u32);
+            ranked.sort_by(|&a, &b| {
+                gaps[a as usize]
+                    .partial_cmp(&gaps[b as usize])
+                    .expect("finite gap")
+                    .then(entries[a as usize].node.cmp(&entries[b as usize].node))
+            });
+            out.extend(ranked[..beam].iter().map(|&e| entries[e as usize]));
+        }
+        i = j;
+    }
+    ctx.dev.launch_charged(entries.len() as u64 * 4, 16);
+}
+
+// ---------------------------------------------------------------------------
+// Leaf verification
+// ---------------------------------------------------------------------------
+
+/// Verify one MRQ segment's leaves: the stored-distance filter (zero
+/// distance calls) runs inline; survivors are resolved against the arena in
+/// query-contiguous id blocks — one batched kernel for the whole segment.
+fn verify_range<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    radii: &[f64],
+    entries: &[Frontier],
+    results: &mut [Vec<Neighbor>],
+    scratch: &mut SearchScratch,
+) where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    let SearchScratch {
+        tasks,
+        kernel_ids,
+        kernel_out,
+        kernel_bounds,
+        kernel_opt,
+        ..
+    } = scratch;
+    ctx.fill_leaf_tasks(entries, tasks);
+    if tasks.is_empty() {
+        return;
+    }
+    let n = tasks.len();
+    let mut verified = 0u64;
+    let mut abandoned = 0u64;
+    ctx.dev.launch_batch(n, || {
+        let mut total = 0u64;
+        let mut span = 0u64;
+        let mut t = 0usize;
+        while t < n {
+            let q = entries[tasks[t].0 as usize].query;
+            let mut u = t;
+            while u < n && entries[tasks[u].0 as usize].query == q {
+                u += 1;
+            }
+            let r = radii[q as usize];
+            kernel_ids.clear();
+            for &(ei, pos) in &tasks[t..u] {
+                let e = entries[ei as usize];
+                let te = ctx.table.get(pos as usize);
+                if te.deleted {
+                    total += 1;
+                    span = span.max(1);
+                    continue;
+                }
+                // Lemma 5.1 filter against the parent pivot: zero distance
+                // calls.
+                if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > r {
+                    total += 3;
+                    span = span.max(3);
+                    continue;
+                }
+                kernel_ids.push(te.obj);
+            }
+            if !kernel_ids.is_empty() {
+                // With bounding on, the query's radius *is* the bound: a
+                // returned distance is exactly a range hit and an abandoned
+                // evaluation a certified miss charged only its banded work.
+                let (w, s, ab) = verify_block(
+                    ctx,
+                    &queries[q as usize],
+                    r,
+                    kernel_ids,
+                    kernel_out,
+                    kernel_bounds,
+                    kernel_opt,
+                    |obj, d| {
+                        if d <= r {
+                            results[q as usize].push(Neighbor::new(obj, d));
+                        }
+                    },
+                );
+                abandoned += ab;
+                total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
+                span = span.max(s + VERIFY_EXTRA_WORK);
+                verified += kernel_ids.len() as u64;
+            }
+            t = u;
+        }
+        ((), total, span)
+    });
+    ctx.stats.add(&ctx.stats.leaf_verified, verified);
+    ctx.stats.add(&ctx.stats.leaf_abandoned, abandoned);
+    ctx.stats.add(&ctx.stats.distance_computations, verified);
+    ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
+}
+
+/// Leaf verification runs in `KNN_WAVES` sequential kernel waves, each
+/// query's leaves ordered by ring proximity to its mapped coordinate.
+/// Within a wave the bound is snapshotted (parallel threads cannot observe
+/// each other); between waves the pools — and hence the Lemma 5.2 bound —
+/// tighten, implementing the paper's "progressively narrowed distance
+/// boundary". Any snapshot bound is an upper bound on the true k-th
+/// distance, so every wave's filter is exact.
+const KNN_WAVES: usize = 4;
+
+/// Verify one MkNNQ segment's leaves in waves against the **effective**
+/// bound `min(pools[q].bound(), external[q])` — injected cross-shard bounds
+/// filter leaf work exactly like locally tightened ones.
+fn verify_knn<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    entries: &[Frontier],
+    pools: &mut [TopK],
+    external: &[f64],
+    scratch: &mut SearchScratch,
+) where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    if entries.is_empty() {
+        return;
+    }
+    // Order each query's leaves closest-ring-first so the first wave almost
+    // certainly contains the true neighbours.
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..entries.len() as u32);
+    let gap = |e: &Frontier| {
+        let node = ctx.nodes.get(e.node as usize);
+        if e.dqp.is_nan() {
+            0.0
+        } else if e.dqp < node.min_dis {
+            node.min_dis - e.dqp
+        } else if e.dqp > node.max_dis {
+            e.dqp - node.max_dis
+        } else {
+            0.0
+        }
+    };
+    order.sort_by(|&a, &b| {
+        let (ea, eb) = (&entries[a as usize], &entries[b as usize]);
+        ea.query
+            .cmp(&eb.query)
+            .then(gap(ea).partial_cmp(&gap(eb)).expect("finite gap"))
+            .then(ea.node.cmp(&eb.node))
+    });
+    ctx.dev.launch_charged(entries.len() as u64 * 4, 32);
+
+    // Round-robin the ordered entries into waves: wave 0 gets each query's
+    // closest leaves.
+    for wave_no in 0..KNN_WAVES {
+        let SearchScratch {
+            order,
+            wave,
+            tasks,
+            bounds,
+            kernel_ids,
+            kernel_out,
+            kernel_bounds,
+            kernel_opt,
+            ..
+        } = scratch;
+        wave.clear();
+        wave.extend(
+            order
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % KNN_WAVES == wave_no)
+                .map(|(_, &idx)| entries[idx as usize]),
+        );
+        ctx.fill_leaf_tasks(wave, tasks);
+        if tasks.is_empty() {
+            continue;
+        }
+        bounds.clear();
+        bounds.extend(pools.iter().zip(external).map(|(p, &e)| p.bound().min(e)));
+        let n = tasks.len();
+        let mut verified = 0u64;
+        let mut abandoned = 0u64;
+        // One batched kernel per wave: stored-distance filter inline,
+        // survivor distances arena-resolved per query block, candidates
+        // inserted after the kernel (threads cannot observe each other's
+        // pool updates within a wave).
+        ctx.dev.launch_batch(n, || {
+            let mut total = 0u64;
+            let mut span = 0u64;
+            let mut t = 0usize;
+            while t < n {
+                let q = wave[tasks[t].0 as usize].query;
+                let mut u = t;
+                while u < n && wave[tasks[u].0 as usize].query == q {
+                    u += 1;
+                }
+                kernel_ids.clear();
+                for &(ei, pos) in &tasks[t..u] {
+                    let e = wave[ei as usize];
+                    let te = ctx.table.get(pos as usize);
+                    if te.deleted {
+                        total += 1;
+                        span = span.max(1);
+                        continue;
+                    }
+                    // Lemma 5.2 filter against the parent pivot, tie-safe
+                    // (strict `>`): entries at exactly the bound distance
+                    // are verified so the canonical tie-break decides.
+                    if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > bounds[q as usize] {
+                        total += 3;
+                        span = span.max(3);
+                        continue;
+                    }
+                    kernel_ids.push(te.obj);
+                }
+                if !kernel_ids.is_empty() {
+                    // With bounding on, the wave's bound snapshot is the
+                    // kernel bound — tie-safe: `Some(d)` iff `d ≤ bound`,
+                    // so candidates at exactly the bound are returned and
+                    // the canonical `(dis, id)` tie-break decides; an
+                    // abandoned candidate has `d > bound` and could never
+                    // enter a full pool whose k-th distance *is* the bound.
+                    let (w, s, ab) = verify_block(
+                        ctx,
+                        &queries[q as usize],
+                        bounds[q as usize],
+                        kernel_ids,
+                        kernel_out,
+                        kernel_bounds,
+                        kernel_opt,
+                        |obj, d| pools[q as usize].insert(Neighbor::new(obj, d)),
+                    );
+                    abandoned += ab;
+                    total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
+                    span = span.max(s + VERIFY_EXTRA_WORK);
+                    verified += kernel_ids.len() as u64;
+                }
+                t = u;
+            }
+            ((), total, span)
+        });
+        ctx.stats.add(&ctx.stats.leaf_verified, verified);
+        ctx.stats.add(&ctx.stats.leaf_abandoned, abandoned);
+        ctx.stats.add(&ctx.stats.distance_computations, verified);
+        ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-shard bound exchange
+// ---------------------------------------------------------------------------
+
+/// Shared lockstep state for one broadcast-enabled sharded kNN batch: a
+/// per-level barrier plus the element-wise running minimum of every shard's
+/// published per-query bounds.
+///
+/// The protocol (driven by
+/// [`Gts::batch_knn_lockstep`](crate::Gts), one thread per shard) is
+/// two-phase per level: every shard steps its engine, publishes its bound
+/// snapshot and elapsed device time, and waits; then every shard reads the
+/// combined minima, injects them, aligns its device clock to the slowest
+/// shard (the barrier's span cost), and waits again before the next level's
+/// publishes — so no publish ever races a read and the whole exchange is
+/// deterministic.
+///
+/// Bounds are stored as `f64` **bit patterns** in atomics: metric distances
+/// are non-negative (and `+∞` before a pool fills), and for non-negative
+/// IEEE-754 values the unsigned bit-pattern order equals the numeric order,
+/// so `fetch_min` on the bits is exactly `f64::min` — lock-free and
+/// commutative, hence deterministic regardless of publish interleaving.
+pub(crate) struct BoundExchange {
+    barrier: Barrier,
+    /// Per-query running min of published bounds, as `f64` bit patterns.
+    bounds: Vec<AtomicU64>,
+    /// Max of per-shard elapsed device cycles since the batch started — the
+    /// lockstep critical path all clocks align to at each barrier.
+    elapsed: AtomicU64,
+    /// Shards whose engines are still descending; the batch ends when this
+    /// reaches zero.
+    active: AtomicUsize,
+}
+
+impl BoundExchange {
+    /// An exchange for `shards` lockstep participants over `queries`
+    /// per-query bounds.
+    pub(crate) fn new(shards: usize, queries: usize) -> BoundExchange {
+        BoundExchange {
+            barrier: Barrier::new(shards),
+            bounds: (0..queries)
+                .map(|_| AtomicU64::new(f64::INFINITY.to_bits()))
+                .collect(),
+            elapsed: AtomicU64::new(0),
+            active: AtomicUsize::new(shards),
+        }
+    }
+
+    /// Fold one shard's per-query bound snapshot into the running minima.
+    pub(crate) fn publish_bounds(&self, local: &[f64]) {
+        debug_assert_eq!(local.len(), self.bounds.len());
+        for (slot, &b) in self.bounds.iter().zip(local) {
+            slot.fetch_min(b.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Read the current per-query global minima into `out`.
+    pub(crate) fn read_bounds(&self, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.bounds.len());
+        for (o, slot) in out.iter_mut().zip(&self.bounds) {
+            *o = f64::from_bits(slot.load(Ordering::Relaxed));
+        }
+    }
+
+    /// Fold one shard's elapsed device cycles into the lockstep maximum.
+    pub(crate) fn publish_elapsed(&self, cycles: u64) {
+        self.elapsed.fetch_max(cycles, Ordering::Relaxed);
+    }
+
+    /// The lockstep critical path so far: the slowest shard's elapsed
+    /// device cycles.
+    pub(crate) fn elapsed(&self) -> u64 {
+        self.elapsed.load(Ordering::Relaxed)
+    }
+
+    /// Mark this shard's engine finished (call exactly once per shard).
+    pub(crate) fn retire(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// True once every shard's engine has finished.
+    pub(crate) fn all_done(&self) -> bool {
+        self.active.load(Ordering::Relaxed) == 0
+    }
+
+    /// Block until every shard reaches the barrier.
+    pub(crate) fn wait(&self) {
+        self.barrier.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_exchange_mins_bounds_and_maxes_elapsed() {
+        let ex = BoundExchange::new(1, 3);
+        let mut out = vec![0.0; 3];
+        ex.read_bounds(&mut out);
+        assert!(out.iter().all(|b| b.is_infinite()), "starts at +inf");
+        ex.publish_bounds(&[2.0, f64::INFINITY, 0.5]);
+        ex.publish_bounds(&[3.0, 1.25, f64::INFINITY]);
+        ex.read_bounds(&mut out);
+        assert_eq!(out, vec![2.0, 1.25, 0.5], "element-wise running min");
+        ex.publish_elapsed(10);
+        ex.publish_elapsed(7);
+        assert_eq!(ex.elapsed(), 10, "critical path is the max");
+        assert!(!ex.all_done());
+        ex.retire();
+        assert!(ex.all_done());
+    }
+
+    #[test]
+    fn bound_bit_order_matches_numeric_order() {
+        // The fetch_min-on-bits trick requires bit order == numeric order
+        // for every value a bound can take (non-negative or +inf).
+        let vals = [0.0f64, 1e-300, 0.5, 1.0, 1e300, f64::INFINITY];
+        for w in vals.windows(2) {
+            assert!(w[0].to_bits() < w[1].to_bits(), "{} vs {}", w[0], w[1]);
+        }
+    }
+}

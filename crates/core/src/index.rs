@@ -211,7 +211,7 @@ where
         Ok(())
     }
 
-    fn ctx(&self) -> SearchCtx<'_, O, M> {
+    pub(crate) fn ctx(&self) -> SearchCtx<'_, O, M> {
         // Take the shared memo allocation (leaving an empty default); it is
         // returned — cleared, capacity intact — by `reclaim_memo`.
         let memo = std::mem::take(&mut *self.memo.lock().expect("memo lock"));
@@ -233,7 +233,7 @@ where
     /// Return the batch memo to the index: cleared (memo entries are valid
     /// for one batch only — the object store may change between batches)
     /// but with its grown allocation preserved for the next batch.
-    fn reclaim_memo(&self, ctx: SearchCtx<'_, O, M>) {
+    pub(crate) fn reclaim_memo(&self, ctx: SearchCtx<'_, O, M>) {
         let mut memo = ctx.memo.into_inner();
         memo.clear();
         *self.memo.lock().expect("memo lock") = memo;
@@ -321,6 +321,123 @@ where
         Ok(results)
     }
 
+    /// One shard's half of the **lockstep broadcast MkNNQ**
+    /// ([`GtsParams::bound_broadcast`]): the sharded scatter calls this on
+    /// every shard's thread concurrently, sharing one
+    /// [`BoundExchange`](crate::engine::BoundExchange).
+    ///
+    /// Each round: step this shard's descent engine one level, publish the
+    /// per-query bound snapshot (a D2H transfer of one `f64` per query) and
+    /// this shard's elapsed device time, wait at the barrier, align the
+    /// device clock to the slowest shard (the barrier's span cost), then
+    /// read back the cross-shard minima (an H2D transfer) and inject them
+    /// before the next level. A shard whose engine finishes early or dies
+    /// on a device error keeps participating in the barriers (publishing
+    /// its final bounds once, idling its clock) until every shard is done,
+    /// so the rounds stay aligned. A shard that **panics** (a user metric
+    /// misbehaving inside a kernel) also keeps honoring the barriers, but
+    /// publishes nothing further — the engine's state is unknown after the
+    /// unwind — and the caught panic is re-raised only after the lockstep
+    /// rounds end, where it propagates through the scatter join exactly
+    /// like on the independent-descent path instead of deadlocking the
+    /// sibling shards at the barrier. The caller sees exactly the
+    /// [`Gts::batch_knn`] pipeline: query transfer in, descent, memo
+    /// reclaim, cache merge, result transfer out.
+    pub(crate) fn batch_knn_lockstep(
+        &self,
+        queries: &[O],
+        k: usize,
+        exchange: &crate::engine::BoundExchange,
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        self.transfer_queries_in(queries);
+        let start = self.dev.cycles();
+        let nq = queries.len();
+        let ctx = self.ctx();
+        let mut engine = crate::engine::DescentEngine::start_knn(&ctx, queries, k, None);
+        let mut local = vec![f64::INFINITY; nq];
+        let mut running = !engine.is_done();
+        if !running {
+            exchange.retire();
+        }
+        let mut failure: Option<GpuError> = None;
+        let mut panicked: Option<Box<dyn std::any::Any + Send>> = None;
+        loop {
+            if running {
+                // The step runs user metric code; a panic here must not
+                // abandon the barrier (the sibling shards would block in
+                // `wait` forever with no one left to complete the round).
+                let step =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.step_level()));
+                match step {
+                    Ok(Ok(true)) => {}
+                    Ok(Ok(false)) => {
+                        running = false;
+                        exchange.retire();
+                    }
+                    Ok(Err(e)) => {
+                        failure = Some(e);
+                        running = false;
+                        exchange.retire();
+                    }
+                    Err(payload) => {
+                        panicked = Some(payload);
+                        running = false;
+                        exchange.retire();
+                    }
+                }
+                if panicked.is_none() {
+                    // Publish this level's bound snapshot — including the
+                    // final one of an engine that just finished, whose
+                    // bounds are its tightest and still help the shards
+                    // that keep descending. (A panicked engine's state is
+                    // unknown, so nothing more is read from it.)
+                    engine.write_bounds(&mut local);
+                    exchange.publish_bounds(&local);
+                    self.dev
+                        .d2h_transfer((nq * std::mem::size_of::<f64>()) as u64);
+                }
+            }
+            exchange.publish_elapsed(self.dev.cycles() - start);
+            exchange.wait();
+            let done = exchange.all_done();
+            // Barrier: every device waits for the slowest shard's level.
+            self.dev.advance_clock_to(start + exchange.elapsed());
+            if done {
+                break;
+            }
+            if running {
+                exchange.read_bounds(&mut local);
+                self.dev
+                    .h2d_transfer((nq * std::mem::size_of::<f64>()) as u64);
+                engine.inject_bounds(&local);
+            }
+            // Second barrier phase: no publish of the next round may race a
+            // read of this one.
+            exchange.wait();
+        }
+        let searched = if failure.is_none() && panicked.is_none() {
+            Some(engine.into_results())
+        } else {
+            drop(engine);
+            None
+        };
+        self.reclaim_memo(ctx);
+        if let Some(payload) = panicked {
+            // Every shard has left the barrier loop; unwinding is now safe
+            // and surfaces through the scatter join like any other panic.
+            std::panic::resume_unwind(payload);
+        }
+        match failure {
+            Some(e) => Err(gpu_err(e)),
+            None => {
+                let mut results = searched.expect("no failure implies results");
+                self.merge_cache_knn(queries, k, &mut results);
+                self.transfer_results_out(&results);
+                Ok(results)
+            }
+        }
+    }
+
     /// **Approximate** batched MkNNQ — the paper's §7 future-work direction.
     ///
     /// Each query expands at most `beam` frontier nodes per level (those
@@ -343,12 +460,12 @@ where
         Ok(results)
     }
 
-    fn transfer_queries_in(&self, queries: &[O]) {
+    pub(crate) fn transfer_queries_in(&self, queries: &[O]) {
         let bytes: u64 = queries.iter().map(Footprint::size_bytes).sum();
         self.dev.h2d_transfer(bytes);
     }
 
-    fn transfer_results_out(&self, results: &[Vec<Neighbor>]) {
+    pub(crate) fn transfer_results_out(&self, results: &[Vec<Neighbor>]) {
         let hits: usize = results.iter().map(Vec::len).sum();
         self.dev
             .d2h_transfer((hits * std::mem::size_of::<Neighbor>()) as u64);
@@ -401,7 +518,7 @@ where
         }
     }
 
-    fn merge_cache_knn(&self, queries: &[O], k: usize, results: &mut [Vec<Neighbor>]) {
+    pub(crate) fn merge_cache_knn(&self, queries: &[O], k: usize, results: &mut [Vec<Neighbor>]) {
         if self.cache.len() == 0 {
             return;
         }
@@ -433,6 +550,15 @@ where
     /// divide the auto thread budget among shards.
     pub(crate) fn set_host_threads(&mut self, host_threads: usize) {
         self.params.host_threads = host_threads;
+    }
+
+    /// Toggle the cross-shard bound-broadcast knob (consulted by
+    /// [`ShardedGts`](crate::ShardedGts), never by a plain `Gts`); affects
+    /// subsequent searches only. Like `host_threads`, the knob is not
+    /// persisted, so [`ShardedGts::set_bound_broadcast`](crate::ShardedGts)
+    /// re-arms restored indexes.
+    pub(crate) fn set_bound_broadcast(&mut self, broadcast: bool) {
+        self.params.bound_broadcast = broadcast;
     }
 
     /// Tree height `h`.

@@ -53,6 +53,22 @@ pub struct GtsParams {
     /// thread-invariance tests prove it). Not persisted by snapshots —
     /// restored indexes come back with `0 = auto`.
     pub host_threads: usize,
+    /// Cross-shard kNN **bound broadcast** for
+    /// [`ShardedGts::batch_knn`](crate::ShardedGts): drive every shard's
+    /// descent engine in lockstep with a per-level barrier, take the
+    /// element-wise minimum of the per-query kNN bounds across shards after
+    /// each level, and inject it into every shard's next level — so each
+    /// shard prunes against the *global* k-th-NN bound instead of only its
+    /// local one. Answers stay bit-identical to the independent-descent
+    /// path (the broadcast bound only moves toward the true global k-th
+    /// distance, and all pruning is tie-safe); **simulated cycles differ**:
+    /// pruning improves, but every level pays the barrier (devices idle up
+    /// to the slowest shard, modeled by clock alignment) and the bound
+    /// exchange transfers. Off by default so the single-descent cycle
+    /// baselines stay put. An execution-topology knob like `shards`, so not
+    /// persisted by snapshots. Ignored by a plain [`Gts`](crate::Gts) and
+    /// by single-shard pools (there is nothing to broadcast).
+    pub bound_broadcast: bool,
     /// Number of shards for [`ShardedGts`](crate::ShardedGts): the dataset
     /// is partitioned into this many per-device sub-indexes whose answers
     /// are merged exactly. `1` (default) is the paper's single-GPU setup; a
@@ -75,6 +91,7 @@ impl Default for GtsParams {
             use_arena: true,
             bounded_verification: false,
             host_threads: 0,
+            bound_broadcast: false,
             shards: 1,
         }
     }
@@ -120,6 +137,14 @@ impl GtsParams {
         self
     }
 
+    /// Builder-style bound-broadcast toggle (enable the lockstep
+    /// cross-shard kNN bound exchange; only multi-shard
+    /// [`ShardedGts`](crate::ShardedGts) searches consult it).
+    pub fn with_bound_broadcast(mut self, broadcast: bool) -> Self {
+        self.bound_broadcast = broadcast;
+        self
+    }
+
     /// Builder-style shard-count override (≥ 1; only
     /// [`ShardedGts`](crate::ShardedGts) consults it).
     pub fn with_shards(mut self, shards: u32) -> Self {
@@ -159,6 +184,10 @@ mod tests {
             "bounded verification is opt-in (cycle baselines stay put)"
         );
         assert_eq!(p.host_threads, 0, "auto host threads by default");
+        assert!(
+            !p.bound_broadcast,
+            "bound broadcast is opt-in (independent-descent cycle baselines stay put)"
+        );
         assert_eq!(p.shards, 1, "single-device by default");
     }
 

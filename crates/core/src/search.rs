@@ -5,6 +5,20 @@
 //! one uniform kernel over the whole frontier — never a per-query traversal,
 //! which is what starves GPU-Tree-style designs.
 //!
+//! Since the descent-engine refactor, the level loop itself lives in
+//! `crate::engine` as an explicit, resumable state machine
+//! (`DescentEngine`): this module keeps the
+//! shared substrate — the frontier representation, the reusable
+//! `SearchScratch`, the borrowed `SearchCtx`, the per-layer memory bound,
+//! the batched `verify_block` kernel wrapper, and the `TopK` pool — plus
+//! the thin batch drivers (`batch_range`, `batch_knn`,
+//! `batch_knn_impl`) that start an engine and drain it. The drivers are
+//! **bit- and cycle-identical** to the pre-engine monolithic loops (asserted
+//! against a checked-in pre-refactor fingerprint in
+//! `tests/shard_invariance.rs`); what the engine adds is the ability to
+//! *pause between levels* — the seam the sharded lockstep bound broadcast
+//! drives.
+//!
 //! **Batched distance kernels.** Every distance evaluation in the hot path
 //! goes through [`BatchMetric::distance_batch`]: frontier entries are
 //! resolved against the flat [`ObjectArena`]
@@ -38,22 +52,22 @@
 //! bound as the radius), so every object tied with the k-th distance is
 //! verified and the final pool is the **canonical** k smallest `(dis, id)`
 //! pairs — the property that lets the sharded index merge per-shard top-k
-//! lists bit-identically. Leaf verification
+//! lists bit-identically, and that keeps the cross-shard broadcast bound
+//! exact (see `crate::engine`). Leaf verification
 //! first applies the stored-distance filter (the table's `dis` column *is*
 //! `d(o, parent pivot)`, so the filter costs zero distance evaluations),
 //! then computes real distances for survivors only — one batched kernel per
 //! wave.
 
 use crate::dispatch::distance_block;
+use crate::engine::DescentEngine;
 use crate::memo::PairMemo;
 use crate::node::TreeShape;
 use crate::params::GtsParams;
 use crate::stats::SearchStats;
 use crate::table::TableList;
-use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
 use gpu_sim::{Device, GpuError};
-use metric_space::index::{sort_neighbors, Neighbor};
-use metric_space::lemmas::prune_node_range;
+use metric_space::index::Neighbor;
 use metric_space::{BatchMetric, ObjectArena};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -72,7 +86,7 @@ pub(crate) struct Frontier {
 
 /// Device-resident layout of a frontier element (memory accounting only).
 #[derive(Clone, Copy, Default)]
-struct RawEntry {
+pub(crate) struct RawEntry {
     _node: u32,
     _query: u32,
     _dqp: f64,
@@ -96,7 +110,7 @@ pub(crate) fn layer_size_limit(free_bytes: u64, h: u32, level: u32, nc: u32) -> 
 /// Reusable host-side buffers for the level-synchronous loops.
 ///
 /// One instance serves a whole batched query: frontier buffers ping-pong
-/// between levels through a small pool (also feeding query-group recursion),
+/// between levels through a small pool (also feeding query-group descent),
 /// and every kernel-staging vector (`dq`, survivor ids, kernel outputs,
 /// encode pairs, verification waves) is cleared and refilled instead of
 /// reallocated. The level loop itself allocates nothing after warm-up.
@@ -105,39 +119,39 @@ pub(crate) struct SearchScratch {
     /// Pool of frontier buffers (current/next/per-group), recycled.
     frontier_pool: Vec<Vec<Frontier>>,
     /// `d(query, node pivot)` per frontier entry of the current level.
-    dq: Vec<f64>,
+    pub(crate) dq: Vec<f64>,
     /// Frontier indices whose pivot distance missed the memo.
-    pending: Vec<u32>,
+    pub(crate) pending: Vec<u32>,
     /// Object-id staging for the batched kernels.
-    kernel_ids: Vec<u32>,
+    pub(crate) kernel_ids: Vec<u32>,
     /// Distance output staging for the batched kernels.
-    kernel_out: Vec<f64>,
+    pub(crate) kernel_out: Vec<f64>,
     /// Per-pair bound staging for the bounded verification kernels.
-    kernel_bounds: Vec<f64>,
+    pub(crate) kernel_bounds: Vec<f64>,
     /// `Option<f64>` output staging for the bounded verification kernels.
-    kernel_opt: Vec<Option<f64>>,
+    pub(crate) kernel_opt: Vec<Option<f64>>,
     /// Ring gap per next-level entry (MkNNQ beam ranking).
-    gaps: Vec<f64>,
+    pub(crate) gaps: Vec<f64>,
     /// Encoded `(key, entry)` pairs for the MkNNQ bound update.
-    pairs: Vec<(f64, u32)>,
+    pub(crate) pairs: Vec<(f64, u32)>,
     /// Per-block ranking indices for beam truncation.
-    ranked: Vec<u32>,
+    pub(crate) ranked: Vec<u32>,
     /// Entry ordering for leaf verification waves.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// Entries of the current verification wave.
-    wave: Vec<Frontier>,
+    pub(crate) wave: Vec<Frontier>,
     /// `(entry index, table position)` verification tasks.
-    tasks: Vec<(u32, u32)>,
+    pub(crate) tasks: Vec<(u32, u32)>,
     /// Per-query kNN bound snapshot for one wave.
-    bounds: Vec<f64>,
+    pub(crate) bounds: Vec<f64>,
 }
 
 impl SearchScratch {
-    fn take_frontier(&mut self) -> Vec<Frontier> {
+    pub(crate) fn take_frontier(&mut self) -> Vec<Frontier> {
         self.frontier_pool.pop().unwrap_or_default()
     }
 
-    fn put_frontier(&mut self, mut buf: Vec<Frontier>) {
+    pub(crate) fn put_frontier(&mut self, mut buf: Vec<Frontier>) {
         buf.clear();
         self.frontier_pool.push(buf);
     }
@@ -178,13 +192,13 @@ where
     O: Send + Sync,
     M: BatchMetric<O>,
 {
-    fn shape(&self) -> TreeShape {
+    pub(crate) fn shape(&self) -> TreeShape {
         self.nodes.shape()
     }
 
     /// The paper's per-layer intermediate-result bound:
     /// `size_limit = size_GPU / ((h − layer + 1)·Nc)`, in frontier entries.
-    fn size_limit(&self, level: u32) -> usize {
+    pub(crate) fn size_limit(&self, level: u32) -> usize {
         let shape = self.shape();
         layer_size_limit(self.dev.free_bytes(), shape.h, level, shape.nc)
     }
@@ -192,7 +206,7 @@ where
     /// Split a frontier into query groups each within `limit` entries
     /// (frontiers are always query-contiguous). A single query whose
     /// frontier alone exceeds the limit forms its own group.
-    fn split_groups(entries: Vec<Frontier>, limit: usize) -> Vec<Vec<Frontier>> {
+    pub(crate) fn split_groups(entries: Vec<Frontier>, limit: usize) -> Vec<Vec<Frontier>> {
         let mut groups: Vec<Vec<Frontier>> = Vec::new();
         let mut cur: Vec<Frontier> = Vec::new();
         let mut i = 0usize;
@@ -216,7 +230,7 @@ where
         groups
     }
 
-    fn multiple_queries(entries: &[Frontier]) -> bool {
+    pub(crate) fn multiple_queries(entries: &[Frontier]) -> bool {
         entries
             .first()
             .map(|f| f.query)
@@ -228,7 +242,12 @@ where
     /// `scratch.dq`: memo lookups first, then **one batched kernel** over
     /// the missing pairs (entries are query-contiguous, so the kernel runs
     /// arena-resolved id blocks per query).
-    fn pivot_distances(&self, queries: &[O], entries: &[Frontier], scratch: &mut SearchScratch) {
+    pub(crate) fn pivot_distances(
+        &self,
+        queries: &[O],
+        entries: &[Frontier],
+        scratch: &mut SearchScratch,
+    ) {
         let SearchScratch {
             dq,
             pending,
@@ -297,7 +316,7 @@ where
     /// Flatten leaf entries into per-object verification tasks
     /// (`(entry index, table position)`, the thread granularity of the
     /// verification kernel) into `scratch.tasks`.
-    fn fill_leaf_tasks(&self, entries: &[Frontier], tasks: &mut Vec<(u32, u32)>) {
+    pub(crate) fn fill_leaf_tasks(&self, entries: &[Frontier], tasks: &mut Vec<(u32, u32)>) {
         tasks.clear();
         for (i, e) in entries.iter().enumerate() {
             let node = self.nodes.get(e.node as usize);
@@ -310,7 +329,7 @@ where
 
 /// Per-verified-object overhead on top of the raw distance work (bound
 /// compare + result write), matching the historical per-pair accounting.
-const VERIFY_EXTRA_WORK: u64 = 3;
+pub(crate) const VERIFY_EXTRA_WORK: u64 = 3;
 
 /// Run one query block's leaf-verification kernel — exact or
 /// early-abandoning, per [`GtsParams::bounded_verification`] — feeding
@@ -325,7 +344,7 @@ const VERIFY_EXTRA_WORK: u64 = 3;
 /// the shared body is what keeps the MRQ and MkNNQ paths provably
 /// identical in staging and accounting.
 #[allow(clippy::too_many_arguments)]
-fn verify_block<O, M>(
+pub(crate) fn verify_block<O, M>(
     ctx: &SearchCtx<'_, O, M>,
     query: &O,
     bound: f64,
@@ -384,226 +403,7 @@ where
 }
 
 // ---------------------------------------------------------------------------
-// Metric range query (Algorithm 4)
-// ---------------------------------------------------------------------------
-
-/// Batched MRQ: `answers[i] = MRQ(queries[i], radii[i])` in canonical order.
-pub(crate) fn batch_range<O, M>(
-    ctx: &SearchCtx<'_, O, M>,
-    queries: &[O],
-    radii: &[f64],
-) -> Result<Vec<Vec<Neighbor>>, GpuError>
-where
-    O: Send + Sync,
-    M: BatchMetric<O>,
-{
-    assert_eq!(queries.len(), radii.len());
-    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
-    if ctx.table.is_empty() || queries.is_empty() {
-        return Ok(results);
-    }
-    let mut scratch = SearchScratch::default();
-    let mut entries = scratch.take_frontier();
-    entries.extend((0..queries.len() as u32).map(|q| Frontier {
-        node: 1,
-        query: q,
-        dqp: f64::NAN,
-    }));
-    range_descend(ctx, queries, radii, entries, 1, &mut results, &mut scratch)?;
-    for r in &mut results {
-        sort_neighbors(r);
-    }
-    Ok(results)
-}
-
-/// Drive one frontier from `level` down to the leaves: the level loop is
-/// iterative (current/next buffers swapped through the scratch pool);
-/// query-group splits recurse, reusing the same scratch.
-fn range_descend<O, M>(
-    ctx: &SearchCtx<'_, O, M>,
-    queries: &[O],
-    radii: &[f64],
-    mut entries: Vec<Frontier>,
-    mut level: u32,
-    results: &mut Vec<Vec<Neighbor>>,
-    scratch: &mut SearchScratch,
-) -> Result<(), GpuError>
-where
-    O: Send + Sync,
-    M: BatchMetric<O>,
-{
-    // Intermediate-result buffers of every level of this descent, held until
-    // the descent finishes — each level's Q'_Res stays live while deeper
-    // levels run (the memory pressure the two-stage strategy reacts to).
-    let mut held_bufs: Vec<gpu_sim::DeviceBuffer<RawEntry>> = Vec::new();
-    loop {
-        if entries.is_empty() {
-            scratch.put_frontier(entries);
-            return Ok(());
-        }
-        let shape = ctx.shape();
-        ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
-
-        // Two-stage strategy: form query groups when the frontier would
-        // overrun the per-layer memory bound.
-        if ctx.params.query_grouping
-            && entries.len() > ctx.size_limit(level)
-            && SearchCtx::<O, M>::multiple_queries(&entries)
-        {
-            let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
-            ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
-            for g in groups {
-                range_descend(ctx, queries, radii, g, level, results, scratch)?;
-            }
-            return Ok(());
-        }
-
-        if level == shape.h {
-            verify_range(ctx, queries, radii, &entries, results, scratch);
-            scratch.put_frontier(entries);
-            return Ok(());
-        }
-
-        // Next-level intermediate buffer, sized |E|·Nc like the paper's
-        // Q'_Res. With grouping on, the size-limit check above guarantees
-        // this fits; with it off this is exactly where the naive strategy
-        // deadlocks.
-        held_bufs.push(ctx.dev.alloc::<RawEntry>(
-            entries.len() * shape.nc as usize,
-            "MRQ intermediate results",
-        )?);
-
-        // Expansion kernel: d(q, pivot) per entry (one batched kernel),
-        // then the Lemma 5.1 ring test for each of the Nc children.
-        ctx.pivot_distances(queries, &entries, scratch);
-        let mut next = scratch.take_frontier();
-        for (i, e) in entries.iter().enumerate() {
-            let r = radii[e.query as usize];
-            let dqi = scratch.dq[i];
-            for j in 0..shape.nc as usize {
-                let cid = shape.child(e.node as usize, j);
-                let child = ctx.nodes.get(cid);
-                if child.is_empty() {
-                    continue;
-                }
-                let upper = if ctx.params.two_sided_pruning {
-                    child.max_dis
-                } else {
-                    f64::INFINITY
-                };
-                if prune_node_range(child.min_dis, upper, dqi, r) {
-                    ctx.stats.add(&ctx.stats.nodes_pruned, 1);
-                } else {
-                    ctx.stats.add(&ctx.stats.nodes_expanded, 1);
-                    next.push(Frontier {
-                        node: cid as u32,
-                        query: e.query,
-                        dqp: dqi,
-                    });
-                }
-            }
-        }
-        ctx.dev
-            .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
-
-        scratch.put_frontier(std::mem::replace(&mut entries, next));
-        level += 1;
-    }
-}
-
-fn verify_range<O, M>(
-    ctx: &SearchCtx<'_, O, M>,
-    queries: &[O],
-    radii: &[f64],
-    entries: &[Frontier],
-    results: &mut [Vec<Neighbor>],
-    scratch: &mut SearchScratch,
-) where
-    O: Send + Sync,
-    M: BatchMetric<O>,
-{
-    let SearchScratch {
-        tasks,
-        kernel_ids,
-        kernel_out,
-        kernel_bounds,
-        kernel_opt,
-        ..
-    } = scratch;
-    ctx.fill_leaf_tasks(entries, tasks);
-    if tasks.is_empty() {
-        return;
-    }
-    let n = tasks.len();
-    let mut verified = 0u64;
-    let mut abandoned = 0u64;
-    // One batched kernel over every verification task: the stored-distance
-    // filter (zero distance calls) runs inline; survivors are resolved
-    // against the arena in query-contiguous id blocks.
-    ctx.dev.launch_batch(n, || {
-        let mut total = 0u64;
-        let mut span = 0u64;
-        let mut t = 0usize;
-        while t < n {
-            let q = entries[tasks[t].0 as usize].query;
-            let mut u = t;
-            while u < n && entries[tasks[u].0 as usize].query == q {
-                u += 1;
-            }
-            let r = radii[q as usize];
-            kernel_ids.clear();
-            for &(ei, pos) in &tasks[t..u] {
-                let e = entries[ei as usize];
-                let te = ctx.table.get(pos as usize);
-                if te.deleted {
-                    total += 1;
-                    span = span.max(1);
-                    continue;
-                }
-                // Lemma 5.1 filter against the parent pivot: zero distance
-                // calls.
-                if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > r {
-                    total += 3;
-                    span = span.max(3);
-                    continue;
-                }
-                kernel_ids.push(te.obj);
-            }
-            if !kernel_ids.is_empty() {
-                // With bounding on, the query's radius *is* the bound: a
-                // returned distance is exactly a range hit and an abandoned
-                // evaluation a certified miss charged only its banded work.
-                let (w, s, ab) = verify_block(
-                    ctx,
-                    &queries[q as usize],
-                    r,
-                    kernel_ids,
-                    kernel_out,
-                    kernel_bounds,
-                    kernel_opt,
-                    |obj, d| {
-                        if d <= r {
-                            results[q as usize].push(Neighbor::new(obj, d));
-                        }
-                    },
-                );
-                abandoned += ab;
-                total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
-                span = span.max(s + VERIFY_EXTRA_WORK);
-                verified += kernel_ids.len() as u64;
-            }
-            t = u;
-        }
-        ((), total, span)
-    });
-    ctx.stats.add(&ctx.stats.leaf_verified, verified);
-    ctx.stats.add(&ctx.stats.leaf_abandoned, abandoned);
-    ctx.stats.add(&ctx.stats.distance_computations, verified);
-    ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
-}
-
-// ---------------------------------------------------------------------------
-// Metric kNN query (Algorithm 5)
+// Metric kNN pool (Algorithm 5's per-query state)
 // ---------------------------------------------------------------------------
 
 /// Running best-k pool of one query; the bound `d(q, k_cur)` of Lemma 5.2.
@@ -651,7 +451,29 @@ impl TopK {
     }
 }
 
-/// Batched MkNNQ: the `k` nearest objects per query, canonical order.
+// ---------------------------------------------------------------------------
+// Batch drivers (thin wrappers over the descent engine)
+// ---------------------------------------------------------------------------
+
+/// Batched MRQ (Algorithm 4): `answers[i] = MRQ(queries[i], radii[i])` in
+/// canonical order — start a range engine, drain it, collect.
+pub(crate) fn batch_range<O, M>(
+    ctx: &SearchCtx<'_, O, M>,
+    queries: &[O],
+    radii: &[f64],
+) -> Result<Vec<Vec<Neighbor>>, GpuError>
+where
+    O: Send + Sync,
+    M: BatchMetric<O>,
+{
+    assert_eq!(queries.len(), radii.len());
+    let mut engine = DescentEngine::start_range(ctx, queries, radii);
+    engine.finish_leaves()?;
+    Ok(engine.into_results())
+}
+
+/// Batched MkNNQ (Algorithm 5): the `k` nearest objects per query,
+/// canonical order.
 pub(crate) fn batch_knn<O, M>(
     ctx: &SearchCtx<'_, O, M>,
     queries: &[O],
@@ -678,353 +500,9 @@ where
     O: Send + Sync,
     M: BatchMetric<O>,
 {
-    let mut pools: Vec<TopK> = (0..queries.len()).map(|_| TopK::new(k)).collect();
-    if ctx.table.is_empty() || queries.is_empty() || k == 0 {
-        return Ok(pools.into_iter().map(TopK::into_sorted).collect());
-    }
-    let mut scratch = SearchScratch::default();
-    let mut entries = scratch.take_frontier();
-    entries.extend((0..queries.len() as u32).map(|q| Frontier {
-        node: 1,
-        query: q,
-        dqp: f64::NAN,
-    }));
-    knn_descend(ctx, queries, entries, 1, &mut pools, beam, &mut scratch)?;
-    Ok(pools.into_iter().map(TopK::into_sorted).collect())
-}
-
-/// Per-query beam truncation: keep the `beam` entries whose ring is closest
-/// to the query's mapped coordinate. Entries are query-contiguous; `gaps`
-/// runs parallel to `entries`. Writes survivors into `out`; `ranked` is
-/// reused ranking scratch.
-fn truncate_beam<O, M>(
-    ctx: &SearchCtx<'_, O, M>,
-    entries: &[Frontier],
-    gaps: &[f64],
-    beam: usize,
-    out: &mut Vec<Frontier>,
-    ranked: &mut Vec<u32>,
-) where
-    O: Send + Sync,
-    M: BatchMetric<O>,
-{
-    let mut i = 0usize;
-    while i < entries.len() {
-        let q = entries[i].query;
-        let mut j = i;
-        while j < entries.len() && entries[j].query == q {
-            j += 1;
-        }
-        if j - i <= beam {
-            out.extend_from_slice(&entries[i..j]);
-        } else {
-            ranked.clear();
-            ranked.extend(i as u32..j as u32);
-            ranked.sort_by(|&a, &b| {
-                gaps[a as usize]
-                    .partial_cmp(&gaps[b as usize])
-                    .expect("finite gap")
-                    .then(entries[a as usize].node.cmp(&entries[b as usize].node))
-            });
-            out.extend(ranked[..beam].iter().map(|&e| entries[e as usize]));
-        }
-        i = j;
-    }
-    ctx.dev.launch_charged(entries.len() as u64 * 4, 16);
-}
-
-fn knn_descend<O, M>(
-    ctx: &SearchCtx<'_, O, M>,
-    queries: &[O],
-    mut entries: Vec<Frontier>,
-    mut level: u32,
-    pools: &mut Vec<TopK>,
-    beam: Option<usize>,
-    scratch: &mut SearchScratch,
-) -> Result<(), GpuError>
-where
-    O: Send + Sync,
-    M: BatchMetric<O>,
-{
-    // See `range_descend`: every level's Q'_Res buffer stays live for the
-    // whole descent.
-    let mut held_bufs: Vec<gpu_sim::DeviceBuffer<RawEntry>> = Vec::new();
-    loop {
-        if entries.is_empty() {
-            scratch.put_frontier(entries);
-            return Ok(());
-        }
-        let shape = ctx.shape();
-        ctx.stats.max(&ctx.stats.max_frontier, entries.len() as u64);
-
-        // Group queries exactly as Algorithm 4 does (Alg. 5 line 4). Groups
-        // run sequentially and *share* the pools, so later groups inherit
-        // tightened bounds — a free bonus of sequential group processing.
-        if ctx.params.query_grouping
-            && entries.len() > ctx.size_limit(level)
-            && SearchCtx::<O, M>::multiple_queries(&entries)
-        {
-            let groups = SearchCtx::<O, M>::split_groups(entries, ctx.size_limit(level));
-            ctx.stats.add(&ctx.stats.groups_formed, groups.len() as u64);
-            for g in groups {
-                knn_descend(ctx, queries, g, level, pools, beam, scratch)?;
-            }
-            return Ok(());
-        }
-
-        if level == shape.h {
-            verify_knn(ctx, queries, &entries, pools, scratch);
-            scratch.put_frontier(entries);
-            return Ok(());
-        }
-
-        held_bufs.push(ctx.dev.alloc::<RawEntry>(
-            entries.len() * shape.nc as usize,
-            "MkNNQ intermediate results",
-        )?);
-
-        // Alg. 5 lines 7–10: pivot distances for the frontier (one batched
-        // kernel + memo). Pivots are real objects, so each distance is also
-        // a kNN candidate.
-        ctx.pivot_distances(queries, &entries, scratch);
-
-        // Alg. 5 lines 11–12: the per-query k-th bound is located by
-        // encoding `query_rank + dis/denom` and running the same global
-        // device sort as construction; walking the sorted runs inserts
-        // candidates in ascending order per query.
-        let SearchScratch { dq, pairs, .. } = &mut *scratch;
-        let maxd = reduce_max_f64(ctx.dev, dq).max(0.0);
-        let denom = 2.0 * (maxd + 1.0);
-        pairs.clear();
-        pairs.extend(
-            entries
-                .iter()
-                .enumerate()
-                .map(|(i, e)| (f64::from(e.query) + dq[i] / denom, i as u32)),
-        );
-        ctx.dev.launch_charged(pairs.len() as u64 * 2, 2);
-        sort_pairs_by_key(ctx.dev, pairs);
-        for &(_, i) in pairs.iter() {
-            let e = entries[i as usize];
-            let pivot = ctx.nodes.get(e.node as usize).pivot.expect("internal node");
-            // A tombstoned pivot's distance must not become a candidate (it
-            // is no longer an answer) nor a bound (it could over-tighten
-            // pruning against live objects).
-            if ctx.live[pivot as usize] {
-                pools[e.query as usize].insert(Neighbor::new(pivot, dq[i as usize]));
-            }
-        }
-
-        // Alg. 5 lines 13–17: prune with the updated bounds — the own-pivot
-        // test on the expanded node, then the parent-pivot ring test per
-        // child. Both tests are tie-safe (strict `>`): a node that could
-        // still contain an object at exactly the bound distance survives,
-        // because such an object can enter the canonical answer through the
-        // `(dis, id)` tie-break.
-        let mut next = scratch.take_frontier();
-        scratch.gaps.clear();
-        for (i, e) in entries.iter().enumerate() {
-            let node = ctx.nodes.get(e.node as usize);
-            let bound = pools[e.query as usize].bound();
-            let dqi = scratch.dq[i];
-            if dqi - node.own_max_dis > bound {
-                ctx.stats.add(&ctx.stats.nodes_pruned, u64::from(shape.nc));
-                continue;
-            }
-            for j in 0..shape.nc as usize {
-                let cid = shape.child(e.node as usize, j);
-                let child = ctx.nodes.get(cid);
-                if child.is_empty() {
-                    continue;
-                }
-                let upper = if ctx.params.two_sided_pruning {
-                    child.max_dis
-                } else {
-                    f64::INFINITY
-                };
-                if prune_node_range(child.min_dis, upper, dqi, bound) {
-                    ctx.stats.add(&ctx.stats.nodes_pruned, 1);
-                } else {
-                    ctx.stats.add(&ctx.stats.nodes_expanded, 1);
-                    let gap = if dqi < child.min_dis {
-                        child.min_dis - dqi
-                    } else if dqi > child.max_dis {
-                        dqi - child.max_dis
-                    } else {
-                        0.0
-                    };
-                    next.push(Frontier {
-                        node: cid as u32,
-                        query: e.query,
-                        dqp: dqi,
-                    });
-                    scratch.gaps.push(gap);
-                }
-            }
-        }
-        ctx.dev
-            .launch_charged((entries.len() * shape.nc as usize) as u64 * 4, 8);
-
-        let next = match beam {
-            Some(b) => {
-                let mut trimmed = scratch.take_frontier();
-                {
-                    let SearchScratch { gaps, ranked, .. } = &mut *scratch;
-                    truncate_beam(ctx, &next, gaps, b.max(1), &mut trimmed, ranked);
-                }
-                scratch.put_frontier(next);
-                trimmed
-            }
-            None => next,
-        };
-        scratch.put_frontier(std::mem::replace(&mut entries, next));
-        level += 1;
-    }
-}
-
-/// Leaf verification runs in `KNN_WAVES` sequential kernel waves, each
-/// query's leaves ordered by ring proximity to its mapped coordinate.
-/// Within a wave the bound is snapshotted (parallel threads cannot observe
-/// each other); between waves the pools — and hence the Lemma 5.2 bound —
-/// tighten, implementing the paper's "progressively narrowed distance
-/// boundary". Any snapshot bound is an upper bound on the true k-th
-/// distance, so every wave's filter is exact.
-const KNN_WAVES: usize = 4;
-
-fn verify_knn<O, M>(
-    ctx: &SearchCtx<'_, O, M>,
-    queries: &[O],
-    entries: &[Frontier],
-    pools: &mut [TopK],
-    scratch: &mut SearchScratch,
-) where
-    O: Send + Sync,
-    M: BatchMetric<O>,
-{
-    if entries.is_empty() {
-        return;
-    }
-    // Order each query's leaves closest-ring-first so the first wave almost
-    // certainly contains the true neighbours.
-    let order = &mut scratch.order;
-    order.clear();
-    order.extend(0..entries.len() as u32);
-    let gap = |e: &Frontier| {
-        let node = ctx.nodes.get(e.node as usize);
-        if e.dqp.is_nan() {
-            0.0
-        } else if e.dqp < node.min_dis {
-            node.min_dis - e.dqp
-        } else if e.dqp > node.max_dis {
-            e.dqp - node.max_dis
-        } else {
-            0.0
-        }
-    };
-    order.sort_by(|&a, &b| {
-        let (ea, eb) = (&entries[a as usize], &entries[b as usize]);
-        ea.query
-            .cmp(&eb.query)
-            .then(gap(ea).partial_cmp(&gap(eb)).expect("finite gap"))
-            .then(ea.node.cmp(&eb.node))
-    });
-    ctx.dev.launch_charged(entries.len() as u64 * 4, 32);
-
-    // Round-robin the ordered entries into waves: wave 0 gets each query's
-    // closest leaves.
-    for wave_no in 0..KNN_WAVES {
-        let SearchScratch {
-            order,
-            wave,
-            tasks,
-            bounds,
-            kernel_ids,
-            kernel_out,
-            kernel_bounds,
-            kernel_opt,
-            ..
-        } = scratch;
-        wave.clear();
-        wave.extend(
-            order
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % KNN_WAVES == wave_no)
-                .map(|(_, &idx)| entries[idx as usize]),
-        );
-        ctx.fill_leaf_tasks(wave, tasks);
-        if tasks.is_empty() {
-            continue;
-        }
-        bounds.clear();
-        bounds.extend(pools.iter().map(TopK::bound));
-        let n = tasks.len();
-        let mut verified = 0u64;
-        let mut abandoned = 0u64;
-        // One batched kernel per wave: stored-distance filter inline,
-        // survivor distances arena-resolved per query block, candidates
-        // inserted after the kernel (threads cannot observe each other's
-        // pool updates within a wave).
-        ctx.dev.launch_batch(n, || {
-            let mut total = 0u64;
-            let mut span = 0u64;
-            let mut t = 0usize;
-            while t < n {
-                let q = wave[tasks[t].0 as usize].query;
-                let mut u = t;
-                while u < n && wave[tasks[u].0 as usize].query == q {
-                    u += 1;
-                }
-                kernel_ids.clear();
-                for &(ei, pos) in &tasks[t..u] {
-                    let e = wave[ei as usize];
-                    let te = ctx.table.get(pos as usize);
-                    if te.deleted {
-                        total += 1;
-                        span = span.max(1);
-                        continue;
-                    }
-                    // Lemma 5.2 filter against the parent pivot, tie-safe
-                    // (strict `>`): entries at exactly the bound distance
-                    // are verified so the canonical tie-break decides.
-                    if !e.dqp.is_nan() && (te.dis - e.dqp).abs() > bounds[q as usize] {
-                        total += 3;
-                        span = span.max(3);
-                        continue;
-                    }
-                    kernel_ids.push(te.obj);
-                }
-                if !kernel_ids.is_empty() {
-                    // With bounding on, the wave's bound snapshot is the
-                    // kernel bound — tie-safe: `Some(d)` iff `d ≤ bound`,
-                    // so candidates at exactly the bound are returned and
-                    // the canonical `(dis, id)` tie-break decides; an
-                    // abandoned candidate has `d > bound` and could never
-                    // enter a full pool whose k-th distance *is* the bound.
-                    let (w, s, ab) = verify_block(
-                        ctx,
-                        &queries[q as usize],
-                        bounds[q as usize],
-                        kernel_ids,
-                        kernel_out,
-                        kernel_bounds,
-                        kernel_opt,
-                        |obj, d| pools[q as usize].insert(Neighbor::new(obj, d)),
-                    );
-                    abandoned += ab;
-                    total += w + VERIFY_EXTRA_WORK * kernel_ids.len() as u64;
-                    span = span.max(s + VERIFY_EXTRA_WORK);
-                    verified += kernel_ids.len() as u64;
-                }
-                t = u;
-            }
-            ((), total, span)
-        });
-        ctx.stats.add(&ctx.stats.leaf_verified, verified);
-        ctx.stats.add(&ctx.stats.leaf_abandoned, abandoned);
-        ctx.stats.add(&ctx.stats.distance_computations, verified);
-        ctx.stats.add(&ctx.stats.leaf_filtered, n as u64 - verified);
-    }
+    let mut engine = DescentEngine::start_knn(ctx, queries, k, beam);
+    engine.finish_leaves()?;
+    Ok(engine.into_results())
 }
 
 #[cfg(test)]

@@ -42,6 +42,7 @@
 //! itself is a pure function of these and is recomputed on
 //! [`ShardedGts::restore`]).
 
+use crate::engine::BoundExchange;
 use crate::index::Gts;
 use crate::params::GtsParams;
 use crate::snapshot::{R, W};
@@ -279,13 +280,77 @@ where
     /// Batched metric kNN query: every shard returns its local top-`k`;
     /// the global top-`k` is a k-way merge under the `(distance, id)`
     /// tie-break — bit-identical to the single-device answer.
+    ///
+    /// With [`GtsParams::bound_broadcast`] on (and more than one shard),
+    /// the shards descend in **lockstep** instead of independently: after
+    /// every tree level a barrier takes the element-wise minimum of the
+    /// per-query kNN bounds across shards and injects it into every shard's
+    /// next level, so each shard prunes against the *global* k-th-NN bound.
+    /// Answers are bit-identical either way — the broadcast bound only
+    /// moves toward the true global k-th distance, and the tie-safe
+    /// closed-ball pruning keeps every canonical answer alive — but the
+    /// broadcast path verifies strictly fewer leaves on workloads where
+    /// shards see different data densities, at the cost of per-level
+    /// barriers (each device's clock aligns to the slowest shard per level;
+    /// see [`Device::advance_clock_to`](gpu_sim::Device::advance_clock_to))
+    /// and the bound-exchange transfers.
     pub fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        if self.broadcast_active(queries.len(), k) {
+            let exchange = BoundExchange::new(self.shards.len(), queries.len());
+            let per_shard = scoped_map(self.shards.iter().collect(), |_, sh| {
+                sh.gts
+                    .batch_knn_lockstep(queries, k, &exchange)
+                    .map(|r| sh.remap(r))
+            });
+            return Self::merge_knn(per_shard, queries.len(), k);
+        }
         let per_shard = self.scatter(|sh| sh.gts.batch_knn(queries, k).map(|r| sh.remap(r)));
-        let mut shard_lists: Vec<Vec<Vec<Neighbor>>> = Vec::with_capacity(self.shards.len());
+        Self::merge_knn(per_shard, queries.len(), k)
+    }
+
+    /// Approximate batched MkNNQ ([`Gts::batch_knn_approx`]), scattered to
+    /// every shard and merged by the same k-way `(distance, id)` merge as
+    /// the exact search. Each shard applies the `beam` to **its own**
+    /// per-level frontier, so a small beam explores up to `S·beam` nodes
+    /// per level in total and N-shard recall can differ from 1-shard recall
+    /// — but a beam wide enough to make the per-shard search exact (e.g.
+    /// `beam ≥ Nc^(h−1)`) makes the merged answer bit-identical to the
+    /// exact single-device search, ties included
+    /// (`tests/shard_invariance.rs`).
+    pub fn batch_knn_approx(
+        &self,
+        queries: &[O],
+        k: usize,
+        beam: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        let per_shard = self.scatter(|sh| {
+            sh.gts
+                .batch_knn_approx(queries, k, beam)
+                .map(|r| sh.remap(r))
+        });
+        Self::merge_knn(per_shard, queries.len(), k)
+    }
+
+    /// Whether this batch takes the lockstep broadcast path: opted in via
+    /// [`GtsParams::bound_broadcast`], more than one shard (a single shard
+    /// has nobody to exchange bounds with), and a non-trivial batch.
+    fn broadcast_active(&self, queries: usize, k: usize) -> bool {
+        self.shards.len() > 1 && queries > 0 && k > 0 && self.shards[0].gts.params().bound_broadcast
+    }
+
+    /// Merge per-shard top-`k` lists (already remapped to global ids) into
+    /// per-query global top-`k` answers — the shared merge half of the
+    /// exact, approximate, and broadcast kNN paths.
+    fn merge_knn(
+        per_shard: Vec<Result<Vec<Vec<Neighbor>>, IndexError>>,
+        queries: usize,
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        let mut shard_lists: Vec<Vec<Vec<Neighbor>>> = Vec::with_capacity(per_shard.len());
         for lists in per_shard {
             shard_lists.push(lists?);
         }
-        Ok((0..queries.len())
+        Ok((0..queries)
             .map(|q| {
                 let lists: Vec<Vec<Neighbor>> = shard_lists
                     .iter_mut()
@@ -294,6 +359,17 @@ where
                 kway_merge(&lists, k)
             })
             .collect())
+    }
+
+    /// Toggle the cross-shard kNN bound broadcast on every shard (see
+    /// [`GtsParams::bound_broadcast`]); affects subsequent searches only.
+    /// Broadcast is an execution-topology knob and is therefore not
+    /// persisted by snapshots — restored indexes come back with it off and
+    /// can be re-armed here.
+    pub fn set_bound_broadcast(&mut self, broadcast: bool) {
+        for s in &mut self.shards {
+            s.gts.set_bound_broadcast(broadcast);
+        }
     }
 
     // -- accessors ------------------------------------------------------------
@@ -785,6 +861,51 @@ mod tests {
             let model = shard.cost_model(64, 7);
             assert!(a <= shard.max_batch_queries_with_free(free, &model, 2.0));
         }
+    }
+
+    /// A metric that panics when it touches the poisoned query string —
+    /// standing in for any misbehaving user metric (NaNs, assertions).
+    #[derive(Clone, Copy)]
+    struct PanicOnBoom;
+
+    impl metric_space::Metric<Item> for PanicOnBoom {
+        fn distance(&self, a: &Item, b: &Item) -> f64 {
+            let (Some(a), Some(b)) = (a.as_text(), b.as_text()) else {
+                panic!("text metric")
+            };
+            assert!(a != "boom" && b != "boom", "boom");
+            (a.len() as f64 - b.len() as f64).abs()
+        }
+        fn work(&self, _: &Item, _: &Item) -> u64 {
+            1
+        }
+        fn name(&self) -> &'static str {
+            "panic-on-boom"
+        }
+    }
+    impl metric_space::BatchMetric<Item> for PanicOnBoom {}
+
+    /// A panic inside one shard's lockstep descent (user metric blowing up
+    /// mid-kernel) must propagate out of `batch_knn` like it does on the
+    /// independent-descent path — not strand the sibling shards at the
+    /// bound-exchange barrier forever.
+    #[test]
+    fn broadcast_panic_in_one_shard_propagates_instead_of_deadlocking() {
+        let items: Vec<Item> = (0..120).map(|i| Item::text("x".repeat(i % 30))).collect();
+        let pool = DevicePool::rtx_2080_ti(2);
+        let idx = ShardedGts::build(
+            &pool,
+            items,
+            PanicOnBoom,
+            GtsParams::default()
+                .with_shards(2)
+                .with_bound_broadcast(true),
+        )
+        .expect("build never sees the poisoned query");
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            idx.batch_knn(&[Item::text("boom")], 3)
+        }));
+        assert!(caught.is_err(), "the metric panic must surface");
     }
 
     #[test]

@@ -170,6 +170,7 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         // own shard count.
         bounded_verification: false,
         host_threads: 0,
+        bound_broadcast: false,
         shards: 1,
     };
     if params.node_capacity < 2 {

@@ -25,6 +25,12 @@ pub struct SearchStats {
     pub groups_formed: AtomicU64,
     /// Largest intermediate frontier (entries) seen.
     pub max_frontier: AtomicU64,
+    /// Per-query bound tightenings received from the cross-shard kNN bound
+    /// broadcast ([`GtsParams::bound_broadcast`](crate::GtsParams)): counted
+    /// once per `(query, level)` where the injected global bound was
+    /// strictly tighter than this shard's own effective bound. Always zero
+    /// on a single-device index and with broadcast off.
+    pub broadcast_tightened: AtomicU64,
 }
 
 impl SearchStats {
@@ -39,6 +45,7 @@ impl SearchStats {
             &self.leaf_abandoned,
             &self.groups_formed,
             &self.max_frontier,
+            &self.broadcast_tightened,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -55,6 +62,7 @@ impl SearchStats {
             leaf_abandoned: self.leaf_abandoned.load(Ordering::Relaxed),
             groups_formed: self.groups_formed.load(Ordering::Relaxed),
             max_frontier: self.max_frontier.load(Ordering::Relaxed),
+            broadcast_tightened: self.broadcast_tightened.load(Ordering::Relaxed),
         }
     }
 
@@ -86,6 +94,8 @@ pub struct StatsSnapshot {
     pub groups_formed: u64,
     /// Largest frontier seen.
     pub max_frontier: u64,
+    /// Bound tightenings received from the cross-shard kNN broadcast.
+    pub broadcast_tightened: u64,
 }
 
 impl StatsSnapshot {
@@ -103,6 +113,7 @@ impl StatsSnapshot {
             leaf_abandoned: self.leaf_abandoned + other.leaf_abandoned,
             groups_formed: self.groups_formed + other.groups_formed,
             max_frontier: self.max_frontier.max(other.max_frontier),
+            broadcast_tightened: self.broadcast_tightened + other.broadcast_tightened,
         }
     }
 }
@@ -229,6 +240,7 @@ mod tests {
             leaf_abandoned: 0,
             groups_formed: 1,
             max_frontier: 10,
+            broadcast_tightened: 2,
         };
         let b = StatsSnapshot {
             distance_computations: 7,
@@ -239,6 +251,7 @@ mod tests {
         assert_eq!(c.distance_computations, 12);
         assert_eq!(c.nodes_pruned, 1);
         assert_eq!(c.max_frontier, 10, "frontiers never coexist — max");
+        assert_eq!(c.broadcast_tightened, 2, "tightenings sum across shards");
     }
 
     #[test]

@@ -94,6 +94,16 @@ impl Device {
         (self.cycles().saturating_sub(start_cycles)) as f64 / self.cfg.clock_hz
     }
 
+    /// Advance the clock to at least `target` cycles (no-op when the clock
+    /// is already past it). Models **barrier idle time**: when devices
+    /// execute in lockstep with a per-level barrier (the sharded bound
+    /// broadcast), every device waits for the slowest, so after each level
+    /// all clocks align to the per-level maximum. Charged as pure elapsed
+    /// time — no work, kernels, or transfers.
+    pub fn advance_clock_to(&self, target: u64) {
+        self.cycles.fetch_max(target, Ordering::Relaxed);
+    }
+
     /// Reset the clock and traffic counters (not allocations).
     pub fn reset_clock(&self) {
         self.cycles.store(0, Ordering::Relaxed);

@@ -125,6 +125,58 @@ fn vector_thread_count_invariance() {
     assert_thread_invariant(DatasetKind::Vector, 0.35);
 }
 
+/// The singular-query API is the batched descent engine run on a batch of
+/// one — there is no separate single-query descent left to drift. Answers
+/// *and simulated cycles* of `range_query`/`knn_query` must equal the
+/// batch-of-one calls exactly (two identical indexes on two identical
+/// devices, so the cycle comparison is independent of call order).
+#[test]
+fn single_query_is_a_batch_of_one_through_the_engine() {
+    let data = DatasetKind::Words.generate(800, 4321);
+    let build = || {
+        let dev = Device::rtx_2080_ti();
+        let gts =
+            Gts::build(&dev, data.items.clone(), data.metric, GtsParams::default()).expect("build");
+        (dev, gts)
+    };
+    let (dev_single, single) = build();
+    let (dev_batch, batch) = build();
+    assert_eq!(dev_single.stats(), dev_batch.stats(), "identical builds");
+    let q = &data.items[17];
+
+    let mark = dev_single.cycles();
+    let want_range = single.range_query(q, 2.0).expect("range");
+    let single_range_cycles = dev_single.cycles() - mark;
+    let mark = dev_batch.cycles();
+    let got_range = batch
+        .batch_range(std::slice::from_ref(q), &[2.0])
+        .expect("batch range")
+        .pop()
+        .expect("one answer");
+    assert_eq!(got_range, want_range, "range answers equal batch-of-one");
+    assert_eq!(
+        dev_batch.cycles() - mark,
+        single_range_cycles,
+        "range cycles equal batch-of-one"
+    );
+
+    let mark = dev_single.cycles();
+    let want_knn = single.knn_query(q, 6).expect("knn");
+    let single_knn_cycles = dev_single.cycles() - mark;
+    let mark = dev_batch.cycles();
+    let got_knn = batch
+        .batch_knn(std::slice::from_ref(q), 6)
+        .expect("batch knn")
+        .pop()
+        .expect("one answer");
+    assert_eq!(got_knn, want_knn, "knn answers equal batch-of-one");
+    assert_eq!(
+        dev_batch.cycles() - mark,
+        single_knn_cycles,
+        "knn cycles equal batch-of-one"
+    );
+}
+
 #[test]
 fn updates_preserve_invariance_through_the_cache_scan() {
     let data = DatasetKind::Words.generate(300, 77);

@@ -57,7 +57,7 @@ fn direct_answers(
             out[*i] = Some(ans);
         }
     }
-    for k in [3usize, 6] {
+    for k in [3usize, 5, 6] {
         let mut knn_idx = Vec::new();
         let mut queries = Vec::new();
         for (i, r) in reqs.iter().enumerate() {
@@ -136,6 +136,58 @@ fn size_triggered_service_matches_direct_batches() {
         );
         assert_eq!(stats.deadline_flushes, 0, "the hour deadline never fires");
     }
+}
+
+/// The cross-shard bound broadcast plumbs through the service untouched:
+/// a broadcast-enabled index behind the service answers bit-identically to
+/// direct calls on a broadcast-free index, and the tightenings the lockstep
+/// descent performed surface in [`ServiceStats::index`] — the service-side
+/// view of `broadcast_tightened` is the index's own counter, so per-shard
+/// and aggregate views stay consistent.
+#[test]
+fn broadcast_enabled_index_matches_direct_through_the_service() {
+    let data = DatasetKind::TLoc.generate(2_000, 31);
+    let params = GtsParams::default().with_node_capacity(5).with_shards(2);
+    let build = |broadcast: bool| {
+        let pool = DevicePool::rtx_2080_ti(2);
+        ShardedGts::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            params.with_bound_broadcast(broadcast),
+        )
+        .expect("build")
+    };
+    let reqs: Vec<Request<Item>> = (0..40)
+        .map(|i| Request::Knn {
+            query: data.items[(i * 37) % 2_000].clone(),
+            k: 5,
+        })
+        .collect();
+    let want = direct_answers(&build(false), &reqs);
+
+    let index = Arc::new(build(true));
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(8))
+        .with_flush_deadline(Duration::from_secs(3600));
+    let (got, stats) = serve(Arc::clone(&index), cfg, &reqs);
+    assert_eq!(got, want, "broadcast behind the service changes no answer");
+    assert!(
+        stats.index.broadcast_tightened > 0,
+        "the lockstep descent must have tightened bounds on this workload"
+    );
+    assert_eq!(
+        stats.index.broadcast_tightened,
+        index.stats().broadcast_tightened,
+        "ServiceStats surfaces the index's own broadcast counter"
+    );
+    assert_eq!(
+        index.stats().broadcast_tightened,
+        (0..2)
+            .map(|s| index.shard_stats(s).broadcast_tightened)
+            .sum(),
+        "aggregate view sums the per-shard counters"
+    );
 }
 
 #[test]
