@@ -49,6 +49,9 @@ fn gpu_err(e: GpuError) -> IndexError {
             available,
             context,
         },
+        GpuError::DeviceUnavailable { .. } => {
+            IndexError::Unsupported("device quarantined by a permanent fault")
+        }
     }
 }
 

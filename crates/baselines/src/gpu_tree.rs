@@ -90,6 +90,9 @@ fn gpu_err(e: GpuError) -> IndexError {
             available,
             context,
         },
+        GpuError::DeviceUnavailable { .. } => {
+            IndexError::Unsupported("device quarantined by a permanent fault")
+        }
     }
 }
 

@@ -1,0 +1,229 @@
+//! Replica-scaling bench: what replicated shards + executor lanes buy the
+//! online service, and what fault recovery costs.
+//!
+//! Three parts:
+//!
+//! 1. **Lanes × replicas sweep** — the same kNN workload through services
+//!    at (lanes, replicas) ∈ {(1,1), (1,2), (2,2)}. Every configuration
+//!    must answer **bit-identically** (replication and lanes are pure
+//!    capacity, never semantics — asserted request by request), and the
+//!    figure of merit is **simulated span cycles**: two replicas split the
+//!    batches, so the pool's critical path must shrink.
+//! 2. **Floor assertion** — 2 lanes × 2 replicas must improve span cycles
+//!    over 1×1 by ≥ 1.5× (the acceptance criterion; CI enforces it).
+//! 3. **Fault soak** — the 2×2 service re-driven with a seeded
+//!    [`FaultPlan`] (transient + permanent faults): nothing lost, answers
+//!    still bit-identical, and the retry/fault counters are reported.
+//!
+//! Results print and land in `BENCH_replica.json` at the workspace root
+//! (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench replica_scaling`.
+
+use gpu_sim::{DevicePool, FaultPlan};
+use gts_core::{GtsParams, ReplicatedShards};
+use gts_service::{BatchSizing, QueryService, Request, ServiceConfig, ServiceError};
+use metric_space::index::Neighbor;
+use metric_space::{DatasetKind, Item, ItemMetric};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 2_000;
+const SHARDS: u32 = 2;
+const K: usize = 8;
+const REQUESTS: usize = 6_000;
+const BATCH: usize = 256;
+
+fn build(
+    items: &[Item],
+    metric: ItemMetric,
+    replicas: u32,
+) -> (DevicePool, Arc<ReplicatedShards<Item, ItemMetric>>) {
+    let pool = DevicePool::rtx_2080_ti((SHARDS * replicas) as usize);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            items.to_vec(),
+            metric,
+            GtsParams::default()
+                .with_shards(SHARDS)
+                .with_replicas(replicas),
+        )
+        .expect("replicated build"),
+    );
+    (pool, index)
+}
+
+struct RunResult {
+    answers: Vec<Vec<Neighbor>>,
+    span_cycles: u64,
+    total_cycles: u64,
+    batches: u64,
+    lane_batches: Vec<u64>,
+    retries: u64,
+    device_faults: u64,
+    degraded_calls: u64,
+    failed: u64,
+    wall_ms: f64,
+    throughput_rps: f64,
+}
+
+/// Drive the kNN workload through a fresh service over `index` with
+/// `lanes` lanes, retrying on backpressure; construction cycles are reset
+/// away so the reported span is the serving work alone.
+fn drive(
+    index: &Arc<ReplicatedShards<Item, ItemMetric>>,
+    items: &[Item],
+    lanes: usize,
+    fault_plan: Option<&FaultPlan>,
+) -> RunResult {
+    index.pool().reset_clocks();
+    index.reset_stats();
+    let cfg = ServiceConfig::default()
+        .with_queue_depth(4096)
+        .with_sizing(BatchSizing::Fixed(BATCH))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(lanes);
+    let svc = QueryService::start_replicated(Arc::clone(index), cfg);
+    if let Some(plan) = fault_plan {
+        plan.arm(index.pool());
+    }
+    let h = svc.handle();
+    let wall = Instant::now();
+    let mut tickets = Vec::with_capacity(REQUESTS);
+    for i in 0..REQUESTS {
+        let req = Request::Knn {
+            query: items[(i * 17) % items.len()].clone(),
+            k: K,
+        };
+        loop {
+            match h.submit(req.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(ServiceError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => panic!("submit: {e}"),
+            }
+        }
+    }
+    let answers: Vec<Vec<Neighbor>> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("answered").result.expect("ok"))
+        .collect();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, REQUESTS as u64, "nothing lost");
+    RunResult {
+        answers,
+        span_cycles: index.span_cycles(),
+        total_cycles: index.pool().aggregate().cycles_total,
+        batches: stats.batches,
+        lane_batches: stats.lane_batches.clone(),
+        retries: stats.retries,
+        device_faults: stats.device_faults,
+        degraded_calls: stats.degraded_calls,
+        failed: stats.failed,
+        wall_ms,
+        throughput_rps: REQUESTS as f64 / (wall_ms / 1e3),
+    }
+}
+
+fn json_row(name: &str, lanes: usize, replicas: u32, r: &RunResult) -> String {
+    format!(
+        "    \"{name}\": {{\"lanes\": {lanes}, \"replicas\": {replicas}, \"span_cycles\": {}, \"total_cycles\": {}, \"batches\": {}, \"lane_batches\": {:?}, \"retries\": {}, \"device_faults\": {}, \"degraded_calls\": {}, \"failed\": {}, \"wall_ms\": {:.2}, \"throughput_rps_wall\": {:.0}}}",
+        r.span_cycles,
+        r.total_cycles,
+        r.batches,
+        r.lane_batches,
+        r.retries,
+        r.device_faults,
+        r.degraded_calls,
+        r.failed,
+        r.wall_ms,
+        r.throughput_rps,
+    )
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let data = DatasetKind::Vector.generate(N, 4243);
+
+    // -- Part 1: lanes × replicas sweep ------------------------------------
+    let (_p11, idx11) = build(&data.items, data.metric, 1);
+    let (_p12, idx12) = build(&data.items, data.metric, 2);
+    let (_p22, idx22) = build(&data.items, data.metric, 2);
+    let r11 = drive(&idx11, &data.items, 1, None);
+    let r12 = drive(&idx12, &data.items, 1, None);
+    let r22 = drive(&idx22, &data.items, 2, None);
+    for (name, r) in [("1x2", &r12), ("2x2", &r22)] {
+        assert_eq!(
+            r.answers, r11.answers,
+            "{name} must answer bit-identically to 1x1"
+        );
+        assert_eq!(r.failed, 0, "{name}: fault-free run fails nothing");
+    }
+    let speedup_12 = r11.span_cycles as f64 / r12.span_cycles as f64;
+    let speedup_22 = r11.span_cycles as f64 / r22.span_cycles as f64;
+    for (name, lanes, r, speedup) in [
+        ("1x1", 1usize, &r11, 1.0),
+        ("1x2", 1, &r12, speedup_12),
+        ("2x2", 2, &r22, speedup_22),
+    ] {
+        println!(
+            "replica_scaling/{name}: lanes {lanes} | span {:>12} cycles | {:>5} batches {:?} | {:>8.0} req/s wall | span speedup {speedup:.2}x",
+            r.span_cycles, r.batches, r.lane_batches, r.throughput_rps,
+        );
+    }
+
+    // -- Part 2: the floor -------------------------------------------------
+    assert!(
+        speedup_22 >= 1.5,
+        "2 lanes x 2 replicas must improve span cycles ≥1.5x over 1x1, got {speedup_22:.2}x"
+    );
+
+    // -- Part 3: fault soak on the 2x2 service -----------------------------
+    let plan = FaultPlan::seeded(0xBE_2C, idx22.pool().len(), 2, 1, 60);
+    let rf = drive(&idx22, &data.items, 2, Some(&plan));
+    assert_eq!(
+        rf.answers, r11.answers,
+        "answers under faults stay bit-identical (no shard lost its last copy)"
+    );
+    assert!(rf.device_faults >= 1, "the seeded plan fired");
+    println!(
+        "replica_scaling/fault-soak: {} device faults | {} retries | {} degraded batches | span {:>12} cycles | {:>8.0} req/s wall",
+        rf.device_faults, rf.retries, rf.degraded_calls, rf.span_cycles, rf.throughput_rps,
+    );
+
+    // -- JSON --------------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"requests\": {REQUESTS},");
+    let _ = writeln!(json, "  \"batch_target\": {BATCH},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"sweep\": {{");
+    let _ = writeln!(json, "{},", json_row("1x1", 1, 1, &r11));
+    let _ = writeln!(json, "{},", json_row("1x2", 1, 2, &r12));
+    let _ = writeln!(json, "{},", json_row("2x2", 2, 2, &r22));
+    let _ = writeln!(json, "    \"span_speedup_1x2\": {speedup_12:.3},");
+    let _ = writeln!(json, "    \"span_speedup_2x2\": {speedup_22:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fault_soak\": {{");
+    let _ = writeln!(json, "{},", json_row("2x2_faulted", 2, 2, &rf));
+    let _ = writeln!(
+        json,
+        "    \"plan\": {{\"transient\": 2, \"permanent\": 1, \"specs\": {}}}",
+        plan.specs().len()
+    );
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_replica.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_replica.json");
+    println!("wrote {out_path}");
+}

@@ -75,6 +75,12 @@ fn gpu_err(e: GpuError) -> IndexError {
             available,
             context,
         },
+        // A quarantined device can't host new structures; surface it as an
+        // unsupported-operation error (the replicated serving tier routes
+        // around dead devices before ever allocating on them).
+        GpuError::DeviceUnavailable { .. } => {
+            IndexError::Unsupported("device quarantined by a permanent fault")
+        }
     }
 }
 

@@ -64,6 +64,7 @@ pub mod memo;
 pub mod multi;
 pub mod node;
 pub mod params;
+pub mod replica;
 pub mod search;
 pub mod shard;
 pub mod snapshot;
@@ -76,5 +77,6 @@ pub use index::Gts;
 pub use memo::PairMemo;
 pub use multi::MultiGts;
 pub use params::GtsParams;
+pub use replica::{ReplicaError, ReplicatedShards};
 pub use shard::ShardedGts;
-pub use stats::{LatencyHistogram, SearchStats, StatsSnapshot};
+pub use stats::{LatencyHistogram, ReplicaStats, SearchStats, StatsSnapshot};

@@ -51,7 +51,10 @@ where
         assert!(!columns.is_empty(), "need at least one column");
         assert_eq!(columns.len(), metrics.len(), "one metric per column");
         assert_eq!(columns.len(), weights.len(), "one weight per column");
-        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0 && w.is_finite()),
+            "weights must be positive and finite"
+        );
         let rows = columns[0].len();
         assert!(columns.iter().all(|c| c.len() == rows), "ragged columns");
         let built: Result<Vec<_>, _> = columns

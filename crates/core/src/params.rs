@@ -77,6 +77,15 @@ pub struct GtsParams {
     /// structure, so single-index snapshots do not persist it (the sharded
     /// snapshot envelope records its own shard count).
     pub shards: u32,
+    /// Number of full index replicas for
+    /// [`ReplicatedShards`](crate::replica::ReplicatedShards): each replica
+    /// is a complete [`ShardedGts`](crate::ShardedGts) over its own
+    /// `shards` devices, so a pool must supply `shards × replicas` devices.
+    /// `1` (default) is the unreplicated setup; plain [`Gts`](crate::Gts)
+    /// and [`ShardedGts`](crate::ShardedGts) ignore this knob. An
+    /// execution-topology knob like `shards`, so not persisted by
+    /// snapshots.
+    pub replicas: u32,
 }
 
 impl Default for GtsParams {
@@ -93,6 +102,7 @@ impl Default for GtsParams {
             host_threads: 0,
             bound_broadcast: false,
             shards: 1,
+            replicas: 1,
         }
     }
 }
@@ -153,6 +163,14 @@ impl GtsParams {
         self
     }
 
+    /// Builder-style replica-count override (≥ 1; only
+    /// [`ReplicatedShards`](crate::replica::ReplicatedShards) consults it).
+    pub fn with_replicas(mut self, replicas: u32) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        self.replicas = replicas;
+        self
+    }
+
     /// The thread count the batched kernels should actually use, given the
     /// device's configured auto value.
     pub fn effective_host_threads(&self, device_auto: usize) -> usize {
@@ -189,6 +207,7 @@ mod tests {
             "bound broadcast is opt-in (independent-descent cycle baselines stay put)"
         );
         assert_eq!(p.shards, 1, "single-device by default");
+        assert_eq!(p.replicas, 1, "unreplicated by default");
     }
 
     #[test]

@@ -112,10 +112,14 @@ pub struct ShardedGts<O, M> {
 
 /// Map `f` over owned work items, one scoped host thread per item (inline
 /// when there is at most one), joining in item order — the spawn/join
-/// shape shared by the sharded build and the query scatter. Determinism:
-/// each item drives only its own device, and results are collected in
-/// item order.
-fn scoped_map<I: Send, T: Send>(items: Vec<I>, f: impl Fn(usize, I) -> T + Sync) -> Vec<T> {
+/// shape shared by the sharded build and the query scatter (and by the
+/// degraded path of [`ReplicatedShards`](crate::replica::ReplicatedShards)).
+/// Determinism: each item drives only its own device, and results are
+/// collected in item order.
+pub(crate) fn scoped_map<I: Send, T: Send>(
+    items: Vec<I>,
+    f: impl Fn(usize, I) -> T + Sync,
+) -> Vec<T> {
     if items.len() <= 1 {
         return items
             .into_iter()
@@ -132,7 +136,13 @@ fn scoped_map<I: Send, T: Send>(items: Vec<I>, f: impl Fn(usize, I) -> T + Sync)
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Re-raise with the original payload so typed panics (e.g.
+                // an injected `DeviceFault`) stay downcastable after
+                // crossing the scatter threads.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     })
 }
@@ -149,7 +159,9 @@ fn divided_auto_threads(dev: &gpu_sim::Device, shards: usize) -> usize {
 
 /// Merge per-shard top-`k` lists (each in canonical ascending `(dis, id)`
 /// order) into the global top-`k`, preserving the single-device tie-break.
-fn kway_merge(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
+/// Crate-visible so [`ReplicatedShards`](crate::replica::ReplicatedShards)
+/// can merge per-shard answers it gathered from *different* replicas.
+pub(crate) fn kway_merge(lists: &[Vec<Neighbor>], k: usize) -> Vec<Neighbor> {
     let mut heads = vec![0usize; lists.len()];
     let mut out = Vec::with_capacity(k);
     while out.len() < k {
@@ -359,6 +371,34 @@ where
                 kway_merge(&lists, k)
             })
             .collect())
+    }
+
+    /// Range query against **one shard only**, answers remapped to global
+    /// ids (exact over that shard's partition). Building block for the
+    /// degraded path of [`ReplicatedShards`](crate::replica::ReplicatedShards),
+    /// which re-assembles a full answer from surviving shard copies spread
+    /// across replicas; runs on the calling thread so panics (injected
+    /// device faults, metric bugs) surface directly to the caller.
+    pub(crate) fn shard_range(
+        &self,
+        s: usize,
+        queries: &[O],
+        radii: &[f64],
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        let sh = &self.shards[s];
+        sh.gts.batch_range(queries, radii).map(|r| sh.remap(r))
+    }
+
+    /// kNN against **one shard only**, remapped to global ids; the shard's
+    /// local top-`k` (see [`ShardedGts::shard_range`] for the role).
+    pub(crate) fn shard_knn(
+        &self,
+        s: usize,
+        queries: &[O],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
+        let sh = &self.shards[s];
+        sh.gts.batch_knn(queries, k).map(|r| sh.remap(r))
     }
 
     /// Toggle the cross-shard kNN bound broadcast on every shard (see

@@ -172,6 +172,7 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         host_threads: 0,
         bound_broadcast: false,
         shards: 1,
+        replicas: 1,
     };
     if params.node_capacity < 2 {
         return Err(IndexError::Unsupported("corrupt snapshot: node capacity"));

@@ -75,6 +75,33 @@ impl SearchStats {
     }
 }
 
+/// Health and retry counters of a
+/// [`ReplicatedShards`](crate::replica::ReplicatedShards) — the replication
+/// companion to [`StatsSnapshot`] (which counts search work, not failures).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Configured replicas.
+    pub replicas: usize,
+    /// Replicas whose devices are all currently healthy.
+    pub healthy_replicas: usize,
+    /// Shards with no healthy copy left on any replica — their requests
+    /// fail fast with `ShardUnavailable`.
+    pub dead_shards: usize,
+    /// Retry attempts after a replica failed mid-batch (any cause).
+    pub retries: u64,
+    /// Retries caused by injected device faults specifically.
+    pub device_faults: u64,
+    /// Retries caused by non-device panics (e.g. a user metric blowing up);
+    /// these also add a soft-health strike against the replica.
+    pub metric_panics: u64,
+    /// Batches that fell off the whole-replica fast path onto the per-shard
+    /// degraded path (composing answers from surviving shard copies).
+    pub degraded_calls: u64,
+    /// Per-replica soft-health strikes (panic history used to deprioritize
+    /// a replica in selection; never a permanent exclusion).
+    pub strikes: Vec<u64>,
+}
+
 /// Plain-value copy of [`SearchStats`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {

@@ -3,9 +3,13 @@
 use crate::config::DeviceConfig;
 use crate::error::GpuError;
 use crate::exec;
+use crate::fault::{DeviceFault, FaultKind};
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
+
+/// Sentinel for "no fault armed" in the launch countdown.
+const DISARMED: u64 = u64::MAX;
 
 /// A simulated GPU. Shared via `Arc`; all counters are atomic, so one device
 /// can back several indexes at once (as in the paper, where the index and
@@ -28,6 +32,15 @@ pub struct Device {
     d2h: AtomicU64,
     /// Failed allocations observed (memory-deadlock diagnostics, Fig. 9).
     oom_events: AtomicU64,
+    /// Remaining kernel launches until an armed fault fires; [`DISARMED`]
+    /// when no fault is pending.
+    fault_countdown: AtomicU64,
+    /// Kind of the armed fault (1 = transient, 2 = permanent; 0 = none).
+    fault_kind: AtomicU8,
+    /// Health flag: cleared when a permanent fault quarantines the device.
+    healthy: AtomicBool,
+    /// Faults that have fired on this device.
+    faults: AtomicU64,
 }
 
 /// Snapshot of the device counters.
@@ -49,6 +62,10 @@ pub struct DeviceStats {
     pub d2h_bytes: u64,
     /// Allocation failures.
     pub oom_events: u64,
+    /// Injected faults that fired on this device (transient + permanent).
+    pub faults_injected: u64,
+    /// False when a permanent fault has quarantined the device.
+    pub healthy: bool,
 }
 
 impl Device {
@@ -64,6 +81,10 @@ impl Device {
             h2d: AtomicU64::new(0),
             d2h: AtomicU64::new(0),
             oom_events: AtomicU64::new(0),
+            fault_countdown: AtomicU64::new(DISARMED),
+            fault_kind: AtomicU8::new(0),
+            healthy: AtomicBool::new(true),
+            faults: AtomicU64::new(0),
         })
     }
 
@@ -124,6 +145,102 @@ impl Device {
             h2d_bytes: self.h2d.load(Ordering::Relaxed),
             d2h_bytes: self.d2h.load(Ordering::Relaxed),
             oom_events: self.oom_events.load(Ordering::Relaxed),
+            faults_injected: self.faults.load(Ordering::Relaxed),
+            healthy: self.is_healthy(),
+        }
+    }
+
+    // -- health & fault injection ------------------------------------------
+
+    /// True until a permanent fault quarantines the device.
+    pub fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Quarantine the device: every further kernel launch panics with a
+    /// [`DeviceFault`] payload and allocations fail with
+    /// [`GpuError::DeviceUnavailable`]. Fired automatically by permanent
+    /// injected faults; callable directly by schedulers that decide a
+    /// device must be fenced off.
+    pub fn quarantine(&self) {
+        self.healthy.store(false, Ordering::Relaxed);
+    }
+
+    /// Lift a quarantine (tests and soak harnesses only — real permanent
+    /// faults don't heal).
+    pub fn revive(&self) {
+        self.healthy.store(true, Ordering::Relaxed);
+    }
+
+    /// Arm a fault that fires on the `at_launch`-th kernel launch from now
+    /// (1-based: `at_launch = 1` fails the very next launch). A device
+    /// holds at most one armed fault; arming again replaces it.
+    pub fn arm_fault(&self, at_launch: u64, kind: FaultKind) {
+        assert!(at_launch >= 1, "launch indexes are 1-based");
+        self.fault_kind.store(
+            match kind {
+                FaultKind::Transient => 1,
+                FaultKind::Permanent => 2,
+            },
+            Ordering::Relaxed,
+        );
+        self.fault_countdown.store(at_launch - 1, Ordering::Relaxed);
+    }
+
+    /// Remove any armed (not yet fired) fault.
+    pub fn disarm_fault(&self) {
+        self.fault_countdown.store(DISARMED, Ordering::Relaxed);
+    }
+
+    /// Fault gate, called on every kernel launch. A quarantined device
+    /// refuses all work; an armed countdown decrements and fires at zero.
+    /// The fault disarms *before* panicking so a retry after a transient
+    /// fault succeeds; a permanent fault also quarantines the device.
+    fn check_fault(&self) {
+        if !self.is_healthy() {
+            std::panic::panic_any(DeviceFault {
+                kind: FaultKind::Permanent,
+            });
+        }
+        let mut cur = self.fault_countdown.load(Ordering::Relaxed);
+        loop {
+            if cur == DISARMED {
+                return;
+            }
+            if cur == 0 {
+                match self.fault_countdown.compare_exchange(
+                    0,
+                    DISARMED,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let kind = if self.fault_kind.load(Ordering::Relaxed) == 2 {
+                            FaultKind::Permanent
+                        } else {
+                            FaultKind::Transient
+                        };
+                        self.faults.fetch_add(1, Ordering::Relaxed);
+                        if kind == FaultKind::Permanent {
+                            self.quarantine();
+                        }
+                        std::panic::panic_any(DeviceFault { kind });
+                    }
+                    Err(actual) => {
+                        cur = actual;
+                        continue;
+                    }
+                }
+            }
+            match self.fault_countdown.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
         }
     }
 
@@ -132,6 +249,7 @@ impl Device {
     /// Charge one kernel with total work `w` and critical path `span`
     /// (work–span model: `max(⌈W/C⌉, S)` cycles plus launch overhead).
     pub fn charge_kernel(&self, w: u64, span: u64) {
+        self.check_fault();
         let c = u64::from(self.cfg.cores);
         let exec_cycles = (w.div_ceil(c)).max(span);
         self.cycles.fetch_add(
@@ -268,6 +386,9 @@ impl Device {
     }
 
     fn try_take(&self, bytes: u64, context: &'static str) -> Result<(), GpuError> {
+        if !self.is_healthy() {
+            return Err(GpuError::DeviceUnavailable { context });
+        }
         let mut cur = self.allocated.load(Ordering::Relaxed);
         loop {
             let new = cur + bytes;
@@ -474,6 +595,7 @@ mod tests {
                 assert_eq!(requested, 128);
                 assert_eq!(available, 64);
             }
+            other => panic!("expected OutOfMemory, got {other:?}"),
         }
         assert_eq!(dev.stats().oom_events, 1);
     }

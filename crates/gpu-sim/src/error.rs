@@ -15,6 +15,12 @@ pub enum GpuError {
         /// What was being allocated.
         context: &'static str,
     },
+    /// The device has been quarantined by a permanent fault (or an explicit
+    /// [`quarantine`](crate::Device::quarantine)) and refuses new work.
+    DeviceUnavailable {
+        /// What was being allocated when the quarantine was hit.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for GpuError {
@@ -27,6 +33,10 @@ impl fmt::Display for GpuError {
             } => write!(
                 f,
                 "device out of memory while allocating {context}: requested {requested} B, free {available} B"
+            ),
+            GpuError::DeviceUnavailable { context } => write!(
+                f,
+                "device quarantined by a permanent fault; refused allocation for {context}"
             ),
         }
     }

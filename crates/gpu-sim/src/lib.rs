@@ -30,6 +30,7 @@ pub mod cpu;
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod pool;
 pub mod primitives;
 
@@ -37,4 +38,5 @@ pub use config::DeviceConfig;
 pub use cpu::CpuClock;
 pub use device::{Device, DeviceBuffer, DeviceStats, Reservation};
 pub use error::GpuError;
+pub use fault::{DeviceFault, FaultKind, FaultPlan, FaultSpec};
 pub use pool::{DevicePool, PoolStats};

@@ -45,6 +45,10 @@ pub struct PoolStats {
     pub d2h_bytes: u64,
     /// Allocation failures across devices.
     pub oom_events: u64,
+    /// Injected faults that fired across devices.
+    pub faults_injected: u64,
+    /// Devices currently quarantined (unhealthy).
+    pub quarantined: usize,
 }
 
 impl DevicePool {
@@ -101,6 +105,21 @@ impl DevicePool {
             .expect("a pool holds at least one device")
     }
 
+    /// Number of quarantined (unhealthy) devices.
+    pub fn quarantined(&self) -> usize {
+        self.devices.iter().filter(|d| !d.is_healthy()).count()
+    }
+
+    /// Indexes of the currently healthy devices, in pool order.
+    pub fn healthy_indices(&self) -> Vec<usize> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_healthy())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Aggregate counters: throughput counters summed, `span_cycles` maxed.
     pub fn aggregate(&self) -> PoolStats {
         let mut agg = PoolStats {
@@ -118,6 +137,10 @@ impl DevicePool {
             agg.h2d_bytes += s.h2d_bytes;
             agg.d2h_bytes += s.d2h_bytes;
             agg.oom_events += s.oom_events;
+            agg.faults_injected += s.faults_injected;
+            if !s.healthy {
+                agg.quarantined += 1;
+            }
         }
         agg
     }
@@ -189,5 +212,70 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn empty_pool_rejected() {
         let _ = DevicePool::homogeneous(0, DeviceConfig::rtx_2080_ti());
+    }
+
+    #[test]
+    fn free_bytes_min_on_heterogeneous_pool() {
+        // A pool mixing an 11 GB card with a 1 KB toy device: the pessimistic
+        // pool-wide view is pinned to the smallest card even with zero
+        // allocations, and follows whichever device is most loaded after.
+        let big = Device::rtx_2080_ti();
+        let small = Device::new(DeviceConfig {
+            global_mem_bytes: 1024,
+            ..DeviceConfig::rtx_2080_ti()
+        });
+        let pool = DevicePool::from_devices(vec![big, small]);
+        assert_eq!(pool.free_bytes_min(), 1024, "bounded by the small card");
+        let _r = pool.get(1).reserve(1000, "t").expect("fits");
+        assert_eq!(pool.free_bytes_min(), 24);
+        // Loading the big card doesn't change the binding constraint until
+        // it dips below the small card's headroom.
+        let _big = pool.get(0).reserve(1 << 30, "t").expect("fits");
+        assert_eq!(pool.free_bytes_min(), 24, "small card still binds");
+    }
+
+    #[test]
+    fn reset_clocks_mid_soak_preserves_allocations_and_health() {
+        let pool = DevicePool::rtx_2080_ti(2);
+        let _held = pool.get(0).reserve(4096, "resident").expect("fits");
+        pool.get(0).charge_kernel(1000, 1);
+        pool.get(1).charge_kernel(2000, 1);
+        pool.get(1).quarantine();
+        pool.reset_clocks();
+        let agg = pool.aggregate();
+        assert_eq!(agg.span_cycles, 0, "clocks rewound");
+        assert_eq!(agg.work, 0);
+        assert_eq!(agg.kernels, 0);
+        assert_eq!(agg.allocated, 4096, "allocations survive a clock reset");
+        assert_eq!(agg.quarantined, 1, "health survives a clock reset");
+        // The soak continues: new work charges from zero.
+        pool.get(0).charge_kernel(4352, 1);
+        assert_eq!(
+            pool.aggregate().span_cycles,
+            1 + pool.get(0).config().kernel_launch_cycles
+        );
+    }
+
+    #[test]
+    fn aggregate_span_accounting_with_quarantined_devices() {
+        use crate::fault::{FaultKind, FaultPlan};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let pool = DevicePool::rtx_2080_ti(3);
+        pool.get(0).charge_kernel(4352 * 10, 1);
+        FaultPlan::new()
+            .fail_device(2, 1, FaultKind::Permanent)
+            .arm(&pool);
+        let _ = catch_unwind(AssertUnwindSafe(|| pool.get(2).charge_kernel(4352 * 50, 1)));
+        let agg = pool.aggregate();
+        let launch = pool.get(0).config().kernel_launch_cycles;
+        // The faulted launch died before charging: the dead device
+        // contributes no cycles, work, or kernels to the aggregate — span
+        // reflects only work that actually executed.
+        assert_eq!(agg.span_cycles, 10 + launch);
+        assert_eq!(agg.kernels, 1);
+        assert_eq!(agg.quarantined, 1);
+        assert_eq!(agg.faults_injected, 1);
+        assert_eq!(pool.quarantined(), 1);
+        assert_eq!(pool.healthy_indices(), vec![0, 1]);
     }
 }

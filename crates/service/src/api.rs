@@ -61,13 +61,17 @@ pub struct LatencyBreakdown {
 pub struct Response {
     /// The per-request answer, in the canonical `(distance, id)` order —
     /// bit-identical to a direct batched index call over the same
-    /// requests. `Err` surfaces index-side failures (e.g. device OOM).
-    pub result: Result<Vec<Neighbor>, IndexError>,
+    /// requests. `Err` surfaces execution failures **per request** without
+    /// poisoning the lane: a typed index error (e.g. device OOM), a dead
+    /// shard ([`ServiceError::ShardUnavailable`]), or a caught panic
+    /// ([`ServiceError::BatchPanicked`]).
+    pub result: Result<Vec<Neighbor>, ServiceError>,
     /// Where this request's latency went.
     pub latency: LatencyBreakdown,
 }
 
-/// Errors surfaced by request submission and result collection.
+/// Errors surfaced by request submission, result collection, and batch
+/// execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
     /// The admission queue is at its configured depth — backpressure.
@@ -81,6 +85,23 @@ pub enum ServiceError {
     /// The service dropped this request's response channel without
     /// answering (it was torn down mid-flight).
     Disconnected,
+    /// The underlying index failed this request's batch with a typed error
+    /// (e.g. device OOM under the naive memory strategy).
+    Index(IndexError),
+    /// Every replica of this shard is on a quarantined device: requests
+    /// over it fail fast instead of hanging the queue. Other shards keep
+    /// serving.
+    ShardUnavailable {
+        /// The shard with no surviving replica.
+        shard: u32,
+    },
+    /// The batch died on every replica it was tried on (e.g. a user metric
+    /// panicking on this batch's queries on all copies, or a panic caught
+    /// at the lane boundary). The lane survives and keeps draining.
+    BatchPanicked,
+    /// A sub-batch's requests did not match its declared shape (internal
+    /// invariant violation); the batch is failed, the lane survives.
+    MalformedBatch,
 }
 
 impl fmt::Display for ServiceError {
@@ -91,11 +112,42 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Stopped => write!(f, "service stopped; request rejected"),
             ServiceError::Disconnected => write!(f, "service dropped the response channel"),
+            ServiceError::Index(e) => write!(f, "index error: {e}"),
+            ServiceError::ShardUnavailable { shard } => {
+                write!(
+                    f,
+                    "shard {shard} has no surviving replica; request failed fast"
+                )
+            }
+            ServiceError::BatchPanicked => {
+                write!(f, "batch execution panicked on every replica tried")
+            }
+            ServiceError::MalformedBatch => {
+                write!(f, "malformed sub-batch (internal invariant violation)")
+            }
         }
     }
 }
 
 impl std::error::Error for ServiceError {}
+
+impl From<IndexError> for ServiceError {
+    fn from(e: IndexError) -> Self {
+        ServiceError::Index(e)
+    }
+}
+
+impl From<gts_core::ReplicaError> for ServiceError {
+    fn from(e: gts_core::ReplicaError) -> Self {
+        match e {
+            gts_core::ReplicaError::Index(e) => ServiceError::Index(e),
+            gts_core::ReplicaError::ShardUnavailable { shard } => {
+                ServiceError::ShardUnavailable { shard }
+            }
+            gts_core::ReplicaError::AllReplicasFailed { .. } => ServiceError::BatchPanicked,
+        }
+    }
+}
 
 /// A claim check for one submitted request; redeem it with
 /// [`Ticket::wait`] to receive the [`Response`].

@@ -17,13 +17,15 @@
 //!   rather than stalling a quiet period (the latency/throughput knob of
 //!   open-loop serving).
 //!
-//! Flushed batches travel to the service's single executor over a
-//! **bounded** pipeline channel (`EXECUTOR_PIPELINE_BATCHES`) and are
-//! executed strictly in flush order, so batch formation under the size
-//! trigger — and every simulated cycle the batch charges — is
-//! reproducible for a given arrival sequence, and a slow executor backs
-//! pressure up into the admission queue instead of buffering batches
-//! without bound.
+//! Flushed batches are dealt **round-robin** across the service's executor
+//! lanes (batch *i* goes to lane *i* mod *L* — deterministic for a given
+//! arrival sequence), each lane fed by its own **bounded** pipeline channel
+//! (`EXECUTOR_PIPELINE_BATCHES`). Within a lane, batches execute strictly
+//! in flush order, so batch formation under the size trigger — and every
+//! simulated cycle a batch charges — is reproducible for a given arrival
+//! sequence; with one lane the service degenerates to the original single
+//! executor. Slow lanes back pressure up into the admission queue instead
+//! of buffering batches without bound.
 
 use crate::api::{FlushTrigger, Request, Response, ServiceError, Ticket};
 use std::collections::VecDeque;
@@ -67,6 +69,12 @@ pub struct ServiceConfig {
     /// Hard cap on the batch target regardless of what the cost model
     /// recommends (bounds per-batch latency and host staging memory).
     pub max_batch: usize,
+    /// Executor lanes to run. Each lane drains its own bounded pipeline
+    /// channel and prefers a disjoint set of replicas, so lanes execute
+    /// concurrently without sharing devices. Clamped at startup to the
+    /// number of replicas in the served index (extra lanes would race on
+    /// the same devices and destroy clock determinism).
+    pub lanes: usize,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +88,7 @@ impl Default for ServiceConfig {
                 seed: 0x67_74_73,
             },
             max_batch: 4096,
+            lanes: 1,
         }
     }
 }
@@ -108,6 +117,13 @@ impl ServiceConfig {
     pub fn with_max_batch(mut self, cap: usize) -> Self {
         assert!(cap >= 1, "a batch holds at least one request");
         self.max_batch = cap;
+        self
+    }
+
+    /// Builder-style executor-lane override.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        assert!(lanes >= 1, "the service needs at least one executor lane");
+        self.lanes = lanes;
         self
     }
 }
@@ -257,8 +273,8 @@ fn drain<O>(queue: &mut VecDeque<Pending<O>>, limit: usize, trigger: FlushTrigge
 /// depth, and submission starts rejecting exactly as documented.
 pub(crate) const EXECUTOR_PIPELINE_BATCHES: usize = 2;
 
-/// Tear the queue down after the executor has vanished mid-run (its end
-/// of the pipeline channel dropped, e.g. an executor panic): refuse new
+/// Tear the queue down after an executor lane has vanished mid-run (its
+/// end of the pipeline channel dropped, e.g. a lane panic): refuse new
 /// work and **disconnect every queued ticket** by dropping the pending
 /// entries — and with them their response senders — so waiting clients
 /// get [`ServiceError::Disconnected`] instead of blocking forever on a
@@ -269,21 +285,29 @@ fn poison<O>(shared: &Shared<O>) {
     st.queue.clear();
 }
 
-/// The microbatcher loop: runs on its own thread until stopped, sending
-/// flushed batches (FIFO) to the executor over the bounded pipeline
-/// channel. Every `send` happens **outside** the admission lock, so a
-/// full pipeline stalls only this thread — [`SubmitHandle::submit`] stays
-/// non-blocking throughout. Dropping `batch_tx` on exit is what tells the
-/// executor to finish; conversely a failed send means the executor died,
-/// and the queue is poisoned so nothing hangs.
-pub(crate) fn run<O>(shared: &Shared<O>, batch_tx: &mpsc::SyncSender<Batch<O>>) {
+/// The microbatcher loop: runs on its own thread until stopped, dealing
+/// flushed batches round-robin across the executor lanes' bounded pipeline
+/// channels (batch *i* → lane *i* mod *L*, deterministic). Every `send`
+/// happens **outside** the admission lock, so a full pipeline stalls only
+/// this thread — [`SubmitHandle::submit`] stays non-blocking throughout.
+/// Dropping the senders on exit is what tells the lanes to finish;
+/// conversely a failed send means a lane died, and the queue is poisoned
+/// so nothing hangs.
+pub(crate) fn run<O>(shared: &Shared<O>, lane_txs: &[mpsc::SyncSender<Batch<O>>]) {
+    assert!(!lane_txs.is_empty(), "the batcher needs at least one lane");
+    let mut next_lane = 0usize;
+    let mut send = move |batch: Batch<O>| {
+        let tx = &lane_txs[next_lane];
+        next_lane = (next_lane + 1) % lane_txs.len();
+        tx.send(batch)
+    };
     let mut st = shared.state.lock().expect("admission lock");
     loop {
         // Size trigger: a full batch is ready — ship it immediately.
         if st.queue.len() >= shared.target {
             let batch = drain(&mut st.queue, shared.target, FlushTrigger::Size);
             drop(st);
-            if batch_tx.send(batch).is_err() {
+            if send(batch).is_err() {
                 return poison(shared);
             }
             st = shared.state.lock().expect("admission lock");
@@ -297,7 +321,7 @@ pub(crate) fn run<O>(shared: &Shared<O>, batch_tx: &mpsc::SyncSender<Batch<O>>) 
                 }
                 let batch = drain(&mut st.queue, shared.target, FlushTrigger::Shutdown);
                 drop(st);
-                if batch_tx.send(batch).is_err() {
+                if send(batch).is_err() {
                     return poison(shared);
                 }
                 st = shared.state.lock().expect("admission lock");
@@ -308,7 +332,7 @@ pub(crate) fn run<O>(shared: &Shared<O>, batch_tx: &mpsc::SyncSender<Batch<O>>) 
             Some(age) if age >= shared.deadline => {
                 let batch = drain(&mut st.queue, shared.target, FlushTrigger::Deadline);
                 drop(st);
-                if batch_tx.send(batch).is_err() {
+                if send(batch).is_err() {
                     return poison(shared);
                 }
                 st = shared.state.lock().expect("admission lock");
@@ -394,7 +418,7 @@ mod tests {
         let (tx, rx) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
         let worker = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || run(&shared, &tx))
+            std::thread::spawn(move || run(&shared, std::slice::from_ref(&tx)))
         };
         let _tickets: Vec<Ticket> = (0..10)
             .map(|i| h.submit(Request::Knn { query: i, k: 1 }).expect("fits"))
@@ -424,7 +448,7 @@ mod tests {
         drop(rx); // the "executor" dies immediately
         let worker = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || run(&shared, &tx))
+            std::thread::spawn(move || run(&shared, std::slice::from_ref(&tx)))
         };
         // A full batch triggers a flush whose send fails: the batcher must
         // poison the queue — disconnect every waiting ticket and refuse
@@ -447,6 +471,37 @@ mod tests {
     }
 
     #[test]
+    fn batches_deal_round_robin_across_lanes() {
+        let shared = Shared::<u32>::new(64, 2, Duration::from_secs(3600));
+        let h = SubmitHandle {
+            shared: Arc::clone(&shared),
+        };
+        let (tx0, rx0) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        let (tx1, rx1) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run(&shared, &[tx0, tx1]))
+        };
+        let _tickets: Vec<Ticket> = (0..8)
+            .map(|i| h.submit(Request::Knn { query: i, k: 1 }).expect("fits"))
+            .collect();
+        // Four size-triggered batches: 0 and 2 land on lane 0, 1 and 3 on
+        // lane 1, preserving FIFO within each lane.
+        for (lane, rx) in [(0u32, &rx0), (1, &rx1)] {
+            for round in 0..2u32 {
+                let b = rx.recv_timeout(Duration::from_secs(5)).expect("batch");
+                assert_eq!(b.entries.len(), 2);
+                let Request::Knn { query, .. } = b.entries[0].0 else {
+                    panic!("knn expected")
+                };
+                assert_eq!(query, (round * 2 + lane) * 2, "deterministic deal");
+            }
+        }
+        shared.stop();
+        worker.join().expect("batcher exits");
+    }
+
+    #[test]
     fn batcher_flushes_on_deadline() {
         let shared = Shared::<u32>::new(64, 1000, Duration::from_millis(5));
         let h = SubmitHandle {
@@ -455,7 +510,7 @@ mod tests {
         let (tx, rx) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
         let worker = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || run(&shared, &tx))
+            std::thread::spawn(move || run(&shared, std::slice::from_ref(&tx)))
         };
         let _t = h.submit(Request::Range {
             query: 9,

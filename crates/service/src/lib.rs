@@ -7,18 +7,21 @@
 //! strategy are built to exploit.
 //!
 //! ```text
-//!  clients ──▶ SubmitHandle ──▶ admission queue ──▶ microbatcher ──▶ executor ──▶ ShardedGts
-//!              (submit())       (bounded depth,     (size trigger      (FIFO,       (scatter to
-//!                ▲ Ticket        reject past it)     from §5.3 cost     one batch     shards,
-//!                │                                   model + global     at a time)    exact merge)
-//!                └──────────── Response: result + latency breakdown ◀───┘
+//!  clients ──▶ SubmitHandle ──▶ admission queue ──▶ microbatcher ──▶ lane 0 ──▶ replicas {0,2,…}
+//!              (submit())       (bounded depth,     (size/deadline  ├▶ lane 1 ──▶ replicas {1,3,…}
+//!                ▲ Ticket        reject past it)     triggers,      └▶ …          (each replica =
+//!                │                                   round-robin                  S shards on S
+//!                │                                   deal to lanes)               devices)
+//!                └──────────── Response: result + latency breakdown ◀──┘
 //! ```
 //!
 //! Three pieces, each its own module:
 //!
 //! * [`api`] — the request/response surface: [`Request`], [`Ticket`],
 //!   [`Response`] with its per-request [`LatencyBreakdown`], and
-//!   [`ServiceError`];
+//!   [`ServiceError`] (including the typed execution failures
+//!   [`ServiceError::ShardUnavailable`] and
+//!   [`ServiceError::BatchPanicked`]);
 //! * [`batcher`] — the bounded **admission queue** (backpressure: past the
 //!   configured depth, [`SubmitHandle::submit`] rejects with
 //!   [`ServiceError::QueueFull`] instead of blocking) and the
@@ -27,23 +30,32 @@
 //!   [`CostModel::max_batch_queries`](gts_core::CostModel::max_batch_queries)
 //!   against the pool-wide free-memory view) or the **deadline trigger**
 //!   fires (the oldest queued request has waited the configured flush
-//!   deadline);
-//! * [`service`] — [`QueryService`]: owns the batcher and executor
-//!   threads, drives flushed batches through
-//!   [`ShardedGts::batch_range`](gts_core::ShardedGts::batch_range) /
-//!   [`ShardedGts::batch_knn`](gts_core::ShardedGts::batch_knn) in FIFO
-//!   flush order, and aggregates [`ServiceStats`].
+//!   deadline), dealing flushed batches round-robin across the lanes;
+//! * [`service`] — [`QueryService`]: owns the batcher and lane threads,
+//!   drives flushed batches through
+//!   [`ReplicatedShards::batch_range`](gts_core::ReplicatedShards::batch_range) /
+//!   [`ReplicatedShards::batch_knn`](gts_core::ReplicatedShards::batch_knn)
+//!   (FIFO within each lane, lanes preferring disjoint replica sets), and
+//!   aggregates [`ServiceStats`].
 //!
 //! **Determinism.** Batch *formation* under the size trigger is a pure
 //! function of the arrival sequence: requests are admitted FIFO, the batch
 //! target is computed once at startup from seeded cost-model sampling
-//! ([`BatchSizing::CostModel`]), and batches are flushed and executed in
-//! FIFO order by a single executor — so a given arrival sequence always
-//! produces the same batches, and the simulated device clocks advance
-//! identically run to run. The deadline trigger necessarily depends on
-//! wall-clock timing, but **answers never do**: every batch shape returns
-//! bit-identical results to a direct [`ShardedGts`](gts_core::ShardedGts)
-//! call over the same requests (`tests/service_invariance.rs`).
+//! ([`BatchSizing::CostModel`]), batches are dealt to lanes round-robin,
+//! and each lane executes its batches in FIFO order against its own
+//! replicas — so a given arrival sequence always produces the same
+//! batches, and the simulated device clocks advance identically run to
+//! run. The deadline trigger necessarily depends on wall-clock timing, but
+//! **answers never do**: every batch shape returns bit-identical results
+//! to a direct [`ShardedGts`](gts_core::ShardedGts) call over the same
+//! requests, at any lane or replica count (`tests/service_invariance.rs`).
+//!
+//! **Fault tolerance.** Device faults are contained by the replica layer
+//! (retry on surviving copies, exact degraded composition, typed
+//! [`ServiceError::ShardUnavailable`] only when a shard's last copy is
+//! gone); panics from user metrics are converted to typed per-batch errors
+//! at the replica and lane boundaries, so one poisoned batch never kills
+//! the service (`tests/fault_injection.rs`).
 
 #![warn(missing_docs)]
 

@@ -1,12 +1,25 @@
-//! [`QueryService`]: the running service — batcher thread + executor
-//! thread over a [`ShardedGts`].
+//! [`QueryService`]: the running service — a batcher thread dealing
+//! flushed batches round-robin across executor **lanes**, each lane pinned
+//! to a disjoint set of replicas of a [`ReplicatedShards`] index.
+//!
+//! ## Failure domains
+//!
+//! Each lane executes its batches against its preferred replicas, so a
+//! device fault is contained to one lane's replica set: the replica layer
+//! retries on survivors (bit-identically — replicas are exact copies), and
+//! only a shard whose **every** copy is quarantined fails requests, fast
+//! and typed ([`ServiceError::ShardUnavailable`]). A panicking user metric
+//! is likewise contained: the replica layer converts it to a typed
+//! per-batch error, and a panic escaping even that is caught at the lane
+//! boundary ([`ServiceError::BatchPanicked`]) — the lane keeps draining
+//! either way, so one poisoned batch can never hang the queue behind it.
 
-use crate::api::{FlushTrigger, LatencyBreakdown, Request, Response};
+use crate::api::{FlushTrigger, LatencyBreakdown, Request, Response, ServiceError};
 use crate::batcher::EXECUTOR_PIPELINE_BATCHES;
 use crate::batcher::{self, Batch, BatchSizing, ServiceConfig, Shared, SubmitHandle};
 use crate::stats::{ExecutorStats, ServiceStats};
-use gts_core::ShardedGts;
-use metric_space::index::{IndexError, Neighbor};
+use gts_core::{ReplicatedShards, ShardedGts};
+use metric_space::index::Neighbor;
 use metric_space::{BatchMetric, Footprint};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
@@ -14,7 +27,8 @@ use std::thread::JoinHandle;
 
 /// The online query service: accepts individual [`Request`]s through
 /// [`SubmitHandle`]s, microbatches them, and executes the batches against
-/// a [`ShardedGts`] on a dedicated executor thread in FIFO flush order.
+/// a replicated sharded index on one or more executor lanes — batches are
+/// dealt round-robin across lanes, FIFO within each lane.
 ///
 /// ```
 /// use gts_core::{GtsParams, ShardedGts};
@@ -40,11 +54,12 @@ use std::thread::JoinHandle;
 /// ```
 pub struct QueryService<O, M> {
     shared: Arc<Shared<O>>,
-    index: Arc<ShardedGts<O, M>>,
+    index: Arc<ReplicatedShards<O, M>>,
     exec_stats: Arc<Mutex<ExecutorStats>>,
     batcher: Option<JoinHandle<()>>,
-    executor: Option<JoinHandle<()>>,
+    lanes: Vec<JoinHandle<()>>,
     batch_target: usize,
+    num_lanes: usize,
 }
 
 impl<O, M> QueryService<O, M>
@@ -52,12 +67,24 @@ where
     O: Clone + Send + Sync + Footprint + 'static,
     M: BatchMetric<O> + Clone + Send + Sync + 'static,
 {
-    /// Start the service over `index`: derives the batch target from
-    /// `cfg.sizing` (one seeded cost-model fit per shard for
-    /// [`BatchSizing::CostModel`], sized against the pool-wide free-memory
-    /// minimum — the global two-stage budget), then spawns the batcher and
-    /// executor threads.
+    /// Start the service over a plain [`ShardedGts`]: the compatibility
+    /// path, equivalent to one replica and one lane of
+    /// [`QueryService::start_replicated`] (the index is wrapped in a
+    /// single-replica [`ReplicatedShards`], which adds no devices and
+    /// changes no clocks).
     pub fn start(index: Arc<ShardedGts<O, M>>, cfg: ServiceConfig) -> Self {
+        Self::start_replicated(Arc::new(ReplicatedShards::from_replicas(vec![index])), cfg)
+    }
+
+    /// Start the service over a replicated index: derives the batch target
+    /// from `cfg.sizing` (one seeded cost-model fit per shard for
+    /// [`BatchSizing::CostModel`], sized against the pool-wide free-memory
+    /// minimum — the global two-stage budget), then spawns the batcher
+    /// thread and `cfg.lanes` executor lanes. The lane count is clamped to
+    /// the replica count — lane `l` prefers replicas `{r : r mod L = l}`,
+    /// and more lanes than replicas would race on the same devices and
+    /// destroy clock determinism.
+    pub fn start_replicated(index: Arc<ReplicatedShards<O, M>>, cfg: ServiceConfig) -> Self {
         // The builder asserts these, but the fields are pub — validate here
         // too so a hand-built config fails with a meaningful message.
         assert!(
@@ -68,6 +95,8 @@ where
             cfg.queue_depth >= 1,
             "queue_depth must admit at least one request"
         );
+        assert!(cfg.lanes >= 1, "the service needs at least one lane");
+        let num_lanes = cfg.lanes.min(index.num_replicas());
         let batch_target = match cfg.sizing {
             BatchSizing::Fixed(n) => n,
             BatchSizing::CostModel {
@@ -82,27 +111,46 @@ where
         // deadline).
         .clamp(1, cfg.max_batch.min(cfg.queue_depth));
         let shared = Shared::new(cfg.queue_depth, batch_target, cfg.flush_deadline);
-        let exec_stats = Arc::new(Mutex::new(ExecutorStats::default()));
-        // Bounded pipeline: a slow executor backs pressure up through the
-        // batcher into the admission queue instead of accumulating flushed
-        // batches in host memory.
-        let (batch_tx, batch_rx) = mpsc::sync_channel::<Batch<O>>(EXECUTOR_PIPELINE_BATCHES);
+        let exec_stats = Arc::new(Mutex::new(ExecutorStats {
+            lane_batches: vec![0; num_lanes],
+            ..ExecutorStats::default()
+        }));
+        // One bounded pipeline channel per lane: a slow lane backs pressure
+        // up through the batcher into the admission queue instead of
+        // accumulating flushed batches in host memory.
+        let mut lane_txs = Vec::with_capacity(num_lanes);
+        let mut lane_rxs = Vec::with_capacity(num_lanes);
+        for _ in 0..num_lanes {
+            let (tx, rx) = mpsc::sync_channel::<Batch<O>>(EXECUTOR_PIPELINE_BATCHES);
+            lane_txs.push(tx);
+            lane_rxs.push(rx);
+        }
         let batcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher::run(&shared, &batch_tx))
+            std::thread::spawn(move || batcher::run(&shared, &lane_txs))
         };
-        let executor = {
-            let index = Arc::clone(&index);
-            let stats = Arc::clone(&exec_stats);
-            std::thread::spawn(move || run_executor(&index, &batch_rx, &stats))
-        };
+        let lanes = lane_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(lane, rx)| {
+                let index = Arc::clone(&index);
+                let stats = Arc::clone(&exec_stats);
+                // Disjoint preferred replica sets: lane l owns every
+                // replica congruent to l mod L.
+                let prefer: Vec<usize> = (0..index.num_replicas())
+                    .filter(|r| r % num_lanes == lane)
+                    .collect();
+                std::thread::spawn(move || run_lane(&index, lane, &prefer, &rx, &stats))
+            })
+            .collect();
         QueryService {
             shared,
             index,
             exec_stats,
             batcher: Some(batcher),
-            executor: Some(executor),
+            lanes,
             batch_target,
+            num_lanes,
         }
     }
 
@@ -118,8 +166,14 @@ where
         self.batch_target
     }
 
-    /// The index the service executes against.
-    pub fn index(&self) -> &Arc<ShardedGts<O, M>> {
+    /// Executor lanes running (the configured count clamped to the replica
+    /// count).
+    pub fn num_lanes(&self) -> usize {
+        self.num_lanes
+    }
+
+    /// The replicated index the service executes against.
+    pub fn index(&self) -> &Arc<ReplicatedShards<O, M>> {
         &self.index
     }
 
@@ -129,7 +183,7 @@ where
     }
 
     /// Stop admitting, drain the queue (every in-flight request is still
-    /// answered, via shutdown-triggered flushes), join both threads, and
+    /// answered, via shutdown-triggered flushes), join all threads, and
     /// return the final statistics.
     pub fn shutdown(mut self) -> ServiceStats {
         self.stop_and_join();
@@ -138,6 +192,7 @@ where
 
     fn collect_stats(&self) -> ServiceStats {
         let e = self.exec_stats.lock().expect("executor stats lock");
+        let replica = self.index.replica_stats();
         ServiceStats {
             admitted: self.shared.admitted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
@@ -147,9 +202,19 @@ where
             deadline_flushes: e.deadline_flushes,
             shutdown_flushes: e.shutdown_flushes,
             batch_target: self.batch_target,
+            lanes: self.num_lanes,
+            lane_batches: e.lane_batches.clone(),
+            failed: e.failed,
+            shard_unavailable: e.shard_unavailable,
+            lane_panics: e.lane_panics,
+            retries: replica.retries,
+            device_faults: replica.device_faults,
+            metric_panics: replica.metric_panics,
+            degraded_calls: replica.degraded_calls,
             queue_wait_us: e.queue_wait_us.clone(),
             batch_span_cycles: e.batch_span_cycles.clone(),
             index: self.index.stats(),
+            replica,
         }
     }
 }
@@ -162,7 +227,7 @@ impl<O, M> QueryService<O, M> {
         if let Some(h) = self.batcher.take() {
             let _ = h.join();
         }
-        if let Some(h) = self.executor.take() {
+        for h in self.lanes.drain(..) {
             let _ = h.join();
         }
     }
@@ -171,7 +236,7 @@ impl<O, M> QueryService<O, M> {
 impl<O, M> Drop for QueryService<O, M> {
     fn drop(&mut self) {
         // Same teardown as `shutdown`, so a dropped service never leaks its
-        // threads (after shutdown both handles are already taken — no-op).
+        // threads (after shutdown all handles are already taken — no-op).
         self.stop_and_join();
     }
 }
@@ -182,6 +247,15 @@ impl<O, M> Drop for QueryService<O, M> {
 enum SubBatch {
     Range(Vec<usize>),
     Knn(Vec<usize>, usize),
+}
+
+impl SubBatch {
+    /// The flushed-batch indices this sub-batch answers.
+    fn indices(&self) -> &[usize] {
+        match self {
+            SubBatch::Range(idx) | SubBatch::Knn(idx, _) => idx,
+        }
+    }
 }
 
 /// Split one flushed batch into its index calls, deterministically: all
@@ -208,12 +282,17 @@ fn split_batch<O>(entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)]) -> 
     out
 }
 
-/// The executor loop: receives flushed batches in FIFO order and runs each
-/// to completion before the next — one batch in flight at a time, so the
-/// per-batch span-cycle deltas it records are exact (no interleaving on
-/// the simulated clocks).
-fn run_executor<O, M>(
-    index: &ShardedGts<O, M>,
+/// One executor lane: receives its share of flushed batches in deal order
+/// and runs each to completion before the next. Lanes prefer disjoint
+/// replica sets, so the per-batch span-cycle deltas a lane records against
+/// its own replicas' clocks are exact (no interleaving with sibling
+/// lanes). A panic escaping the replica layer's own containment is caught
+/// here — the batch fails typed ([`ServiceError::BatchPanicked`]) and the
+/// lane keeps draining.
+fn run_lane<O, M>(
+    index: &ReplicatedShards<O, M>,
+    lane: usize,
+    prefer: &[usize],
     batch_rx: &mpsc::Receiver<Batch<O>>,
     stats: &Mutex<ExecutorStats>,
 ) where
@@ -225,6 +304,7 @@ fn run_executor<O, M>(
         {
             let mut s = stats.lock().expect("executor stats lock");
             s.batches += 1;
+            s.lane_batches[lane] += 1;
             match batch.trigger {
                 FlushTrigger::Size => s.size_flushes += 1,
                 FlushTrigger::Deadline => s.deadline_flushes += 1,
@@ -235,13 +315,26 @@ fn run_executor<O, M>(
             }
         }
         for sub in split_batch(&batch.entries) {
-            let (indices, answers, span) = execute_sub(index, &batch.entries, sub);
+            let before = index.span_of(prefer);
+            let answers = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_sub(index, prefer, &batch.entries, &sub)
+            })) {
+                Ok(res) => res,
+                Err(_) => {
+                    stats.lock().expect("executor stats lock").lane_panics += 1;
+                    Err(ServiceError::BatchPanicked)
+                }
+            };
+            let span = index.span_of(prefer).saturating_sub(before);
             stats
                 .lock()
                 .expect("executor stats lock")
                 .batch_span_cycles
                 .record(span);
+            let indices = sub.indices();
             let mut answered = 0u64;
+            let mut failed = 0u64;
+            let mut unavailable = 0u64;
             match answers {
                 Ok(mut per_query) => {
                     // Walk in reverse so `pop` hands each index its answer
@@ -252,57 +345,69 @@ fn run_executor<O, M>(
                     }
                 }
                 Err(e) => {
-                    for &i in &indices {
+                    if matches!(e, ServiceError::ShardUnavailable { .. }) {
+                        unavailable = indices.len() as u64;
+                    }
+                    failed = indices.len() as u64;
+                    for &i in indices {
                         answered +=
                             respond(&batch.entries[i], Err(e.clone()), span, size, batch.trigger);
                     }
                 }
             }
-            stats.lock().expect("executor stats lock").completed += answered;
+            let mut s = stats.lock().expect("executor stats lock");
+            s.completed += answered;
+            s.failed += failed;
+            s.shard_unavailable += unavailable;
         }
     }
 }
 
-/// Run one sub-batch against the index, returning the request indices it
-/// answered, the per-request answers, and the span-cycle delta the call
-/// added to the sharded critical path.
+/// Run one sub-batch against the lane's preferred replicas, returning the
+/// per-request answers. A request whose shape contradicts the sub-batch it
+/// was grouped into is an internal invariant violation: loud in debug
+/// builds, a typed [`ServiceError::MalformedBatch`] that fails only this
+/// batch (the lane survives) in release builds.
 fn execute_sub<O, M>(
-    index: &ShardedGts<O, M>,
+    index: &ReplicatedShards<O, M>,
+    prefer: &[usize],
     entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)],
-    sub: SubBatch,
-) -> (Vec<usize>, Result<Vec<Vec<Neighbor>>, IndexError>, u64)
+    sub: &SubBatch,
+) -> Result<Vec<Vec<Neighbor>>, ServiceError>
 where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
 {
-    let before = index.span_cycles();
-    let (indices, answers) = match sub {
+    match sub {
         SubBatch::Range(indices) => {
             let mut queries = Vec::with_capacity(indices.len());
             let mut radii = Vec::with_capacity(indices.len());
-            for &i in &indices {
+            for &i in indices {
                 let Request::Range { query, radius } = &entries[i].0 else {
-                    unreachable!("range sub-batch holds range requests")
+                    debug_assert!(false, "range sub-batch must hold range requests");
+                    return Err(ServiceError::MalformedBatch);
                 };
                 queries.push(query.clone());
                 radii.push(*radius);
             }
-            (indices, index.batch_range(&queries, &radii))
+            index
+                .batch_range_preferring(prefer, &queries, &radii)
+                .map_err(ServiceError::from)
         }
         SubBatch::Knn(indices, k) => {
-            let queries: Vec<O> = indices
-                .iter()
-                .map(|&i| {
-                    let Request::Knn { query, .. } = &entries[i].0 else {
-                        unreachable!("knn sub-batch holds knn requests")
-                    };
-                    query.clone()
-                })
-                .collect();
-            (indices, index.batch_knn(&queries, k))
+            let mut queries = Vec::with_capacity(indices.len());
+            for &i in indices {
+                let Request::Knn { query, .. } = &entries[i].0 else {
+                    debug_assert!(false, "knn sub-batch must hold knn requests");
+                    return Err(ServiceError::MalformedBatch);
+                };
+                queries.push(query.clone());
+            }
+            index
+                .batch_knn_preferring(prefer, &queries, *k)
+                .map_err(ServiceError::from)
         }
-    };
-    (indices, answers, index.span_cycles() - before)
+    }
 }
 
 /// Send one response; returns 1 when delivered, 0 when the client dropped
@@ -310,7 +415,7 @@ where
 /// are allowed).
 fn respond<O>(
     entry: &(Request<O>, mpsc::SyncSender<Response>, u64),
-    result: Result<Vec<Neighbor>, IndexError>,
+    result: Result<Vec<Neighbor>, ServiceError>,
     span: u64,
     batch_size: usize,
     trigger: FlushTrigger,
@@ -359,6 +464,29 @@ mod tests {
         )
     }
 
+    fn replicated_service(
+        n: usize,
+        shards: u32,
+        replicas: u32,
+        cfg: ServiceConfig,
+    ) -> (Vec<Item>, QueryService<Item, ItemMetric>) {
+        let data = DatasetKind::Words.generate(n, 77);
+        let pool = DevicePool::rtx_2080_ti((shards * replicas) as usize);
+        let index = ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default()
+                .with_shards(shards)
+                .with_replicas(replicas),
+        )
+        .expect("build");
+        (
+            data.items,
+            QueryService::start_replicated(Arc::new(index), cfg),
+        )
+    }
+
     #[test]
     fn split_batch_groups_deterministically() {
         let (tx, _rx) = mpsc::sync_channel(1);
@@ -386,6 +514,7 @@ mod tests {
             panic!("knn ascending")
         };
         assert_eq!((g5.as_slice(), *k5), ([0usize, 3].as_slice(), 5));
+        assert_eq!(subs[2].indices(), &[0, 3]);
     }
 
     #[test]
@@ -435,9 +564,101 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.admitted, 8);
         assert_eq!(stats.completed, 8);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.lanes, 1);
+        assert_eq!(stats.lane_batches.iter().sum::<u64>(), stats.batches);
         assert!(stats.batches >= 2);
         assert_eq!(stats.queue_wait_us.count(), 8);
         assert!(stats.index.distance_computations > 0);
+    }
+
+    #[test]
+    fn two_lanes_answer_bit_identically_to_one() {
+        // Same requests through a 1-lane×1-replica and a 2-lane×2-replica
+        // service: every answer must match, and both lanes must have
+        // executed work.
+        let cfg = ServiceConfig::default()
+            .with_sizing(BatchSizing::Fixed(3))
+            .with_flush_deadline(Duration::from_millis(1));
+        let (items, _, base) = service(400, 2, cfg);
+        let (items2, wide) = replicated_service(400, 2, 2, cfg.with_lanes(2));
+        assert_eq!(items, items2);
+        assert_eq!(wide.num_lanes(), 2);
+        let submit = |svc: &QueryService<Item, ItemMetric>| {
+            let h = svc.handle();
+            let tickets: Vec<_> = (0..12)
+                .map(|i| {
+                    h.submit(Request::Knn {
+                        query: items[i * 7].clone(),
+                        k: 4,
+                    })
+                    .expect("admitted")
+                })
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().expect("answered").result.expect("ok"))
+                .collect::<Vec<_>>()
+        };
+        let want = submit(&base);
+        let got = submit(&wide);
+        assert_eq!(got, want, "lanes and replicas never change answers");
+        let stats = wide.shutdown();
+        assert_eq!(stats.lanes, 2);
+        assert_eq!(stats.lane_batches.len(), 2);
+        assert!(
+            stats.lane_batches.iter().all(|&b| b > 0),
+            "round-robin dealt batches to both lanes: {:?}",
+            stats.lane_batches
+        );
+        assert_eq!(stats.failed, 0);
+        base.shutdown();
+    }
+
+    #[test]
+    fn lanes_clamp_to_replica_count() {
+        let (_, svc) = replicated_service(
+            200,
+            1,
+            1,
+            ServiceConfig::default().with_lanes(4), // only 1 replica exists
+        );
+        assert_eq!(svc.num_lanes(), 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn malformed_sub_batch_is_typed_not_fatal() {
+        // Hand-build a contradictory sub-batch (a kNN request inside a
+        // Range sub): debug builds assert loudly; release builds degrade to
+        // the typed MalformedBatch error. Either way it cannot escape as an
+        // unclassified panic past the lane boundary.
+        let data = DatasetKind::Words.generate(120, 5);
+        let pool = DevicePool::rtx_2080_ti(1);
+        let index = Arc::new(ReplicatedShards::from_replicas(vec![Arc::new(
+            ShardedGts::build(&pool, data.items, data.metric, GtsParams::default()).expect("build"),
+        )]));
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let entries = vec![(
+            Request::Knn {
+                query: Item::text("q"),
+                k: 1,
+            },
+            tx,
+            0u64,
+        )];
+        let sub = SubBatch::Range(vec![0]);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_sub(index.as_ref(), &[], &entries, &sub)
+        }));
+        if cfg!(debug_assertions) {
+            assert!(outcome.is_err(), "debug builds assert on malformed subs");
+        } else {
+            assert_eq!(
+                outcome.expect("no panic in release"),
+                Err(ServiceError::MalformedBatch)
+            );
+        }
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! Service-level statistics: admission counters, flush-trigger breakdown,
-//! latency histograms, and the underlying index's search counters.
+//! latency histograms, lane/failure accounting, and the underlying index's
+//! search and replica counters.
 
-use gts_core::stats::{LatencyHistogram, StatsSnapshot};
+use gts_core::stats::{LatencyHistogram, ReplicaStats, StatsSnapshot};
 
 /// A point-in-time snapshot of everything the service has done.
 ///
 /// Latency is recorded into two [`LatencyHistogram`]s — host-side **queue
 /// wait** (microseconds from submission to batch flush) and simulated
 /// **batch span** (device cycles each executing sub-batch added to the
-/// sharded critical path) — and the underlying
-/// [`ShardedGts`](gts_core::ShardedGts) search counters are aggregated in
-/// as [`StatsSnapshot`], so one snapshot tells the whole serving story:
-/// admission → batching → device work.
+/// executing lane's replica critical path) — and the underlying
+/// [`ReplicatedShards`](gts_core::ReplicatedShards) search counters are
+/// aggregated in as [`StatsSnapshot`] plus [`ReplicaStats`], so one
+/// snapshot tells the whole serving story: admission → batching → lanes →
+/// replicas → device work.
 #[derive(Clone, Debug, Default)]
 pub struct ServiceStats {
     /// Requests accepted into the admission queue.
@@ -21,7 +23,8 @@ pub struct ServiceStats {
     /// Responses actually delivered to a waiting [`Ticket`](crate::Ticket).
     /// A fire-and-forget client that drops its ticket before the batch
     /// executes is *not* counted here, so `completed` can lawfully trail
-    /// `admitted` even with `rejected == 0`.
+    /// `admitted` even with `rejected == 0`. Counts error responses too:
+    /// every delivered response is a completion, never a hang.
     pub completed: u64,
     /// Batches flushed by the microbatcher.
     pub batches: u64,
@@ -35,18 +38,46 @@ pub struct ServiceStats {
     /// derived once at startup from the configured
     /// [`BatchSizing`](crate::BatchSizing).
     pub batch_target: usize,
+    /// Executor lanes running (after clamping the configured lane count to
+    /// the number of replicas).
+    pub lanes: usize,
+    /// Batches executed per lane (index = lane). The batcher deals flushed
+    /// batches round-robin, so these stay within one of each other.
+    pub lane_batches: Vec<u64>,
+    /// Requests answered with a typed error (`Err` responses delivered).
+    /// Always `<= completed`; a lost request would show up as
+    /// `completed < admitted` with live tickets, which never happens.
+    pub failed: u64,
+    /// Requests failed fast with
+    /// [`ServiceError::ShardUnavailable`](crate::ServiceError::ShardUnavailable)
+    /// because every replica of a shard was quarantined.
+    pub shard_unavailable: u64,
+    /// Panics caught at a lane boundary (beyond the replica layer's own
+    /// containment). The lane keeps draining afterwards.
+    pub lane_panics: u64,
+    /// Replica-layer retries after an injected device fault or metric panic.
+    pub retries: u64,
+    /// Device faults observed by the replica layer (transient + permanent).
+    pub device_faults: u64,
+    /// User-metric panics contained by the replica layer.
+    pub metric_panics: u64,
+    /// Batches answered via the degraded per-shard composition path
+    /// (mixing surviving shard copies across replicas).
+    pub degraded_calls: u64,
     /// Host microseconds requests spent queued, stamped at flush time.
     pub queue_wait_us: LatencyHistogram,
     /// Simulated span cycles per executed sub-batch (one sample per index
     /// call, weighted once — not per request).
     pub batch_span_cycles: LatencyHistogram,
-    /// Aggregated search counters of the underlying sharded index.
+    /// Aggregated search counters of the underlying replicated index.
     pub index: StatsSnapshot,
+    /// Replica-layer health/fault counters (per-replica strikes included).
+    pub replica: ReplicaStats,
 }
 
-/// The mutable half the executor updates as batches run (everything except
-/// the submit-side atomics and the index snapshot, which are folded in
-/// when a [`ServiceStats`] is taken).
+/// The mutable half the executor lanes update as batches run (everything
+/// except the submit-side atomics and the index snapshots, which are folded
+/// in when a [`ServiceStats`] is taken).
 #[derive(Debug, Default)]
 pub(crate) struct ExecutorStats {
     pub(crate) completed: u64,
@@ -54,6 +85,10 @@ pub(crate) struct ExecutorStats {
     pub(crate) size_flushes: u64,
     pub(crate) deadline_flushes: u64,
     pub(crate) shutdown_flushes: u64,
+    pub(crate) lane_batches: Vec<u64>,
+    pub(crate) failed: u64,
+    pub(crate) shard_unavailable: u64,
+    pub(crate) lane_panics: u64,
     pub(crate) queue_wait_us: LatencyHistogram,
     pub(crate) batch_span_cycles: LatencyHistogram,
 }

@@ -50,8 +50,8 @@ pub use metric_space as metric;
 /// Everything most programs need.
 pub mod prelude {
     pub use baselines::{Bst, Egnat, Ganns, GpuTable, GpuTree, LbpgTree, LinearScan, Mvpt};
-    pub use gpu_sim::{Device, DeviceConfig, DevicePool};
-    pub use gts_core::{CostModel, Gts, GtsParams, ShardedGts};
+    pub use gpu_sim::{Device, DeviceConfig, DevicePool, FaultKind, FaultPlan};
+    pub use gts_core::{CostModel, Gts, GtsParams, ReplicaError, ReplicatedShards, ShardedGts};
     pub use gts_service::{
         BatchSizing, FlushTrigger, LatencyBreakdown, QueryService, Request, Response,
         ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket,

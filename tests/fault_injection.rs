@@ -1,0 +1,341 @@
+//! Fault injection through the whole serving stack: seeded device faults
+//! and panicking user metrics against a replicated, multi-lane
+//! [`QueryService`]. The contract under chaos:
+//!
+//! * **zero lost or hung requests** — every admitted request gets exactly
+//!   one response (`completed == admitted`), errors included;
+//! * **exactness under faults** — every `Ok` answer is bit-identical to
+//!   the fault-free direct answer (replicas are exact copies, and the
+//!   degraded per-shard composition merges exactly);
+//! * **typed failure only for dead shards** — an `Err` response is
+//!   [`ServiceError::ShardUnavailable`] and only appears when some shard
+//!   really has lost every replica;
+//! * **liveness under panics** — a metric that panics deterministically
+//!   fails its own batch typed and the service keeps serving.
+
+use gts::metric::{BatchMetric, Metric};
+use gts::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic mixed request stream: ranges and two kNN shapes.
+fn request_sequence(items: &[Item], n: usize) -> Vec<Request<Item>> {
+    (0..n)
+        .map(|i| {
+            let q = items[(i * 13) % items.len()].clone();
+            match i % 3 {
+                0 => Request::Range {
+                    query: q,
+                    radius: 2.0,
+                },
+                1 => Request::Knn { query: q, k: 3 },
+                _ => Request::Knn { query: q, k: 6 },
+            }
+        })
+        .collect()
+}
+
+/// Fault-free reference answers from a plain sharded index (the exactness
+/// oracle: replication and lanes must never change an answer), one batched
+/// call per request shape.
+fn reference_answers(
+    index: &ShardedGts<Item, ItemMetric>,
+    reqs: &[Request<Item>],
+) -> Vec<Vec<Neighbor>> {
+    let mut out: Vec<Option<Vec<Neighbor>>> = vec![None; reqs.len()];
+    let mut range_idx = Vec::new();
+    let mut queries = Vec::new();
+    let mut radii = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        if let Request::Range { query, radius } = r {
+            range_idx.push(i);
+            queries.push(query.clone());
+            radii.push(*radius);
+        }
+    }
+    if !range_idx.is_empty() {
+        for (i, ans) in range_idx
+            .iter()
+            .zip(index.batch_range(&queries, &radii).expect("ref mrq"))
+        {
+            out[*i] = Some(ans);
+        }
+    }
+    for k in [3usize, 6] {
+        let mut knn_idx = Vec::new();
+        let mut queries = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            if let Request::Knn { query, k: rk } = r {
+                if *rk == k {
+                    knn_idx.push(i);
+                    queries.push(query.clone());
+                }
+            }
+        }
+        if !knn_idx.is_empty() {
+            for (i, ans) in knn_idx
+                .iter()
+                .zip(index.batch_knn(&queries, k).expect("ref knn"))
+            {
+                out[*i] = Some(ans);
+            }
+        }
+    }
+    out.into_iter().map(|a| a.expect("answered")).collect()
+}
+
+/// The chaos soak: `total` requests through a 2-shard × 2-replica service
+/// on 2 lanes while a seeded [`FaultPlan`] fires transient and permanent
+/// device faults mid-flight. Asserts the full contract above.
+fn chaos_soak(total: usize, transient: usize, permanent: usize, seed: u64) {
+    let data = DatasetKind::Words.generate(400, 2027);
+    // Fault-free oracle.
+    let clean = ShardedGts::build(
+        &DevicePool::rtx_2080_ti(2),
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(2),
+    )
+    .expect("build oracle");
+    let reqs = request_sequence(&data.items, total);
+    let want = reference_answers(&clean, &reqs);
+
+    // The system under chaos: 2 shards × 2 replicas on 4 devices, 2 lanes.
+    let pool = DevicePool::rtx_2080_ti(4);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_shards(2).with_replicas(2),
+        )
+        .expect("build replicated"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_queue_depth(2048)
+        .with_sizing(BatchSizing::Fixed(8))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(2);
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    assert_eq!(svc.num_lanes(), 2);
+
+    // Arm the seeded faults now — construction is done, so every fault
+    // fires during serving. `max_launch` keeps them early in the soak.
+    let plan = FaultPlan::seeded(seed, pool.len(), transient, permanent, 40);
+    plan.arm(&pool);
+
+    let h = svc.handle();
+    let mut tickets = Vec::with_capacity(total);
+    for r in &reqs {
+        loop {
+            match h.submit(r.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(ServiceError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+    }
+
+    let mut unavailable = 0u64;
+    for (i, t) in tickets.into_iter().enumerate() {
+        // `wait` returning at all is the no-hang half of the contract.
+        let r = t.wait().expect("every request is answered");
+        match r.result {
+            Ok(ans) => assert_eq!(ans, want[i], "request {i} answer drifted under faults"),
+            Err(ServiceError::ShardUnavailable { .. }) => unavailable += 1,
+            Err(e) => panic!("request {i}: only dead shards may fail, got {e}"),
+        }
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.admitted, total as u64, "zero lost at admission");
+    assert_eq!(stats.completed, total as u64, "every request answered");
+    assert_eq!(stats.queue_wait_us.count(), total as u64);
+    assert_eq!(
+        stats.failed, unavailable,
+        "errors are exactly the typed ones"
+    );
+    assert_eq!(stats.shard_unavailable, unavailable);
+    assert_eq!(stats.lane_panics, 0, "faults are typed, not lane panics");
+    if unavailable > 0 {
+        assert!(
+            stats.replica.dead_shards > 0,
+            "ShardUnavailable implies a shard truly lost every copy"
+        );
+    }
+    assert!(
+        stats.device_faults >= 1,
+        "the armed plan fired at least once (faults: {:?})",
+        plan.specs()
+    );
+    assert!(
+        stats.retries >= 1,
+        "a mid-batch fault forces at least one retry"
+    );
+    println!(
+        "chaos soak: {total} requests, {} device faults, {} retries, {} degraded, {} unavailable, lanes {:?}",
+        stats.device_faults, stats.retries, stats.degraded_calls, unavailable, stats.lane_batches,
+    );
+}
+
+#[test]
+fn chaos_soak_with_seeded_faults_stays_exact() {
+    chaos_soak(600, 3, 1, 0xFA_07);
+}
+
+/// The CI soak (release; run with `--include-ignored`): 10k requests under
+/// a heavier seeded fault load, including multiple permanent kills.
+#[test]
+#[ignore = "10k-request chaos soak; run in the CI fault job (release)"]
+fn chaos_soak_ten_thousand_requests() {
+    chaos_soak(10_000, 6, 2, 0xFA_17);
+}
+
+#[test]
+fn dead_shard_fails_fast_and_typed_through_the_service() {
+    let data = DatasetKind::Words.generate(300, 99);
+    let pool = DevicePool::rtx_2080_ti(4);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_shards(2).with_replicas(2),
+        )
+        .expect("build"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(4))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(2);
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    // Kill BOTH copies of shard 1: replica 0's device 1 and replica 1's
+    // device 3 (replica-major placement).
+    pool.get(1).quarantine();
+    pool.get(3).quarantine();
+
+    let h = svc.handle();
+    let tickets: Vec<Ticket> = (0..8)
+        .map(|i| {
+            h.submit(Request::Knn {
+                query: data.items[i].clone(),
+                k: 3,
+            })
+            .expect("admitted")
+        })
+        .collect();
+    for t in tickets {
+        let r = t.wait().expect("answered, not hung");
+        assert_eq!(
+            r.result.expect_err("shard 1 is gone"),
+            ServiceError::ShardUnavailable { shard: 1 },
+        );
+    }
+    // The service is still alive: it admits, executes, and answers (typed)
+    // after the failures — a dead shard degrades, it does not poison.
+    let late = h
+        .submit(Request::Knn {
+            query: data.items[0].clone(),
+            k: 3,
+        })
+        .expect("still admitting");
+    assert!(late.wait().expect("still answering").result.is_err());
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 9);
+    assert_eq!(stats.failed, 9);
+    assert_eq!(stats.shard_unavailable, 9);
+    assert_eq!(stats.replica.dead_shards, 1);
+}
+
+/// A metric that panics when it touches the poisoned query string —
+/// standing in for any misbehaving user metric (NaNs, assertions).
+#[derive(Clone, Copy)]
+struct PanicOnBoom;
+
+impl Metric<Item> for PanicOnBoom {
+    fn distance(&self, a: &Item, b: &Item) -> f64 {
+        let (Some(a), Some(b)) = (a.as_text(), b.as_text()) else {
+            panic!("text metric")
+        };
+        assert!(a != "boom" && b != "boom", "boom");
+        (a.len() as f64 - b.len() as f64).abs()
+    }
+    fn work(&self, _: &Item, _: &Item) -> u64 {
+        1
+    }
+    fn name(&self) -> &'static str {
+        "panic-on-boom"
+    }
+}
+impl BatchMetric<Item> for PanicOnBoom {}
+
+/// Regression: a panicking user metric used to poison the executor (the
+/// thread died, every later ticket disconnected). Now the panic is caught
+/// and typed, and the queue keeps draining.
+#[test]
+fn service_survives_a_panicking_metric() {
+    let items: Vec<Item> = (0..160).map(|i| Item::text("x".repeat(i % 30))).collect();
+    let pool = DevicePool::rtx_2080_ti(2);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            items.clone(),
+            PanicOnBoom,
+            GtsParams::default().with_shards(1).with_replicas(2),
+        )
+        .expect("build never sees the poison"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(1))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(2);
+    let svc = QueryService::start_replicated(index, cfg);
+    let h = svc.handle();
+
+    // The poisoned request fails typed — on every replica, so the batch
+    // exhausts its budget — without killing the lane that ran it.
+    let poisoned = h
+        .submit(Request::Knn {
+            query: Item::text("boom"),
+            k: 3,
+        })
+        .expect("admitted");
+    assert_eq!(
+        poisoned.wait().expect("answered, not hung").result,
+        Err(ServiceError::BatchPanicked),
+    );
+
+    // The service stays live: clean requests afterwards succeed on every
+    // lane (more requests than lanes guarantees both drained post-panic).
+    let clean: Vec<Ticket> = (0..6)
+        .map(|i| {
+            h.submit(Request::Knn {
+                query: items[i * 11].clone(),
+                k: 3,
+            })
+            .expect("still admitting")
+        })
+        .collect();
+    for t in clean {
+        let ans = t.wait().expect("still answering").result.expect("clean ok");
+        assert_eq!(ans.len(), 3);
+    }
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, 7, "poisoned + clean all answered");
+    assert_eq!(stats.failed, 1);
+    assert!(
+        stats.metric_panics >= 2,
+        "both replicas struck by the poison"
+    );
+    assert_eq!(stats.shard_unavailable, 0);
+    assert_eq!(
+        stats.replica.strikes.iter().sum::<u64>(),
+        stats.metric_panics,
+        "every contained panic is a strike"
+    );
+}
