@@ -1,0 +1,211 @@
+//! Mixed update/query workload through the online service — the serving
+//! analogue of the paper's Fig. 5 update experiment.
+//!
+//! The same request volume is pushed through a fresh 2-shard service at
+//! update fractions 0% (the query-only soak), 10%, and 30%. Updates arrive
+//! fig5-style, in bursts at the head of each 500-request cycle (an update
+//! phase followed by a query phase), ride the same admission queue as the
+//! queries, and cross the batcher's read/write barrier — so the figure of
+//! merit, **simulated span cycles**, prices everything the update path
+//! costs: the tombstone-scan kernels, cache-overflow rebuilds, and the
+//! query batches the kind barrier cuts short around each burst.
+//!
+//! The 10% row *asserts* the acceptance floor: mixed span-per-request must
+//! stay within 2× of the query-only soak, so CI enforces that streaming
+//! updates do not wreck serving throughput.
+//!
+//! Results print and land in `BENCH_mixed.json` at the workspace root
+//! (override with `GTS_BENCH_OUT`). Run with
+//! `cargo bench -p gts-bench --bench mixed_workload`.
+
+use gpu_sim::DevicePool;
+use gts_core::{GtsParams, ReplicatedShards, ShardedGts};
+use gts_service::{BatchSizing, QueryService, Reply, Request, ServiceConfig, ServiceError};
+use metric_space::{DatasetKind, Item, ItemMetric};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 2_000;
+const SHARDS: u32 = 2;
+const K: usize = 8;
+const REQUESTS: usize = 5_000;
+const CYCLE: usize = 500;
+
+/// Fig5-style stream: each `CYCLE`-request cycle opens with an update
+/// burst (`frac` of the cycle, alternating inserts and removes of already
+/// assigned ids) and closes with kNN queries.
+fn mixed_stream(items: &[Item], n: usize, frac: f64, seed: u64) -> Vec<Request<Item>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let burst = (CYCLE as f64 * frac).round() as usize;
+    let mut assigned = items.len() as u32;
+    (0..n)
+        .map(|i| {
+            if i % CYCLE < burst {
+                if i % 2 == 0 {
+                    let base = rng.gen_range(0..items.len());
+                    let object = metric_space::gen::perturb(
+                        &items[base],
+                        seed ^ (i as u64).wrapping_mul(613),
+                    );
+                    assigned += 1;
+                    Request::Insert { object }
+                } else {
+                    Request::Remove {
+                        id: rng.gen_range(0..assigned),
+                    }
+                }
+            } else {
+                Request::Knn {
+                    query: items[rng.gen_range(0..items.len())].clone(),
+                    k: K,
+                }
+            }
+        })
+        .collect()
+}
+
+struct RunResult {
+    span_cycles: u64,
+    total_cycles: u64,
+    batches: u64,
+    update_batches: u64,
+    updates_applied: u64,
+    epoch: u64,
+    wall_ms: f64,
+    completed: u64,
+}
+
+/// Drive one update fraction through a fresh service over a fresh index
+/// (updates mutate it, so runs never share state). Clocks are reset after
+/// construction so the reported cycles are the serving work alone.
+fn drive(items: &[Item], metric: ItemMetric, frac: f64, seed: u64) -> RunResult {
+    let pool = DevicePool::rtx_2080_ti(SHARDS as usize);
+    let sharded = ShardedGts::build(
+        &pool,
+        items.to_vec(),
+        metric,
+        GtsParams::default().with_shards(SHARDS),
+    )
+    .expect("sharded build");
+    let index = Arc::new(ReplicatedShards::from_replicas(vec![sharded]));
+    let reqs = mixed_stream(items, REQUESTS, frac, seed);
+    index.pool().reset_clocks();
+    index.reset_stats();
+    let cfg = ServiceConfig::default()
+        .with_queue_depth(4096)
+        .with_sizing(BatchSizing::Fixed(256))
+        .with_flush_deadline(Duration::from_millis(1));
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    let h = svc.handle();
+    let wall = Instant::now();
+    let mut tickets = Vec::with_capacity(reqs.len());
+    for req in &reqs {
+        loop {
+            match h.submit(req.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(ServiceError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) => panic!("submit: {e}"),
+            }
+        }
+    }
+    for t in tickets {
+        let r = t.wait().expect("answered");
+        match r.result.expect("ok") {
+            Reply::Neighbors(ans) => assert_eq!(ans.len(), K),
+            Reply::Update(_) => {}
+        }
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, REQUESTS as u64, "nothing lost");
+    assert_eq!(stats.failed, 0);
+    assert_eq!(stats.epoch, stats.updates_applied, "epochs count updates");
+    RunResult {
+        span_cycles: index.span_cycles(),
+        total_cycles: index.pool().aggregate().cycles_total,
+        batches: stats.batches,
+        update_batches: stats.update_batches,
+        updates_applied: stats.updates_applied,
+        epoch: stats.epoch,
+        wall_ms,
+        completed: stats.completed,
+    }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let data = DatasetKind::Vector.generate(N, 4244);
+
+    let fractions = [0.0f64, 0.1, 0.3];
+    let runs: Vec<RunResult> = fractions
+        .iter()
+        .map(|&f| drive(&data.items, data.metric, f, 0x51_8E))
+        .collect();
+    let span_per_req = |r: &RunResult| r.span_cycles as f64 / r.completed as f64;
+    let baseline = span_per_req(&runs[0]);
+    for (f, r) in fractions.iter().zip(&runs) {
+        println!(
+            "mixed_workload/frac {:>4.0}%: span {:>12} cycles ({:.0}/req, {:.2}x query-only) | {:>4} batches ({} update) | {} updates applied, final epoch {} | {:>8.0} req/s wall",
+            f * 100.0,
+            r.span_cycles,
+            span_per_req(r),
+            span_per_req(r) / baseline,
+            r.batches,
+            r.update_batches,
+            r.updates_applied,
+            r.epoch,
+            r.completed as f64 / (r.wall_ms / 1e3),
+        );
+    }
+
+    // The acceptance floor: 10% updates must not cost more than 2× the
+    // query-only span per request.
+    let ratio_10 = span_per_req(&runs[1]) / baseline;
+    assert!(
+        ratio_10 <= 2.0,
+        "10% update fraction must stay within 2x of the query-only span, got {ratio_10:.2}x"
+    );
+
+    // -- JSON --------------------------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"requests\": {REQUESTS},");
+    let _ = writeln!(json, "  \"cycle\": {CYCLE},");
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    let _ = writeln!(json, "  \"fractions\": [");
+    for (i, (f, r)) in fractions.iter().zip(&runs).enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"update_fraction\": {f}, \"span_cycles\": {}, \"span_per_request\": {:.1}, \"span_ratio_vs_query_only\": {:.3}, \"total_cycles\": {}, \"batches\": {}, \"update_batches\": {}, \"updates_applied\": {}, \"final_epoch\": {}, \"wall_ms\": {:.2}, \"throughput_rps_wall\": {:.0}}}{}",
+            r.span_cycles,
+            span_per_req(r),
+            span_per_req(r) / baseline,
+            r.total_cycles,
+            r.batches,
+            r.update_batches,
+            r.updates_applied,
+            r.epoch,
+            r.wall_ms,
+            r.completed as f64 / (r.wall_ms / 1e3),
+            if i + 1 < fractions.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"span_ratio_10pct\": {ratio_10:.3}");
+    json.push_str("}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_mixed.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_mixed.json");
+    println!("wrote {out_path}");
+}

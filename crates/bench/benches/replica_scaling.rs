@@ -111,7 +111,7 @@ fn drive(
     }
     let answers: Vec<Vec<Neighbor>> = tickets
         .into_iter()
-        .map(|t| t.wait().expect("answered").result.expect("ok"))
+        .map(|t| t.wait().expect("answered").result.expect("ok").neighbors())
         .collect();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     let stats = svc.shutdown();

@@ -22,7 +22,7 @@
 //! `cargo bench -p gts-bench --bench service_throughput`.
 
 use gpu_sim::DevicePool;
-use gts_core::{GtsParams, ShardedGts};
+use gts_core::{GtsParams, ReplicatedShards, ShardedGts};
 use gts_service::{BatchSizing, QueryService, Request, ServiceConfig, ServiceError};
 use metric_space::{DatasetKind, Item, ItemMetric};
 use std::fmt::Write as _;
@@ -35,17 +35,19 @@ const K: usize = 8;
 const COMPARE_REQUESTS: usize = 10_000;
 const SWEEP_REQUESTS: usize = 2_000;
 
-fn build_index(items: &[Item], metric: ItemMetric) -> Arc<ShardedGts<Item, ItemMetric>> {
+/// One sharded index wrapped as a single replica: `drive` serves it many
+/// times in sequence (each run fences and releases it), so the bench owns
+/// a reusable `ReplicatedShards` rather than handing the index away.
+fn build_index(items: &[Item], metric: ItemMetric) -> Arc<ReplicatedShards<Item, ItemMetric>> {
     let pool = DevicePool::rtx_2080_ti(SHARDS as usize);
-    Arc::new(
-        ShardedGts::build(
-            &pool,
-            items.to_vec(),
-            metric,
-            GtsParams::default().with_shards(SHARDS),
-        )
-        .expect("sharded build"),
+    let sharded = ShardedGts::build(
+        &pool,
+        items.to_vec(),
+        metric,
+        GtsParams::default().with_shards(SHARDS),
     )
+    .expect("sharded build");
+    Arc::new(ReplicatedShards::from_replicas(vec![sharded]))
 }
 
 struct RunResult {
@@ -67,7 +69,7 @@ struct RunResult {
 /// backpressure. Clocks are reset before serving so the reported cycles are
 /// the serving work alone.
 fn drive(
-    index: &Arc<ShardedGts<Item, ItemMetric>>,
+    index: &Arc<ReplicatedShards<Item, ItemMetric>>,
     items: &[Item],
     requests: usize,
     cfg: ServiceConfig,
@@ -75,7 +77,7 @@ fn drive(
 ) -> RunResult {
     index.pool().reset_clocks();
     index.reset_stats();
-    let svc = QueryService::start(Arc::clone(index), cfg);
+    let svc = QueryService::start_replicated(Arc::clone(index), cfg);
     let h = svc.handle();
     let wall = Instant::now();
     let mut tickets = Vec::with_capacity(requests);
@@ -102,7 +104,7 @@ fn drive(
     }
     for t in tickets {
         let r = t.wait().expect("answered");
-        assert_eq!(r.result.expect("ok").len(), K);
+        assert_eq!(r.result.expect("ok").neighbors().len(), K);
     }
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
     let stats = svc.shutdown();

@@ -152,6 +152,35 @@ where
         Ok(())
     }
 
+    /// Host-only half of a batch update: tombstone `deletions` and append
+    /// `insertions` to the object store **without** touching the device.
+    /// Infallible and panic-free, so a caller can stage several shards and
+    /// only then run the (fallible, fault-prone) rebuilds — a panic mid
+    /// rebuild leaves every host store already complete. Returns how many
+    /// deletions flipped a live object to dead (invalid and duplicate ids
+    /// are skipped, matching [`Gts::batch_update`]'s semantics).
+    pub(crate) fn stage_update(&mut self, insertions: Vec<O>, deletions: &[u32]) -> usize {
+        let mut removed = 0usize;
+        for &d in deletions {
+            if let Some(live) = self.live.get_mut(d as usize) {
+                if *live {
+                    *live = false;
+                    removed += 1;
+                }
+            }
+        }
+        for obj in insertions {
+            self.objects.push(obj);
+            self.live.push(true);
+        }
+        removed
+    }
+
+    /// Whether object `id` exists and is live (not tombstoned).
+    pub(crate) fn is_live(&self, id: u32) -> bool {
+        self.live.get(id as usize).copied().unwrap_or(false)
+    }
+
     /// (Re)build the flat arena over the current object store. The arena is
     /// the device *layout* of the already-resident object payloads, not an
     /// extra copy, so it carries no separate reservation.
@@ -826,23 +855,19 @@ where
         *live = false;
         let bytes = self.objects[id as usize].size_bytes() as usize;
         if !self.cache.remove(id, bytes) {
-            self.dev.launch_charged(self.table.len() as u64, 8);
+            // Tombstone before the scan kernel launches: every host mutation
+            // precedes the only point an injected device fault can fire, so
+            // a faulted remove leaves the host state already complete and
+            // recovery needs no structural work.
             self.table.tombstone(id);
+            self.dev.launch_charged(self.table.len() as u64, 8);
         }
         Ok(true)
     }
 
     /// Batch update (§4.4): apply all changes, then reconstruct once.
     fn batch_update(&mut self, insertions: Vec<O>, deletions: &[u32]) -> Result<(), IndexError> {
-        for &d in deletions {
-            if let Some(live) = self.live.get_mut(d as usize) {
-                *live = false;
-            }
-        }
-        for obj in insertions {
-            self.objects.push(obj);
-            self.live.push(true);
-        }
+        self.stage_update(insertions, deletions);
         self.rebuild()
     }
 }

@@ -78,5 +78,5 @@ pub use memo::PairMemo;
 pub use multi::MultiGts;
 pub use params::GtsParams;
 pub use replica::{ReplicaError, ReplicatedShards};
-pub use shard::ShardedGts;
+pub use shard::{Applied, ShardedGts, UpdateOp};
 pub use stats::{LatencyHistogram, ReplicaStats, SearchStats, StatsSnapshot};

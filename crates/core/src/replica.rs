@@ -40,7 +40,7 @@
 //! deterministically poisoned query cannot brick a shard at R = 1.
 
 use crate::params::GtsParams;
-use crate::shard::{kway_merge, scoped_map, ShardedGts};
+use crate::shard::{kway_merge, scoped_map, Applied, ShardedGts, UpdateOp};
 use crate::stats::{ReplicaStats, StatsSnapshot};
 use gpu_sim::fault::{DeviceFault, FaultKind};
 use gpu_sim::DevicePool;
@@ -49,7 +49,7 @@ use metric_space::{BatchMetric, Footprint};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Extra attempts beyond one-per-replica: lets a transient fault retry its
 /// own (still healthy) replica without an unbounded loop.
@@ -126,7 +126,11 @@ fn classify<T>(f: impl FnOnce() -> T) -> Caught<T> {
 /// R identical [`ShardedGts`] replicas on disjoint device sets, with
 /// health-aware selection, bounded retry, and per-shard degradation.
 pub struct ReplicatedShards<O, M> {
-    replicas: Vec<Arc<ShardedGts<O, M>>>,
+    /// Each replica behind its own lock: queries take shared read guards,
+    /// serialized updates ([`ReplicatedShards::apply_preferring`]) take the
+    /// write guard per replica — readers of a replica mid-update simply wait
+    /// and are then served the *new* epoch (never a half-applied one).
+    replicas: Vec<RwLock<ShardedGts<O, M>>>,
     /// Soft-health strikes per replica (panic history; deprioritizes).
     strikes: Vec<AtomicU64>,
     /// All devices across replicas (replica-major), for pool-wide spans.
@@ -136,6 +140,63 @@ pub struct ReplicatedShards<O, M> {
     device_faults: AtomicU64,
     metric_panics: AtomicU64,
     degraded_calls: AtomicU64,
+}
+
+impl<O, M> ReplicatedShards<O, M> {
+    /// Shared read guard for replica `r`. Lock poisoning is ignored: a
+    /// panicking batch is already caught and classified by the retry
+    /// machinery, and the crash-consistency protocol keeps the index
+    /// coherent across an unwound update (see [`ShardedGts::repair`]).
+    fn rlock(&self, r: usize) -> RwLockReadGuard<'_, ShardedGts<O, M>> {
+        self.replicas[r]
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Exclusive write guard for replica `r` (same poisoning policy).
+    fn wlock(&self, r: usize) -> RwLockWriteGuard<'_, ShardedGts<O, M>> {
+        self.replicas[r]
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Fence every replica against *direct* mutation: while fenced, calling
+    /// `insert`/`remove`/`batch_update` on a [`ShardedGts`] returns
+    /// [`IndexError::Unsupported`]. The query service fences the index it
+    /// serves so out-of-band writes cannot race its admission order; updates
+    /// applied through [`ReplicatedShards::apply_preferring`] bypass the
+    /// fence because they *are* the serialized order.
+    pub fn fence_all(&self) {
+        for r in 0..self.replicas.len() {
+            self.wlock(r).fence();
+        }
+    }
+
+    /// Release the direct-mutation fence on every replica (service
+    /// shutdown hands the index back to the caller).
+    pub fn release_all(&self) {
+        for r in 0..self.replicas.len() {
+            self.wlock(r).release_fence();
+        }
+    }
+
+    /// Update epoch of the given replicas (all when empty): the **max**
+    /// across the set, so a replica lagging behind after a permanent device
+    /// loss does not hide progress — reads route around it, and healthy
+    /// preferred replicas all agree by deterministic apply order.
+    pub fn epoch_of(&self, prefer: &[usize]) -> u64 {
+        let all: Vec<usize>;
+        let set: &[usize] = if prefer.is_empty() {
+            all = (0..self.replicas.len()).collect();
+            &all
+        } else {
+            prefer
+        };
+        set.iter()
+            .map(|&r| self.rlock(r).epoch())
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 impl<O, M> ReplicatedShards<O, M>
@@ -164,16 +225,16 @@ where
         );
         // Build replicas sequentially (each build already parallelises
         // across its shards); deterministic placement r·S + s.
-        let mut built: Vec<Arc<ShardedGts<O, M>>> = Vec::with_capacity(replicas);
+        let mut built: Vec<ShardedGts<O, M>> = Vec::with_capacity(replicas);
         for r in 0..replicas {
             let sub =
                 DevicePool::from_devices(pool.devices()[r * shards..(r + 1) * shards].to_vec());
-            built.push(Arc::new(ShardedGts::build(
+            built.push(ShardedGts::build(
                 &sub,
                 objects.clone(),
                 metric.clone(),
                 params,
-            )?));
+            )?);
         }
         #[cfg(debug_assertions)]
         {
@@ -191,15 +252,18 @@ where
 
     /// Wrap existing replicas (e.g. a single [`ShardedGts`] as R = 1, the
     /// service's compatibility path). All replicas must have the same shard
-    /// count and length; the caller vouches they hold identical data.
-    pub fn from_replicas(replicas: Vec<Arc<ShardedGts<O, M>>>) -> Self {
+    /// count and length; the caller vouches they hold identical data. Takes
+    /// the indexes by value — once wrapped, mutation flows through
+    /// [`ReplicatedShards::apply_preferring`] (or the per-replica locks),
+    /// never through a retained outside handle.
+    pub fn from_replicas(replicas: Vec<ShardedGts<O, M>>) -> Self {
         assert!(!replicas.is_empty(), "need at least one replica");
         let shards = replicas[0].num_shards();
         for rep in &replicas[1..] {
             assert_eq!(rep.num_shards(), shards, "replicas must share topology");
             assert_eq!(
-                metric_space::index::SimilarityIndex::len(rep.as_ref()),
-                metric_space::index::SimilarityIndex::len(replicas[0].as_ref()),
+                metric_space::index::SimilarityIndex::len(rep),
+                metric_space::index::SimilarityIndex::len(&replicas[0]),
                 "replicas must hold the same objects"
             );
         }
@@ -212,7 +276,7 @@ where
             strikes,
             pool: DevicePool::from_devices(devices),
             shards,
-            replicas,
+            replicas: replicas.into_iter().map(RwLock::new).collect(),
             retries: AtomicU64::new(0),
             device_faults: AtomicU64::new(0),
             metric_panics: AtomicU64::new(0),
@@ -232,8 +296,11 @@ where
         self.shards
     }
 
-    /// Replica `r`'s sharded index (e.g. for stats or direct comparison).
-    pub fn replica(&self, r: usize) -> &Arc<ShardedGts<O, M>> {
+    /// Replica `r`'s sharded index behind its lock (e.g. for stats,
+    /// snapshots, or direct comparison — `replica(r).read()`). While a
+    /// query service owns this set the index is fenced, so a write guard
+    /// taken here can observe but not mutate it.
+    pub fn replica(&self, r: usize) -> &RwLock<ShardedGts<O, M>> {
         &self.replicas[r]
     }
 
@@ -245,7 +312,7 @@ where
 
     /// Objects indexed (any replica; they are identical).
     pub fn len(&self) -> usize {
-        metric_space::index::SimilarityIndex::len(self.replicas[0].as_ref())
+        metric_space::index::SimilarityIndex::len(&*self.rlock(0))
     }
 
     /// True when no objects are indexed (never, by construction).
@@ -253,19 +320,22 @@ where
         self.len() == 0
     }
 
+    /// Devices of replica `r` (a replica-major slice of the flat pool —
+    /// the device `Arc`s are shared with the replica's own sub-pool, so no
+    /// lock is needed to read health or clocks).
+    fn replica_devices(&self, r: usize) -> &[std::sync::Arc<gpu_sim::Device>] {
+        &self.pool.devices()[r * self.shards..(r + 1) * self.shards]
+    }
+
     /// True when every device of replica `r` is healthy (the whole-replica
     /// fast path requires all shards of one replica).
     pub fn replica_fully_healthy(&self, r: usize) -> bool {
-        self.replicas[r]
-            .pool()
-            .devices()
-            .iter()
-            .all(|d| d.is_healthy())
+        self.replica_devices(r).iter().all(|d| d.is_healthy())
     }
 
     /// True when replica `r`'s copy of shard `s` sits on a healthy device.
     pub fn shard_copy_healthy(&self, r: usize, s: usize) -> bool {
-        self.replicas[r].pool().get(s).is_healthy()
+        self.pool.get(r * self.shards + s).is_healthy()
     }
 
     /// True when at least one replica still holds a healthy copy of shard
@@ -298,16 +368,15 @@ where
     /// Aggregate search counters across replicas (sums; R = 1 equals the
     /// wrapped index's own stats).
     pub fn stats(&self) -> StatsSnapshot {
-        self.replicas
-            .iter()
-            .map(|r| r.stats())
+        (0..self.replicas.len())
+            .map(|r| self.rlock(r).stats())
             .fold(StatsSnapshot::default(), StatsSnapshot::combine)
     }
 
     /// Reset search counters on every replica.
     pub fn reset_stats(&self) {
-        for r in &self.replicas {
-            r.reset_stats();
+        for r in 0..self.replicas.len() {
+            self.rlock(r).reset_stats();
         }
     }
 
@@ -325,7 +394,7 @@ where
         }
         replicas
             .iter()
-            .flat_map(|&r| self.replicas[r].pool().devices())
+            .flat_map(|&r| self.replica_devices(r))
             .map(|d| d.cycles())
             .max()
             .unwrap_or(0)
@@ -335,7 +404,7 @@ where
     /// so its cost model speaks for all; sampling kernels charge replica
     /// 0's devices).
     pub fn max_batch_queries(&self, radius: f64, samples: usize, seed: u64) -> usize {
-        self.replicas[0].max_batch_queries(radius, samples, seed)
+        self.rlock(0).max_batch_queries(radius, samples, seed)
     }
 
     // -- selection ----------------------------------------------------------
@@ -343,9 +412,7 @@ where
     /// Current load of replica `r`: the max simulated clock across its
     /// devices (a batch occupies the whole replica).
     fn replica_load(&self, r: usize) -> u64 {
-        self.replicas[r]
-            .pool()
-            .devices()
+        self.replica_devices(r)
             .iter()
             .map(|d| d.cycles())
             .max()
@@ -442,6 +509,94 @@ where
             .collect())
     }
 
+    // -- update path --------------------------------------------------------
+
+    /// Apply one serialized update to **every** replica of the preferred
+    /// set (all replicas when empty), in replica order, each under its
+    /// write lock. Unlike queries — which any one replica can answer —
+    /// updates must reach every copy, and in the *same order on each*, so
+    /// identical replicas stay identical and converge to the same epoch.
+    ///
+    /// Fault handling per replica: an injected [`DeviceFault`] (or a
+    /// panicking user metric) unwinding out of
+    /// [`apply`](ShardedGts::apply) leaves the host state fully mutated
+    /// and a receipt staged; the deterministic
+    /// [`repair`](ShardedGts::repair) is then driven to completion within
+    /// the `1 + EXTRA_ATTEMPTS` budget (each attempt counted as a retry).
+    /// A replica whose budget is exhausted — only possible under a
+    /// *permanent* device loss — is left at its previous epoch; reads
+    /// already route around it via the health filters, and
+    /// [`ReplicatedShards::epoch_of`] takes the max so the lag is not
+    /// observable through the service.
+    ///
+    /// Returns the receipt of the last replica that completed (replicas
+    /// apply deterministically, so all completed receipts are identical),
+    /// or the first error in replica order.
+    pub fn apply_preferring(
+        &self,
+        prefer: &[usize],
+        op: &UpdateOp<O>,
+    ) -> Result<Applied, ReplicaError> {
+        let all: Vec<usize>;
+        let targets: &[usize] = if prefer.is_empty() {
+            all = (0..self.replicas.len()).collect();
+            &all
+        } else {
+            prefer
+        };
+        let mut last_ok: Option<Applied> = None;
+        let mut first_err: Option<ReplicaError> = None;
+        for &r in targets {
+            let mut rep = self.wlock(r);
+            let mut outcome: Option<Result<Applied, IndexError>> = None;
+            match classify(|| rep.apply(op)) {
+                Caught::Done(res) => outcome = Some(res),
+                Caught::Fault(_) => {
+                    self.device_faults.fetch_add(1, Ordering::Relaxed);
+                }
+                Caught::Panic => {
+                    self.metric_panics.fetch_add(1, Ordering::Relaxed);
+                    self.strikes[r].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A fault mid-apply: drive the staged repair to completion,
+            // retrying when the repair itself is struck again.
+            if outcome.is_none() {
+                for _ in 0..=EXTRA_ATTEMPTS {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    match classify(|| rep.repair(op)) {
+                        Caught::Done(res) => {
+                            outcome = Some(res);
+                            break;
+                        }
+                        Caught::Fault(_) => {
+                            self.device_faults.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Caught::Panic => {
+                            self.metric_panics.fetch_add(1, Ordering::Relaxed);
+                            self.strikes[r].fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+            match outcome {
+                Some(Ok(applied)) => last_ok = Some(applied),
+                Some(Err(e)) => {
+                    first_err.get_or_insert(ReplicaError::Index(e));
+                }
+                None => {
+                    first_err.get_or_insert(ReplicaError::AllReplicasFailed { shard: u32::MAX });
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(last_ok.expect("targets is never empty")),
+        }
+    }
+
+    // -- retry machinery ----------------------------------------------------
+
     /// The whole-replica fast path: route the batch to one fully-healthy
     /// replica, retrying on fault/panic within the attempt budget. Returns
     /// `None` when no fully-healthy candidate remains (degrade), `Some`
@@ -467,7 +622,7 @@ where
                 self.retries.fetch_add(1, Ordering::Relaxed);
             }
             first_attempt = false;
-            match classify(|| call(&self.replicas[r])) {
+            match classify(|| call(&self.rlock(r))) {
                 Caught::Done(res) => return Some(res.map_err(ReplicaError::Index)),
                 Caught::Fault(kind) => {
                     self.device_faults.fetch_add(1, Ordering::Relaxed);
@@ -519,7 +674,7 @@ where
                         self.retries.fetch_add(1, Ordering::Relaxed);
                     }
                     first_attempt = false;
-                    match classify(|| call(&self.replicas[r], s)) {
+                    match classify(|| call(&self.rlock(r), s)) {
                         Caught::Done(res) => return res.map_err(ReplicaError::Index),
                         Caught::Fault(_) => {
                             self.device_faults.fetch_add(1, Ordering::Relaxed);
@@ -746,7 +901,88 @@ mod tests {
         // Sizing is deterministic and delegates to replica 0.
         assert_eq!(
             idx.max_batch_queries(2.0, 64, 7),
-            idx.replica(0).max_batch_queries(2.0, 64, 7)
+            idx.replica(0).read().unwrap().max_batch_queries(2.0, 64, 7)
+        );
+    }
+
+    #[test]
+    fn apply_reaches_every_replica_and_converges_epochs() {
+        let (items, _, idx) = replicated(200, 2, 2);
+        assert_eq!(idx.epoch_of(&[]), 0);
+        let ack = idx
+            .apply_preferring(&[], &UpdateOp::Insert(Item::text("fresh")))
+            .expect("insert");
+        assert_eq!(ack.epoch, 1);
+        assert_eq!(ack.assigned, vec![200]);
+        let ack = idx
+            .apply_preferring(&[], &UpdateOp::Remove(3))
+            .expect("remove");
+        assert_eq!(ack.epoch, 2);
+        assert_eq!(ack.removed, 1);
+        // Both replicas applied both updates in the same order: identical
+        // epochs, identical snapshots, identical answers.
+        for r in 0..2 {
+            assert_eq!(idx.replica(r).read().unwrap().epoch(), 2);
+        }
+        assert_eq!(
+            idx.replica(0).read().unwrap().snapshot(),
+            idx.replica(1).read().unwrap().snapshot(),
+        );
+        let queries: Vec<Item> = items[..4].to_vec();
+        let a = idx.batch_knn_preferring(&[0], &queries, 4).expect("knn");
+        let b = idx.batch_knn_preferring(&[1], &queries, 4).expect("knn");
+        assert_eq!(a, b, "replicas answer identically after updates");
+        assert_eq!(idx.epoch_of(&[0]), idx.epoch_of(&[1]));
+    }
+
+    #[test]
+    fn fence_rejects_direct_mutation_but_not_serialized_applies() {
+        use metric_space::index::DynamicIndex;
+        let (_, _, idx) = replicated(120, 1, 2);
+        idx.fence_all();
+        let err = idx
+            .replica(0)
+            .write()
+            .unwrap()
+            .insert(Item::text("smuggled"))
+            .expect_err("fenced index rejects direct mutation");
+        assert!(matches!(err, IndexError::Unsupported(_)));
+        // The serialized path bypasses the fence — it IS the apply order.
+        idx.apply_preferring(&[], &UpdateOp::Insert(Item::text("routed")))
+            .expect("serialized apply works while fenced");
+        assert_eq!(idx.epoch_of(&[]), 1);
+        idx.release_all();
+        idx.replica(0)
+            .write()
+            .unwrap()
+            .insert(Item::text("direct"))
+            .expect("released fence allows direct mutation again");
+    }
+
+    #[test]
+    fn transient_fault_during_apply_repairs_and_stays_converged() {
+        let (_, pool, idx) = replicated(200, 2, 2);
+        // Strike replica 1's shard-0 device on its next kernel: the apply
+        // broadcast hits replica 0 first (clean), then replica 1 faults on
+        // the tombstone scan kernel mid-apply and must repair. (A remove, not
+        // an insert: a non-overflowing insert launches no kernel at all.)
+        FaultPlan::new()
+            .fail_device(2, 1, gpu_sim::FaultKind::Transient)
+            .arm(&pool);
+        let ack = idx
+            .apply_preferring(&[], &UpdateOp::Remove(0))
+            .expect("remove repaired");
+        assert_eq!(ack.epoch, 1);
+        assert_eq!(ack.removed, 1);
+        let rs = idx.replica_stats();
+        assert!(rs.device_faults >= 1, "the fault fired");
+        assert!(rs.retries >= 1, "repair counted as a retry");
+        assert_eq!(idx.replica(0).read().unwrap().epoch(), 1);
+        assert_eq!(idx.replica(1).read().unwrap().epoch(), 1);
+        assert_eq!(
+            idx.replica(0).read().unwrap().snapshot(),
+            idx.replica(1).read().unwrap().snapshot(),
+            "repaired replica is bit-identical to the clean one"
         );
     }
 }

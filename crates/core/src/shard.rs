@@ -51,8 +51,43 @@ use gpu_sim::DevicePool;
 use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::{BatchMetric, Footprint, PartitionStrategy, Partitioner};
 
-/// Magic + version tag of the sharded snapshot envelope.
-const SHARD_MAGIC: &[u8; 4] = b"GTSH";
+/// Magic + version tag of the sharded snapshot envelope. `GTSI` added the
+/// update epoch to the envelope; `GTSH` snapshots (pre-epoch) are rejected.
+const SHARD_MAGIC: &[u8; 4] = b"GTSI";
+
+/// One serialized update, the unit the epoch counter advances by: applying
+/// an `UpdateOp` to two identical indexes in the same order keeps them
+/// identical (same snapshot bytes, same epoch) — the invariant replicated
+/// serving relies on.
+#[derive(Clone, Debug)]
+pub enum UpdateOp<O> {
+    /// Insert one object; it receives the next global id.
+    Insert(O),
+    /// Remove the object with this global id (a no-op — but still an
+    /// epoch-advancing one — when the id is unknown or already removed).
+    Remove(u32),
+    /// Batched insertions + deletions applied together, rebuilding every
+    /// affected shard once (paper §4.4).
+    Batch {
+        /// Objects to insert, assigned consecutive global ids.
+        insertions: Vec<O>,
+        /// Global ids to tombstone (unknown/dead ids are skipped).
+        deletions: Vec<u32>,
+    },
+}
+
+/// Receipt for one applied [`UpdateOp`]: deterministic across replicas, so
+/// any replica's receipt can answer the client.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Applied {
+    /// The epoch the index reached by applying this op (monotone; one op =
+    /// one epoch).
+    pub epoch: u64,
+    /// Global ids assigned to the op's insertions, in insertion order.
+    pub assigned: Vec<u32>,
+    /// How many deletions flipped a live object to dead.
+    pub removed: usize,
+}
 
 /// One shard: a complete [`Gts`] over a partition of the dataset, plus the
 /// monotone local→global id mapping.
@@ -108,6 +143,53 @@ pub struct ShardedGts<O, M> {
     shards: Vec<Shard<O, M>>,
     /// Total objects ever inserted (the global id counter).
     global_len: usize,
+    /// Monotone update epoch: advanced by exactly one per applied
+    /// [`UpdateOp`]; persisted by snapshots and resumed on restore.
+    epoch: u64,
+    /// Receipt staged by [`ShardedGts::apply`] before its device phase;
+    /// consumed on success or by [`ShardedGts::repair`] after a fault.
+    pending: Option<Applied>,
+    /// While fenced (a running service owns this index), the
+    /// [`DynamicIndex`] mutation surface is rejected — out-of-band updates
+    /// would race the service's serialized apply order.
+    fenced: bool,
+}
+
+impl<O, M> ShardedGts<O, M> {
+    /// The update epoch: how many [`UpdateOp`]s this index has applied
+    /// (including via the [`DynamicIndex`] surface). Two replicas that
+    /// applied the same ops in the same order report the same epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Reject out-of-band [`DynamicIndex`] mutation until
+    /// [`ShardedGts::release_fence`]; a running query service fences every
+    /// index it serves so all updates flow through its admission queue in
+    /// one serialized order.
+    pub fn fence(&mut self) {
+        self.fenced = true;
+    }
+
+    /// Allow direct [`DynamicIndex`] mutation again (service shut down).
+    pub fn release_fence(&mut self) {
+        self.fenced = false;
+    }
+
+    /// Whether the [`DynamicIndex`] mutation surface is currently fenced.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    fn ensure_unfenced(&self) -> Result<(), IndexError> {
+        if self.fenced {
+            return Err(IndexError::Unsupported(
+                "index is fenced by a running query service; submit updates \
+                 through the service instead of mutating the index directly",
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Map `f` over owned work items, one scoped host thread per item (inline
@@ -256,6 +338,9 @@ where
             partitioner,
             shards: shard_vec,
             global_len,
+            epoch: 0,
+            pending: None,
+            fenced: false,
         })
     }
 
@@ -508,6 +593,7 @@ where
         w.u32(self.partitioner.shards());
         w.u8(self.partitioner.strategy().tag());
         w.u64(self.global_len as u64);
+        w.u64(self.epoch);
         for shard in &self.shards {
             let inner = shard.gts.snapshot();
             w.u64(inner.len() as u64);
@@ -538,6 +624,7 @@ where
         let strategy = PartitionStrategy::from_tag(r.u8()?)
             .ok_or(IndexError::Unsupported("unknown partition strategy"))?;
         let global_len = r.u64()? as usize;
+        let epoch = r.u64()?;
         if global_len != objects.len() {
             return Err(IndexError::Unsupported(
                 "sharded snapshot object count does not match the provided store",
@@ -584,7 +671,203 @@ where
             partitioner,
             shards: shard_vec,
             global_len,
+            // Restore resumes the update epoch, so a restored index keeps
+            // stamping responses exactly where the snapshotted one left off.
+            epoch,
+            pending: None,
+            fenced: false,
         })
+    }
+
+    // -- serialized updates -------------------------------------------------
+
+    /// Apply one [`UpdateOp`], advancing the epoch by exactly one. This is
+    /// the serialization point of streaming updates: two identical indexes
+    /// applying the same ops in the same order stay bit-identical (same
+    /// answers, same snapshot, same epoch), which is what lets replicas and
+    /// a single-device oracle agree.
+    ///
+    /// Crash consistency: all host mutations (object stores, id mappings,
+    /// tombstones, the staged [`Applied`] receipt) complete before any
+    /// device kernel can fire an injected fault. A fault therefore leaves
+    /// the host state complete but the epoch un-advanced and possibly a
+    /// shard structure stale — exactly what [`ShardedGts::repair`] finishes.
+    ///
+    /// A typed `Err` (e.g. device OOM during a rebuild) still advances the
+    /// epoch: such errors are deterministic given identical replicas, so
+    /// counting the op keeps replica epochs converged.
+    pub fn apply(&mut self, op: &UpdateOp<O>) -> Result<Applied, IndexError> {
+        let mut result: Result<(), IndexError> = Ok(());
+        match op {
+            UpdateOp::Insert(obj) => {
+                let gid = self.global_len as u32;
+                let s = self.partitioner.shard_of(gid) as usize;
+                let shard = &mut self.shards[s];
+                // Record the mapping before the fallible insert (same
+                // reasoning as the DynamicIndex path): the inner store
+                // grows before its only fault point, the overflow rebuild.
+                shard.global_ids.push(gid);
+                self.global_len += 1;
+                self.pending = Some(Applied {
+                    epoch: self.epoch + 1,
+                    assigned: vec![gid],
+                    removed: 0,
+                });
+                result = shard.gts.insert(obj.clone()).map(|_| ());
+            }
+            UpdateOp::Remove(id) => {
+                if (*id as usize) < self.global_len {
+                    let s = self.partitioner.shard_of(*id) as usize;
+                    let shard = &mut self.shards[s];
+                    let local = shard
+                        .global_ids
+                        .binary_search(id)
+                        .expect("every assigned id is present in its shard");
+                    // The receipt is staged from the pre-remove live state,
+                    // before the tombstone scan kernel can fault.
+                    self.pending = Some(Applied {
+                        epoch: self.epoch + 1,
+                        assigned: Vec::new(),
+                        removed: usize::from(shard.gts.is_live(local as u32)),
+                    });
+                    result = shard.gts.remove(local as u32).map(|_| ());
+                } else {
+                    self.pending = Some(Applied {
+                        epoch: self.epoch + 1,
+                        assigned: Vec::new(),
+                        removed: 0,
+                    });
+                }
+            }
+            UpdateOp::Batch {
+                insertions,
+                deletions,
+            } => {
+                let s = self.shards.len();
+                let mut per_ins: Vec<Vec<O>> = (0..s).map(|_| Vec::new()).collect();
+                let mut per_del: Vec<Vec<u32>> = (0..s).map(|_| Vec::new()).collect();
+                let mut assigned = Vec::with_capacity(insertions.len());
+                for obj in insertions {
+                    let gid = self.global_len as u32;
+                    let shard = self.partitioner.shard_of(gid) as usize;
+                    per_ins[shard].push(obj.clone());
+                    self.shards[shard].global_ids.push(gid);
+                    self.global_len += 1;
+                    assigned.push(gid);
+                }
+                for &d in deletions {
+                    if (d as usize) < self.global_len {
+                        let shard = self.partitioner.shard_of(d) as usize;
+                        let local = self.shards[shard]
+                            .global_ids
+                            .binary_search(&d)
+                            .expect("every assigned id is present in its shard");
+                        per_del[shard].push(local as u32);
+                    }
+                }
+                // Stage every shard's host mutations first (infallible, no
+                // device work), then rebuild the affected shards. A panic
+                // mid-rebuild leaves all host stores complete; repair just
+                // re-runs the deterministic rebuilds.
+                let mut removed = 0usize;
+                let mut affected = vec![false; s];
+                for (i, (ins, del)) in per_ins.into_iter().zip(&per_del).enumerate() {
+                    if !ins.is_empty() || !del.is_empty() {
+                        removed += self.shards[i].gts.stage_update(ins, del);
+                        affected[i] = true;
+                    }
+                }
+                self.pending = Some(Applied {
+                    epoch: self.epoch + 1,
+                    assigned,
+                    removed,
+                });
+                let mut first_err = None;
+                for (i, shard) in self.shards.iter_mut().enumerate() {
+                    if affected[i] {
+                        if let Err(e) = shard.gts.rebuild() {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    result = Err(e);
+                }
+            }
+        }
+        self.epoch += 1;
+        let applied = self.pending.take().expect("receipt staged above");
+        result.map(|_| applied)
+    }
+
+    /// Finish an [`ShardedGts::apply`] that panicked mid-device-phase (an
+    /// injected [`DeviceFault`](gpu_sim::fault::DeviceFault) during a
+    /// rebuild or tombstone scan). The host state is already complete —
+    /// `apply` stages every host mutation before its first kernel — so
+    /// repair only re-runs the structural work the op still deterministically
+    /// requires, advances the epoch, and returns the staged receipt:
+    ///
+    /// * `Insert` — rebuild the owning shard iff its cache still exceeds
+    ///   capacity (the §4.4 overflow condition persists across a faulted
+    ///   rebuild, and is the same condition an un-faulted replica evaluated,
+    ///   so both rebuild exactly once and converge bit-identically);
+    /// * `Remove` — nothing structural (the tombstone precedes the scan
+    ///   kernel);
+    /// * `Batch` — rebuild every affected shard (a shard that already
+    ///   rebuilt before the fault rebuilds again; reconstruction is a pure
+    ///   function of the object store, so the result is identical).
+    ///
+    /// Errors with [`IndexError::Unsupported`] when no failed apply is
+    /// pending.
+    pub fn repair(&mut self, op: &UpdateOp<O>) -> Result<Applied, IndexError> {
+        // Peek (don't consume) the receipt: a repair that faults again must
+        // leave it staged for the next repair attempt.
+        if self.pending.is_none() {
+            return Err(IndexError::Unsupported(
+                "no faulted update is pending repair",
+            ));
+        }
+        let mut result: Result<(), IndexError> = Ok(());
+        match op {
+            UpdateOp::Insert(_) => {
+                let gid = (self.global_len - 1) as u32;
+                let s = self.partitioner.shard_of(gid) as usize;
+                let gts = &mut self.shards[s].gts;
+                if gts.cache_bytes() > gts.cache_capacity() {
+                    result = gts.rebuild();
+                }
+            }
+            UpdateOp::Remove(_) => {}
+            UpdateOp::Batch {
+                insertions,
+                deletions,
+            } => {
+                let mut affected = vec![false; self.shards.len()];
+                let first_gid = self.global_len - insertions.len();
+                for gid in first_gid..self.global_len {
+                    affected[self.partitioner.shard_of(gid as u32) as usize] = true;
+                }
+                for &d in deletions {
+                    if (d as usize) < self.global_len {
+                        affected[self.partitioner.shard_of(d) as usize] = true;
+                    }
+                }
+                let mut first_err = None;
+                for (i, shard) in self.shards.iter_mut().enumerate() {
+                    if affected[i] {
+                        if let Err(e) = shard.gts.rebuild() {
+                            first_err.get_or_insert(e);
+                        }
+                    }
+                }
+                if let Some(e) = first_err {
+                    result = Err(e);
+                }
+            }
+        }
+        self.epoch += 1;
+        let pending = self.pending.take().expect("checked above");
+        result.map(|_| pending)
     }
 }
 
@@ -635,79 +918,33 @@ where
 {
     /// Streaming insert: the partitioner routes the new global id to its
     /// owning shard's cache table. A cache overflow rebuilds **only that
-    /// shard** — the other devices' clocks never move.
+    /// shard** — the other devices' clocks never move. Delegates to
+    /// [`ShardedGts::apply`], so direct inserts advance the epoch too;
+    /// rejected while the index is [fenced](ShardedGts::fence).
     fn insert(&mut self, obj: O) -> Result<u32, IndexError> {
-        let gid = self.global_len as u32;
-        let s = self.partitioner.shard_of(gid) as usize;
-        let shard = &mut self.shards[s];
-        let inserted = shard.gts.insert(obj);
-        // The inner store records the object before its only fallible step
-        // (the overflow rebuild), so the local→global mapping must advance
-        // even on `Err` — otherwise the next insert's local id would
-        // outrun `global_ids` and remapping would go out of bounds.
-        shard.global_ids.push(gid);
-        self.global_len += 1;
-        inserted.map(|_| gid)
+        self.ensure_unfenced()?;
+        let applied = self.apply(&UpdateOp::Insert(obj))?;
+        Ok(applied.assigned[0])
     }
 
-    /// Streaming delete, routed to the owning shard.
+    /// Streaming delete, routed to the owning shard; epoch-advancing even
+    /// when the id is unknown (a no-op still serializes), and rejected
+    /// while fenced.
     fn remove(&mut self, id: u32) -> Result<bool, IndexError> {
-        if id as usize >= self.global_len {
-            return Ok(false);
-        }
-        let s = self.partitioner.shard_of(id) as usize;
-        let shard = &mut self.shards[s];
-        let local = shard
-            .global_ids
-            .binary_search(&id)
-            .expect("every assigned id is present in its shard");
-        shard.gts.remove(local as u32)
+        self.ensure_unfenced()?;
+        Ok(self.apply(&UpdateOp::Remove(id))?.removed > 0)
     }
 
     /// Batch update: changes are routed per shard; **only shards that
-    /// received changes reconstruct**, the rest are untouched.
+    /// received changes reconstruct**, the rest are untouched. Rejected
+    /// while fenced.
     fn batch_update(&mut self, insertions: Vec<O>, deletions: &[u32]) -> Result<(), IndexError> {
-        let s = self.shards.len();
-        let mut per_ins: Vec<Vec<O>> = (0..s).map(|_| Vec::new()).collect();
-        let mut per_del: Vec<Vec<u32>> = (0..s).map(|_| Vec::new()).collect();
-        for obj in insertions {
-            let gid = self.global_len as u32;
-            let shard = self.partitioner.shard_of(gid) as usize;
-            per_ins[shard].push(obj);
-            // Insertions append in order per shard, matching the local ids
-            // the inner batch_update will assign.
-            self.shards[shard].global_ids.push(gid);
-            self.global_len += 1;
-        }
-        for &d in deletions {
-            if d as usize >= self.global_len {
-                continue;
-            }
-            let shard = self.partitioner.shard_of(d) as usize;
-            let local = self.shards[shard]
-                .global_ids
-                .binary_search(&d)
-                .expect("every assigned id is present in its shard");
-            per_del[shard].push(local as u32);
-        }
-        // Every affected shard must receive its routed changes even if an
-        // earlier shard's rebuild failed: the global ids are already
-        // recorded above, and the inner `batch_update` applies its object
-        // mutations before its only fallible step (the rebuild), so
-        // applying all shards keeps every local→global mapping consistent.
-        // The first error is reported after the loop.
-        let mut first_err = None;
-        for (shard, (ins, del)) in self.shards.iter_mut().zip(per_ins.into_iter().zip(per_del)) {
-            if !ins.is_empty() || !del.is_empty() {
-                if let Err(e) = shard.gts.batch_update(ins, &del) {
-                    first_err.get_or_insert(e);
-                }
-            }
-        }
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(()),
-        }
+        self.ensure_unfenced()?;
+        self.apply(&UpdateOp::Batch {
+            insertions,
+            deletions: deletions.to_vec(),
+        })
+        .map(|_| ())
     }
 }
 

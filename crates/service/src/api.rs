@@ -23,6 +23,38 @@ pub enum Request<O> {
         /// Number of nearest neighbours requested.
         k: usize,
     },
+    /// Streaming insert (paper §4.4): the object lands in its owning
+    /// shard's cache table on every replica, advancing the epoch by one.
+    Insert {
+        /// The object to index.
+        object: O,
+    },
+    /// Streaming delete (§4.4): tombstone (or cache-evict) the global id
+    /// on every replica. Removing an unknown id is a no-op answer but
+    /// still advances the epoch — every update serializes.
+    Remove {
+        /// The global id to remove.
+        id: u32,
+    },
+    /// Batch update (§4.4): apply all changes and reconstruct the affected
+    /// shards once, as a single epoch step.
+    BatchUpdate {
+        /// Objects to add.
+        insertions: Vec<O>,
+        /// Global ids to drop.
+        deletions: Vec<u32>,
+    },
+}
+
+impl<O> Request<O> {
+    /// True for the mutating variants — the batcher never mixes updates and
+    /// queries in one flushed batch (the read/write ordering barrier).
+    pub fn is_update(&self) -> bool {
+        matches!(
+            self,
+            Request::Insert { .. } | Request::Remove { .. } | Request::BatchUpdate { .. }
+        )
+    }
 }
 
 /// Which trigger flushed the batch a request rode in.
@@ -56,16 +88,69 @@ pub struct LatencyBreakdown {
     pub trigger: FlushTrigger,
 }
 
+/// Receipt for one applied update: what the serialized apply did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// Global ids assigned to the inserted objects, in submission order
+    /// (empty for pure deletions).
+    pub assigned: Vec<u32>,
+    /// How many of the requested deletions removed a live object.
+    pub removed: usize,
+}
+
+/// The payload of a successful [`Response`]: neighbours for a query,
+/// a receipt for an update.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// Answer to a [`Request::Range`] or [`Request::Knn`], in the
+    /// canonical `(distance, id)` order.
+    Neighbors(Vec<Neighbor>),
+    /// Receipt for an [`Request::Insert`] / [`Request::Remove`] /
+    /// [`Request::BatchUpdate`].
+    Update(UpdateAck),
+}
+
+impl Reply {
+    /// The neighbour list of a query reply.
+    ///
+    /// # Panics
+    /// When the reply is an update receipt — submit queries, expect
+    /// neighbours.
+    pub fn neighbors(self) -> Vec<Neighbor> {
+        match self {
+            Reply::Neighbors(n) => n,
+            Reply::Update(_) => panic!("expected a query reply, got an update receipt"),
+        }
+    }
+
+    /// The receipt of an update reply.
+    ///
+    /// # Panics
+    /// When the reply is a neighbour list.
+    pub fn update(self) -> UpdateAck {
+        match self {
+            Reply::Update(a) => a,
+            Reply::Neighbors(_) => panic!("expected an update receipt, got a query reply"),
+        }
+    }
+}
+
 /// The service's answer to one [`Request`].
 #[derive(Clone, Debug)]
 pub struct Response {
-    /// The per-request answer, in the canonical `(distance, id)` order —
-    /// bit-identical to a direct batched index call over the same
-    /// requests. `Err` surfaces execution failures **per request** without
+    /// The per-request answer — for queries, bit-identical to a direct
+    /// batched index call over the same requests at this response's epoch.
+    /// `Err` surfaces execution failures **per request** without
     /// poisoning the lane: a typed index error (e.g. device OOM), a dead
     /// shard ([`ServiceError::ShardUnavailable`]), or a caught panic
     /// ([`ServiceError::BatchPanicked`]).
-    pub result: Result<Vec<Neighbor>, ServiceError>,
+    pub result: Result<Reply, ServiceError>,
+    /// The update epoch this request was served at: the number of updates
+    /// serialized before it. A query's answer is exactly the state after
+    /// replaying that many updates; an update's own application is
+    /// included in its stamp. Monotone in admission order per lane
+    /// topology (strictly FIFO end-to-end).
+    pub epoch: u64,
     /// Where this request's latency went.
     pub latency: LatencyBreakdown,
 }
@@ -192,7 +277,8 @@ mod tests {
         let ticket = Ticket { rx };
         assert!(ticket.try_wait().expect("pending").is_none());
         tx.send(Response {
-            result: Ok(Vec::new()),
+            result: Ok(Reply::Neighbors(Vec::new())),
+            epoch: 0,
             latency: LatencyBreakdown {
                 queue_wait_us: 1,
                 batch_span_cycles: 2,

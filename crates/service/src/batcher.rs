@@ -137,11 +137,30 @@ pub(crate) struct Pending<O> {
     pub(crate) enqueued: Instant,
 }
 
+/// What a flushed batch holds: queries or updates, never both. The drain
+/// stops at the first entry whose kind differs from the batch head — the
+/// **read/write ordering barrier** that keeps the service linearizable:
+/// every query admitted before an update executes before it, every query
+/// admitted after executes after.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum BatchKind {
+    /// Range/kNN requests — dealt round-robin to one lane.
+    Query,
+    /// Insert/remove/batch-update requests — broadcast to **every** lane,
+    /// so each lane's replicas apply the same serialized order.
+    Update,
+}
+
 /// One flushed batch: FIFO-ordered entries with their queue waits stamped
 /// at flush time, plus the trigger that shipped it.
 pub(crate) struct Batch<O> {
     pub(crate) entries: Vec<(Request<O>, mpsc::SyncSender<Response>, u64)>,
     pub(crate) trigger: FlushTrigger,
+    pub(crate) kind: BatchKind,
+    /// Whether this lane answers the tickets. Update batches are broadcast
+    /// to every lane but each ticket must receive exactly one response:
+    /// only the lane-0 copy responds, the other lanes apply silently.
+    pub(crate) respond: bool,
 }
 
 /// Queue state guarded by the admission mutex.
@@ -249,8 +268,26 @@ impl<O> SubmitHandle<O> {
 /// Drain up to `limit` FIFO entries into a [`Batch`], stamping each
 /// request's queue wait against one shared flush instant (a single clock
 /// read per flush — this runs inside the admission critical section).
+///
+/// The head entry decides the batch's [`BatchKind`], and the drain stops
+/// early at the first entry of the other kind: a kind flip always flushes,
+/// so reads and writes never share a batch and FIFO admission order *is*
+/// the serialization order.
 fn drain<O>(queue: &mut VecDeque<Pending<O>>, limit: usize, trigger: FlushTrigger) -> Batch<O> {
-    let take = queue.len().min(limit);
+    let head_is_update = queue.front().is_some_and(|p| p.req.is_update());
+    let kind = if head_is_update {
+        BatchKind::Update
+    } else {
+        BatchKind::Query
+    };
+    let mut take = queue.len().min(limit);
+    if let Some(flip) = queue
+        .iter()
+        .take(take)
+        .position(|p| p.req.is_update() != head_is_update)
+    {
+        take = flip;
+    }
     let now = Instant::now();
     let entries = queue
         .drain(..take)
@@ -260,7 +297,12 @@ fn drain<O>(queue: &mut VecDeque<Pending<O>>, limit: usize, trigger: FlushTrigge
             (p.req, p.tx, wait_us)
         })
         .collect();
-    Batch { entries, trigger }
+    Batch {
+        entries,
+        trigger,
+        kind,
+        respond: true,
+    }
 }
 
 /// Capacity of the batcher→executor pipeline, in batches: one executing
@@ -286,20 +328,48 @@ fn poison<O>(shared: &Shared<O>) {
 }
 
 /// The microbatcher loop: runs on its own thread until stopped, dealing
-/// flushed batches round-robin across the executor lanes' bounded pipeline
-/// channels (batch *i* → lane *i* mod *L*, deterministic). Every `send`
-/// happens **outside** the admission lock, so a full pipeline stalls only
-/// this thread — [`SubmitHandle::submit`] stays non-blocking throughout.
-/// Dropping the senders on exit is what tells the lanes to finish;
-/// conversely a failed send means a lane died, and the queue is poisoned
-/// so nothing hangs.
-pub(crate) fn run<O>(shared: &Shared<O>, lane_txs: &[mpsc::SyncSender<Batch<O>>]) {
+/// flushed **query** batches round-robin across the executor lanes'
+/// bounded pipeline channels (query batch *i* → lane *i* mod *L*,
+/// deterministic) and **broadcasting update batches to every lane** —
+/// lanes pin disjoint replica sets, so each lane must apply every update
+/// to keep its replicas current; only the lane-0 copy answers the
+/// tickets. Per-lane channels are FIFO, so a lane sees
+/// `[earlier queries][update][later queries]` exactly in admission order.
+/// Every `send` happens **outside** the admission lock, so a full
+/// pipeline stalls only this thread — [`SubmitHandle::submit`] stays
+/// non-blocking throughout. Dropping the senders on exit is what tells
+/// the lanes to finish; conversely a failed send means a lane died, and
+/// the queue is poisoned so nothing hangs.
+pub(crate) fn run<O: Clone>(shared: &Shared<O>, lane_txs: &[mpsc::SyncSender<Batch<O>>]) {
     assert!(!lane_txs.is_empty(), "the batcher needs at least one lane");
     let mut next_lane = 0usize;
     let mut send = move |batch: Batch<O>| {
-        let tx = &lane_txs[next_lane];
-        next_lane = (next_lane + 1) % lane_txs.len();
-        tx.send(batch)
+        match batch.kind {
+            BatchKind::Query => {
+                let tx = &lane_txs[next_lane];
+                next_lane = (next_lane + 1) % lane_txs.len();
+                tx.send(batch)
+            }
+            BatchKind::Update => {
+                // Silent copies first (lanes 1..), responder copy last: a
+                // ticket answered implies every lane already has the update
+                // queued ahead of any later query batch.
+                for tx in &lane_txs[1..] {
+                    let copy = Batch {
+                        entries: batch
+                            .entries
+                            .iter()
+                            .map(|(req, tx, wait)| (req.clone(), tx.clone(), *wait))
+                            .collect(),
+                        trigger: batch.trigger,
+                        kind: BatchKind::Update,
+                        respond: false,
+                    };
+                    tx.send(copy)?;
+                }
+                lane_txs[0].send(batch)
+            }
+        }
     };
     let mut st = shared.state.lock().expect("admission lock");
     loop {
@@ -497,6 +567,68 @@ mod tests {
                 assert_eq!(query, (round * 2 + lane) * 2, "deterministic deal");
             }
         }
+        shared.stop();
+        worker.join().expect("batcher exits");
+    }
+
+    #[test]
+    fn drain_stops_at_a_kind_flip() {
+        let mut q = VecDeque::new();
+        let (tx, _rx) = mpsc::sync_channel(1);
+        let reqs: Vec<Request<u32>> = vec![
+            Request::Knn { query: 0, k: 1 },
+            Request::Knn { query: 1, k: 1 },
+            Request::Insert { object: 2 },
+            Request::Remove { id: 0 },
+            Request::Knn { query: 3, k: 1 },
+        ];
+        for req in reqs {
+            q.push_back(Pending {
+                req,
+                tx: tx.clone(),
+                enqueued: Instant::now(),
+            });
+        }
+        // The limit would take everything; the kind flips cut it into
+        // [2 queries][2 updates][1 query] — reads never pass writes.
+        let b = drain(&mut q, 10, FlushTrigger::Size);
+        assert_eq!((b.kind, b.entries.len()), (BatchKind::Query, 2));
+        let b = drain(&mut q, 10, FlushTrigger::Size);
+        assert_eq!((b.kind, b.entries.len()), (BatchKind::Update, 2));
+        let b = drain(&mut q, 10, FlushTrigger::Size);
+        assert_eq!((b.kind, b.entries.len()), (BatchKind::Query, 1));
+        assert!(b.respond);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn update_batches_broadcast_to_every_lane_with_one_responder() {
+        let shared = Shared::<u32>::new(64, 1, Duration::from_secs(3600));
+        let h = SubmitHandle {
+            shared: Arc::clone(&shared),
+        };
+        let (tx0, rx0) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        let (tx1, rx1) = mpsc::sync_channel(EXECUTOR_PIPELINE_BATCHES);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || run(&shared, &[tx0, tx1]))
+        };
+        let _t = h.submit(Request::Insert { object: 42 }).expect("fits");
+        // Both lanes receive the update; only lane 0's copy responds.
+        let b0 = rx0.recv_timeout(Duration::from_secs(5)).expect("lane 0");
+        let b1 = rx1.recv_timeout(Duration::from_secs(5)).expect("lane 1");
+        for b in [&b0, &b1] {
+            assert_eq!(b.kind, BatchKind::Update);
+            assert_eq!(b.entries.len(), 1);
+            assert!(matches!(b.entries[0].0, Request::Insert { object: 42 }));
+        }
+        assert!(b0.respond, "lane 0 answers the ticket");
+        assert!(!b1.respond, "lane 1 applies silently");
+        // A query afterwards is dealt to exactly one lane (round-robin).
+        let _t = h.submit(Request::Knn { query: 7, k: 1 }).expect("fits");
+        let q = rx0.recv_timeout(Duration::from_secs(5)).expect("query");
+        assert_eq!(q.kind, BatchKind::Query);
+        assert!(rx1.try_recv().is_err(), "queries are not broadcast");
         shared.stop();
         worker.join().expect("batcher exits");
     }

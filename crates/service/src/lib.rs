@@ -8,12 +8,23 @@
 //!
 //! ```text
 //!  clients ──▶ SubmitHandle ──▶ admission queue ──▶ microbatcher ──▶ lane 0 ──▶ replicas {0,2,…}
-//!              (submit())       (bounded depth,     (size/deadline  ├▶ lane 1 ──▶ replicas {1,3,…}
-//!                ▲ Ticket        reject past it)     triggers,      └▶ …          (each replica =
-//!                │                                   round-robin                  S shards on S
-//!                │                                   deal to lanes)               devices)
-//!                └──────────── Response: result + latency breakdown ◀──┘
+//!              (submit())       (bounded depth,     (kind barrier:  ├▶ lane 1 ──▶ replicas {1,3,…}
+//!                ▲ Ticket        reject past it;     queries deal   └▶ …          (each replica =
+//!                │               queries AND         round-robin,                 S shards on S
+//!                │               updates, FIFO)      updates broadcast            devices, FENCED
+//!                │                                   to every lane)               against direct
+//!                │                                                                mutation)
+//!                └──── Response: result + epoch + latency breakdown ◀──┘
 //! ```
+//!
+//! Updates (`Insert`/`Remove`/`BatchUpdate`) ride the same FIFO admission
+//! queue as queries; the batcher never mixes the two kinds in one batch
+//! (the read/write barrier), deals query batches to one lane and
+//! broadcasts update batches to all lanes, and each applied update
+//! advances a monotone **epoch** on every replica. Every [`Response`]
+//! stamps the epoch it was served at, and answers are bit-identical to
+//! replaying the same requests against a single index in epoch order
+//! (`tests/streaming_updates.rs`).
 //!
 //! Three pieces, each its own module:
 //!
@@ -64,7 +75,9 @@ pub mod batcher;
 pub mod service;
 pub mod stats;
 
-pub use api::{FlushTrigger, LatencyBreakdown, Request, Response, ServiceError, Ticket};
+pub use api::{
+    FlushTrigger, LatencyBreakdown, Reply, Request, Response, ServiceError, Ticket, UpdateAck,
+};
 pub use batcher::{BatchSizing, ServiceConfig, SubmitHandle};
 pub use service::QueryService;
 pub use stats::ServiceStats;

@@ -14,11 +14,13 @@
 //! boundary ([`ServiceError::BatchPanicked`]) — the lane keeps draining
 //! either way, so one poisoned batch can never hang the queue behind it.
 
-use crate::api::{FlushTrigger, LatencyBreakdown, Request, Response, ServiceError};
+use crate::api::{
+    FlushTrigger, LatencyBreakdown, Reply, Request, Response, ServiceError, UpdateAck,
+};
 use crate::batcher::EXECUTOR_PIPELINE_BATCHES;
-use crate::batcher::{self, Batch, BatchSizing, ServiceConfig, Shared, SubmitHandle};
+use crate::batcher::{self, Batch, BatchKind, BatchSizing, ServiceConfig, Shared, SubmitHandle};
 use crate::stats::{ExecutorStats, ServiceStats};
-use gts_core::{ReplicatedShards, ShardedGts};
+use gts_core::{ReplicatedShards, ShardedGts, UpdateOp};
 use metric_space::index::Neighbor;
 use metric_space::{BatchMetric, Footprint};
 use std::sync::atomic::Ordering;
@@ -27,30 +29,43 @@ use std::thread::JoinHandle;
 
 /// The online query service: accepts individual [`Request`]s through
 /// [`SubmitHandle`]s, microbatches them, and executes the batches against
-/// a replicated sharded index on one or more executor lanes — batches are
-/// dealt round-robin across lanes, FIFO within each lane.
+/// a replicated sharded index on one or more executor lanes — query
+/// batches are dealt round-robin across lanes (FIFO within each lane),
+/// update batches are broadcast to every lane so each lane's replicas
+/// apply the same serialized epoch order. While the service runs, the
+/// index is **fenced**: direct `insert`/`remove`/`batch_update` calls on
+/// it are rejected, so the admission order is the only write order.
 ///
 /// ```
 /// use gts_core::{GtsParams, ShardedGts};
 /// use gts_service::{QueryService, Request, ServiceConfig};
 /// use gpu_sim::DevicePool;
 /// use metric_space::DatasetKind;
-/// use std::sync::Arc;
 ///
 /// let data = DatasetKind::Words.generate(600, 42);
 /// let pool = DevicePool::rtx_2080_ti(2);
 /// let index = ShardedGts::build(&pool, data.items.clone(), data.metric,
 ///                               GtsParams::default().with_shards(2)).unwrap();
-/// let service = QueryService::start(Arc::new(index), ServiceConfig::default());
+/// let service = QueryService::start(index, ServiceConfig::default());
+/// let handle = service.handle();
 ///
-/// let ticket = service.handle().submit(Request::Knn {
+/// // An update flows through the same admission queue as the queries.
+/// let inserted = handle.submit(Request::Insert {
+///     object: data.items[0].clone(),
+/// }).unwrap().wait().unwrap();
+/// assert_eq!(inserted.epoch, 1);
+/// assert_eq!(inserted.result.unwrap().update().assigned, vec![600]);
+///
+/// let ticket = handle.submit(Request::Knn {
 ///     query: data.items[0].clone(),
 ///     k: 3,
 /// }).unwrap();
 /// let response = ticket.wait().unwrap();
-/// assert_eq!(response.result.unwrap().len(), 3);
+/// assert_eq!(response.result.unwrap().neighbors().len(), 3);
+/// assert_eq!(response.epoch, 1, "served after the one applied update");
 /// let stats = service.shutdown();
-/// assert_eq!(stats.completed, 1);
+/// assert_eq!(stats.completed, 2);
+/// assert_eq!(stats.epoch, 1);
 /// ```
 pub struct QueryService<O, M> {
     shared: Arc<Shared<O>>,
@@ -71,8 +86,10 @@ where
     /// path, equivalent to one replica and one lane of
     /// [`QueryService::start_replicated`] (the index is wrapped in a
     /// single-replica [`ReplicatedShards`], which adds no devices and
-    /// changes no clocks).
-    pub fn start(index: Arc<ShardedGts<O, M>>, cfg: ServiceConfig) -> Self {
+    /// changes no clocks). Takes the index **by value** — a retained
+    /// outside handle could mutate it behind the admission queue's back;
+    /// reach it through [`QueryService::index`] instead.
+    pub fn start(index: ShardedGts<O, M>, cfg: ServiceConfig) -> Self {
         Self::start_replicated(Arc::new(ReplicatedShards::from_replicas(vec![index])), cfg)
     }
 
@@ -84,7 +101,14 @@ where
     /// the replica count — lane `l` prefers replicas `{r : r mod L = l}`,
     /// and more lanes than replicas would race on the same devices and
     /// destroy clock determinism.
+    ///
+    /// The index is **fenced** for the service's lifetime: direct mutation
+    /// of any replica is rejected with a typed error until shutdown
+    /// releases the fence — submit [`Request::Insert`] /
+    /// [`Request::Remove`] / [`Request::BatchUpdate`] instead, so every
+    /// write serializes through the admission queue.
     pub fn start_replicated(index: Arc<ReplicatedShards<O, M>>, cfg: ServiceConfig) -> Self {
+        index.fence_all();
         // The builder asserts these, but the fields are pub — validate here
         // too so a hand-built config fails with a meaningful message.
         assert!(
@@ -207,6 +231,9 @@ where
             failed: e.failed,
             shard_unavailable: e.shard_unavailable,
             lane_panics: e.lane_panics,
+            updates_applied: e.updates_applied,
+            update_batches: e.update_batches,
+            epoch: self.index.epoch_of(&[]),
             retries: replica.retries,
             device_faults: replica.device_faults,
             metric_panics: replica.metric_panics,
@@ -230,6 +257,10 @@ impl<O, M> QueryService<O, M> {
         for h in self.lanes.drain(..) {
             let _ = h.join();
         }
+        // Every lane is gone: hand the index back to the caller by lifting
+        // the direct-mutation fence (idempotent — Drop after shutdown
+        // releases again harmlessly).
+        self.index.release_all();
     }
 }
 
@@ -272,6 +303,12 @@ fn split_batch<O>(entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)]) -> 
                 Ok(g) => knn[g].1.push(i),
                 Err(g) => knn.insert(g, (*k, vec![i])),
             },
+            Request::Insert { .. } | Request::Remove { .. } | Request::BatchUpdate { .. } => {
+                // The batcher's kind barrier keeps updates out of query
+                // batches; an update here is an internal invariant
+                // violation and is skipped (its ticket disconnects).
+                debug_assert!(false, "update request in a query batch");
+            }
         }
     }
     let mut out = Vec::new();
@@ -282,13 +319,20 @@ fn split_batch<O>(entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)]) -> 
     out
 }
 
-/// One executor lane: receives its share of flushed batches in deal order
-/// and runs each to completion before the next. Lanes prefer disjoint
-/// replica sets, so the per-batch span-cycle deltas a lane records against
-/// its own replicas' clocks are exact (no interleaving with sibling
-/// lanes). A panic escaping the replica layer's own containment is caught
-/// here — the batch fails typed ([`ServiceError::BatchPanicked`]) and the
-/// lane keeps draining.
+/// One executor lane: receives its batches in deal order and runs each to
+/// completion before the next. Lanes prefer disjoint replica sets, so the
+/// per-batch span-cycle deltas a lane records against its own replicas'
+/// clocks are exact (no interleaving with sibling lanes) — and so each
+/// lane's replicas are written **only by this lane**, in the per-lane FIFO
+/// order every lane shares (update batches are broadcast). A panic
+/// escaping the replica layer's own containment is caught here — the
+/// batch fails typed ([`ServiceError::BatchPanicked`]) and the lane keeps
+/// draining.
+///
+/// Stats gating: `lane_batches` counts every batch each lane executes;
+/// all per-request counters (`batches`, flush kinds, queue waits,
+/// `completed`, `failed`, `updates_applied`, …) are bumped only by the
+/// batch's **responder** copy, so a broadcast update is counted once.
 fn run_lane<O, M>(
     index: &ReplicatedShards<O, M>,
     lane: usize,
@@ -300,65 +344,177 @@ fn run_lane<O, M>(
     M: BatchMetric<O> + Clone,
 {
     for batch in batch_rx.iter() {
-        let size = batch.entries.len();
         {
             let mut s = stats.lock().expect("executor stats lock");
-            s.batches += 1;
             s.lane_batches[lane] += 1;
-            match batch.trigger {
-                FlushTrigger::Size => s.size_flushes += 1,
-                FlushTrigger::Deadline => s.deadline_flushes += 1,
-                FlushTrigger::Shutdown => s.shutdown_flushes += 1,
-            }
-            for (_, _, wait_us) in &batch.entries {
-                s.queue_wait_us.record(*wait_us);
+            if batch.respond {
+                s.batches += 1;
+                match batch.trigger {
+                    FlushTrigger::Size => s.size_flushes += 1,
+                    FlushTrigger::Deadline => s.deadline_flushes += 1,
+                    FlushTrigger::Shutdown => s.shutdown_flushes += 1,
+                }
+                for (_, _, wait_us) in &batch.entries {
+                    s.queue_wait_us.record(*wait_us);
+                }
             }
         }
-        for sub in split_batch(&batch.entries) {
-            let before = index.span_of(prefer);
-            let answers = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                execute_sub(index, prefer, &batch.entries, &sub)
-            })) {
-                Ok(res) => res,
-                Err(_) => {
-                    stats.lock().expect("executor stats lock").lane_panics += 1;
-                    Err(ServiceError::BatchPanicked)
+        match batch.kind {
+            BatchKind::Query => query_batch(index, prefer, &batch, stats),
+            BatchKind::Update => update_batch(index, prefer, &batch, stats),
+        }
+    }
+}
+
+/// Execute one query batch: split into uniform sub-batches and answer each
+/// at the lane's current epoch. The epoch is read once — this lane's
+/// replicas are mutated only by this lane (updates broadcast per lane), so
+/// it cannot move under a running batch.
+fn query_batch<O, M>(
+    index: &ReplicatedShards<O, M>,
+    prefer: &[usize],
+    batch: &Batch<O>,
+    stats: &Mutex<ExecutorStats>,
+) where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    let size = batch.entries.len();
+    let epoch = index.epoch_of(prefer);
+    for sub in split_batch(&batch.entries) {
+        let before = index.span_of(prefer);
+        let answers = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_sub(index, prefer, &batch.entries, &sub)
+        })) {
+            Ok(res) => res,
+            Err(_) => {
+                stats.lock().expect("executor stats lock").lane_panics += 1;
+                Err(ServiceError::BatchPanicked)
+            }
+        };
+        let span = index.span_of(prefer).saturating_sub(before);
+        stats
+            .lock()
+            .expect("executor stats lock")
+            .batch_span_cycles
+            .record(span);
+        let indices = sub.indices();
+        let mut answered = 0u64;
+        let mut failed = 0u64;
+        let mut unavailable = 0u64;
+        match answers {
+            Ok(mut per_query) => {
+                // Walk in reverse so `pop` hands each index its answer
+                // without cloning.
+                for &i in indices.iter().rev() {
+                    let result = Ok(Reply::Neighbors(
+                        per_query.pop().expect("one answer per request"),
+                    ));
+                    answered +=
+                        respond(&batch.entries[i], result, epoch, span, size, batch.trigger);
                 }
-            };
-            let span = index.span_of(prefer).saturating_sub(before);
-            stats
-                .lock()
-                .expect("executor stats lock")
-                .batch_span_cycles
-                .record(span);
-            let indices = sub.indices();
-            let mut answered = 0u64;
-            let mut failed = 0u64;
-            let mut unavailable = 0u64;
-            match answers {
-                Ok(mut per_query) => {
-                    // Walk in reverse so `pop` hands each index its answer
-                    // without cloning.
-                    for &i in indices.iter().rev() {
-                        let result = Ok(per_query.pop().expect("one answer per request"));
-                        answered += respond(&batch.entries[i], result, span, size, batch.trigger);
-                    }
+            }
+            Err(e) => {
+                if matches!(e, ServiceError::ShardUnavailable { .. }) {
+                    unavailable = indices.len() as u64;
                 }
+                failed = indices.len() as u64;
+                for &i in indices {
+                    answered += respond(
+                        &batch.entries[i],
+                        Err(e.clone()),
+                        epoch,
+                        span,
+                        size,
+                        batch.trigger,
+                    );
+                }
+            }
+        }
+        let mut s = stats.lock().expect("executor stats lock");
+        s.completed += answered;
+        s.failed += failed;
+        s.shard_unavailable += unavailable;
+    }
+}
+
+/// Apply one update batch to this lane's replicas, strictly FIFO — each
+/// update is one epoch step on every replica of the preferred set. Only
+/// the responder copy (lane 0's) answers tickets and bumps per-request
+/// counters; sibling lanes apply the identical ops to their own replicas
+/// silently, which is what keeps all replicas at the same epoch.
+fn update_batch<O, M>(
+    index: &ReplicatedShards<O, M>,
+    prefer: &[usize],
+    batch: &Batch<O>,
+    stats: &Mutex<ExecutorStats>,
+) where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O> + Clone,
+{
+    let size = batch.entries.len();
+    if batch.respond {
+        stats.lock().expect("executor stats lock").update_batches += 1;
+    }
+    for entry in &batch.entries {
+        let op = match &entry.0 {
+            Request::Insert { object } => UpdateOp::Insert(object.clone()),
+            Request::Remove { id } => UpdateOp::Remove(*id),
+            Request::BatchUpdate {
+                insertions,
+                deletions,
+            } => UpdateOp::Batch {
+                insertions: insertions.clone(),
+                deletions: deletions.clone(),
+            },
+            Request::Range { .. } | Request::Knn { .. } => {
+                debug_assert!(false, "update batch must hold update requests");
+                if batch.respond {
+                    let epoch = index.epoch_of(prefer);
+                    let mut s = stats.lock().expect("executor stats lock");
+                    s.failed += 1;
+                    s.completed += respond(
+                        entry,
+                        Err(ServiceError::MalformedBatch),
+                        epoch,
+                        0,
+                        size,
+                        batch.trigger,
+                    );
+                }
+                continue;
+            }
+        };
+        let before = index.span_of(prefer);
+        let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            index.apply_preferring(prefer, &op)
+        })) {
+            Ok(Ok(ack)) => Ok(Reply::Update(UpdateAck {
+                assigned: ack.assigned,
+                removed: ack.removed,
+            })),
+            Ok(Err(e)) => Err(ServiceError::from(e)),
+            Err(_) => {
+                stats.lock().expect("executor stats lock").lane_panics += 1;
+                Err(ServiceError::BatchPanicked)
+            }
+        };
+        let span = index.span_of(prefer).saturating_sub(before);
+        // The update's own application is included in its stamp.
+        let epoch = index.epoch_of(prefer);
+        if batch.respond {
+            let mut s = stats.lock().expect("executor stats lock");
+            s.batch_span_cycles.record(span);
+            match &result {
+                Ok(_) => s.updates_applied += 1,
                 Err(e) => {
+                    s.failed += 1;
                     if matches!(e, ServiceError::ShardUnavailable { .. }) {
-                        unavailable = indices.len() as u64;
-                    }
-                    failed = indices.len() as u64;
-                    for &i in indices {
-                        answered +=
-                            respond(&batch.entries[i], Err(e.clone()), span, size, batch.trigger);
+                        s.shard_unavailable += 1;
                     }
                 }
             }
-            let mut s = stats.lock().expect("executor stats lock");
-            s.completed += answered;
-            s.failed += failed;
-            s.shard_unavailable += unavailable;
+            s.completed += respond(entry, result, epoch, span, size, batch.trigger);
         }
     }
 }
@@ -415,7 +571,8 @@ where
 /// are allowed).
 fn respond<O>(
     entry: &(Request<O>, mpsc::SyncSender<Response>, u64),
-    result: Result<Vec<Neighbor>, ServiceError>,
+    result: Result<Reply, ServiceError>,
+    epoch: u64,
     span: u64,
     batch_size: usize,
     trigger: FlushTrigger,
@@ -423,6 +580,7 @@ fn respond<O>(
     let (_, tx, wait_us) = entry;
     let response = Response {
         result,
+        epoch,
         latency: LatencyBreakdown {
             queue_wait_us: *wait_us,
             batch_span_cycles: span,
@@ -457,11 +615,7 @@ mod tests {
             GtsParams::default().with_shards(shards),
         )
         .expect("build");
-        (
-            data.items,
-            data.metric,
-            QueryService::start(Arc::new(index), cfg),
-        )
+        (data.items, data.metric, QueryService::start(index, cfg))
     }
 
     fn replicated_service(
@@ -552,7 +706,8 @@ mod tests {
         .expect("build");
         for (i, t) in tickets.into_iter().enumerate() {
             let r = t.wait().expect("answered");
-            let got = r.result.expect("no index error");
+            assert_eq!(r.epoch, 0, "no updates were admitted");
+            let got = r.result.expect("no index error").neighbors();
             let want = if i % 2 == 0 {
                 single.range_query(&items[i], 2.0).expect("direct")
             } else {
@@ -597,7 +752,7 @@ mod tests {
                 .collect();
             tickets
                 .into_iter()
-                .map(|t| t.wait().expect("answered").result.expect("ok"))
+                .map(|t| t.wait().expect("answered").result.expect("ok").neighbors())
                 .collect::<Vec<_>>()
         };
         let want = submit(&base);
@@ -635,9 +790,13 @@ mod tests {
         // unclassified panic past the lane boundary.
         let data = DatasetKind::Words.generate(120, 5);
         let pool = DevicePool::rtx_2080_ti(1);
-        let index = Arc::new(ReplicatedShards::from_replicas(vec![Arc::new(
-            ShardedGts::build(&pool, data.items, data.metric, GtsParams::default()).expect("build"),
-        )]));
+        let index = Arc::new(ReplicatedShards::from_replicas(vec![ShardedGts::build(
+            &pool,
+            data.items,
+            data.metric,
+            GtsParams::default(),
+        )
+        .expect("build")]));
         let (tx, _rx) = mpsc::sync_channel(1);
         let entries = vec![(
             Request::Knn {
@@ -686,8 +845,123 @@ mod tests {
         assert_eq!(stats.completed, 5);
         assert_eq!(stats.shutdown_flushes, 1);
         for t in tickets {
-            assert_eq!(t.wait().expect("drained").result.expect("ok").len(), 2);
+            assert_eq!(
+                t.wait()
+                    .expect("drained")
+                    .result
+                    .expect("ok")
+                    .neighbors()
+                    .len(),
+                2
+            );
         }
+    }
+
+    #[test]
+    fn updates_flow_through_the_queue_and_stamp_epochs() {
+        let (items, metric, svc) = service(
+            300,
+            2,
+            ServiceConfig::default()
+                .with_sizing(BatchSizing::Fixed(4))
+                .with_flush_deadline(Duration::from_millis(1)),
+        );
+        let h = svc.handle();
+        // insert → remove → query, submitted in order: FIFO admission is
+        // the serialization order, and each response stamps its epoch.
+        let t_ins = h
+            .submit(Request::Insert {
+                object: items[0].clone(),
+            })
+            .expect("admitted");
+        let t_rem = h.submit(Request::Remove { id: 1 }).expect("admitted");
+        let t_query = h
+            .submit(Request::Knn {
+                query: items[0].clone(),
+                k: 3,
+            })
+            .expect("admitted");
+        let r = t_ins.wait().expect("answered");
+        assert_eq!(r.epoch, 1);
+        let ack = r.result.expect("ok").update();
+        assert_eq!(
+            (ack.assigned.as_slice(), ack.removed),
+            ([300u32].as_slice(), 0)
+        );
+        let r = t_rem.wait().expect("answered");
+        assert_eq!(r.epoch, 2);
+        assert_eq!(r.result.expect("ok").update().removed, 1);
+        let r = t_query.wait().expect("answered");
+        assert_eq!(r.epoch, 2, "the query reads after both updates");
+        // The serialized oracle: one Gts over the same ops in epoch order.
+        let mut single = Gts::build(
+            &gpu_sim::Device::rtx_2080_ti(),
+            items.clone(),
+            metric,
+            GtsParams::default(),
+        )
+        .expect("build");
+        use metric_space::index::DynamicIndex;
+        single.insert(items[0].clone()).expect("insert");
+        single.remove(1).expect("remove");
+        assert_eq!(
+            r.result.expect("ok").neighbors(),
+            single.knn_query(&items[0], 3).expect("direct"),
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.updates_applied, 2);
+        // Same-kind updates may coalesce into one flushed batch or split
+        // across two depending on flush timing; both serialize identically.
+        assert!((1..=2).contains(&stats.update_batches));
+        assert_eq!(stats.epoch, 2);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn service_fences_its_index_until_shutdown() {
+        let (items, svc) = replicated_service(
+            200,
+            1,
+            2,
+            ServiceConfig::default()
+                .with_sizing(BatchSizing::Fixed(2))
+                .with_flush_deadline(Duration::from_millis(1))
+                .with_lanes(2),
+        );
+        use metric_space::index::DynamicIndex;
+        let index = Arc::clone(svc.index());
+        let err = index
+            .replica(0)
+            .write()
+            .unwrap()
+            .insert(items[0].clone())
+            .expect_err("direct mutation is fenced while the service runs");
+        assert!(matches!(
+            err,
+            metric_space::index::IndexError::Unsupported(_)
+        ));
+        // Through the queue it works — and reaches BOTH lanes' replicas.
+        let ack = svc
+            .handle()
+            .submit(Request::Insert {
+                object: items[0].clone(),
+            })
+            .expect("admitted")
+            .wait()
+            .expect("answered");
+        assert_eq!(ack.epoch, 1);
+        svc.shutdown();
+        for r in 0..2 {
+            assert_eq!(index.replica(r).read().unwrap().epoch(), 1);
+        }
+        // Shutdown released the fence: the caller owns the index again.
+        index
+            .replica(0)
+            .write()
+            .unwrap()
+            .insert(items[1].clone())
+            .expect("fence released after shutdown");
     }
 
     #[test]

@@ -55,6 +55,16 @@ pub struct ServiceStats {
     /// Panics caught at a lane boundary (beyond the replica layer's own
     /// containment). The lane keeps draining afterwards.
     pub lane_panics: u64,
+    /// Updates applied successfully through the admission queue (each one
+    /// epoch step, counted once even though every lane applies its copy).
+    pub updates_applied: u64,
+    /// Update batches flushed (counted once, at the responder copy).
+    pub update_batches: u64,
+    /// The index's update epoch at snapshot time: how many updates have
+    /// been serialized since the index was built (or since the epoch its
+    /// snapshot was restored at). Max across replicas — a replica lagging
+    /// after a permanent device loss does not hide progress.
+    pub epoch: u64,
     /// Replica-layer retries after an injected device fault or metric panic.
     pub retries: u64,
     /// Device faults observed by the replica layer (transient + permanent).
@@ -89,6 +99,8 @@ pub(crate) struct ExecutorStats {
     pub(crate) failed: u64,
     pub(crate) shard_unavailable: u64,
     pub(crate) lane_panics: u64,
+    pub(crate) updates_applied: u64,
+    pub(crate) update_batches: u64,
     pub(crate) queue_wait_us: LatencyHistogram,
     pub(crate) batch_span_cycles: LatencyHistogram,
 }

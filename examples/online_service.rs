@@ -20,20 +20,18 @@ fn main() {
     // 1. A sharded index: the serving backend.
     let data = DatasetKind::Words.generate(8_000, 7);
     let pool = DevicePool::rtx_2080_ti(SHARDS as usize);
-    let index = Arc::new(
-        ShardedGts::build(
-            &pool,
-            data.items.clone(),
-            data.metric,
-            GtsParams::default().with_shards(SHARDS),
-        )
-        .expect("sharded construction"),
-    );
+    let index = ShardedGts::build(
+        &pool,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(SHARDS),
+    )
+    .expect("sharded construction");
     println!(
         "index: {} objects over {} shards, pool min free {:.2} GB",
         data.len(),
         index.num_shards(),
-        index.pool().free_bytes_min() as f64 / 1e9,
+        pool.free_bytes_min() as f64 / 1e9,
     );
 
     // 2. The service: bounded admission queue, batch target derived from
@@ -51,7 +49,10 @@ fn main() {
         // friendly (and the size trigger is visible in this demo).
         .with_max_batch(256)
         .with_flush_deadline(Duration::from_millis(2));
-    let service = QueryService::start(Arc::clone(&index), cfg);
+    // The service takes the index by value: while it runs, the replicas are
+    // fenced against direct mutation — all reads and writes go through the
+    // queue. The pool handle above still reads the shared device clocks.
+    let service = QueryService::start(index, cfg);
     println!(
         "service up: batch target {} requests (size trigger), deadline {:?}",
         service.batch_target(),
@@ -95,7 +96,7 @@ fn main() {
                 let mut hits = 0usize;
                 for t in tickets {
                     let r = t.wait().expect("response");
-                    hits += r.result.expect("answer").len();
+                    hits += r.result.expect("answer").neighbors().len();
                 }
                 println!("client {c}: {REQUESTS_PER_CLIENT} answers, {hits} neighbours total");
             });
@@ -133,6 +134,6 @@ fn main() {
         "index work:  {} distance computations, {} nodes pruned, span {:.2} ms simulated",
         stats.index.distance_computations,
         stats.index.nodes_pruned,
-        index.pool().span_seconds() * 1e3,
+        pool.span_seconds() * 1e3,
     );
 }

@@ -51,10 +51,12 @@ pub use metric_space as metric;
 pub mod prelude {
     pub use baselines::{Bst, Egnat, Ganns, GpuTable, GpuTree, LbpgTree, LinearScan, Mvpt};
     pub use gpu_sim::{Device, DeviceConfig, DevicePool, FaultKind, FaultPlan};
-    pub use gts_core::{CostModel, Gts, GtsParams, ReplicaError, ReplicatedShards, ShardedGts};
+    pub use gts_core::{
+        Applied, CostModel, Gts, GtsParams, ReplicaError, ReplicatedShards, ShardedGts, UpdateOp,
+    };
     pub use gts_service::{
-        BatchSizing, FlushTrigger, LatencyBreakdown, QueryService, Request, Response,
-        ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket,
+        BatchSizing, FlushTrigger, LatencyBreakdown, QueryService, Reply, Request, Response,
+        ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket, UpdateAck,
     };
     pub use metric_space::index::{DynamicIndex, Neighbor, SimilarityIndex};
     pub use metric_space::{

@@ -15,6 +15,8 @@
 
 use gts::metric::{BatchMetric, Metric};
 use gts::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -146,7 +148,11 @@ fn chaos_soak(total: usize, transient: usize, permanent: usize, seed: u64) {
         // `wait` returning at all is the no-hang half of the contract.
         let r = t.wait().expect("every request is answered");
         match r.result {
-            Ok(ans) => assert_eq!(ans, want[i], "request {i} answer drifted under faults"),
+            Ok(ans) => assert_eq!(
+                ans.neighbors(),
+                want[i],
+                "request {i} answer drifted under faults"
+            ),
             Err(ServiceError::ShardUnavailable { .. }) => unavailable += 1,
             Err(e) => panic!("request {i}: only dead shards may fail, got {e}"),
         }
@@ -194,6 +200,212 @@ fn chaos_soak_with_seeded_faults_stays_exact() {
 #[ignore = "10k-request chaos soak; run in the CI fault job (release)"]
 fn chaos_soak_ten_thousand_requests() {
     chaos_soak(10_000, 6, 2, 0xFA_17);
+}
+
+/// A seeded mixed stream for the update/query chaos soak: ~20% updates
+/// (inserts and removes, double removes included), the rest range/kNN.
+/// Removes only target ids already assigned at that point in the stream.
+fn mixed_update_sequence(items: &[Item], n: usize, seed: u64) -> Vec<Request<Item>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut assigned = items.len() as u32;
+    (0..n)
+        .map(|i| match rng.gen_range(0..10u8) {
+            0 => {
+                let base = rng.gen_range(0..items.len());
+                let object =
+                    gts::metric::gen::perturb(&items[base], seed ^ (i as u64).wrapping_mul(977));
+                assigned += 1;
+                Request::Insert { object }
+            }
+            1 => Request::Remove {
+                id: rng.gen_range(0..assigned),
+            },
+            2..=5 => Request::Range {
+                query: items[rng.gen_range(0..items.len())].clone(),
+                radius: 2.0,
+            },
+            _ => Request::Knn {
+                query: items[rng.gen_range(0..items.len())].clone(),
+                k: 4,
+            },
+        })
+        .collect()
+}
+
+/// Mixed update/query chaos: the streaming stream under seeded **transient**
+/// device faults. Transient faults retry (queries) or repair (updates) on
+/// the same replica and disarm after firing, so unlike the permanent-kill
+/// soak the contract stays fully exact, not just degraded-exact:
+///
+/// * zero lost requests and **zero** typed errors;
+/// * every reply AND epoch stamp bit-identical to a serialized replay of
+///   the same stream against a clean index;
+/// * all replicas converge to the same epoch with bit-identical snapshots
+///   — and both match the serialized oracle's snapshot.
+fn mixed_chaos_soak(total: usize, transient: usize, seed: u64) {
+    let data = DatasetKind::Words.generate(300, 2028);
+    let reqs = mixed_update_sequence(&data.items, total, seed);
+    let n_updates = reqs.iter().filter(|r| r.is_update()).count() as u64;
+    assert!(n_updates > 0, "the stream must exercise the update path");
+
+    // Serialized oracle: a clean same-shape index replayed in admission
+    // order via the same `apply` surface the service lanes use.
+    let mut oracle = ShardedGts::build(
+        &DevicePool::rtx_2080_ti(2),
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(2),
+    )
+    .expect("build oracle");
+    let want: Vec<(Reply, u64)> = reqs
+        .iter()
+        .map(|r| {
+            let ack = |a: Applied| {
+                Reply::Update(UpdateAck {
+                    assigned: a.assigned,
+                    removed: a.removed,
+                })
+            };
+            match r {
+                Request::Range { query, radius } => (
+                    Reply::Neighbors(
+                        oracle
+                            .batch_range(std::slice::from_ref(query), &[*radius])
+                            .expect("oracle mrq")
+                            .pop()
+                            .expect("one answer"),
+                    ),
+                    oracle.epoch(),
+                ),
+                Request::Knn { query, k } => (
+                    Reply::Neighbors(
+                        oracle
+                            .batch_knn(std::slice::from_ref(query), *k)
+                            .expect("oracle knn")
+                            .pop()
+                            .expect("one answer"),
+                    ),
+                    oracle.epoch(),
+                ),
+                Request::Insert { object } => {
+                    let a = oracle
+                        .apply(&UpdateOp::Insert(object.clone()))
+                        .expect("oracle insert");
+                    let epoch = a.epoch;
+                    (ack(a), epoch)
+                }
+                Request::Remove { id } => {
+                    let a = oracle.apply(&UpdateOp::Remove(*id)).expect("oracle remove");
+                    let epoch = a.epoch;
+                    (ack(a), epoch)
+                }
+                Request::BatchUpdate {
+                    insertions,
+                    deletions,
+                } => {
+                    let a = oracle
+                        .apply(&UpdateOp::Batch {
+                            insertions: insertions.clone(),
+                            deletions: deletions.clone(),
+                        })
+                        .expect("oracle batch");
+                    let epoch = a.epoch;
+                    (ack(a), epoch)
+                }
+            }
+        })
+        .collect();
+
+    // The system under chaos: 2 shards × 2 replicas on 4 devices, 2 lanes.
+    let pool = DevicePool::rtx_2080_ti(4);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_shards(2).with_replicas(2),
+        )
+        .expect("build replicated"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_queue_depth(2048)
+        .with_sizing(BatchSizing::Fixed(8))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(2);
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+
+    // Transient-only faults, armed after construction so every one fires
+    // mid-serving — possibly inside an update's device phase.
+    let plan = FaultPlan::seeded(seed, pool.len(), transient, 0, 40);
+    plan.arm(&pool);
+
+    let h = svc.handle();
+    let mut tickets = Vec::with_capacity(total);
+    for r in &reqs {
+        loop {
+            match h.submit(r.clone()) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(ServiceError::QueueFull { .. }) => {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+    }
+    for (i, (t, (want_reply, want_epoch))) in tickets.into_iter().zip(&want).enumerate() {
+        let r = t.wait().expect("every request is answered");
+        let got = r.result.expect("transient faults never surface as errors");
+        assert_eq!(
+            got, *want_reply,
+            "request {i} drifted under transient chaos"
+        );
+        assert_eq!(r.epoch, *want_epoch, "request {i} epoch drifted");
+    }
+
+    let stats = svc.shutdown();
+    assert_eq!(stats.admitted, total as u64, "zero lost at admission");
+    assert_eq!(stats.completed, total as u64, "every request answered");
+    assert_eq!(stats.failed, 0, "transient-only chaos fails nothing");
+    assert_eq!(stats.updates_applied, n_updates);
+    assert_eq!(stats.epoch, n_updates);
+    assert!(
+        stats.device_faults >= 1,
+        "the armed plan fired at least once (faults: {:?})",
+        plan.specs()
+    );
+
+    // Convergence: every replica at the oracle's epoch with the oracle's
+    // exact serialized state, faults or not.
+    let oracle_snap = oracle.snapshot();
+    for r in 0..2 {
+        let replica = index.replica(r).read().expect("replica lock");
+        assert_eq!(replica.epoch(), n_updates, "replica {r} epoch");
+        assert_eq!(
+            replica.snapshot(),
+            oracle_snap,
+            "replica {r} state drifted from the serialized oracle"
+        );
+    }
+    println!(
+        "mixed chaos soak: {total} requests ({n_updates} updates), {} device faults, {} retries",
+        stats.device_faults, stats.retries,
+    );
+}
+
+#[test]
+fn mixed_chaos_soak_with_transient_faults_stays_exact() {
+    mixed_chaos_soak(500, 4, 0xFA_27);
+}
+
+/// The CI streaming soak (release; run with `--include-ignored`): 5k mixed
+/// requests under a heavier transient fault load.
+#[test]
+#[ignore = "5k-request mixed chaos soak; run in the CI streaming job (release)"]
+fn mixed_chaos_soak_five_thousand_requests() {
+    mixed_chaos_soak(5_000, 10, 0xFA_37);
 }
 
 #[test]
@@ -323,7 +535,7 @@ fn service_survives_a_panicking_metric() {
         .collect();
     for t in clean {
         let ans = t.wait().expect("still answering").result.expect("clean ok");
-        assert_eq!(ans.len(), 3);
+        assert_eq!(ans.neighbors().len(), 3);
     }
     let stats = svc.shutdown();
     assert_eq!(stats.completed, 7, "poisoned + clean all answered");

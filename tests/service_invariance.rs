@@ -93,14 +93,20 @@ fn build_sharded(n: usize, shards: u32, seed: u64) -> (Vec<Item>, ShardedGts<Ite
     (data.items, index)
 }
 
+/// Wrap a sharded index as a single fenced replica the service can own
+/// while the test keeps a handle for stats / clocks / direct reads.
+fn replicated(index: ShardedGts<Item, ItemMetric>) -> Arc<ReplicatedShards<Item, ItemMetric>> {
+    Arc::new(ReplicatedShards::from_replicas(vec![index]))
+}
+
 /// Push `reqs` through a service with config `cfg` and return the answers
 /// plus the final service stats.
 fn serve(
-    index: Arc<ShardedGts<Item, ItemMetric>>,
+    index: Arc<ReplicatedShards<Item, ItemMetric>>,
     cfg: ServiceConfig,
     reqs: &[Request<Item>],
 ) -> (Vec<Vec<Neighbor>>, ServiceStats) {
-    let svc = QueryService::start(index, cfg);
+    let svc = QueryService::start_replicated(index, cfg);
     let h = svc.handle();
     let tickets: Vec<Ticket> = reqs
         .iter()
@@ -112,7 +118,13 @@ fn serve(
     let stats = svc.shutdown();
     let answers: Vec<Vec<Neighbor>> = tickets
         .into_iter()
-        .map(|t| t.wait().expect("answered").result.expect("no index error"))
+        .map(|t| {
+            t.wait()
+                .expect("answered")
+                .result
+                .expect("no index error")
+                .neighbors()
+        })
         .collect();
     (answers, stats)
 }
@@ -126,7 +138,7 @@ fn size_triggered_service_matches_direct_batches() {
         let cfg = ServiceConfig::default()
             .with_sizing(BatchSizing::Fixed(7))
             .with_flush_deadline(Duration::from_secs(3600));
-        let (got, stats) = serve(Arc::new(index), cfg, &reqs);
+        let (got, stats) = serve(replicated(index), cfg, &reqs);
         assert_eq!(got, want, "shards = {shards}");
         assert_eq!(stats.completed, 90);
         assert!(
@@ -166,7 +178,7 @@ fn broadcast_enabled_index_matches_direct_through_the_service() {
         .collect();
     let want = direct_answers(&build(false), &reqs);
 
-    let index = Arc::new(build(true));
+    let index = replicated(build(true));
     let cfg = ServiceConfig::default()
         .with_sizing(BatchSizing::Fixed(8))
         .with_flush_deadline(Duration::from_secs(3600));
@@ -184,7 +196,14 @@ fn broadcast_enabled_index_matches_direct_through_the_service() {
     assert_eq!(
         index.stats().broadcast_tightened,
         (0..2)
-            .map(|s| index.shard_stats(s).broadcast_tightened)
+            .map(|s| {
+                index
+                    .replica(0)
+                    .read()
+                    .expect("replica lock")
+                    .shard_stats(s)
+                    .broadcast_tightened
+            })
             .sum(),
         "aggregate view sums the per-shard counters"
     );
@@ -202,7 +221,7 @@ fn deadline_triggered_service_matches_direct_batches() {
             .with_sizing(BatchSizing::Fixed(100_000))
             .with_max_batch(100_000)
             .with_flush_deadline(Duration::from_millis(2));
-        let (got, stats) = serve(Arc::new(index), cfg, &reqs);
+        let (got, stats) = serve(replicated(index), cfg, &reqs);
         assert_eq!(got, want, "shards = {shards}");
         assert_eq!(stats.completed, 60);
         assert_eq!(stats.size_flushes, 0, "the size trigger is unreachable");
@@ -223,7 +242,7 @@ fn cost_model_sized_service_matches_direct_batches() {
         samples: 128,
         seed: 41,
     });
-    let (got, stats) = serve(Arc::new(index), cfg, &reqs);
+    let (got, stats) = serve(replicated(index), cfg, &reqs);
     assert_eq!(got, want);
     assert!(stats.batch_target >= 1);
     assert_eq!(stats.admitted, 64);
@@ -236,7 +255,7 @@ fn identical_arrival_sequences_produce_identical_device_clocks() {
     // function of arrivals, so the simulated clocks must agree exactly.
     let run = || {
         let (items, index) = build_sharded(400, 2, 777);
-        let index = Arc::new(index);
+        let index = replicated(index);
         let reqs = request_sequence(&items, 56);
         let cfg = ServiceConfig::default()
             .with_sizing(BatchSizing::Fixed(8))
@@ -258,7 +277,6 @@ fn identical_arrival_sequences_produce_identical_device_clocks() {
 #[test]
 fn backpressure_rejects_but_never_corrupts() {
     let (items, index) = build_sharded(300, 2, 555);
-    let index = Arc::new(index);
     let want_one = direct_answers(&index, &request_sequence(&items, 1));
     // A depth-4 queue: the target clamps to the queue depth (a size
     // trigger the queue cannot hold would be unreachable), so batches of 4
@@ -271,7 +289,7 @@ fn backpressure_rejects_but_never_corrupts() {
         .with_sizing(BatchSizing::Fixed(100_000))
         .with_max_batch(100_000)
         .with_flush_deadline(Duration::from_millis(50));
-    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let svc = QueryService::start(index, cfg);
     assert_eq!(svc.batch_target(), 4, "the target clamps to queue depth");
     let h = svc.handle();
     let mut tickets = Vec::new();
@@ -293,7 +311,8 @@ fn backpressure_rejects_but_never_corrupts() {
         .wait()
         .expect("answered")
         .result
-        .expect("ok");
+        .expect("ok")
+        .neighbors();
     assert_eq!(first, want_one[0]);
     for t in tickets {
         t.wait().expect("answered").result.expect("ok");
@@ -315,21 +334,19 @@ fn soak_ten_thousand_requests() {
     const TOTAL: usize = 10_000;
     let data = DatasetKind::Vector.generate(600, 31);
     let pool = DevicePool::rtx_2080_ti(2);
-    let index = Arc::new(
-        ShardedGts::build(
-            &pool,
-            data.items.clone(),
-            data.metric,
-            GtsParams::default().with_shards(2),
-        )
-        .expect("build"),
-    );
+    let index = ShardedGts::build(
+        &pool,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(2),
+    )
+    .expect("build");
     let want_knn = index.batch_knn(&[data.items[5].clone()], 4).expect("knn");
     let cfg = ServiceConfig::default()
         .with_queue_depth(2048)
         .with_sizing(BatchSizing::Fixed(256))
         .with_flush_deadline(Duration::from_millis(1));
-    let svc = QueryService::start(Arc::clone(&index), cfg);
+    let svc = QueryService::start(index, cfg);
     let h = svc.handle();
     let mut tickets = Vec::with_capacity(TOTAL);
     for i in 0..TOTAL {
@@ -352,7 +369,7 @@ fn soak_ten_thousand_requests() {
     }
     for (i, t) in tickets.into_iter().enumerate() {
         let r = t.wait().expect("answered");
-        let ans = r.result.expect("ok");
+        let ans = r.result.expect("ok").neighbors();
         assert_eq!(ans.len(), 4, "request {i}");
         if (i * 7) % data.items.len() == 5 {
             assert_eq!(ans, want_knn[0], "request {i} answer drifted");

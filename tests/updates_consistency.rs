@@ -5,6 +5,7 @@ use gts::metric::Metric as _;
 use gts::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 /// Shadow oracle: all live objects with their ids.
 struct Oracle {
@@ -202,6 +203,84 @@ fn lbpg_randomized_updates() {
     let dev = Device::rtx_2080_ti();
     let idx = LbpgTree::build(&dev, data.items.clone(), data.metric).expect("build");
     run_mixed_workload(idx, &data, 7, 40, 0.8);
+}
+
+/// A snapshot taken mid-stream carries its update epoch: restore resumes
+/// the non-zero count instead of rewinding to 0, and a service stood up
+/// over the restored index answers bit-identically — results AND epoch
+/// stamps — to one over the original.
+#[test]
+fn snapshot_restore_resumes_epoch_and_serves_identically() {
+    let data = DatasetKind::Words.generate(300, 47);
+    let pool = DevicePool::rtx_2080_ti(2);
+    let mut index = ShardedGts::build(
+        &pool,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(2),
+    )
+    .expect("build");
+    // Five applied updates: four inserts and one remove.
+    let mut store = data.items.clone();
+    for i in 0..4u64 {
+        let obj = gts::metric::gen::perturb(&data.items[(i as usize) * 31], 47 + i);
+        index.insert(obj.clone()).expect("insert");
+        store.push(obj);
+    }
+    assert!(index.remove(5).expect("remove"));
+    assert_eq!(index.epoch(), 5, "every update advanced the epoch");
+
+    let bytes = index.snapshot();
+    let restored = ShardedGts::restore(&DevicePool::rtx_2080_ti(2), store, data.metric, &bytes)
+        .expect("restore");
+    assert_eq!(restored.epoch(), 5, "restore resumes the epoch, not zero");
+
+    // The same mixed stream — queries, one more update, queries after it —
+    // through services over both. Epoch stamps must agree too: the
+    // restored service keeps counting from 5.
+    let mut reqs: Vec<Request<Item>> = (0..12)
+        .map(|i| Request::Knn {
+            query: data.items[(i * 13) % 300].clone(),
+            k: 4,
+        })
+        .collect();
+    reqs.push(Request::Remove { id: 6 });
+    reqs.extend((0..6).map(|i| Request::Range {
+        query: data.items[(i * 29) % 300].clone(),
+        radius: 2.0,
+    }));
+    let serve = |idx: ShardedGts<Item, ItemMetric>| -> Vec<(Result<Reply, ServiceError>, u64)> {
+        let cfg = ServiceConfig::default()
+            .with_sizing(BatchSizing::Fixed(4))
+            .with_flush_deadline(Duration::from_millis(1));
+        let svc = QueryService::start(idx, cfg);
+        let h = svc.handle();
+        let tickets: Vec<Ticket> = reqs
+            .iter()
+            .map(|r| h.submit(r.clone()).expect("admitted"))
+            .collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, reqs.len() as u64);
+        tickets
+            .into_iter()
+            .map(|t| {
+                let r = t.wait().expect("answered");
+                (r.result, r.epoch)
+            })
+            .collect()
+    };
+    let original = serve(index);
+    let from_snapshot = serve(restored);
+    assert_eq!(original[0].1, 5, "queries before the update are stamped 5");
+    assert_eq!(
+        original.last().expect("answers").1,
+        6,
+        "the served remove advanced the resumed epoch"
+    );
+    assert_eq!(
+        original, from_snapshot,
+        "the restored service serves identically, epochs included"
+    );
 }
 
 #[test]
