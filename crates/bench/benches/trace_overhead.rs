@@ -1,0 +1,172 @@
+//! Tracing overhead: what the instrumentation costs on the paths that pay
+//! it, measured end-to-end on a batched kNN workload.
+//!
+//! Three modes over the same index and the same queries:
+//!
+//! * **baseline** — no recorder attached anywhere (the state a service
+//!   with `trace.enabled = false` runs in: one relaxed atomic load per
+//!   kernel launch);
+//! * **disabled** — a recorder attached to every device but switched off
+//!   (`set_enabled(false)`): every instrumentation site runs up to its
+//!   cheap early-return, nothing is retained;
+//! * **enabled** — full recording (rings cleared between trials so memory
+//!   stays bounded).
+//!
+//! Trials interleave round-robin and the figure of merit is the **minimum**
+//! wall time per mode (the noise-robust estimator for identical work). The
+//! bench *asserts* the acceptance floor: the disabled path costs ≤ 2% over
+//! baseline. It also asserts the determinism contract — all three modes
+//! leave bit-identical simulated clocks and answers.
+//!
+//! Results land in `BENCH_trace.json` at the workspace root (override with
+//! `GTS_BENCH_OUT`). Run with `cargo bench -p gts-bench --bench
+//! trace_overhead`.
+
+use gpu_sim::DevicePool;
+use gts_core::{GtsParams, ShardedGts};
+use gts_trace::{TraceConfig, TraceRecorder};
+use metric_space::{DatasetKind, Item, ItemMetric};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N: usize = 2_000;
+const SHARDS: u32 = 2;
+const K: usize = 8;
+const BATCH: usize = 64;
+const REPS: usize = 8;
+const TRIALS: usize = 9;
+
+fn build(pool: &DevicePool) -> (Vec<Item>, ShardedGts<Item, ItemMetric>) {
+    let data = DatasetKind::Vector.generate(N, 4242);
+    let index = ShardedGts::build(
+        pool,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(SHARDS),
+    )
+    .expect("build");
+    (data.items, index)
+}
+
+/// One timed trial: `REPS` identical batched kNN calls. Returns wall
+/// seconds and the pool's total simulated cycles afterwards (the
+/// determinism probe).
+fn trial(index: &ShardedGts<Item, ItemMetric>, queries: &[Item]) -> (f64, u64) {
+    let t = Instant::now();
+    for _ in 0..REPS {
+        let ans = index.batch_knn(queries, K).expect("knn");
+        assert_eq!(ans.len(), BATCH);
+    }
+    (
+        t.elapsed().as_secs_f64(),
+        index.pool().aggregate().cycles_total,
+    )
+}
+
+fn main() {
+    let pool = DevicePool::rtx_2080_ti(SHARDS as usize);
+    let (items, index) = build(&pool);
+    let queries: Vec<Item> = (0..BATCH).map(|i| items[(i * 17) % N].clone()).collect();
+
+    // Reference answers once, before any instrumentation state changes.
+    let want = index.batch_knn(&queries, K).expect("reference");
+
+    let rec = TraceRecorder::new(TraceConfig {
+        enabled: true,
+        ..TraceConfig::default()
+    });
+
+    // Interleaved trials: baseline / disabled / enabled per round, so host
+    // drift (thermal, scheduler) hits every mode equally.
+    let mut wall = [[0f64; TRIALS]; 3];
+    let mut cycle_delta = [[0u64; TRIALS]; 3];
+    let mut warm = true;
+    for t in 0..TRIALS {
+        for (mode, w) in wall.iter_mut().enumerate() {
+            match mode {
+                0 => pool.detach_tracer(),
+                1 => {
+                    pool.attach_tracer(&rec);
+                    rec.set_enabled(false);
+                }
+                _ => {
+                    pool.attach_tracer(&rec);
+                    rec.set_enabled(true);
+                    rec.clear();
+                }
+            }
+            if warm {
+                // One untimed warm-up pass on the very first round.
+                let _ = trial(&index, &queries);
+                warm = false;
+            }
+            let before = index.pool().aggregate().cycles_total;
+            let (secs, after) = trial(&index, &queries);
+            w[t] = secs;
+            cycle_delta[mode][t] = after - before;
+        }
+    }
+    pool.detach_tracer();
+    rec.set_enabled(true);
+
+    // Determinism: every trial of every mode charged the exact same
+    // simulated cycles, and answers never drifted.
+    let per_trial = cycle_delta[0][0];
+    for (mode, deltas) in cycle_delta.iter().enumerate() {
+        for (t, d) in deltas.iter().enumerate() {
+            assert_eq!(
+                *d, per_trial,
+                "mode {mode} trial {t}: tracing perturbed the simulated clocks"
+            );
+        }
+    }
+    assert_eq!(
+        index.batch_knn(&queries, K).expect("after"),
+        want,
+        "tracing perturbed answers"
+    );
+
+    let min_of = |xs: &[f64; TRIALS]| xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (base, disabled, enabled) = (min_of(&wall[0]), min_of(&wall[1]), min_of(&wall[2]));
+    let disabled_pct = (disabled / base - 1.0) * 100.0;
+    let enabled_pct = (enabled / base - 1.0) * 100.0;
+    println!(
+        "trace_overhead: baseline {:.1} ms | disabled {:.1} ms ({:+.2}%) | enabled {:.1} ms ({:+.2}%), {} events retained",
+        base * 1e3,
+        disabled * 1e3,
+        disabled_pct,
+        enabled * 1e3,
+        enabled_pct,
+        rec.events().len(),
+    );
+    assert!(
+        disabled_pct <= 2.0,
+        "disabled tracing must cost ≤ 2% over an unattached recorder, got {disabled_pct:+.2}%"
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"reps_per_trial\": {REPS},");
+    let _ = writeln!(json, "  \"trials\": {TRIALS},");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"cycles_per_trial\": {per_trial},");
+    let _ = writeln!(json, "  \"baseline_ms_min\": {:.3},", base * 1e3);
+    let _ = writeln!(json, "  \"disabled_ms_min\": {:.3},", disabled * 1e3);
+    let _ = writeln!(json, "  \"enabled_ms_min\": {:.3},", enabled * 1e3);
+    let _ = writeln!(json, "  \"disabled_overhead_pct\": {disabled_pct:.3},");
+    let _ = writeln!(json, "  \"enabled_overhead_pct\": {enabled_pct:.3},");
+    let _ = writeln!(json, "  \"disabled_overhead_limit_pct\": 2.0");
+    json.push_str("}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_trace.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_trace.json");
+    println!("wrote {out_path}");
+}

@@ -130,6 +130,10 @@ pub(crate) struct DescentEngine<'a, O, M> {
     /// group descent's call stack.
     stack: Vec<Frame>,
     scratch: SearchScratch,
+    /// Cross-shard bound tightenings received since the last traced level
+    /// span (tracing only — injections land between steps, so they are
+    /// attributed to the level processed right after).
+    pending_tightened: u64,
 }
 
 impl<'a, O, M> DescentEngine<'a, O, M>
@@ -176,6 +180,7 @@ where
             mode,
             stack: Vec::new(),
             scratch: SearchScratch::default(),
+            pending_tightened: 0,
         };
         if seed {
             let mut entries = engine.scratch.take_frontier();
@@ -249,6 +254,18 @@ where
                 continue;
             }
 
+            // Per-level trace span: snapshot the clock and the verified-leaf
+            // counter before the device action, record the delta after.
+            // Purely observational — the action's charges are untouched.
+            let trace = self.ctx.dev.tracer();
+            let pre = trace.as_ref().map(|_| {
+                (
+                    self.ctx.dev.cycles(),
+                    self.ctx.stats.leaf_verified.load(Ordering::Relaxed),
+                )
+            });
+            let frontier_len = entries.len() as u64;
+
             if level == shape.h {
                 // The segment's finish-leaves phase: verify, then retire.
                 match &mut self.mode {
@@ -273,6 +290,21 @@ where
                 }
                 self.scratch.put_frontier(entries);
                 self.stack.pop();
+                if let Some((rec, dev_id)) = trace {
+                    let (c0, v0) = pre.expect("snapshotted alongside the tracer");
+                    rec.record(gts_trace::TraceEvent::span(
+                        gts_trace::EventKind::Level {
+                            level,
+                            frontier: frontier_len,
+                            tightened: std::mem::take(&mut self.pending_tightened),
+                            verified: self.ctx.stats.leaf_verified.load(Ordering::Relaxed) - v0,
+                        },
+                        gts_trace::current_ctx(),
+                        Some(dev_id),
+                        c0,
+                        self.ctx.dev.cycles(),
+                    ));
+                }
                 return Ok(!self.stack.is_empty());
             }
 
@@ -311,6 +343,21 @@ where
             top.entries = Some(next);
             top.level = level + 1;
             self.scratch.put_frontier(entries);
+            if let Some((rec, dev_id)) = trace {
+                let (c0, v0) = pre.expect("snapshotted alongside the tracer");
+                rec.record(gts_trace::TraceEvent::span(
+                    gts_trace::EventKind::Level {
+                        level,
+                        frontier: frontier_len,
+                        tightened: std::mem::take(&mut self.pending_tightened),
+                        verified: self.ctx.stats.leaf_verified.load(Ordering::Relaxed) - v0,
+                    },
+                    gts_trace::current_ctx(),
+                    Some(dev_id),
+                    c0,
+                    self.ctx.dev.cycles(),
+                ));
+            }
             return Ok(true);
         }
     }
@@ -361,6 +408,7 @@ where
             self.ctx
                 .stats
                 .add(&self.ctx.stats.broadcast_tightened, tightened);
+            self.pending_tightened += tightened;
         }
     }
 

@@ -595,6 +595,41 @@ where
         }
     }
 
+    // -- tracing ------------------------------------------------------------
+
+    /// The trace recorder attached to any of this index's devices (tracing
+    /// is attached pool-wide, so the first hit is authoritative).
+    fn tracer(&self) -> Option<(std::sync::Arc<gts_trace::TraceRecorder>, u32)> {
+        (0..self.replicas.len()).find_map(|r| {
+            self.rlock(r)
+                .pool()
+                .devices()
+                .iter()
+                .find_map(|d| d.tracer())
+        })
+    }
+
+    /// Record one replica-layer instant (retry, degradation, dead shard),
+    /// stamped at replica `r`'s current critical path. Observational only;
+    /// called exclusively on failure paths, so the healthy fast path never
+    /// pays the device scan.
+    fn trace_instant(&self, r: usize, kind: gts_trace::EventKind) {
+        let Some((rec, _)) = self.tracer() else {
+            return;
+        };
+        let at = self
+            .rlock(r)
+            .pool()
+            .devices()
+            .iter()
+            .map(|d| d.cycles())
+            .max()
+            .unwrap_or(0);
+        let mut ctx = gts_trace::current_ctx();
+        ctx.replica = Some(r as u32);
+        rec.record(gts_trace::TraceEvent::instant(kind, ctx, None, at));
+    }
+
     // -- retry machinery ----------------------------------------------------
 
     /// The whole-replica fast path: route the batch to one fully-healthy
@@ -622,7 +657,12 @@ where
                 self.retries.fetch_add(1, Ordering::Relaxed);
             }
             first_attempt = false;
-            match classify(|| call(&self.rlock(r))) {
+            match classify(|| {
+                let mut ctx = gts_trace::current_ctx();
+                ctx.replica = Some(r as u32);
+                let _scope = gts_trace::scoped_ctx(ctx);
+                call(&self.rlock(r))
+            }) {
                 Caught::Done(res) => return Some(res.map_err(ReplicaError::Index)),
                 Caught::Fault(kind) => {
                     self.device_faults.fetch_add(1, Ordering::Relaxed);
@@ -631,11 +671,23 @@ where
                     // Permanent: the device is quarantined, so the
                     // fully-healthy filter drops the replica next round.
                     let _ = kind;
+                    self.trace_instant(
+                        r,
+                        gts_trace::EventKind::ReplicaRetry {
+                            cause: gts_trace::RetryCause::DeviceFault,
+                        },
+                    );
                 }
                 Caught::Panic => {
                     self.metric_panics.fetch_add(1, Ordering::Relaxed);
                     self.strikes[r].fetch_add(1, Ordering::Relaxed);
                     banned[r] = true;
+                    self.trace_instant(
+                        r,
+                        gts_trace::EventKind::ReplicaRetry {
+                            cause: gts_trace::RetryCause::Panic,
+                        },
+                    );
                 }
             }
         }
@@ -653,6 +705,7 @@ where
         call: impl Fn(&ShardedGts<O, M>, usize) -> Result<Vec<Vec<Neighbor>>, IndexError> + Sync,
     ) -> Result<Vec<Vec<Vec<Neighbor>>>, ReplicaError> {
         self.degraded_calls.fetch_add(1, Ordering::Relaxed);
+        self.trace_instant(0, gts_trace::EventKind::Degraded);
         let call = &call;
         let results: Vec<Result<Vec<Vec<Neighbor>>, ReplicaError>> =
             scoped_map((0..self.shards).collect(), |_, s| {
@@ -667,6 +720,15 @@ where
                         return Err(if self.shard_alive(s) {
                             ReplicaError::AllReplicasFailed { shard: s as u32 }
                         } else {
+                            if let Some((rec, _)) = self.tracer() {
+                                rec.record(gts_trace::TraceEvent::instant(
+                                    gts_trace::EventKind::ShardUnavailable { shard: s as u32 },
+                                    gts_trace::current_ctx(),
+                                    None,
+                                    0,
+                                ));
+                                rec.flight_dump(gts_trace::DumpReason::ShardUnavailable);
+                            }
                             ReplicaError::ShardUnavailable { shard: s as u32 }
                         });
                     };
@@ -674,15 +736,32 @@ where
                         self.retries.fetch_add(1, Ordering::Relaxed);
                     }
                     first_attempt = false;
-                    match classify(|| call(&self.rlock(r), s)) {
+                    match classify(|| {
+                        let mut ctx = gts_trace::current_ctx();
+                        ctx.replica = Some(r as u32);
+                        let _scope = gts_trace::scoped_ctx(ctx);
+                        call(&self.rlock(r), s)
+                    }) {
                         Caught::Done(res) => return res.map_err(ReplicaError::Index),
                         Caught::Fault(_) => {
                             self.device_faults.fetch_add(1, Ordering::Relaxed);
+                            self.trace_instant(
+                                r,
+                                gts_trace::EventKind::ReplicaRetry {
+                                    cause: gts_trace::RetryCause::DeviceFault,
+                                },
+                            );
                         }
                         Caught::Panic => {
                             self.metric_panics.fetch_add(1, Ordering::Relaxed);
                             self.strikes[r].fetch_add(1, Ordering::Relaxed);
                             banned[r] = true;
+                            self.trace_instant(
+                                r,
+                                gts_trace::EventKind::ReplicaRetry {
+                                    cause: gts_trace::RetryCause::Panic,
+                                },
+                            );
                         }
                     }
                 }

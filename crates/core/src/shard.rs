@@ -209,12 +209,21 @@ pub(crate) fn scoped_map<I: Send, T: Send>(
             .map(|(i, it)| f(i, it))
             .collect();
     }
+    // Trace contexts are thread-local: replant the caller's context inside
+    // every scatter thread so events recorded there keep the request/batch
+    // association (a no-op context plants a no-op).
+    let ctx = gts_trace::current_ctx();
     std::thread::scope(|scope| {
         let f = &f;
         let handles: Vec<_> = items
             .into_iter()
             .enumerate()
-            .map(|(i, it)| scope.spawn(move || f(i, it)))
+            .map(|(i, it)| {
+                scope.spawn(move || {
+                    let _scope = gts_trace::scoped_ctx(ctx);
+                    f(i, it)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -227,6 +236,34 @@ pub(crate) fn scoped_map<I: Send, T: Send>(
             })
             .collect()
     })
+}
+
+/// Run one shard's slice of a scatter under a shard-tagged trace context,
+/// recording a [`ShardScatter`](gts_trace::EventKind::ShardScatter) span
+/// over the shard device's clock. Free when no tracer is attached; never
+/// advances the clock either way.
+fn traced_shard<O, M, T>(s: usize, shard: &Shard<O, M>, f: impl FnOnce() -> T) -> T
+where
+    O: Clone + Send + Sync + Footprint,
+    M: BatchMetric<O>,
+{
+    let mut ctx = gts_trace::current_ctx();
+    ctx.shard = Some(s as u32);
+    let _scope = gts_trace::scoped_ctx(ctx);
+    let dev = shard.gts.device();
+    let trace = dev.tracer();
+    let begin = trace.as_ref().map(|_| dev.cycles());
+    let out = f();
+    if let Some((rec, dev_id)) = trace {
+        rec.record(gts_trace::TraceEvent::span(
+            gts_trace::EventKind::ShardScatter,
+            gts_trace::current_ctx(),
+            Some(dev_id),
+            begin.expect("snapshotted alongside the tracer"),
+            dev.cycles(),
+        ));
+    }
+    out
 }
 
 /// Auto host-thread budget for one shard: shards scatter onto their own
@@ -349,7 +386,30 @@ where
     /// scatter/merge. Each shard drives only its own device, so per-device
     /// counters stay deterministic regardless of interleaving.
     fn scatter<T: Send>(&self, f: impl Fn(&Shard<O, M>) -> T + Sync) -> Vec<T> {
-        scoped_map(self.shards.iter().collect(), |_, shard| f(shard))
+        scoped_map(self.shards.iter().collect(), |s, shard| {
+            traced_shard(s, shard, || f(shard))
+        })
+    }
+
+    /// Record a `Merge` instant (per-shard answers folded into global ones)
+    /// against the first traced device, stamped at the post-scatter critical
+    /// path — the max shard clock, i.e. when the merge could begin.
+    fn trace_merge(&self, results: u64) {
+        let Some((rec, dev_id)) = self.shards.iter().find_map(|sh| sh.gts.device().tracer()) else {
+            return;
+        };
+        let at = self
+            .shards
+            .iter()
+            .map(|sh| sh.gts.device().cycles())
+            .max()
+            .unwrap_or(0);
+        rec.record(gts_trace::TraceEvent::instant(
+            gts_trace::EventKind::Merge { results },
+            gts_trace::current_ctx(),
+            Some(dev_id),
+            at,
+        ));
     }
 
     /// Batched metric range query: every query runs on every shard;
@@ -371,6 +431,7 @@ where
         for m in &mut merged {
             sort_neighbors(m);
         }
+        self.trace_merge(merged.len() as u64);
         Ok(merged)
     }
 
@@ -394,15 +455,25 @@ where
     pub fn batch_knn(&self, queries: &[O], k: usize) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         if self.broadcast_active(queries.len(), k) {
             let exchange = BoundExchange::new(self.shards.len(), queries.len());
-            let per_shard = scoped_map(self.shards.iter().collect(), |_, sh| {
-                sh.gts
-                    .batch_knn_lockstep(queries, k, &exchange)
-                    .map(|r| sh.remap(r))
+            let per_shard = scoped_map(self.shards.iter().collect(), |s, sh| {
+                traced_shard(s, sh, || {
+                    sh.gts
+                        .batch_knn_lockstep(queries, k, &exchange)
+                        .map(|r| sh.remap(r))
+                })
             });
-            return Self::merge_knn(per_shard, queries.len(), k);
+            let merged = Self::merge_knn(per_shard, queries.len(), k);
+            if merged.is_ok() {
+                self.trace_merge(queries.len() as u64);
+            }
+            return merged;
         }
         let per_shard = self.scatter(|sh| sh.gts.batch_knn(queries, k).map(|r| sh.remap(r)));
-        Self::merge_knn(per_shard, queries.len(), k)
+        let merged = Self::merge_knn(per_shard, queries.len(), k);
+        if merged.is_ok() {
+            self.trace_merge(queries.len() as u64);
+        }
+        merged
     }
 
     /// Approximate batched MkNNQ ([`Gts::batch_knn_approx`]), scattered to
@@ -471,7 +542,9 @@ where
         radii: &[f64],
     ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         let sh = &self.shards[s];
-        sh.gts.batch_range(queries, radii).map(|r| sh.remap(r))
+        traced_shard(s, sh, || {
+            sh.gts.batch_range(queries, radii).map(|r| sh.remap(r))
+        })
     }
 
     /// kNN against **one shard only**, remapped to global ids; the shard's
@@ -483,7 +556,7 @@ where
         k: usize,
     ) -> Result<Vec<Vec<Neighbor>>, IndexError> {
         let sh = &self.shards[s];
-        sh.gts.batch_knn(queries, k).map(|r| sh.remap(r))
+        traced_shard(s, sh, || sh.gts.batch_knn(queries, k).map(|r| sh.remap(r)))
     }
 
     /// Toggle the cross-shard kNN bound broadcast on every shard (see

@@ -4,12 +4,21 @@ use crate::config::DeviceConfig;
 use crate::error::GpuError;
 use crate::exec;
 use crate::fault::{DeviceFault, FaultKind};
+use gts_trace::{DumpReason, EventKind, TraceEvent, TraceRecorder};
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Sentinel for "no fault armed" in the launch countdown.
 const DISARMED: u64 = u64::MAX;
+
+/// An attached trace destination: the recorder plus this device's ordinal
+/// in the traced pool (its Chrome track id).
+#[derive(Clone, Debug)]
+struct TraceSink {
+    rec: Arc<TraceRecorder>,
+    device: u32,
+}
 
 /// A simulated GPU. Shared via `Arc`; all counters are atomic, so one device
 /// can back several indexes at once (as in the paper, where the index and
@@ -41,6 +50,14 @@ pub struct Device {
     healthy: AtomicBool,
     /// Faults that have fired on this device.
     faults: AtomicU64,
+    /// Fast-path flag: true while a trace recorder is attached. The
+    /// disabled path of every would-be trace site is this single relaxed
+    /// load (and its predictable branch).
+    trace_on: AtomicBool,
+    /// The attached recorder, if any. Events *observe* the clock this
+    /// device already advanced — recording never moves simulated time, so
+    /// tracing cannot change answers, epochs, or cycle counts.
+    trace: RwLock<Option<TraceSink>>,
 }
 
 /// Snapshot of the device counters.
@@ -85,6 +102,8 @@ impl Device {
             fault_kind: AtomicU8::new(0),
             healthy: AtomicBool::new(true),
             faults: AtomicU64::new(0),
+            trace_on: AtomicBool::new(false),
+            trace: RwLock::new(None),
         })
     }
 
@@ -147,6 +166,56 @@ impl Device {
             oom_events: self.oom_events.load(Ordering::Relaxed),
             faults_injected: self.faults.load(Ordering::Relaxed),
             healthy: self.is_healthy(),
+        }
+    }
+
+    // -- tracing ------------------------------------------------------------
+
+    /// Attach a trace recorder; `device` is this device's ordinal in the
+    /// traced pool (its track id in exports). Kernel launches and injected
+    /// faults record typed events from now on. Replaces any previous
+    /// attachment.
+    pub fn attach_tracer(&self, rec: Arc<TraceRecorder>, device: u32) {
+        *self.trace.write().unwrap_or_else(|e| e.into_inner()) = Some(TraceSink { rec, device });
+        self.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Detach the trace recorder (recording stops; already-recorded events
+    /// stay with the recorder).
+    pub fn detach_tracer(&self) {
+        self.trace_on.store(false, Ordering::Release);
+        *self.trace.write().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// The attached recorder and this device's traced ordinal, if any —
+    /// how the index layers above reach the recorder without threading a
+    /// handle through every call.
+    pub fn tracer(&self) -> Option<(Arc<TraceRecorder>, u32)> {
+        if !self.trace_on.load(Ordering::Acquire) {
+            return None;
+        }
+        self.trace
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|s| (Arc::clone(&s.rec), s.device))
+    }
+
+    /// Record one event against the attached recorder. The closure only
+    /// runs when a recorder is attached; `device` is filled in from the
+    /// attachment.
+    #[inline]
+    pub fn trace_event(&self, f: impl FnOnce(u32) -> TraceEvent) {
+        if !self.trace_on.load(Ordering::Acquire) {
+            return;
+        }
+        if let Some(sink) = self
+            .trace
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+        {
+            sink.rec.record(f(sink.device));
         }
     }
 
@@ -224,6 +293,28 @@ impl Device {
                         if kind == FaultKind::Permanent {
                             self.quarantine();
                         }
+                        // Flight recorder: stamp the fault and snapshot the
+                        // tail of the trace *before* unwinding, so the dump
+                        // still holds the faulting request's span chain.
+                        if self.trace_on.load(Ordering::Acquire) {
+                            if let Some(sink) = self
+                                .trace
+                                .read()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .as_ref()
+                            {
+                                let now = self.cycles.load(Ordering::Relaxed);
+                                sink.rec.record(TraceEvent::instant(
+                                    EventKind::Fault {
+                                        permanent: kind == FaultKind::Permanent,
+                                    },
+                                    gts_trace::current_ctx(),
+                                    Some(sink.device),
+                                    now,
+                                ));
+                                sink.rec.flight_dump(DumpReason::DeviceFault);
+                            }
+                        }
                         std::panic::panic_any(DeviceFault { kind });
                     }
                     Err(actual) => {
@@ -252,12 +343,29 @@ impl Device {
         self.check_fault();
         let c = u64::from(self.cfg.cores);
         let exec_cycles = (w.div_ceil(c)).max(span);
-        self.cycles.fetch_add(
-            exec_cycles + self.cfg.kernel_launch_cycles,
-            Ordering::Relaxed,
-        );
+        let charged = exec_cycles + self.cfg.kernel_launch_cycles;
+        // `fetch_add` returns the pre-charge clock, giving the kernel span
+        // its begin cycle for free — tracing observes the very same advance
+        // the un-traced path performs, so counters are bit-identical.
+        let begin = self.cycles.fetch_add(charged, Ordering::Relaxed);
         self.work.fetch_add(w, Ordering::Relaxed);
         self.kernels.fetch_add(1, Ordering::Relaxed);
+        if self.trace_on.load(Ordering::Acquire) {
+            if let Some(sink) = self
+                .trace
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+            {
+                sink.rec.record(TraceEvent::span(
+                    EventKind::Kernel { work: w, span },
+                    gts_trace::current_ctx(),
+                    Some(sink.device),
+                    begin,
+                    begin + charged,
+                ));
+            }
+        }
     }
 
     /// Launch a map-style kernel over `0..n`: each thread `i` computes
@@ -737,5 +845,79 @@ mod tests {
             }
         });
         assert_eq!(dev.allocated_bytes(), 0);
+    }
+
+    #[test]
+    fn tracing_never_perturbs_device_counters() {
+        use gts_trace::TraceConfig;
+        let plain = tiny_device(1 << 20);
+        let traced = tiny_device(1 << 20);
+        let rec = Arc::new(TraceRecorder::new(TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }));
+        traced.attach_tracer(Arc::clone(&rec), 0);
+        let works: Vec<u64> = (0..500).map(|i| (i % 9 + 1) as u64).collect();
+        for dev in [&plain, &traced] {
+            dev.launch_map(500, |i| (i, works[i]));
+            dev.charge_kernel(4352 * 3, 2);
+        }
+        let after_kernels = traced.cycles();
+        for dev in [&plain, &traced] {
+            dev.h2d_transfer(1024);
+        }
+        assert_eq!(
+            plain.stats(),
+            traced.stats(),
+            "tracing observes the clock, never advances it"
+        );
+        let events = rec.events();
+        let kernels: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Kernel { .. }))
+            .collect();
+        assert_eq!(kernels.len(), 2, "one span per kernel launch");
+        // Span begin/end bracket exactly the charged interval.
+        assert_eq!(kernels[0].begin_cycles, 0);
+        assert_eq!(kernels[1].end_cycles, after_kernels);
+    }
+
+    #[test]
+    fn armed_fault_records_event_and_flight_dump() {
+        use gts_trace::TraceConfig;
+        let dev = tiny_device(1 << 20);
+        let rec = Arc::new(TraceRecorder::new(TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        }));
+        dev.attach_tracer(Arc::clone(&rec), 3);
+        dev.arm_fault(2, FaultKind::Transient);
+        dev.charge_kernel(100, 1); // decrements the countdown
+        let err =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dev.charge_kernel(100, 1)));
+        assert!(err.is_err(), "armed fault fires");
+        let dumps = rec.flight_dumps();
+        assert_eq!(dumps.len(), 1, "the fault snapshotted the trace tail");
+        assert_eq!(dumps[0].reason, DumpReason::DeviceFault);
+        let fault_evs: Vec<_> = dumps[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Fault { permanent: false }))
+            .collect();
+        assert_eq!(fault_evs.len(), 1);
+        assert_eq!(fault_evs[0].device, Some(3));
+        assert!(
+            dumps[0]
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::Kernel { .. })),
+            "the dump retains the kernels launched before the fault"
+        );
+        // Detaching stops recording without losing what's there.
+        dev.detach_tracer();
+        dev.disarm_fault();
+        dev.charge_kernel(100, 1);
+        assert_eq!(rec.events().len(), rec.events().len());
+        assert!(dev.tracer().is_none());
     }
 }

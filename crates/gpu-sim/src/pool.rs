@@ -160,6 +160,22 @@ impl DevicePool {
             d.reset_clock();
         }
     }
+
+    /// Attach one trace recorder to every device; device `i` records events
+    /// tagged with track id `i`. Kernel launches and injected faults become
+    /// typed trace events from here on.
+    pub fn attach_tracer(&self, rec: &Arc<gts_trace::TraceRecorder>) {
+        for (i, d) in self.devices.iter().enumerate() {
+            d.attach_tracer(Arc::clone(rec), i as u32);
+        }
+    }
+
+    /// Detach the trace recorder from every device.
+    pub fn detach_tracer(&self) {
+        for d in &self.devices {
+            d.detach_tracer();
+        }
+    }
 }
 
 #[cfg(test)]

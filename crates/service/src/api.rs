@@ -71,6 +71,11 @@ pub enum FlushTrigger {
 /// Per-request latency breakdown, reported with every [`Response`].
 #[derive(Clone, Copy, Debug)]
 pub struct LatencyBreakdown {
+    /// The service-assigned request id, minted at admission in submission
+    /// order. With tracing enabled this is the id the request's trace
+    /// events carry ([`gts_trace::TraceCtx::request`]), so a response links
+    /// directly to its span chain in a trace export or flight dump.
+    pub request: gts_trace::RequestId,
     /// Host wall-clock microseconds the request spent in the admission
     /// queue, from submission to batch flush.
     pub queue_wait_us: u64,
@@ -280,6 +285,7 @@ mod tests {
             result: Ok(Reply::Neighbors(Vec::new())),
             epoch: 0,
             latency: LatencyBreakdown {
+                request: gts_trace::RequestId(7),
                 queue_wait_us: 1,
                 batch_span_cycles: 2,
                 batch_size: 3,

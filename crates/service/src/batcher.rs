@@ -28,6 +28,7 @@
 //! of buffering batches without bound.
 
 use crate::api::{FlushTrigger, Request, Response, ServiceError, Ticket};
+use gts_trace::RequestId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -75,6 +76,13 @@ pub struct ServiceConfig {
     /// number of replicas in the served index (extra lanes would race on
     /// the same devices and destroy clock determinism).
     pub lanes: usize,
+    /// Tracing configuration. Disabled by default; when enabled the
+    /// service creates a [`gts_trace::TraceRecorder`], attaches it to every
+    /// device, and threads per-request span context from admission to
+    /// kernel launch. Tracing observes the simulated clocks and never
+    /// advances them, so answers, epochs, and cycle counts are bit-identical
+    /// with it on or off.
+    pub trace: gts_trace::TraceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -89,6 +97,7 @@ impl Default for ServiceConfig {
             },
             max_batch: 4096,
             lanes: 1,
+            trace: gts_trace::TraceConfig::default(),
         }
     }
 }
@@ -126,6 +135,12 @@ impl ServiceConfig {
         self.lanes = lanes;
         self
     }
+
+    /// Builder-style tracing override (see [`ServiceConfig::trace`]).
+    pub fn with_tracing(mut self, trace: gts_trace::TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
 }
 
 /// One queued request: the payload, its response channel, and its
@@ -135,6 +150,9 @@ pub(crate) struct Pending<O> {
     pub(crate) req: Request<O>,
     pub(crate) tx: mpsc::SyncSender<Response>,
     pub(crate) enqueued: Instant,
+    /// Service-assigned request id, minted under the admission lock so ids
+    /// follow admission order (the trace/latency correlation key).
+    pub(crate) id: RequestId,
 }
 
 /// What a flushed batch holds: queries or updates, never both. The drain
@@ -154,9 +172,13 @@ pub(crate) enum BatchKind {
 /// One flushed batch: FIFO-ordered entries with their queue waits stamped
 /// at flush time, plus the trigger that shipped it.
 pub(crate) struct Batch<O> {
-    pub(crate) entries: Vec<(Request<O>, mpsc::SyncSender<Response>, u64)>,
+    pub(crate) entries: Vec<(Request<O>, mpsc::SyncSender<Response>, u64, RequestId)>,
     pub(crate) trigger: FlushTrigger,
     pub(crate) kind: BatchKind,
+    /// Flush sequence number, assigned by the batcher in flush order — the
+    /// batch id trace events carry. Broadcast copies of an update batch
+    /// share the seq of the flushed batch they duplicate.
+    pub(crate) seq: u64,
     /// Whether this lane answers the tickets. Update batches are broadcast
     /// to every lane but each ticket must receive exactly one response:
     /// only the lane-0 copy responds, the other lanes apply silently.
@@ -178,6 +200,8 @@ pub(crate) struct Shared<O> {
     deadline: Duration,
     pub(crate) admitted: AtomicU64,
     pub(crate) rejected: AtomicU64,
+    /// Next request id to mint (see [`Pending::id`]).
+    pub(crate) next_request: AtomicU64,
 }
 
 impl<O> Shared<O> {
@@ -193,6 +217,7 @@ impl<O> Shared<O> {
             deadline,
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            next_request: AtomicU64::new(0),
         })
     }
 
@@ -234,10 +259,15 @@ impl<O> SubmitHandle<O> {
                 depth: self.shared.depth,
             });
         }
+        // Minted under the admission lock: ids follow admission order, so a
+        // deterministic arrival sequence gets deterministic ids (rejected
+        // submissions consume none).
+        let id = RequestId(self.shared.next_request.fetch_add(1, Ordering::Relaxed));
         st.queue.push_back(Pending {
             req,
             tx,
             enqueued: Instant::now(),
+            id,
         });
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
         let len = st.queue.len();
@@ -294,13 +324,14 @@ fn drain<O>(queue: &mut VecDeque<Pending<O>>, limit: usize, trigger: FlushTrigge
         .map(|p| {
             let wait = now.saturating_duration_since(p.enqueued);
             let wait_us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
-            (p.req, p.tx, wait_us)
+            (p.req, p.tx, wait_us, p.id)
         })
         .collect();
     Batch {
         entries,
         trigger,
         kind,
+        seq: 0, // assigned by the batcher loop in flush order
         respond: true,
     }
 }
@@ -343,7 +374,10 @@ fn poison<O>(shared: &Shared<O>) {
 pub(crate) fn run<O: Clone>(shared: &Shared<O>, lane_txs: &[mpsc::SyncSender<Batch<O>>]) {
     assert!(!lane_txs.is_empty(), "the batcher needs at least one lane");
     let mut next_lane = 0usize;
-    let mut send = move |batch: Batch<O>| {
+    let mut next_seq = 0u64;
+    let mut send = move |mut batch: Batch<O>| {
+        batch.seq = next_seq;
+        next_seq += 1;
         match batch.kind {
             BatchKind::Query => {
                 let tx = &lane_txs[next_lane];
@@ -359,10 +393,11 @@ pub(crate) fn run<O: Clone>(shared: &Shared<O>, lane_txs: &[mpsc::SyncSender<Bat
                         entries: batch
                             .entries
                             .iter()
-                            .map(|(req, tx, wait)| (req.clone(), tx.clone(), *wait))
+                            .map(|(req, tx, wait, id)| (req.clone(), tx.clone(), *wait, *id))
                             .collect(),
                         trigger: batch.trigger,
                         kind: BatchKind::Update,
+                        seq: batch.seq,
                         respond: false,
                     };
                     tx.send(copy)?;
@@ -466,16 +501,18 @@ mod tests {
                 req: Request::Knn { query: i, k: 1 },
                 tx: tx.clone(),
                 enqueued: Instant::now(),
+                id: RequestId(u64::from(i)),
             });
         }
         let batch = drain(&mut q, 3, FlushTrigger::Size);
         assert_eq!(batch.entries.len(), 3);
         assert_eq!(q.len(), 2);
-        for (i, (req, _, _)) in batch.entries.iter().enumerate() {
+        for (i, (req, _, _, id)) in batch.entries.iter().enumerate() {
             let Request::Knn { query, .. } = req else {
                 panic!("knn expected")
             };
             assert_eq!(*query as usize, i, "FIFO order preserved");
+            assert_eq!(id.0 as usize, i, "admission ids ride the batch");
         }
     }
 
@@ -500,6 +537,7 @@ mod tests {
         assert_eq!(b1.trigger, FlushTrigger::Size);
         assert_eq!(b1.entries.len(), 4);
         assert_eq!(b2.entries.len(), 4);
+        assert_eq!((b1.seq, b2.seq), (0, 1), "flush order assigns batch seqs");
         // Shutdown drains the two stragglers.
         shared.stop();
         let b3 = rx.recv_timeout(Duration::from_secs(5)).expect("drain");
@@ -587,6 +625,7 @@ mod tests {
                 req,
                 tx: tx.clone(),
                 enqueued: Instant::now(),
+                id: RequestId(0),
             });
         }
         // The limit would take everything; the kind flips cut it into

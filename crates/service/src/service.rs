@@ -21,11 +21,16 @@ use crate::batcher::EXECUTOR_PIPELINE_BATCHES;
 use crate::batcher::{self, Batch, BatchKind, BatchSizing, ServiceConfig, Shared, SubmitHandle};
 use crate::stats::{ExecutorStats, ServiceStats};
 use gts_core::{ReplicatedShards, ShardedGts, UpdateOp};
+use gts_trace::{DumpReason, EventKind, RequestId, TraceEvent, TraceRecorder};
 use metric_space::index::Neighbor;
 use metric_space::{BatchMetric, Footprint};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+
+/// One flushed-batch entry as the executor sees it: the request, its
+/// response channel, its stamped queue wait, and its service-assigned id.
+type Entry<O> = (Request<O>, mpsc::SyncSender<Response>, u64, RequestId);
 
 /// The online query service: accepts individual [`Request`]s through
 /// [`SubmitHandle`]s, microbatches them, and executes the batches against
@@ -75,6 +80,9 @@ pub struct QueryService<O, M> {
     lanes: Vec<JoinHandle<()>>,
     batch_target: usize,
     num_lanes: usize,
+    /// The trace recorder, when [`ServiceConfig::trace`] enabled one. The
+    /// same recorder is attached to every device of every replica.
+    trace: Option<Arc<TraceRecorder>>,
 }
 
 impl<O, M> QueryService<O, M>
@@ -135,6 +143,27 @@ where
         // deadline).
         .clamp(1, cfg.max_batch.min(cfg.queue_depth));
         let shared = Shared::new(cfg.queue_depth, batch_target, cfg.flush_deadline);
+        // Tracing: one recorder shared by every layer, attached to every
+        // device of every replica with globally unique track ids. Purely
+        // observational — it reads the simulated clocks, never advances
+        // them, so enabling it changes no answer, epoch, or cycle count.
+        let trace = cfg.trace.enabled.then(|| {
+            let rec = TraceRecorder::new(cfg.trace);
+            let mut dev_id = 0u32;
+            for r in 0..index.num_replicas() {
+                for d in index
+                    .replica(r)
+                    .read()
+                    .expect("replica lock")
+                    .pool()
+                    .devices()
+                {
+                    d.attach_tracer(Arc::clone(&rec), dev_id);
+                    dev_id += 1;
+                }
+            }
+            rec
+        });
         let exec_stats = Arc::new(Mutex::new(ExecutorStats {
             lane_batches: vec![0; num_lanes],
             ..ExecutorStats::default()
@@ -159,12 +188,15 @@ where
             .map(|(lane, rx)| {
                 let index = Arc::clone(&index);
                 let stats = Arc::clone(&exec_stats);
+                let trace = trace.clone();
                 // Disjoint preferred replica sets: lane l owns every
                 // replica congruent to l mod L.
                 let prefer: Vec<usize> = (0..index.num_replicas())
                     .filter(|r| r % num_lanes == lane)
                     .collect();
-                std::thread::spawn(move || run_lane(&index, lane, &prefer, &rx, &stats))
+                std::thread::spawn(move || {
+                    run_lane(&index, lane, &prefer, &rx, &stats, trace.as_ref())
+                })
             })
             .collect();
         QueryService {
@@ -175,6 +207,7 @@ where
             lanes,
             batch_target,
             num_lanes,
+            trace,
         }
     }
 
@@ -201,6 +234,13 @@ where
         &self.index
     }
 
+    /// The trace recorder, when [`ServiceConfig::trace`] enabled tracing:
+    /// export with [`TraceRecorder::to_chrome_json`], summarize with
+    /// [`TraceRecorder::summary`], or inspect flight dumps directly.
+    pub fn trace(&self) -> Option<&Arc<TraceRecorder>> {
+        self.trace.as_ref()
+    }
+
     /// Point-in-time statistics (the service keeps running).
     pub fn stats(&self) -> ServiceStats {
         self.collect_stats()
@@ -215,8 +255,17 @@ where
     }
 
     fn collect_stats(&self) -> ServiceStats {
-        let e = self.exec_stats.lock().expect("executor stats lock");
+        let e = self.exec_stats.lock().unwrap_or_else(|p| p.into_inner());
         let replica = self.index.replica_stats();
+        // Snapshot-time reconciliation of the lane/batch ledger. Every
+        // flushed batch is executed once per responsible lane — query
+        // batches by one lane, update batches by all L — so a healthy
+        // service satisfies `Σ lane_batches = batches + (L−1)·update_batches`.
+        // A lane that died mid-run (panic past every containment layer)
+        // stops draining its copies and leaves the sum short; the deficit is
+        // reported rather than silently miscounting throughput.
+        let expected = e.batches + (self.num_lanes as u64 - 1) * e.update_batches;
+        let lane_sum: u64 = e.lane_batches.iter().sum();
         ServiceStats {
             admitted: self.shared.admitted.load(Ordering::Relaxed),
             rejected: self.shared.rejected.load(Ordering::Relaxed),
@@ -240,6 +289,12 @@ where
             degraded_calls: replica.degraded_calls,
             queue_wait_us: e.queue_wait_us.clone(),
             batch_span_cycles: e.batch_span_cycles.clone(),
+            lane_batches_deficit: expected.saturating_sub(lane_sum),
+            trace_events_dropped: self.trace.as_ref().map_or(0, |t| t.dropped()),
+            flight_dumps: self
+                .trace
+                .as_ref()
+                .map_or_else(Vec::new, |t| t.flight_dumps()),
             index: self.index.stats(),
             replica,
         }
@@ -293,10 +348,10 @@ impl SubBatch {
 /// range requests first (FIFO order), then kNN groups by ascending `k`
 /// (FIFO within each group). The split is a pure function of the batch, so
 /// FIFO batches imply FIFO sub-batches — and reproducible device clocks.
-fn split_batch<O>(entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)]) -> Vec<SubBatch> {
+fn split_batch<O>(entries: &[Entry<O>]) -> Vec<SubBatch> {
     let mut ranges = Vec::new();
     let mut knn: Vec<(usize, Vec<usize>)> = Vec::new(); // (k, FIFO indices)
-    for (i, (req, _, _)) in entries.iter().enumerate() {
+    for (i, (req, _, _, _)) in entries.iter().enumerate() {
         match req {
             Request::Range { .. } => ranges.push(i),
             Request::Knn { k, .. } => match knn.binary_search_by_key(k, |g| g.0) {
@@ -339,13 +394,14 @@ fn run_lane<O, M>(
     prefer: &[usize],
     batch_rx: &mpsc::Receiver<Batch<O>>,
     stats: &Mutex<ExecutorStats>,
+    trace: Option<&Arc<TraceRecorder>>,
 ) where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
 {
     for batch in batch_rx.iter() {
         {
-            let mut s = stats.lock().expect("executor stats lock");
+            let mut s = stats.lock().unwrap_or_else(|p| p.into_inner());
             s.lane_batches[lane] += 1;
             if batch.respond {
                 s.batches += 1;
@@ -354,14 +410,72 @@ fn run_lane<O, M>(
                     FlushTrigger::Deadline => s.deadline_flushes += 1,
                     FlushTrigger::Shutdown => s.shutdown_flushes += 1,
                 }
-                for (_, _, wait_us) in &batch.entries {
+                for (_, _, wait_us, _) in &batch.entries {
                     s.queue_wait_us.record(*wait_us);
                 }
             }
         }
-        match batch.kind {
-            BatchKind::Query => query_batch(index, prefer, &batch, stats),
-            BatchKind::Update => update_batch(index, prefer, &batch, stats),
+        // Plant the lane/batch trace context for everything this batch
+        // does, and record the request→batch association *before*
+        // execution — so a flight dump taken at a mid-batch fault already
+        // holds the member list needed to walk back to the requests.
+        let ctx = gts_trace::TraceCtx::default()
+            .with_batch(batch.seq)
+            .with_lane(lane as u32);
+        let _scope = gts_trace::scoped_ctx(ctx);
+        let span_begin = index.span_of(prefer);
+        if let Some(rec) = trace {
+            rec.record(TraceEvent::instant(
+                EventKind::BatchStart {
+                    size: batch.entries.len() as u32,
+                    update: batch.kind == BatchKind::Update,
+                },
+                ctx,
+                None,
+                span_begin,
+            ));
+            for (_, _, _, id) in &batch.entries {
+                let mut mctx = ctx;
+                mctx.request = Some(*id);
+                rec.record(TraceEvent::instant(
+                    EventKind::BatchMember { request: *id },
+                    mctx,
+                    None,
+                    span_begin,
+                ));
+            }
+        }
+        // Outer containment: `query_batch`/`update_batch` catch panics per
+        // sub-batch, but a panic escaping even that (e.g. out of a respond
+        // path) must not kill the lane — a dead lane stops draining its
+        // pipeline and wedges the batcher. The batch's tickets disconnect;
+        // the lane keeps serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match batch.kind {
+            BatchKind::Query => query_batch(index, prefer, &batch, stats, trace),
+            BatchKind::Update => update_batch(index, prefer, &batch, stats, trace),
+        }));
+        if outcome.is_err() {
+            stats.lock().unwrap_or_else(|p| p.into_inner()).lane_panics += 1;
+            if let Some(rec) = trace {
+                rec.record(TraceEvent::instant(
+                    EventKind::LanePanic,
+                    ctx,
+                    None,
+                    index.span_of(prefer),
+                ));
+                rec.flight_dump(DumpReason::LanePanic);
+            }
+        } else if let Some(rec) = trace {
+            rec.record(TraceEvent::span(
+                EventKind::LaneBatch {
+                    size: batch.entries.len() as u32,
+                    update: batch.kind == BatchKind::Update,
+                },
+                ctx,
+                None,
+                span_begin,
+                index.span_of(prefer),
+            ));
         }
     }
 }
@@ -375,6 +489,7 @@ fn query_batch<O, M>(
     prefer: &[usize],
     batch: &Batch<O>,
     stats: &Mutex<ExecutorStats>,
+    trace: Option<&Arc<TraceRecorder>>,
 ) where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
@@ -389,6 +504,15 @@ fn query_batch<O, M>(
             Ok(res) => res,
             Err(_) => {
                 stats.lock().expect("executor stats lock").lane_panics += 1;
+                if let Some(rec) = trace {
+                    rec.record(TraceEvent::instant(
+                        EventKind::LanePanic,
+                        gts_trace::current_ctx(),
+                        None,
+                        index.span_of(prefer),
+                    ));
+                    rec.flight_dump(DumpReason::LanePanic);
+                }
                 Err(ServiceError::BatchPanicked)
             }
         };
@@ -448,6 +572,7 @@ fn update_batch<O, M>(
     prefer: &[usize],
     batch: &Batch<O>,
     stats: &Mutex<ExecutorStats>,
+    trace: Option<&Arc<TraceRecorder>>,
 ) where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
@@ -496,6 +621,15 @@ fn update_batch<O, M>(
             Ok(Err(e)) => Err(ServiceError::from(e)),
             Err(_) => {
                 stats.lock().expect("executor stats lock").lane_panics += 1;
+                if let Some(rec) = trace {
+                    rec.record(TraceEvent::instant(
+                        EventKind::LanePanic,
+                        gts_trace::current_ctx(),
+                        None,
+                        index.span_of(prefer),
+                    ));
+                    rec.flight_dump(DumpReason::LanePanic);
+                }
                 Err(ServiceError::BatchPanicked)
             }
         };
@@ -527,7 +661,7 @@ fn update_batch<O, M>(
 fn execute_sub<O, M>(
     index: &ReplicatedShards<O, M>,
     prefer: &[usize],
-    entries: &[(Request<O>, mpsc::SyncSender<Response>, u64)],
+    entries: &[Entry<O>],
     sub: &SubBatch,
 ) -> Result<Vec<Vec<Neighbor>>, ServiceError>
 where
@@ -570,18 +704,19 @@ where
 /// its [`Ticket`](crate::Ticket) (not an error — fire-and-forget clients
 /// are allowed).
 fn respond<O>(
-    entry: &(Request<O>, mpsc::SyncSender<Response>, u64),
+    entry: &Entry<O>,
     result: Result<Reply, ServiceError>,
     epoch: u64,
     span: u64,
     batch_size: usize,
     trigger: FlushTrigger,
 ) -> u64 {
-    let (_, tx, wait_us) = entry;
+    let (_, tx, wait_us, id) = entry;
     let response = Response {
         result,
         epoch,
         latency: LatencyBreakdown {
+            request: *id,
             queue_wait_us: *wait_us,
             batch_span_cycles: span,
             batch_size,
@@ -641,10 +776,77 @@ mod tests {
         )
     }
 
+    /// Regression for the lane/batch ledger gap: a lane dying mid-run
+    /// (panic past every containment layer, or a wedged thread at
+    /// teardown) leaves `Σ lane_batches` short of what the flush counters
+    /// say ran — update broadcasts especially, where the responder counts
+    /// the batch once but each lane counts its own copy. The snapshot
+    /// reconciles the ledger instead of silently undercounting: healthy
+    /// runs report a zero deficit, a doctored shortfall surfaces exactly.
+    #[test]
+    fn snapshot_reconciles_lane_batch_undercount() {
+        let (items, svc) = replicated_service(
+            240,
+            1,
+            2,
+            ServiceConfig::default()
+                .with_sizing(BatchSizing::Fixed(2))
+                .with_flush_deadline(Duration::from_millis(1))
+                .with_lanes(2),
+        );
+        let h = svc.handle();
+        let mut tickets = Vec::new();
+        for i in 0..6 {
+            tickets.push(
+                h.submit(Request::Knn {
+                    query: items[i * 7].clone(),
+                    k: 3,
+                })
+                .expect("admitted"),
+            );
+        }
+        tickets.push(
+            h.submit(Request::Insert {
+                object: items[0].clone(),
+            })
+            .expect("admitted"),
+        );
+        for t in tickets {
+            t.wait().expect("answered").result.expect("ok");
+        }
+        // Healthy ledger at quiescence: Σ lane_batches == batches +
+        // (L−1)·update_batches. The responder answers before the other
+        // lane's silent broadcast copy lands, so poll briefly for the
+        // in-flight copy instead of asserting mid-race.
+        let healthy = {
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                let s = svc.stats();
+                if s.lane_batches_deficit == 0 || std::time::Instant::now() > deadline {
+                    break s;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
+        assert_eq!(
+            healthy.lane_batches.iter().sum::<u64>(),
+            healthy.batches + healthy.update_batches,
+            "2 lanes: each update batch runs twice, counted once"
+        );
+        assert_eq!(healthy.lane_batches_deficit, 0, "healthy runs reconcile");
+
+        // Simulate the undercount (a lane whose counter never landed) and
+        // snapshot again: the deficit surfaces instead of vanishing.
+        svc.exec_stats.lock().expect("stats lock").lane_batches[0] -= 1;
+        assert_eq!(svc.stats().lane_batches_deficit, 1);
+        let stats = svc.shutdown();
+        assert_eq!(stats.lane_batches_deficit, 1, "shutdown keeps the ledger");
+    }
+
     #[test]
     fn split_batch_groups_deterministically() {
         let (tx, _rx) = mpsc::sync_channel(1);
-        let mk = |req| (req, tx.clone(), 0u64);
+        let mk = |req| (req, tx.clone(), 0u64, RequestId(0));
         let entries = vec![
             mk(Request::Knn { query: 0u32, k: 5 }),
             mk(Request::Range {
@@ -805,6 +1007,7 @@ mod tests {
             },
             tx,
             0u64,
+            RequestId(0),
         )];
         let sub = SubBatch::Range(vec![0]);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -83,6 +83,23 @@ pub struct ServiceStats {
     pub index: StatsSnapshot,
     /// Replica-layer health/fault counters (per-replica strikes included).
     pub replica: ReplicaStats,
+    /// Lane-batch executions the per-lane counters are missing versus what
+    /// the flush counters say ran. A healthy service satisfies
+    /// `Σ lane_batches == batches + (lanes−1)·update_batches` at quiescence
+    /// (queries run on one lane; updates are broadcast to every lane but
+    /// counted once — a broadcast copy still in flight on a sibling lane
+    /// shows as a transient deficit on a mid-run snapshot);
+    /// a lane that panicked mid-batch increments `lane_panics` without its
+    /// `lane_batches` slot, and that shortfall is reconciled here at
+    /// snapshot time instead of silently undercounting.
+    pub lane_batches_deficit: u64,
+    /// Trace events dropped by the recorder's bounded rings (oldest-first).
+    /// Zero when tracing is disabled or the rings never filled.
+    pub trace_events_dropped: u64,
+    /// Flight-recorder dumps captured so far (device faults, lane panics,
+    /// dead shards) — the last-N-events snapshots taken at each fault.
+    /// Empty when tracing is disabled.
+    pub flight_dumps: Vec<gts_trace::FlightDump>,
 }
 
 /// The mutable half the executor lanes update as batches run (everything

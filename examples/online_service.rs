@@ -119,14 +119,18 @@ fn main() {
         stats.batch_target,
     );
     println!(
-        "queue wait:  mean {:.0} us, p99 ≤ {} us, max {} us",
+        "queue wait:  mean {:.0} us, p50 ≈ {} / p95 ≈ {} / p99 ≈ {} us, max {} us",
         stats.queue_wait_us.mean(),
+        stats.queue_wait_us.quantile(0.50),
+        stats.queue_wait_us.quantile(0.95),
         stats.queue_wait_us.quantile(0.99),
         stats.queue_wait_us.max(),
     );
     println!(
-        "batch span:  mean {:.0} cycles, p99 ≤ {} cycles over {} index calls",
+        "batch span:  mean {:.0} cycles, p50 ≈ {} / p95 ≈ {} / p99 ≈ {} cycles over {} index calls",
         stats.batch_span_cycles.mean(),
+        stats.batch_span_cycles.quantile(0.50),
+        stats.batch_span_cycles.quantile(0.95),
         stats.batch_span_cycles.quantile(0.99),
         stats.batch_span_cycles.count(),
     );

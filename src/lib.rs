@@ -14,6 +14,9 @@
 //! * [`service`] — the online query service: a bounded
 //!   admission queue plus a cost-model microbatcher that coalesces
 //!   individual requests into the batches the index is built for;
+//! * [`trace`] — end-to-end tracing: per-request spans from
+//!   admission to kernel launch, Chrome-trace export, and a fault-triggered
+//!   flight recorder;
 //! * [`baselines`] — every comparator of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -45,6 +48,7 @@ pub use baselines;
 pub use gpu_sim as gpu;
 pub use gts_core as core;
 pub use gts_service as service;
+pub use gts_trace as trace;
 pub use metric_space as metric;
 
 /// Everything most programs need.
@@ -57,6 +61,10 @@ pub mod prelude {
     pub use gts_service::{
         BatchSizing, FlushTrigger, LatencyBreakdown, QueryService, Reply, Request, Response,
         ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket, UpdateAck,
+    };
+    pub use gts_trace::{
+        validate_chrome_trace, DumpReason, EventKind, FlightDump, LatencyHistogram, RequestId,
+        TraceConfig, TraceEvent, TraceRecorder, TraceSummary,
     };
     pub use metric_space::index::{DynamicIndex, Neighbor, SimilarityIndex};
     pub use metric_space::{

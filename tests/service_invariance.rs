@@ -394,3 +394,139 @@ fn soak_ten_thousand_requests() {
         stats.batch_span_cycles.quantile(0.99),
     );
 }
+
+// --- tracing invariance (the gts-trace determinism contract) ------------
+
+/// A mixed query + update sequence: the tracing contract must hold across
+/// the write path too (epochs, cache-table inserts, broadcast application).
+fn mixed_sequence(items: &[Item], n: usize) -> Vec<Request<Item>> {
+    (0..n)
+        .map(|i| {
+            let q = items[(i * 13) % items.len()].clone();
+            match i % 5 {
+                0 => Request::Range {
+                    query: q,
+                    radius: 2.0,
+                },
+                1 | 3 => Request::Knn { query: q, k: 3 },
+                2 => Request::Insert { object: q },
+                _ => Request::Knn { query: q, k: 6 },
+            }
+        })
+        .collect()
+}
+
+/// Run `reqs` through a service over a fresh `shards`-sharded,
+/// `replicas`-replicated stack with `lanes` lanes, one request in flight
+/// at a time (submit → wait → next), and return everything observable:
+/// response results, epochs, final span/total cycles, and the trace
+/// determinism projection (empty when tracing is off).
+#[allow(clippy::type_complexity)]
+fn traced_run(
+    shards: u32,
+    replicas: u32,
+    lanes: usize,
+    trace_on: bool,
+    n: usize,
+) -> (
+    Vec<(Result<Reply, ServiceError>, u64)>,
+    u64,
+    u64,
+    Vec<TraceEvent>,
+) {
+    let data = DatasetKind::Words.generate(360, 909);
+    let pool = DevicePool::rtx_2080_ti((shards * replicas) as usize);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default()
+                .with_shards(shards)
+                .with_replicas(replicas),
+        )
+        .expect("build"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(4))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(lanes)
+        .with_tracing(TraceConfig {
+            enabled: trace_on,
+            ..TraceConfig::default()
+        });
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    let h = svc.handle();
+    // One request in flight at a time: batch formation (and therefore lane
+    // assignment and device interleaving) becomes a pure function of the
+    // request sequence, which is what makes event streams comparable.
+    let outcomes: Vec<(Result<Reply, ServiceError>, u64)> = mixed_sequence(&data.items, n)
+        .into_iter()
+        .map(|r| {
+            let resp = h.submit(r).expect("admitted").wait().expect("answered");
+            (resp.result, resp.epoch)
+        })
+        .collect();
+    let rec = svc.trace().cloned();
+    let _ = svc.shutdown();
+    let events = rec.map_or_else(Vec::new, |r| r.determinism_projection());
+    (
+        outcomes,
+        index.span_cycles(),
+        index.pool().aggregate().cycles_total,
+        events,
+    )
+}
+
+/// Tracing on ⇒ answers, epochs, and simulated cycles bit-identical to
+/// tracing off: events observe the clocks, never advance them.
+#[test]
+fn tracing_changes_no_answer_epoch_or_cycle() {
+    for shards in [1u32, 2] {
+        let (plain, span_p, total_p, evs_p) = traced_run(shards, 1, 1, false, 30);
+        let (traced, span_t, total_t, evs_t) = traced_run(shards, 1, 1, true, 30);
+        assert_eq!(plain, traced, "shards = {shards}: answers and epochs");
+        assert_eq!(span_p, span_t, "shards = {shards}: critical-path cycles");
+        assert_eq!(total_p, total_t, "shards = {shards}: total device cycles");
+        assert!(evs_p.is_empty(), "tracing off records nothing");
+        assert!(!evs_t.is_empty(), "tracing on records the run");
+    }
+}
+
+/// For a fixed seed the traced event stream itself reproduces: same kinds,
+/// same contexts, same simulated-cycle stamps — across shard and lane
+/// counts (2 lanes ride 2 replicas so concurrent lanes own disjoint
+/// devices).
+#[test]
+fn traced_event_streams_reproduce_for_a_fixed_seed() {
+    for shards in [1u32, 2] {
+        for lanes in [1usize, 2] {
+            let replicas = lanes as u32;
+            let (o1, s1, t1, e1) = traced_run(shards, replicas, lanes, true, 25);
+            let (o2, s2, t2, e2) = traced_run(shards, replicas, lanes, true, 25);
+            assert_eq!(o1, o2, "shards={shards} lanes={lanes}: outcomes");
+            assert_eq!((s1, t1), (s2, t2), "shards={shards} lanes={lanes}: cycles");
+            assert!(
+                !e1.is_empty(),
+                "shards={shards} lanes={lanes}: events recorded"
+            );
+            assert_eq!(
+                e1, e2,
+                "shards={shards} lanes={lanes}: event streams reproduce"
+            );
+            // The stream covers the whole span hierarchy the README draws.
+            for kind in [
+                "batch_start",
+                "batch_member",
+                "lane_batch",
+                "level",
+                "kernel",
+            ] {
+                assert!(
+                    e1.iter().any(|e| e.kind.name() == kind),
+                    "shards={shards} lanes={lanes}: missing {kind} events"
+                );
+            }
+        }
+    }
+}
