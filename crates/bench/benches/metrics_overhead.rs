@@ -1,0 +1,194 @@
+//! Metrics overhead: what the metrics hub costs on the serving hot path,
+//! measured end-to-end through the query service.
+//!
+//! Three identically built service stacks run the same batched kNN
+//! workload:
+//!
+//! * **baseline** — `ServiceConfig::metrics = false`: no hub exists, every
+//!   call site skips on a `None` check;
+//! * **disabled** — the hub exists but its registry is switched off
+//!   (`set_enabled(false)`): every instrumentation site runs up to its
+//!   early-return;
+//! * **enabled** — full recording into the sharded counters/histograms.
+//!
+//! Trials interleave round-robin and the figure of merit is the
+//! **minimum** wall time per mode. The bench *asserts* the acceptance
+//! floor — the disabled path costs ≤ 2% over baseline — and the
+//! determinism contract: all three modes charge bit-identical simulated
+//! cycles and answer bit-identically.
+//!
+//! Results land in `BENCH_metrics.json` at the workspace root (override
+//! with `GTS_BENCH_OUT`). Run with `cargo bench -p gts-bench --bench
+//! metrics_overhead`.
+
+use gpu_sim::DevicePool;
+use gts_core::{GtsParams, ReplicatedShards, ShardedGts};
+use gts_service::{BatchSizing, QueryService, Request, ServiceConfig};
+use metric_space::index::Neighbor;
+use metric_space::{DatasetKind, Item, ItemMetric};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N: usize = 2_000;
+const SHARDS: u32 = 2;
+const K: usize = 8;
+const BATCH: usize = 64;
+const REPS: usize = 8;
+const TRIALS: usize = 9;
+
+fn build_service(metrics: bool) -> (Vec<Item>, QueryService<Item, ItemMetric>) {
+    let data = DatasetKind::Vector.generate(N, 4242);
+    let pool = DevicePool::rtx_2080_ti(SHARDS as usize);
+    let index = ShardedGts::build(
+        &pool,
+        data.items.clone(),
+        data.metric,
+        GtsParams::default().with_shards(SHARDS),
+    )
+    .expect("build");
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(BATCH))
+        .with_queue_depth(2 * BATCH)
+        // Only the (deterministic) size trigger can fire mid-trial.
+        .with_flush_deadline(Duration::from_secs(3600))
+        .with_metrics(metrics);
+    let svc =
+        QueryService::start_replicated(Arc::new(ReplicatedShards::from_replicas(vec![index])), cfg);
+    (data.items, svc)
+}
+
+/// One timed trial: `REPS` batches of `BATCH` kNN requests, each batch
+/// submitted then fully awaited (exactly one size-triggered flush per
+/// rep). Returns wall seconds, the answers of the last rep, and the
+/// pool's total simulated cycles afterwards (the determinism probe).
+fn trial(svc: &QueryService<Item, ItemMetric>, items: &[Item]) -> (f64, Vec<Vec<Neighbor>>, u64) {
+    let h = svc.handle();
+    let mut answers = Vec::new();
+    let t = Instant::now();
+    for _ in 0..REPS {
+        let tickets: Vec<_> = (0..BATCH)
+            .map(|i| {
+                h.submit(Request::Knn {
+                    query: items[(i * 17) % N].clone(),
+                    k: K,
+                })
+                .expect("admitted")
+            })
+            .collect();
+        answers = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("answered").result.expect("ok").neighbors())
+            .collect();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    let cycles = svc.index().pool().aggregate().cycles_total;
+    (secs, answers, cycles)
+}
+
+fn main() {
+    // Three identically seeded stacks, one per mode.
+    let (items, base_svc) = build_service(false);
+    let (_, dis_svc) = build_service(true);
+    dis_svc
+        .metrics()
+        .expect("hub exists")
+        .registry()
+        .set_enabled(false);
+    let (_, en_svc) = build_service(true);
+    let services = [&base_svc, &dis_svc, &en_svc];
+
+    let mut wall = [[0f64; TRIALS]; 3];
+    let mut cycle_delta = [[0u64; TRIALS]; 3];
+    let mut last_answers: [Option<Vec<Vec<Neighbor>>>; 3] = [None, None, None];
+    // One untimed warm-up pass per stack before any timing.
+    for svc in services {
+        let _ = trial(svc, &items);
+    }
+    // Interleaved trials: baseline / disabled / enabled per round, so host
+    // drift (thermal, scheduler) hits every mode equally.
+    for t in 0..TRIALS {
+        for (mode, svc) in services.into_iter().enumerate() {
+            let before = svc.index().pool().aggregate().cycles_total;
+            let (secs, answers, after) = trial(svc, &items);
+            wall[mode][t] = secs;
+            cycle_delta[mode][t] = after - before;
+            last_answers[mode] = Some(answers);
+        }
+    }
+
+    // Determinism: every trial of every mode charged the exact same
+    // simulated cycles, and the three modes answer bit-identically.
+    let per_trial = cycle_delta[0][0];
+    for (mode, deltas) in cycle_delta.iter().enumerate() {
+        for (t, d) in deltas.iter().enumerate() {
+            assert_eq!(
+                *d, per_trial,
+                "mode {mode} trial {t}: metrics perturbed the simulated clocks"
+            );
+        }
+    }
+    let want = last_answers[0].take().expect("baseline ran");
+    for (mode, got) in last_answers.iter().enumerate().skip(1) {
+        assert_eq!(
+            got.as_ref().expect("mode ran"),
+            &want,
+            "mode {mode}: metrics perturbed answers"
+        );
+    }
+
+    let min_of = |xs: &[f64; TRIALS]| xs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let (base, disabled, enabled) = (min_of(&wall[0]), min_of(&wall[1]), min_of(&wall[2]));
+    let disabled_pct = (disabled / base - 1.0) * 100.0;
+    let enabled_pct = (enabled / base - 1.0) * 100.0;
+    println!(
+        "metrics_overhead: baseline {:.1} ms | disabled {:.1} ms ({:+.2}%) | enabled {:.1} ms ({:+.2}%)",
+        base * 1e3,
+        disabled * 1e3,
+        disabled_pct,
+        enabled * 1e3,
+        enabled_pct,
+    );
+    assert!(
+        disabled_pct <= 2.0,
+        "a disabled metrics hub must cost ≤ 2% over no hub at all, got {disabled_pct:+.2}%"
+    );
+
+    let scrape = en_svc.scrape().expect("metrics on");
+    let served = scrape
+        .lines()
+        .find(|l| l.starts_with("gts_requests_served_total"))
+        .map(|l| l.rsplit(' ').next().unwrap_or("0").to_string())
+        .unwrap_or_default();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"dataset_n\": {N},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"k\": {K},");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"reps_per_trial\": {REPS},");
+    let _ = writeln!(json, "  \"trials\": {TRIALS},");
+    let _ = writeln!(
+        json,
+        "  \"host_cores\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(json, "  \"cycles_per_trial\": {per_trial},");
+    let _ = writeln!(json, "  \"served_per_stack\": {served},");
+    let _ = writeln!(json, "  \"baseline_ms_min\": {:.3},", base * 1e3);
+    let _ = writeln!(json, "  \"disabled_ms_min\": {:.3},", disabled * 1e3);
+    let _ = writeln!(json, "  \"enabled_ms_min\": {:.3},", enabled * 1e3);
+    let _ = writeln!(json, "  \"disabled_overhead_pct\": {disabled_pct:.3},");
+    let _ = writeln!(json, "  \"enabled_overhead_pct\": {enabled_pct:.3},");
+    let _ = writeln!(json, "  \"disabled_overhead_limit_pct\": 2.0");
+    json.push_str("}\n");
+
+    let out_path = std::env::var("GTS_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_metrics.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_metrics.json");
+    println!("wrote {out_path}");
+
+    base_svc.shutdown();
+    dis_svc.shutdown();
+    en_svc.shutdown();
+}

@@ -112,16 +112,25 @@ impl CostModel {
     pub fn max_batch_queries(&self, free_bytes: u64, nc: u32, h: u32, r: f64) -> usize {
         assert!(nc >= 2);
         let h = h.max(1); // a real tree is never flatter than one level
-        let p = self.survive_probability(r);
         let mut best = usize::MAX;
-        let mut width = 1.0f64; // nodes at level i (per query, before pruning)
         for level in 1..=h {
             let limit = crate::search::layer_size_limit(free_bytes, h, level, nc);
-            let expected = (width * p.powi(level as i32 - 1)).max(1.0);
+            let expected = self.expected_frontier(nc, r, level);
             best = best.min(((limit as f64 / expected).floor() as usize).max(1));
-            width = (width * f64::from(nc)).min(self.n as f64);
         }
         best
+    }
+
+    /// Expected per-query frontier entries *entering* `level` (1-based):
+    /// `max(min(Nc^(level−1), n)·p^(level−1), 1)` — the Chebyshev survivor
+    /// estimate [`Self::max_batch_queries`] divides each layer bound by.
+    /// Exposed on its own so the cost-model audit can hold the very same
+    /// prediction against the survivors the engine actually observes.
+    pub fn expected_frontier(&self, nc: u32, r: f64, level: u32) -> f64 {
+        assert!(nc >= 2 && level >= 1);
+        let p = self.survive_probability(r);
+        let width = f64::from(nc).powi(level as i32 - 1).min(self.n as f64);
+        (width * p.powi(level as i32 - 1)).max(1.0)
     }
 
     /// Recommend a node capacity from `candidates` (Table 3's sweep by

@@ -266,6 +266,27 @@ where
             });
             let frontier_len = entries.len() as u64;
 
+            // Cost-model audit: hold the §5.3 survivor estimate against the
+            // frontier that actually entered this level. Observational only;
+            // entries are query-contiguous, so the query count of this group
+            // is one plus the number of id transitions.
+            if self.ctx.audit.enabled() {
+                let queries_here = 1 + entries
+                    .windows(2)
+                    .filter(|w| w[0].query != w[1].query)
+                    .count() as u64;
+                self.ctx
+                    .audit
+                    .observe_level(level, queries_here, frontier_len);
+                if level < shape.h {
+                    self.ctx.audit.observe_frontier_bytes(
+                        frontier_len
+                            * u64::from(shape.nc)
+                            * crate::search::FRONTIER_ENTRY_BYTES as u64,
+                    );
+                }
+            }
+
             if level == shape.h {
                 // The segment's finish-leaves phase: verify, then retire.
                 match &mut self.mode {

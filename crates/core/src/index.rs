@@ -1,5 +1,6 @@
 //! The public GTS index type.
 
+use crate::audit::{AuditPlan, CostAudit};
 use crate::build::{self, Structure};
 use crate::cost::CostModel;
 use crate::dispatch::distance_block;
@@ -58,6 +59,9 @@ pub struct Gts<O, M> {
     /// `Sync` — the sharded scatter runs whole searches from scoped
     /// threads. Uncontended in practice: one batch per index at a time.
     memo: Mutex<PairMemo>,
+    /// Cost-model audit: prediction vs. observed survivors per level
+    /// (disabled by default; see [`crate::audit`]).
+    audit: CostAudit,
     rebuilds: u64,
     build_distances: u64,
     /// Device residency of (node list, table list, object payloads).
@@ -136,6 +140,7 @@ where
             cache: CacheTable::new(params.cache_capacity_bytes),
             stats: SearchStats::default(),
             memo: Mutex::new(PairMemo::default()),
+            audit: CostAudit::default(),
             rebuilds: 0,
             build_distances: 0,
             residency: None,
@@ -261,6 +266,7 @@ where
             live: &self.live,
             stats: &self.stats,
             threads: self.params.effective_host_threads(self.dev.host_threads()),
+            audit: &self.audit,
             memo: RefCell::new(memo),
         }
     }
@@ -702,6 +708,7 @@ where
             cache,
             stats: SearchStats::default(),
             memo: Mutex::new(PairMemo::default()),
+            audit: CostAudit::default(),
             rebuilds: 0,
             build_distances: 0,
             residency: Some([res_nodes, res_table, res_data]),
@@ -769,7 +776,35 @@ where
         model: &CostModel,
         radius: f64,
     ) -> usize {
-        model.max_batch_queries(free_bytes, self.params.node_capacity, self.height(), radius)
+        let batch =
+            model.max_batch_queries(free_bytes, self.params.node_capacity, self.height(), radius);
+        // Freeze this prediction for the cost-model audit: subsequent
+        // descents are measured against exactly the sizing that admitted
+        // them (kept even while the audit is disabled, so enabling it later
+        // audits against the current plan).
+        self.audit.install(AuditPlan {
+            model: *model,
+            nc: self.params.node_capacity,
+            h: self.height(),
+            radius,
+            predicted_batch: batch,
+        });
+        batch
+    }
+
+    /// The cost-model audit of this index: §5.3's batch-sizing prediction
+    /// held against the per-level survivors and peak intermediate bytes the
+    /// descent engine actually observes. Disabled by default; switch on
+    /// with [`Gts::set_cost_audit_enabled`].
+    pub fn cost_audit(&self) -> crate::audit::CostAuditSnapshot {
+        self.audit.snapshot()
+    }
+
+    /// Enable or disable the cost-model audit (off: one relaxed atomic load
+    /// per level, no other work; answers and simulated cycles are identical
+    /// either way).
+    pub fn set_cost_audit_enabled(&self, on: bool) {
+        self.audit.set_enabled(on);
     }
 }
 

@@ -55,6 +55,7 @@
 //! accounting.
 
 #![warn(missing_docs)]
+pub mod audit;
 pub mod build;
 pub mod cost;
 mod dispatch;
@@ -72,6 +73,7 @@ pub mod stats;
 pub mod table;
 pub mod update;
 
+pub use audit::{AuditPlan, CostAudit, CostAuditSnapshot};
 pub use cost::CostModel;
 pub use index::Gts;
 pub use memo::PairMemo;

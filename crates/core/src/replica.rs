@@ -380,6 +380,23 @@ where
         }
     }
 
+    /// Folded cost-model audit across every replica's shards (see
+    /// [`ShardedGts::cost_audit`](crate::ShardedGts::cost_audit)).
+    pub fn cost_audit(&self) -> crate::audit::CostAuditSnapshot {
+        (0..self.replicas.len())
+            .map(|r| self.rlock(r).cost_audit())
+            .fold(crate::audit::CostAuditSnapshot::default(), |a, b| {
+                a.combine(b)
+            })
+    }
+
+    /// Enable or disable the cost-model audit on every replica.
+    pub fn set_cost_audit_enabled(&self, on: bool) {
+        for r in 0..self.replicas.len() {
+            self.rlock(r).set_cost_audit_enabled(on);
+        }
+    }
+
     /// Critical path across **all** replica devices (max per-device clock).
     pub fn span_cycles(&self) -> u64 {
         self.pool.aggregate().span_cycles

@@ -173,6 +173,11 @@ pub(crate) struct SearchCtx<'a, O, M> {
     /// valid for *ring pruning*, which concerns the tree geometry).
     pub live: &'a [bool],
     pub stats: &'a SearchStats,
+    /// Cost-model audit sink: the engine reports per-level frontier sizes
+    /// and intermediate-buffer bytes here so the §5.3 batch-sizing
+    /// prediction can be held against reality. Purely observational; the
+    /// disabled path is one relaxed load per level.
+    pub audit: &'a crate::audit::CostAudit,
     /// Host threads for the batched kernels (resolved from
     /// [`GtsParams::effective_host_threads`]); wall-clock only — the
     /// dispatch layer cuts fixed-size chunks so results and cycle counts

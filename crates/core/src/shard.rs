@@ -656,6 +656,27 @@ where
             .max(1)
     }
 
+    /// Folded cost-model audit across shards: counters sum, calibration
+    /// histograms merge, peak bytes max, and the predicted batch is the
+    /// cross-shard minimum
+    /// ([`CostAuditSnapshot::combine`](crate::audit::CostAuditSnapshot::combine))
+    /// — exactly the batch [`ShardedGts::max_batch_queries`] admits.
+    pub fn cost_audit(&self) -> crate::audit::CostAuditSnapshot {
+        self.shards
+            .iter()
+            .map(|s| s.gts.cost_audit())
+            .fold(crate::audit::CostAuditSnapshot::default(), |a, b| {
+                a.combine(b)
+            })
+    }
+
+    /// Enable or disable the cost-model audit on every shard.
+    pub fn set_cost_audit_enabled(&self, on: bool) {
+        for s in &self.shards {
+            s.gts.set_cost_audit_enabled(on);
+        }
+    }
+
     /// Serialize the whole sharded index into one envelope: the partition
     /// spec (shard count, strategy, global object count — the per-shard id
     /// assignment is a pure function of these) followed by every shard's

@@ -28,6 +28,14 @@ pub struct Device {
     cfg: DeviceConfig,
     /// Simulated time, in core cycles.
     cycles: AtomicU64,
+    /// Cycles spent executing kernels (work–span charge + launch
+    /// overhead). One of the three disjoint components of `cycles`.
+    busy: AtomicU64,
+    /// Cycles spent in H2D/D2H transfers.
+    transfer: AtomicU64,
+    /// Cycles spent stalled at lockstep barriers (`advance_clock_to`
+    /// deltas: waiting for the slowest device of a broadcast level).
+    stall: AtomicU64,
     /// Total work units ever charged (diagnostics).
     work: AtomicU64,
     /// Number of kernel launches.
@@ -65,6 +73,15 @@ pub struct Device {
 pub struct DeviceStats {
     /// Simulated cycles elapsed.
     pub cycles: u64,
+    /// Cycles spent executing kernels. Together with `transfer_cycles`
+    /// and `stall_cycles` this partitions `cycles` exactly: the clock
+    /// only advances through those three paths.
+    pub busy_cycles: u64,
+    /// Cycles spent in H2D/D2H transfers.
+    pub transfer_cycles: u64,
+    /// Cycles spent stalled at lockstep barriers waiting for a slower
+    /// device.
+    pub stall_cycles: u64,
     /// Total charged work units.
     pub work: u64,
     /// Kernel launches.
@@ -91,6 +108,9 @@ impl Device {
         Arc::new(Device {
             cfg,
             cycles: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            transfer: AtomicU64::new(0),
+            stall: AtomicU64::new(0),
             work: AtomicU64::new(0),
             kernels: AtomicU64::new(0),
             allocated: AtomicU64::new(0),
@@ -139,14 +159,23 @@ impl Device {
     /// execute in lockstep with a per-level barrier (the sharded bound
     /// broadcast), every device waits for the slowest, so after each level
     /// all clocks align to the per-level maximum. Charged as pure elapsed
-    /// time — no work, kernels, or transfers.
+    /// time — no work, kernels, or transfers. The skipped-over interval
+    /// is accrued as barrier-stall cycles (`fetch_max` returns the
+    /// pre-advance clock, so the delta is exact even under racing
+    /// advances).
     pub fn advance_clock_to(&self, target: u64) {
-        self.cycles.fetch_max(target, Ordering::Relaxed);
+        let prev = self.cycles.fetch_max(target, Ordering::Relaxed);
+        if target > prev {
+            self.stall.fetch_add(target - prev, Ordering::Relaxed);
+        }
     }
 
     /// Reset the clock and traffic counters (not allocations).
     pub fn reset_clock(&self) {
         self.cycles.store(0, Ordering::Relaxed);
+        self.busy.store(0, Ordering::Relaxed);
+        self.transfer.store(0, Ordering::Relaxed);
+        self.stall.store(0, Ordering::Relaxed);
         self.work.store(0, Ordering::Relaxed);
         self.kernels.store(0, Ordering::Relaxed);
         self.h2d.store(0, Ordering::Relaxed);
@@ -157,6 +186,9 @@ impl Device {
     pub fn stats(&self) -> DeviceStats {
         DeviceStats {
             cycles: self.cycles.load(Ordering::Relaxed),
+            busy_cycles: self.busy.load(Ordering::Relaxed),
+            transfer_cycles: self.transfer.load(Ordering::Relaxed),
+            stall_cycles: self.stall.load(Ordering::Relaxed),
             work: self.work.load(Ordering::Relaxed),
             kernels: self.kernels.load(Ordering::Relaxed),
             allocated: self.allocated.load(Ordering::Relaxed),
@@ -348,6 +380,7 @@ impl Device {
         // its begin cycle for free — tracing observes the very same advance
         // the un-traced path performs, so counters are bit-identical.
         let begin = self.cycles.fetch_add(charged, Ordering::Relaxed);
+        self.busy.fetch_add(charged, Ordering::Relaxed);
         self.work.fetch_add(w, Ordering::Relaxed);
         self.kernels.fetch_add(1, Ordering::Relaxed);
         if self.trace_on.load(Ordering::Acquire) {
@@ -591,6 +624,7 @@ impl Device {
         let secs = bytes as f64 / self.cfg.transfer_bytes_per_sec;
         let cycles = (secs * self.cfg.clock_hz).ceil() as u64;
         self.cycles.fetch_add(cycles, Ordering::Relaxed);
+        self.transfer.fetch_add(cycles, Ordering::Relaxed);
     }
 }
 
@@ -819,6 +853,35 @@ mod tests {
         let dt = dev.seconds_since(c0);
         assert!((dt - 1e-3).abs() < 1e-4, "dt = {dt}");
         assert_eq!(dev.stats().h2d_bytes, 12_000_000);
+    }
+
+    #[test]
+    fn cycle_components_partition_the_clock_exactly() {
+        let dev = tiny_device(1 << 20);
+        dev.charge_kernel(4352 * 10, 1);
+        dev.h2d_transfer(12_000_000);
+        dev.charge_kernel(100, 77);
+        dev.d2h_transfer(6_000_000);
+        // A barrier past the current clock accrues stall; one behind it
+        // is a no-op on both the clock and the stall counter.
+        let before = dev.cycles();
+        dev.advance_clock_to(before + 1234);
+        dev.advance_clock_to(before); // already past: no-op
+        let s = dev.stats();
+        assert_eq!(s.stall_cycles, 1234);
+        assert_eq!(
+            s.busy_cycles + s.transfer_cycles + s.stall_cycles,
+            s.cycles,
+            "the clock only advances through the three accounted paths"
+        );
+        assert!(s.busy_cycles > 0 && s.transfer_cycles > 0);
+        dev.reset_clock();
+        let s = dev.stats();
+        assert_eq!(
+            (s.cycles, s.busy_cycles, s.transfer_cycles, s.stall_cycles),
+            (0, 0, 0, 0),
+            "reset rewinds every component"
+        );
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub struct PoolStats {
     pub cycles_total: u64,
     /// Max per-device simulated cycles — the sharded critical path.
     pub span_cycles: u64,
+    /// Sum of per-device kernel-execution cycles. With `transfer_cycles`
+    /// and `stall_cycles` this partitions `cycles_total` exactly.
+    pub busy_cycles: u64,
+    /// Sum of per-device transfer cycles.
+    pub transfer_cycles: u64,
+    /// Sum of per-device barrier-stall cycles.
+    pub stall_cycles: u64,
     /// Total charged work units across devices.
     pub work: u64,
     /// Total kernel launches across devices.
@@ -49,6 +56,43 @@ pub struct PoolStats {
     pub faults_injected: u64,
     /// Devices currently quarantined (unhealthy).
     pub quarantined: usize,
+}
+
+/// Per-device cycle breakdown against the pool's span: where device `i`'s
+/// share of the pool's elapsed simulated time went. By construction
+/// `busy + transfer + stall + idle == span` for every device — a device's
+/// clock only advances through kernel charges, transfer charges, and
+/// barrier advances, and whatever remains below the pool-wide span is
+/// idle time (the device finished early while a slower shard ran on).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceUtilization {
+    /// Device ordinal in the pool.
+    pub device: usize,
+    /// Cycles executing kernels.
+    pub busy_cycles: u64,
+    /// Cycles in H2D/D2H transfers.
+    pub transfer_cycles: u64,
+    /// Cycles stalled at lockstep barriers.
+    pub stall_cycles: u64,
+    /// Cycles idle after this device's clock stopped while the pool's
+    /// slowest device ran on (`span − busy − transfer − stall`).
+    pub idle_cycles: u64,
+    /// The pool-wide span these components partition.
+    pub span_cycles: u64,
+    /// High-water mark of allocated device memory, in bytes.
+    pub peak_allocated: u64,
+}
+
+impl DeviceUtilization {
+    /// Fraction of the pool span this device spent executing kernels
+    /// (0.0 on an idle pool).
+    pub fn busy_fraction(&self) -> f64 {
+        if self.span_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / self.span_cycles as f64
+        }
+    }
 }
 
 impl DevicePool {
@@ -130,6 +174,9 @@ impl DevicePool {
             let s: DeviceStats = dev.stats();
             agg.cycles_total += s.cycles;
             agg.span_cycles = agg.span_cycles.max(s.cycles);
+            agg.busy_cycles += s.busy_cycles;
+            agg.transfer_cycles += s.transfer_cycles;
+            agg.stall_cycles += s.stall_cycles;
             agg.work += s.work;
             agg.kernels += s.kernels;
             agg.allocated += s.allocated;
@@ -143,6 +190,28 @@ impl DevicePool {
             }
         }
         agg
+    }
+
+    /// True per-device utilization: each device's busy / transfer /
+    /// barrier-stall cycles plus the idle remainder up to the pool-wide
+    /// span, so `busy + transfer + stall + idle == span` holds for every
+    /// row. Also carries the per-device memory high-water mark.
+    pub fn utilization(&self) -> Vec<DeviceUtilization> {
+        let stats: Vec<DeviceStats> = self.devices.iter().map(|d| d.stats()).collect();
+        let span = stats.iter().map(|s| s.cycles).max().unwrap_or(0);
+        stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| DeviceUtilization {
+                device: i,
+                busy_cycles: s.busy_cycles,
+                transfer_cycles: s.transfer_cycles,
+                stall_cycles: s.stall_cycles,
+                idle_cycles: span - s.cycles,
+                span_cycles: span,
+                peak_allocated: s.peak_allocated,
+            })
+            .collect()
     }
 
     /// Simulated elapsed seconds of the pool: the slowest device's clock
@@ -194,6 +263,55 @@ mod tests {
         assert_eq!(agg.span_cycles, 30 + launch, "critical path = slowest");
         assert_eq!(agg.cycles_total, 40 + 2 * launch);
         assert_eq!(agg.work, 4352 * 40);
+    }
+
+    #[test]
+    fn utilization_partitions_span_for_every_device() {
+        let pool = DevicePool::rtx_2080_ti(3);
+        // Device 0: kernels only. Device 1: kernels + a transfer. Device 2:
+        // idle until a barrier drags it to the pool front.
+        pool.get(0).charge_kernel(4352 * 25, 1);
+        pool.get(1).charge_kernel(4352 * 5, 1);
+        pool.get(1).h2d_transfer(1 << 20);
+        let front = pool.get(0).cycles().max(pool.get(1).cycles());
+        pool.get(2).advance_clock_to(front);
+        let rows = pool.utilization();
+        assert_eq!(rows.len(), 3);
+        let span = pool.aggregate().span_cycles;
+        for u in &rows {
+            assert_eq!(u.span_cycles, span);
+            assert_eq!(
+                u.busy_cycles + u.transfer_cycles + u.stall_cycles + u.idle_cycles,
+                span,
+                "device {}: busy+transfer+stall+idle must equal span",
+                u.device
+            );
+        }
+        assert!(rows[0].busy_cycles > 0 && rows[0].transfer_cycles == 0);
+        assert!(rows[1].transfer_cycles > 0);
+        assert_eq!(rows[2].busy_cycles, 0);
+        assert_eq!(rows[2].stall_cycles, front, "barrier wait is all stall");
+        // Aggregate identity: the three components partition cycles_total.
+        let agg = pool.aggregate();
+        assert_eq!(
+            agg.busy_cycles + agg.transfer_cycles + agg.stall_cycles,
+            agg.cycles_total
+        );
+    }
+
+    #[test]
+    fn utilization_reports_memory_high_water_mark() {
+        let pool = DevicePool::rtx_2080_ti(2);
+        {
+            let _r = pool.get(1).reserve(1 << 20, "transient").expect("fits");
+        }
+        let rows = pool.utilization();
+        assert_eq!(rows[0].peak_allocated, 0);
+        assert!(
+            rows[1].peak_allocated >= 1 << 20,
+            "HWM survives the release: {}",
+            rows[1].peak_allocated
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@
 //! of buffering batches without bound.
 
 use crate::api::{FlushTrigger, Request, Response, ServiceError, Ticket};
+use crate::metrics::{MetricsHub, DEFAULT_CLIENT};
 use gts_trace::RequestId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -83,6 +84,14 @@ pub struct ServiceConfig {
     /// advances them, so answers, epochs, and cycle counts are bit-identical
     /// with it on or off.
     pub trace: gts_trace::TraceConfig,
+    /// Metrics recording. Disabled by default; when enabled the service
+    /// owns a [`crate::MetricsHub`] — per-client request
+    /// accounting, flush/batch counters, device-utilization gauges, the
+    /// cost-model audit — scrapeable via
+    /// [`QueryService::scrape`](crate::QueryService::scrape). The same
+    /// observability contract as tracing holds: metrics on or off,
+    /// answers, epochs, and simulated cycle counts are bit-identical.
+    pub metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -98,6 +107,7 @@ impl Default for ServiceConfig {
             max_batch: 4096,
             lanes: 1,
             trace: gts_trace::TraceConfig::default(),
+            metrics: false,
         }
     }
 }
@@ -141,6 +151,12 @@ impl ServiceConfig {
         self.trace = trace;
         self
     }
+
+    /// Builder-style metrics switch (see [`ServiceConfig::metrics`]).
+    pub fn with_metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
 }
 
 /// One queued request: the payload, its response channel, and its
@@ -153,6 +169,10 @@ pub(crate) struct Pending<O> {
     /// Service-assigned request id, minted under the admission lock so ids
     /// follow admission order (the trace/latency correlation key).
     pub(crate) id: RequestId,
+    /// Client id the request was submitted under (the per-client metrics
+    /// tag; [`DEFAULT_CLIENT`] unless [`SubmitHandle::submit_as`] named
+    /// one).
+    pub(crate) client: Arc<str>,
 }
 
 /// What a flushed batch holds: queries or updates, never both. The drain
@@ -169,10 +189,21 @@ pub(crate) enum BatchKind {
     Update,
 }
 
+/// One flushed-batch entry as the executor sees it: the request, its
+/// response channel, its stamped queue wait (µs), its service-assigned
+/// id, and the client id it was submitted under.
+pub(crate) type Entry<O> = (
+    Request<O>,
+    mpsc::SyncSender<Response>,
+    u64,
+    RequestId,
+    Arc<str>,
+);
+
 /// One flushed batch: FIFO-ordered entries with their queue waits stamped
 /// at flush time, plus the trigger that shipped it.
 pub(crate) struct Batch<O> {
-    pub(crate) entries: Vec<(Request<O>, mpsc::SyncSender<Response>, u64, RequestId)>,
+    pub(crate) entries: Vec<Entry<O>>,
     pub(crate) trigger: FlushTrigger,
     pub(crate) kind: BatchKind,
     /// Flush sequence number, assigned by the batcher in flush order — the
@@ -202,10 +233,18 @@ pub(crate) struct Shared<O> {
     pub(crate) rejected: AtomicU64,
     /// Next request id to mint (see [`Pending::id`]).
     pub(crate) next_request: AtomicU64,
+    /// The service's metrics hub, when [`ServiceConfig::metrics`] enabled
+    /// one — the submit path records per-client admission counters here.
+    pub(crate) metrics: Option<Arc<MetricsHub>>,
 }
 
 impl<O> Shared<O> {
-    pub(crate) fn new(depth: usize, target: usize, deadline: Duration) -> Arc<Shared<O>> {
+    pub(crate) fn new(
+        depth: usize,
+        target: usize,
+        deadline: Duration,
+        metrics: Option<Arc<MetricsHub>>,
+    ) -> Arc<Shared<O>> {
         Arc::new(Shared {
             state: Mutex::new(QueueState {
                 queue: VecDeque::new(),
@@ -218,6 +257,7 @@ impl<O> Shared<O> {
             admitted: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             next_request: AtomicU64::new(0),
+            metrics,
         })
     }
 
@@ -243,11 +283,20 @@ impl<O> Clone for SubmitHandle<O> {
 }
 
 impl<O> SubmitHandle<O> {
-    /// Submit one request. Returns a [`Ticket`] redeemable for the
-    /// response, or an immediate rejection when the admission queue is at
-    /// depth ([`ServiceError::QueueFull`] — the backpressure contract:
-    /// submission never blocks) or the service is stopping.
+    /// Submit one request under the default client id. Returns a
+    /// [`Ticket`] redeemable for the response, or an immediate rejection
+    /// when the admission queue is at depth ([`ServiceError::QueueFull`] —
+    /// the backpressure contract: submission never blocks) or the service
+    /// is stopping.
     pub fn submit(&self, req: Request<O>) -> Result<Ticket, ServiceError> {
+        self.submit_as(DEFAULT_CLIENT, req)
+    }
+
+    /// [`SubmitHandle::submit`] under an explicit client id: with metrics
+    /// enabled, this request's admission, rejection, queue wait, and
+    /// response are accounted to `client`'s labelled series. The client id
+    /// changes accounting only — never batching, ordering, or answers.
+    pub fn submit_as(&self, client: &str, req: Request<O>) -> Result<Ticket, ServiceError> {
         let (tx, rx) = mpsc::sync_channel(1);
         let mut st = self.shared.state.lock().expect("admission lock");
         if st.stopped {
@@ -255,6 +304,10 @@ impl<O> SubmitHandle<O> {
         }
         if st.queue.len() >= self.shared.depth {
             self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+            drop(st);
+            if let Some(hub) = &self.shared.metrics {
+                hub.client_rejected(client);
+            }
             return Err(ServiceError::QueueFull {
                 depth: self.shared.depth,
             });
@@ -268,8 +321,12 @@ impl<O> SubmitHandle<O> {
             tx,
             enqueued: Instant::now(),
             id,
+            client: Arc::from(client),
         });
         self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        if let Some(hub) = &self.shared.metrics {
+            hub.client_admitted(client);
+        }
         let len = st.queue.len();
         drop(st);
         // Wake the batcher only when this admission changes what it would
@@ -324,7 +381,7 @@ fn drain<O>(queue: &mut VecDeque<Pending<O>>, limit: usize, trigger: FlushTrigge
         .map(|p| {
             let wait = now.saturating_duration_since(p.enqueued);
             let wait_us = wait.as_micros().min(u128::from(u64::MAX)) as u64;
-            (p.req, p.tx, wait_us, p.id)
+            (p.req, p.tx, wait_us, p.id, p.client)
         })
         .collect();
     Batch {
@@ -393,7 +450,9 @@ pub(crate) fn run<O: Clone>(shared: &Shared<O>, lane_txs: &[mpsc::SyncSender<Bat
                         entries: batch
                             .entries
                             .iter()
-                            .map(|(req, tx, wait, id)| (req.clone(), tx.clone(), *wait, *id))
+                            .map(|(req, tx, wait, id, client)| {
+                                (req.clone(), tx.clone(), *wait, *id, Arc::clone(client))
+                            })
                             .collect(),
                         trigger: batch.trigger,
                         kind: BatchKind::Update,
@@ -461,7 +520,7 @@ mod tests {
     use super::*;
 
     fn handle(depth: usize, target: usize) -> (SubmitHandle<u32>, Arc<Shared<u32>>) {
-        let shared = Shared::new(depth, target, Duration::from_millis(1));
+        let shared = Shared::new(depth, target, Duration::from_millis(1), None);
         (
             SubmitHandle {
                 shared: Arc::clone(&shared),
@@ -502,12 +561,17 @@ mod tests {
                 tx: tx.clone(),
                 enqueued: Instant::now(),
                 id: RequestId(u64::from(i)),
+                client: Arc::from(DEFAULT_CLIENT),
             });
         }
         let batch = drain(&mut q, 3, FlushTrigger::Size);
         assert_eq!(batch.entries.len(), 3);
         assert_eq!(q.len(), 2);
-        for (i, (req, _, _, id)) in batch.entries.iter().enumerate() {
+        for (i, (req, _, _, id, client)) in batch.entries.iter().enumerate() {
+            assert_eq!(
+                &**client, DEFAULT_CLIENT,
+                "submit() tags the default client"
+            );
             let Request::Knn { query, .. } = req else {
                 panic!("knn expected")
             };
@@ -518,7 +582,7 @@ mod tests {
 
     #[test]
     fn batcher_flushes_on_size_and_shutdown() {
-        let shared = Shared::<u32>::new(64, 4, Duration::from_secs(3600));
+        let shared = Shared::<u32>::new(64, 4, Duration::from_secs(3600), None);
         let h = SubmitHandle {
             shared: Arc::clone(&shared),
         };
@@ -548,7 +612,7 @@ mod tests {
 
     #[test]
     fn executor_death_poisons_the_service() {
-        let shared = Shared::<u32>::new(64, 4, Duration::from_secs(3600));
+        let shared = Shared::<u32>::new(64, 4, Duration::from_secs(3600), None);
         let h = SubmitHandle {
             shared: Arc::clone(&shared),
         };
@@ -580,7 +644,7 @@ mod tests {
 
     #[test]
     fn batches_deal_round_robin_across_lanes() {
-        let shared = Shared::<u32>::new(64, 2, Duration::from_secs(3600));
+        let shared = Shared::<u32>::new(64, 2, Duration::from_secs(3600), None);
         let h = SubmitHandle {
             shared: Arc::clone(&shared),
         };
@@ -626,6 +690,7 @@ mod tests {
                 tx: tx.clone(),
                 enqueued: Instant::now(),
                 id: RequestId(0),
+                client: Arc::from(DEFAULT_CLIENT),
             });
         }
         // The limit would take everything; the kind flips cut it into
@@ -642,7 +707,7 @@ mod tests {
 
     #[test]
     fn update_batches_broadcast_to_every_lane_with_one_responder() {
-        let shared = Shared::<u32>::new(64, 1, Duration::from_secs(3600));
+        let shared = Shared::<u32>::new(64, 1, Duration::from_secs(3600), None);
         let h = SubmitHandle {
             shared: Arc::clone(&shared),
         };
@@ -674,7 +739,7 @@ mod tests {
 
     #[test]
     fn batcher_flushes_on_deadline() {
-        let shared = Shared::<u32>::new(64, 1000, Duration::from_millis(5));
+        let shared = Shared::<u32>::new(64, 1000, Duration::from_millis(5), None);
         let h = SubmitHandle {
             shared: Arc::clone(&shared),
         };

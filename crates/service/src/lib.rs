@@ -42,6 +42,12 @@
 //!   against the pool-wide free-memory view) or the **deadline trigger**
 //!   fires (the oldest queued request has waited the configured flush
 //!   deadline), dealing flushed batches round-robin across the lanes;
+//! * [`metrics`] — [`MetricsHub`]: the service's metrics surface — one
+//!   [`MetricsRegistry`](gts_metrics::MetricsRegistry) holding per-client
+//!   request counters and queue-wait histograms (tag requests with
+//!   [`SubmitHandle::submit_as`]), flush/batch-span families, per-device
+//!   utilization gauges, and the cost-model audit; scrape it with
+//!   [`QueryService::scrape`] for Prometheus text exposition;
 //! * [`service`] — [`QueryService`]: owns the batcher and lane threads,
 //!   drives flushed batches through
 //!   [`ReplicatedShards::batch_range`](gts_core::ReplicatedShards::batch_range) /
@@ -72,6 +78,7 @@
 
 pub mod api;
 pub mod batcher;
+pub mod metrics;
 pub mod service;
 pub mod stats;
 
@@ -79,5 +86,6 @@ pub use api::{
     FlushTrigger, LatencyBreakdown, Reply, Request, Response, ServiceError, Ticket, UpdateAck,
 };
 pub use batcher::{BatchSizing, ServiceConfig, SubmitHandle};
+pub use metrics::{MetricsHub, DEFAULT_CLIENT};
 pub use service::QueryService;
 pub use stats::ServiceStats;

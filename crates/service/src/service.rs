@@ -18,19 +18,18 @@ use crate::api::{
     FlushTrigger, LatencyBreakdown, Reply, Request, Response, ServiceError, UpdateAck,
 };
 use crate::batcher::EXECUTOR_PIPELINE_BATCHES;
-use crate::batcher::{self, Batch, BatchKind, BatchSizing, ServiceConfig, Shared, SubmitHandle};
+use crate::batcher::{
+    self, Batch, BatchKind, BatchSizing, Entry, ServiceConfig, Shared, SubmitHandle,
+};
+use crate::metrics::MetricsHub;
 use crate::stats::{ExecutorStats, ServiceStats};
 use gts_core::{ReplicatedShards, ShardedGts, UpdateOp};
-use gts_trace::{DumpReason, EventKind, RequestId, TraceEvent, TraceRecorder};
+use gts_trace::{DumpReason, EventKind, TraceEvent, TraceRecorder};
 use metric_space::index::Neighbor;
 use metric_space::{BatchMetric, Footprint};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-
-/// One flushed-batch entry as the executor sees it: the request, its
-/// response channel, its stamped queue wait, and its service-assigned id.
-type Entry<O> = (Request<O>, mpsc::SyncSender<Response>, u64, RequestId);
 
 /// The online query service: accepts individual [`Request`]s through
 /// [`SubmitHandle`]s, microbatches them, and executes the batches against
@@ -83,6 +82,8 @@ pub struct QueryService<O, M> {
     /// The trace recorder, when [`ServiceConfig::trace`] enabled one. The
     /// same recorder is attached to every device of every replica.
     trace: Option<Arc<TraceRecorder>>,
+    /// The metrics hub, when [`ServiceConfig::metrics`] enabled one.
+    metrics: Option<Arc<MetricsHub>>,
 }
 
 impl<O, M> QueryService<O, M>
@@ -142,7 +143,21 @@ where
         // trigger silently unreachable (every flush would wait out the
         // deadline).
         .clamp(1, cfg.max_batch.min(cfg.queue_depth));
-        let shared = Shared::new(cfg.queue_depth, batch_target, cfg.flush_deadline);
+        // Metrics: one hub owning every family the stack exports. Enabling
+        // it also switches on the per-shard cost-model audit so the §5.3
+        // sizing prediction is held against observed survivors. Both are
+        // observational — answers, epochs, and cycles are bit-identical
+        // with metrics on or off.
+        let metrics = cfg.metrics.then(|| Arc::new(MetricsHub::new(true)));
+        if metrics.is_some() {
+            index.set_cost_audit_enabled(true);
+        }
+        let shared = Shared::new(
+            cfg.queue_depth,
+            batch_target,
+            cfg.flush_deadline,
+            metrics.clone(),
+        );
         // Tracing: one recorder shared by every layer, attached to every
         // device of every replica with globally unique track ids. Purely
         // observational — it reads the simulated clocks, never advances
@@ -189,13 +204,22 @@ where
                 let index = Arc::clone(&index);
                 let stats = Arc::clone(&exec_stats);
                 let trace = trace.clone();
+                let metrics = metrics.clone();
                 // Disjoint preferred replica sets: lane l owns every
                 // replica congruent to l mod L.
                 let prefer: Vec<usize> = (0..index.num_replicas())
                     .filter(|r| r % num_lanes == lane)
                     .collect();
                 std::thread::spawn(move || {
-                    run_lane(&index, lane, &prefer, &rx, &stats, trace.as_ref())
+                    run_lane(
+                        &index,
+                        lane,
+                        &prefer,
+                        &rx,
+                        &stats,
+                        trace.as_ref(),
+                        metrics.as_deref(),
+                    )
                 })
             })
             .collect();
@@ -208,6 +232,7 @@ where
             batch_target,
             num_lanes,
             trace,
+            metrics,
         }
     }
 
@@ -239,6 +264,48 @@ where
     /// [`TraceRecorder::summary`], or inspect flight dumps directly.
     pub fn trace(&self) -> Option<&Arc<TraceRecorder>> {
         self.trace.as_ref()
+    }
+
+    /// The metrics hub, when [`ServiceConfig::metrics`] enabled one.
+    pub fn metrics(&self) -> Option<&Arc<MetricsHub>> {
+        self.metrics.as_ref()
+    }
+
+    /// Refresh the scrape-time families (epoch, per-device utilization,
+    /// cost-model audit, per-stage trace summary) and render the
+    /// Prometheus text exposition. `None` when metrics are disabled.
+    /// Scraping is observational: it reads the simulated clocks without
+    /// advancing them, and two scrapes of an idle service are
+    /// byte-identical.
+    pub fn scrape(&self) -> Option<String> {
+        let hub = self.metrics.as_ref()?;
+        self.refresh_metrics(hub);
+        Some(hub.render_prometheus())
+    }
+
+    /// Re-read the cumulative sources into their idempotent families.
+    /// Device indices are global and replica-major — the same numbering
+    /// the trace recorder uses for track ids.
+    fn refresh_metrics(&self, hub: &MetricsHub) {
+        hub.set_epoch(self.index.epoch_of(&[]));
+        let mut dev = 0usize;
+        for r in 0..self.index.num_replicas() {
+            for u in self
+                .index
+                .replica(r)
+                .read()
+                .expect("replica lock")
+                .pool()
+                .utilization()
+            {
+                hub.set_device_utilization(dev, &u);
+                dev += 1;
+            }
+        }
+        hub.set_cost_audit(&self.index.cost_audit());
+        if let Some(rec) = &self.trace {
+            hub.set_stage_summary(&rec.summary());
+        }
     }
 
     /// Point-in-time statistics (the service keeps running).
@@ -297,6 +364,10 @@ where
                 .map_or_else(Vec::new, |t| t.flight_dumps()),
             index: self.index.stats(),
             replica,
+            metrics: self.metrics.as_ref().map(|hub| {
+                self.refresh_metrics(hub);
+                hub.registry().snapshot()
+            }),
         }
     }
 }
@@ -351,7 +422,7 @@ impl SubBatch {
 fn split_batch<O>(entries: &[Entry<O>]) -> Vec<SubBatch> {
     let mut ranges = Vec::new();
     let mut knn: Vec<(usize, Vec<usize>)> = Vec::new(); // (k, FIFO indices)
-    for (i, (req, _, _, _)) in entries.iter().enumerate() {
+    for (i, (req, _, _, _, _)) in entries.iter().enumerate() {
         match req {
             Request::Range { .. } => ranges.push(i),
             Request::Knn { k, .. } => match knn.binary_search_by_key(k, |g| g.0) {
@@ -395,6 +466,7 @@ fn run_lane<O, M>(
     batch_rx: &mpsc::Receiver<Batch<O>>,
     stats: &Mutex<ExecutorStats>,
     trace: Option<&Arc<TraceRecorder>>,
+    metrics: Option<&MetricsHub>,
 ) where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
@@ -410,8 +482,20 @@ fn run_lane<O, M>(
                     FlushTrigger::Deadline => s.deadline_flushes += 1,
                     FlushTrigger::Shutdown => s.shutdown_flushes += 1,
                 }
-                for (_, _, wait_us, _) in &batch.entries {
+                for (_, _, wait_us, _, _) in &batch.entries {
                     s.queue_wait_us.record(*wait_us);
+                }
+            }
+        }
+        // Metrics mirror the responder-gated stats: the flush trigger is
+        // counted once per batch, queue waits once per request, both only
+        // on the responder copy (broadcast updates execute on every lane
+        // but are accounted once).
+        if batch.respond {
+            if let Some(hub) = metrics {
+                hub.batch_flushed(batch.trigger);
+                for (_, _, wait_us, _, client) in &batch.entries {
+                    hub.queue_wait(client, *wait_us);
                 }
             }
         }
@@ -434,7 +518,7 @@ fn run_lane<O, M>(
                 None,
                 span_begin,
             ));
-            for (_, _, _, id) in &batch.entries {
+            for (_, _, _, id, _) in &batch.entries {
                 let mut mctx = ctx;
                 mctx.request = Some(*id);
                 rec.record(TraceEvent::instant(
@@ -451,8 +535,8 @@ fn run_lane<O, M>(
         // pipeline and wedges the batcher. The batch's tickets disconnect;
         // the lane keeps serving.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match batch.kind {
-            BatchKind::Query => query_batch(index, prefer, &batch, stats, trace),
-            BatchKind::Update => update_batch(index, prefer, &batch, stats, trace),
+            BatchKind::Query => query_batch(index, prefer, &batch, stats, trace, metrics),
+            BatchKind::Update => update_batch(index, prefer, &batch, stats, trace, metrics),
         }));
         if outcome.is_err() {
             stats.lock().unwrap_or_else(|p| p.into_inner()).lane_panics += 1;
@@ -490,6 +574,7 @@ fn query_batch<O, M>(
     batch: &Batch<O>,
     stats: &Mutex<ExecutorStats>,
     trace: Option<&Arc<TraceRecorder>>,
+    metrics: Option<&MetricsHub>,
 ) where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
@@ -522,6 +607,9 @@ fn query_batch<O, M>(
             .expect("executor stats lock")
             .batch_span_cycles
             .record(span);
+        if let Some(hub) = metrics {
+            hub.batch_span(span);
+        }
         let indices = sub.indices();
         let mut answered = 0u64;
         let mut failed = 0u64;
@@ -534,8 +622,15 @@ fn query_batch<O, M>(
                     let result = Ok(Reply::Neighbors(
                         per_query.pop().expect("one answer per request"),
                     ));
-                    answered +=
-                        respond(&batch.entries[i], result, epoch, span, size, batch.trigger);
+                    answered += respond(
+                        &batch.entries[i],
+                        result,
+                        epoch,
+                        span,
+                        size,
+                        batch.trigger,
+                        metrics,
+                    );
                 }
             }
             Err(e) => {
@@ -551,6 +646,7 @@ fn query_batch<O, M>(
                         span,
                         size,
                         batch.trigger,
+                        metrics,
                     );
                 }
             }
@@ -573,6 +669,7 @@ fn update_batch<O, M>(
     batch: &Batch<O>,
     stats: &Mutex<ExecutorStats>,
     trace: Option<&Arc<TraceRecorder>>,
+    metrics: Option<&MetricsHub>,
 ) where
     O: Clone + Send + Sync + Footprint,
     M: BatchMetric<O> + Clone,
@@ -605,6 +702,7 @@ fn update_batch<O, M>(
                         0,
                         size,
                         batch.trigger,
+                        metrics,
                     );
                 }
                 continue;
@@ -648,7 +746,10 @@ fn update_batch<O, M>(
                     }
                 }
             }
-            s.completed += respond(entry, result, epoch, span, size, batch.trigger);
+            if let Some(hub) = metrics {
+                hub.batch_span(span);
+            }
+            s.completed += respond(entry, result, epoch, span, size, batch.trigger, metrics);
         }
     }
 }
@@ -710,8 +811,18 @@ fn respond<O>(
     span: u64,
     batch_size: usize,
     trigger: FlushTrigger,
+    metrics: Option<&MetricsHub>,
 ) -> u64 {
-    let (_, tx, wait_us, id) = entry;
+    let (_, tx, wait_us, id, client) = entry;
+    // Metrics land *before* the send: a client scraping the moment its
+    // `Ticket::wait` returns must already see its own request counted
+    // (the send is the happens-before edge).
+    if let Some(hub) = metrics {
+        if result.is_err() {
+            hub.client_failed(client);
+        }
+        hub.client_served(client);
+    }
     let response = Response {
         result,
         epoch,
@@ -732,6 +843,7 @@ mod tests {
     use crate::api::ServiceError;
     use gpu_sim::DevicePool;
     use gts_core::{Gts, GtsParams};
+    use gts_trace::RequestId;
     use metric_space::index::SimilarityIndex;
     use metric_space::{DatasetKind, Item, ItemMetric};
     use std::time::Duration;
@@ -846,7 +958,15 @@ mod tests {
     #[test]
     fn split_batch_groups_deterministically() {
         let (tx, _rx) = mpsc::sync_channel(1);
-        let mk = |req| (req, tx.clone(), 0u64, RequestId(0));
+        let mk = |req| {
+            (
+                req,
+                tx.clone(),
+                0u64,
+                RequestId(0),
+                Arc::from(crate::metrics::DEFAULT_CLIENT),
+            )
+        };
         let entries = vec![
             mk(Request::Knn { query: 0u32, k: 5 }),
             mk(Request::Range {
@@ -1008,6 +1128,7 @@ mod tests {
             tx,
             0u64,
             RequestId(0),
+            Arc::from(crate::metrics::DEFAULT_CLIENT),
         )];
         let sub = SubBatch::Range(vec![0]);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -100,6 +100,11 @@ pub struct ServiceStats {
     /// dead shards) — the last-N-events snapshots taken at each fault.
     /// Empty when tracing is disabled.
     pub flight_dumps: Vec<gts_trace::FlightDump>,
+    /// A full metrics snapshot (every family the
+    /// [`MetricsHub`](crate::MetricsHub) exports, refreshed at snapshot
+    /// time), when [`ServiceConfig::metrics`](crate::ServiceConfig)
+    /// enabled the hub. `None` otherwise.
+    pub metrics: Option<gts_metrics::MetricsSnapshot>,
 }
 
 /// The mutable half the executor lanes update as batches run (everything

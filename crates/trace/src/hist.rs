@@ -16,6 +16,9 @@ pub struct LatencyHistogram {
     count: u64,
     sum: u64,
     max: u64,
+    /// Smallest sample seen; `u64::MAX` sentinel while empty so `merge`
+    /// stays a plain `min` without an emptiness branch.
+    min: u64,
 }
 
 impl Default for LatencyHistogram {
@@ -25,6 +28,7 @@ impl Default for LatencyHistogram {
             count: 0,
             sum: 0,
             max: 0,
+            min: u64::MAX,
         }
     }
 }
@@ -36,6 +40,7 @@ impl LatencyHistogram {
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
+        self.min = self.min.min(v);
     }
 
     /// Number of recorded samples.
@@ -51,6 +56,15 @@ impl LatencyHistogram {
     /// Largest sample seen (0 when empty).
     pub fn max(&self) -> u64 {
         self.max
+    }
+
+    /// Smallest sample seen (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Mean sample value (0.0 when empty).
@@ -69,12 +83,21 @@ impl LatencyHistogram {
     /// position inside the bucket. Exact for samples that fill their bucket
     /// uniformly; never off by more than the bucket width (a factor of two)
     /// otherwise. Clamped to the observed maximum so outliers don't inflate
-    /// the top bucket. Returns 0 when empty.
+    /// the top bucket. The boundaries are exact, not interpolated:
+    /// `q = 0.0` returns the observed minimum and `q = 1.0` the observed
+    /// maximum. Returns 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (b, &n) in self.buckets.iter().enumerate() {
             if n == 0 {
@@ -88,11 +111,31 @@ impl LatencyHistogram {
                 let p = rank - seen;
                 let lo = 1u128 << (b - 1);
                 let est = lo + (lo * u128::from(p)) / u128::from(n);
-                return est.min(u128::from(self.max)) as u64;
+                return (est.min(u128::from(self.max)) as u64).max(self.min);
             }
             seen += n;
         }
         self.max
+    }
+
+    /// The raw log₂ bucket counts. Bucket `b` holds samples of bit length
+    /// `b`, i.e. values in `[2^(b−1), 2^b)` for `b ≥ 1` and exact zeros
+    /// for `b = 0` — so every sample in buckets `0..=b` is `≤ 2^b − 1`,
+    /// which is exactly the cumulative `le` series a Prometheus histogram
+    /// exposition needs.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Inclusive upper bound of bucket `b` (`2^b − 1`, saturating at
+    /// `u64::MAX` for the top bucket): the largest value whose bit length
+    /// is at most `b`.
+    pub fn bucket_upper(b: usize) -> u64 {
+        if b >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << b) - 1
+        }
     }
 
     /// Bucket-wise sum with another histogram (exact aggregation).
@@ -103,6 +146,7 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
         self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
     }
 }
 
@@ -165,6 +209,35 @@ mod tests {
         assert_eq!(q25, 64 + 64 / 4, "rank 1 of 4: lo + width·1/4");
         assert_eq!(q75, 64 + 64 * 3 / 4, "rank 3 of 4: lo + width·3/4");
         assert_eq!(h.quantile(1.0), 112, "clamped to the observed max");
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_and_min_are_zero() {
+        let h = LatencyHistogram::default();
+        for q in [-1.0f64, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(h.quantile(q), 0, "q={q} on an empty histogram");
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn quantile_boundaries_are_exact_order_statistics() {
+        let mut h = LatencyHistogram::default();
+        for v in [7u64, 100, 3_000, 9_999] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 7, "q=0 is the observed minimum");
+        assert_eq!(h.quantile(1.0), 9_999, "q=1 is the observed maximum");
+        // Out-of-range inputs clamp to the boundaries.
+        assert_eq!(h.quantile(-0.5), 7);
+        assert_eq!(h.quantile(1.5), 9_999);
+        assert_eq!(h.min(), 7);
+        // Interior quantiles never escape the observed [min, max] range.
+        for q in [0.01f64, 0.25, 0.5, 0.75, 0.99] {
+            let est = h.quantile(q);
+            assert!((7..=9_999).contains(&est), "q={q}: {est}");
+        }
     }
 
     #[test]

@@ -264,6 +264,38 @@ impl EventKind {
     }
 }
 
+/// The canonical stage order: every name [`EventKind::name`] can produce,
+/// listed in the order a request travels the serving stack (admission →
+/// lane → replica → shard → descent level → kernel), with the
+/// failure-path instants trailing their layer. This single constant
+/// orders both [`TraceSummary::to_table`] and the stage-labelled series
+/// of the `gts-metrics` Prometheus/JSON exposition, so the two views of
+/// the same pipeline always line up row for row.
+pub const STAGE_ORDER: [&str; 12] = [
+    "batch_start",
+    "batch_member",
+    "lane_batch",
+    "replica_retry",
+    "degraded",
+    "shard_scatter",
+    "merge",
+    "level",
+    "kernel",
+    "fault",
+    "shard_unavailable",
+    "lane_panic",
+];
+
+/// Rank of `stage` in [`STAGE_ORDER`]. Unknown names sort after every
+/// known stage (they still render — deterministically, alphabetically —
+/// rather than disappearing).
+pub fn stage_rank(stage: &str) -> usize {
+    STAGE_ORDER
+        .iter()
+        .position(|s| *s == stage)
+        .unwrap_or(STAGE_ORDER.len())
+}
+
 /// One recorded event: a kind, the context it happened under, its interval
 /// on the simulated-cycle timebase, the device it ran on (if any), and the
 /// host wall-clock stamp (observability only — excluded from the
@@ -706,12 +738,17 @@ pub struct TraceSummary {
 
 impl TraceSummary {
     /// Render the breakdown as an aligned text table (count, p50, p95,
-    /// p99, max per stage).
+    /// p99, max per stage). Rows follow the canonical [`STAGE_ORDER`]
+    /// (pipeline order, not alphabetical) — the same order the
+    /// `gts-metrics` exposition uses — so the table is deterministic and
+    /// comparable across runs and against scrapes.
     pub fn to_table(&self) -> String {
         let mut out = String::from(
             "stage            count      p50        p95        p99        max (cycles)\n",
         );
-        for (stage, h) in &self.stages {
+        let mut rows: Vec<(&&'static str, &LatencyHistogram)> = self.stages.iter().collect();
+        rows.sort_by_key(|(stage, _)| (stage_rank(stage), **stage));
+        for (stage, h) in rows {
             out.push_str(&format!(
                 "{:<16} {:<10} {:<10} {:<10} {:<10} {}\n",
                 stage,
@@ -860,6 +897,79 @@ mod tests {
         assert!(!sum.stages.contains_key("merge"), "instants aren't spans");
         let table = sum.to_table();
         assert!(table.contains("kernel"), "table lists the stage: {table}");
+    }
+
+    #[test]
+    fn stage_order_covers_every_event_kind_exactly_once() {
+        let all = [
+            EventKind::BatchStart {
+                size: 1,
+                update: false,
+            },
+            EventKind::BatchMember {
+                request: RequestId(0),
+            },
+            EventKind::LaneBatch {
+                size: 1,
+                update: false,
+            },
+            EventKind::ReplicaRetry {
+                cause: RetryCause::DeviceFault,
+            },
+            EventKind::Degraded,
+            EventKind::ShardScatter,
+            EventKind::Merge { results: 0 },
+            EventKind::Level {
+                level: 0,
+                frontier: 0,
+                tightened: 0,
+                verified: 0,
+            },
+            EventKind::Kernel { work: 0, span: 0 },
+            EventKind::Fault { permanent: false },
+            EventKind::ShardUnavailable { shard: 0 },
+            EventKind::LanePanic,
+        ];
+        assert_eq!(all.len(), STAGE_ORDER.len());
+        for kind in &all {
+            assert!(
+                stage_rank(kind.name()) < STAGE_ORDER.len(),
+                "{} missing from STAGE_ORDER",
+                kind.name()
+            );
+        }
+        let mut sorted = STAGE_ORDER.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), STAGE_ORDER.len(), "no duplicate stages");
+        assert_eq!(stage_rank("no_such_stage"), STAGE_ORDER.len());
+    }
+
+    #[test]
+    fn summary_table_rows_follow_the_canonical_stage_order() {
+        let rec = TraceRecorder::new(TraceConfig {
+            enabled: true,
+            ..TraceConfig::default()
+        });
+        // Recorded out of pipeline order on purpose; `kernel` would sort
+        // before `lane_batch` and `shard_scatter` alphabetically.
+        rec.record(ev(EventKind::Kernel { work: 1, span: 4 }, 0, 4, Some(0)));
+        rec.record(ev(EventKind::ShardScatter, 0, 6, Some(0)));
+        rec.record(ev(
+            EventKind::LaneBatch {
+                size: 2,
+                update: false,
+            },
+            0,
+            8,
+            Some(0),
+        ));
+        let table = rec.summary().to_table();
+        let pos = |stage: &str| table.find(stage).unwrap_or_else(|| panic!("{stage} row"));
+        assert!(
+            pos("lane_batch") < pos("shard_scatter") && pos("shard_scatter") < pos("kernel"),
+            "rows follow STAGE_ORDER, not alphabetical order:\n{table}"
+        );
     }
 
     #[test]

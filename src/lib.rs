@@ -17,6 +17,10 @@
 //! * [`trace`] — end-to-end tracing: per-request spans from
 //!   admission to kernel launch, Chrome-trace export, and a fault-triggered
 //!   flight recorder;
+//! * [`metrics`] — the typed metrics registry behind the service's
+//!   [`MetricsHub`](gts_service::MetricsHub): per-client request
+//!   accounting, device-utilization gauges, the cost-model audit, and
+//!   Prometheus/JSON exposition;
 //! * [`baselines`] — every comparator of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -47,6 +51,7 @@
 pub use baselines;
 pub use gpu_sim as gpu;
 pub use gts_core as core;
+pub use gts_metrics as metrics;
 pub use gts_service as service;
 pub use gts_trace as trace;
 pub use metric_space as metric;
@@ -54,13 +59,16 @@ pub use metric_space as metric;
 /// Everything most programs need.
 pub mod prelude {
     pub use baselines::{Bst, Egnat, Ganns, GpuTable, GpuTree, LbpgTree, LinearScan, Mvpt};
-    pub use gpu_sim::{Device, DeviceConfig, DevicePool, FaultKind, FaultPlan};
+    pub use gpu_sim::{Device, DeviceConfig, DevicePool, DeviceUtilization, FaultKind, FaultPlan};
     pub use gts_core::{
-        Applied, CostModel, Gts, GtsParams, ReplicaError, ReplicatedShards, ShardedGts, UpdateOp,
+        Applied, CostAuditSnapshot, CostModel, Gts, GtsParams, ReplicaError, ReplicatedShards,
+        ShardedGts, UpdateOp,
     };
+    pub use gts_metrics::{parse_prometheus, MetricsRegistry, MetricsSnapshot};
     pub use gts_service::{
-        BatchSizing, FlushTrigger, LatencyBreakdown, QueryService, Reply, Request, Response,
-        ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket, UpdateAck,
+        BatchSizing, FlushTrigger, LatencyBreakdown, MetricsHub, QueryService, Reply, Request,
+        Response, ServiceConfig, ServiceError, ServiceStats, SubmitHandle, Ticket, UpdateAck,
+        DEFAULT_CLIENT,
     };
     pub use gts_trace::{
         validate_chrome_trace, DumpReason, EventKind, FlightDump, LatencyHistogram, RequestId,

@@ -1,0 +1,483 @@
+//! Metrics invariance: the `gts-metrics` contract, proven end-to-end
+//! through the service.
+//!
+//! * **Observation is free of semantic cost** — metrics on ⇒ answers,
+//!   epochs, and simulated device cycles bit-identical to metrics off.
+//! * **Exposition is deterministic** — for a fixed seed, every
+//!   cycle-domain family (device utilization, batch spans, cost audit,
+//!   request counters) reproduces exactly across runs, at every shard and
+//!   lane count; two scrapes of an idle service are byte-identical.
+//! * **Exposition is conformant** — the text scrape parses back with
+//!   [`parse_prometheus`] and the recovered samples agree with the typed
+//!   snapshot.
+//! * **The device clock partitions** — for every device,
+//!   `busy + transfer + stall + idle == span`, read straight off the
+//!   scraped gauges.
+
+use gts::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A mixed query + update sequence (same shape the tracing invariance
+/// tests use): ranges, two kNN shapes, and inserts interleaved.
+fn mixed_sequence(items: &[Item], n: usize) -> Vec<Request<Item>> {
+    (0..n)
+        .map(|i| {
+            let q = items[(i * 13) % items.len()].clone();
+            match i % 5 {
+                0 => Request::Range {
+                    query: q,
+                    radius: 2.0,
+                },
+                1 | 3 => Request::Knn { query: q, k: 3 },
+                2 => Request::Insert { object: q },
+                _ => Request::Knn { query: q, k: 6 },
+            }
+        })
+        .collect()
+}
+
+/// Run `n` mixed requests through a fresh stack (one in flight at a time,
+/// so batch formation is a pure function of the sequence) and return
+/// everything observable: outcomes, final cycles, and the **settled**
+/// exposition text rendered from the post-shutdown snapshot (empty when
+/// metrics are off) — after shutdown every lane has drained, including
+/// broadcast update copies still in flight on sibling lanes at live-scrape
+/// time.
+#[allow(clippy::type_complexity)]
+fn metered_run(
+    shards: u32,
+    replicas: u32,
+    lanes: usize,
+    metrics_on: bool,
+    n: usize,
+) -> (
+    Vec<(Result<Reply, ServiceError>, u64)>,
+    u64,
+    u64,
+    String,
+    ServiceStats,
+) {
+    let data = DatasetKind::Words.generate(360, 909);
+    let pool = DevicePool::rtx_2080_ti((shards * replicas) as usize);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default()
+                .with_shards(shards)
+                .with_replicas(replicas),
+        )
+        .expect("build"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(4))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(lanes)
+        .with_metrics(metrics_on);
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    let h = svc.handle();
+    let outcomes: Vec<(Result<Reply, ServiceError>, u64)> = mixed_sequence(&data.items, n)
+        .into_iter()
+        .map(|r| {
+            let resp = h.submit(r).expect("admitted").wait().expect("answered");
+            (resp.result, resp.epoch)
+        })
+        .collect();
+    if metrics_on {
+        assert!(
+            svc.scrape().is_some_and(|s| !s.is_empty()),
+            "a live scrape renders while the service runs"
+        );
+    } else {
+        assert!(svc.scrape().is_none(), "metrics off has nothing to scrape");
+    }
+    let stats = svc.shutdown();
+    let scrape = stats
+        .metrics
+        .as_ref()
+        .map(gts::metrics::render_prometheus)
+        .unwrap_or_default();
+    (
+        outcomes,
+        index.span_cycles(),
+        index.pool().aggregate().cycles_total,
+        scrape,
+        stats,
+    )
+}
+
+/// Drop the host-time families (queue waits are wall-clock microseconds
+/// and lawfully vary run to run); everything left is cycle-domain or
+/// count-domain and must reproduce exactly.
+fn cycle_domain(scrape: &str) -> String {
+    scrape
+        .lines()
+        .filter(|l| !l.contains("gts_queue_wait_microseconds"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Metrics on ⇒ answers, epochs, and simulated cycles bit-identical to
+/// metrics off: the hub observes the clocks, never advances them.
+#[test]
+fn metrics_change_no_answer_epoch_or_cycle() {
+    for shards in [1u32, 2] {
+        let (plain, span_p, total_p, scrape_p, _) = metered_run(shards, 1, 1, false, 30);
+        let (metered, span_m, total_m, scrape_m, stats) = metered_run(shards, 1, 1, true, 30);
+        assert_eq!(plain, metered, "shards = {shards}: answers and epochs");
+        assert_eq!(span_p, span_m, "shards = {shards}: critical-path cycles");
+        assert_eq!(total_p, total_m, "shards = {shards}: total device cycles");
+        assert!(scrape_p.is_empty(), "metrics off exposes nothing");
+        assert!(!scrape_m.is_empty(), "metrics on exposes the run");
+        assert!(stats.metrics.is_some(), "ServiceStats carries the snapshot");
+    }
+}
+
+/// For a fixed seed the cycle-domain exposition itself reproduces —
+/// across shard and lane counts (2 lanes ride 2 replicas so concurrent
+/// lanes own disjoint devices).
+#[test]
+fn cycle_domain_metrics_reproduce_for_a_fixed_seed() {
+    for shards in [1u32, 2] {
+        for lanes in [1usize, 2] {
+            let replicas = lanes as u32;
+            let (o1, s1, t1, m1, _) = metered_run(shards, replicas, lanes, true, 25);
+            let (o2, s2, t2, m2, _) = metered_run(shards, replicas, lanes, true, 25);
+            assert_eq!(o1, o2, "shards={shards} lanes={lanes}: outcomes");
+            assert_eq!((s1, t1), (s2, t2), "shards={shards} lanes={lanes}: cycles");
+            assert_eq!(
+                cycle_domain(&m1),
+                cycle_domain(&m2),
+                "shards={shards} lanes={lanes}: cycle-domain exposition reproduces"
+            );
+        }
+    }
+}
+
+/// Two scrapes of an idle service are byte-identical: scraping refreshes
+/// idempotently (gauges set, cumulative histograms replaced) and never
+/// counts itself.
+#[test]
+fn idle_service_scrapes_are_byte_identical() {
+    let (_, _, _, first, _) = {
+        let data = DatasetKind::Words.generate(360, 909);
+        let pool = DevicePool::rtx_2080_ti(1);
+        let index = Arc::new(
+            ReplicatedShards::build(&pool, data.items.clone(), data.metric, GtsParams::default())
+                .expect("build"),
+        );
+        let cfg = ServiceConfig::default()
+            .with_sizing(BatchSizing::Fixed(4))
+            .with_flush_deadline(Duration::from_millis(1))
+            .with_metrics(true);
+        let svc = QueryService::start_replicated(index, cfg);
+        let h = svc.handle();
+        for r in mixed_sequence(&data.items, 15) {
+            h.submit(r)
+                .expect("admitted")
+                .wait()
+                .expect("answered")
+                .result
+                .expect("ok");
+        }
+        let a = svc.scrape().expect("metrics on");
+        let b = svc.scrape().expect("metrics on");
+        assert_eq!(a, b, "idle double-scrape must not drift");
+        (0, 0, 0u64, a, svc.shutdown())
+    };
+    assert!(!first.is_empty());
+}
+
+/// The scrape parses back under the exposition grammar, and the recovered
+/// per-device gauges satisfy the clock partition exactly:
+/// `busy + transfer + stall + idle == span` for every device.
+#[test]
+fn scrape_is_conformant_and_device_clocks_partition() {
+    let (_, _, _, scrape, stats) = metered_run(2, 2, 2, true, 30);
+    let samples = parse_prometheus(&scrape).expect("exposition parses back");
+    assert!(!samples.is_empty());
+
+    // Recover the per-device components from the parsed samples.
+    let mut devices: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for s in &samples {
+        if let Some(part) = s
+            .name
+            .strip_prefix("gts_device_")
+            .and_then(|n| n.strip_suffix("_cycles"))
+        {
+            let dev = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "device")
+                .map(|(_, v)| v.clone())
+                .expect("device gauges are labelled");
+            devices
+                .entry(dev)
+                .or_default()
+                .insert(part.into(), s.value as u64);
+        }
+    }
+    assert_eq!(devices.len(), 4, "2 shards × 2 replicas = 4 devices");
+    for (dev, parts) in &devices {
+        let sum = parts["busy"] + parts["transfer"] + parts["stall"] + parts["idle"];
+        assert_eq!(
+            sum, parts["span"],
+            "device {dev}: busy+transfer+stall+idle must equal span"
+        );
+        assert!(parts["span"] > 0, "device {dev} saw work");
+    }
+
+    // The parsed counters agree with the typed snapshot the stats carry.
+    let snap = stats.metrics.expect("metrics on");
+    let served: f64 = samples
+        .iter()
+        .filter(|s| s.name == "gts_requests_served_total")
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(served as u64, stats.completed, "scrape matches stats");
+    assert!(
+        snap.families
+            .iter()
+            .any(|f| f.name == "gts_device_span_cycles"),
+        "snapshot carries the device families"
+    );
+}
+
+/// Cost-model sizing installs the §5.3 prediction, and serving under it
+/// populates the audit: per-level calibration samples, a non-zero
+/// admitted batch, and a frontier-bytes high-water mark at or below the
+/// predicted peak's order of magnitude.
+#[test]
+fn cost_model_audit_populates_through_the_service() {
+    let data = DatasetKind::Words.generate(2_000, 2026);
+    let pool = DevicePool::rtx_2080_ti(2);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_shards(2),
+        )
+        .expect("build"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::CostModel {
+            radius_hint: 2.0,
+            samples: 128,
+            seed: 41,
+        })
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_metrics(true);
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    let h = svc.handle();
+    for i in 0..40 {
+        h.submit(Request::Range {
+            query: data.items[(i * 13) % 2_000].clone(),
+            radius: 2.0,
+        })
+        .expect("admitted")
+        .wait()
+        .expect("answered")
+        .result
+        .expect("ok");
+    }
+    let audit = index.cost_audit();
+    assert!(audit.enabled, "metrics on enables the audit");
+    assert!(
+        audit.predicted_batch > 0,
+        "cost-model sizing installed a plan (admitted {})",
+        audit.predicted_batch
+    );
+    assert!(audit.levels_observed > 0, "descents recorded level samples");
+    assert!(audit.calibration_pct.count() == audit.levels_observed);
+    assert!(audit.peak_frontier_bytes > 0, "expansion buffers observed");
+    let scrape = svc.scrape().expect("metrics on");
+    assert!(
+        scrape.contains("gts_cost_calibration_pct_count")
+            && !scrape.contains("gts_cost_calibration_pct_count 0"),
+        "the calibration histogram reaches the exposition:\n{scrape}"
+    );
+    let median = audit.calibration_pct.quantile(0.5);
+    println!(
+        "calibration: {} levels, median {}%, over {} / under {}",
+        audit.levels_observed, median, audit.overpredicted, audit.underpredicted
+    );
+    svc.shutdown();
+}
+
+/// 10k-request metered soak (the CI `metrics` job runs it with
+/// `--include-ignored`): a 2-shard × 2-replica stack under cost-model
+/// sizing serves 10 000 mixed requests from three tagged clients with the
+/// hub recording throughout. Asserts the full contract at scale — every
+/// request served, the clock partition holding on all four devices, the
+/// audit populated — and prints the per-device utilization and
+/// cost-calibration tables REPORT.md §11 reproduces.
+#[test]
+#[ignore = "soak: run explicitly or via CI --include-ignored"]
+fn metered_soak_10k_requests() {
+    const N: usize = 10_000;
+    let data = DatasetKind::Words.generate(2_000, 2026);
+    let pool = DevicePool::rtx_2080_ti(4);
+    let index = Arc::new(
+        ReplicatedShards::build(
+            &pool,
+            data.items.clone(),
+            data.metric,
+            GtsParams::default().with_shards(2).with_replicas(2),
+        )
+        .expect("build"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::CostModel {
+            radius_hint: 2.0,
+            samples: 128,
+            seed: 41,
+        })
+        .with_queue_depth(256)
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_lanes(2)
+        .with_metrics(true);
+    let svc = QueryService::start_replicated(Arc::clone(&index), cfg);
+    let h = svc.handle();
+    let clients = ["analytics", "frontend", DEFAULT_CLIENT];
+    for wave in mixed_sequence(&data.items, N).chunks(64) {
+        let tickets: Vec<_> = wave
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                h.submit_as(clients[i % clients.len()], r.clone())
+                    .expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("answered").result.expect("ok");
+        }
+    }
+
+    let audit = index.cost_audit();
+    let stats = svc.shutdown();
+    assert_eq!(stats.completed, N as u64, "every request served");
+    let scrape = stats
+        .metrics
+        .as_ref()
+        .map(gts::metrics::render_prometheus)
+        .expect("metrics on");
+    let samples = parse_prometheus(&scrape).expect("exposition parses back");
+
+    // Per-device utilization table (+ the partition assertion at scale).
+    let mut devices: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    for s in &samples {
+        if let Some(part) = s.name.strip_prefix("gts_device_").and_then(|n| {
+            n.strip_suffix("_cycles")
+                .or_else(|| n.strip_suffix("_allocated_bytes"))
+        }) {
+            let dev = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "device")
+                .map(|(_, v)| v.clone())
+                .expect("device gauges are labelled");
+            devices
+                .entry(dev)
+                .or_default()
+                .insert(part.into(), s.value as u64);
+        }
+    }
+    assert_eq!(devices.len(), 4, "2 shards × 2 replicas = 4 devices");
+    println!("device | busy | transfer | stall | idle | span | busy% | peak_alloc");
+    for (dev, p) in &devices {
+        assert_eq!(
+            p["busy"] + p["transfer"] + p["stall"] + p["idle"],
+            p["span"],
+            "device {dev}: partition holds at soak scale"
+        );
+        println!(
+            "{dev} | {} | {} | {} | {} | {} | {:.1}% | {}",
+            p["busy"],
+            p["transfer"],
+            p["stall"],
+            p["idle"],
+            p["span"],
+            100.0 * p["busy"] as f64 / p["span"] as f64,
+            p["peak"],
+        );
+    }
+
+    // Cost-model calibration table.
+    assert!(audit.enabled && audit.predicted_batch > 0 && audit.levels_observed > 0);
+    assert!(audit.peak_frontier_bytes > 0, "expansion buffers observed");
+    println!(
+        "audit: predicted_batch {} | predicted_peak_bytes {} | observed_peak_bytes {}",
+        audit.predicted_batch, audit.predicted_peak_bytes, audit.peak_frontier_bytes
+    );
+    println!(
+        "calibration: {} levels | p50 {}% | p95 {}% | max {}% | over {} | under {}",
+        audit.levels_observed,
+        audit.calibration_pct.quantile(0.5),
+        audit.calibration_pct.quantile(0.95),
+        audit.calibration_pct.quantile(1.0),
+        audit.overpredicted,
+        audit.underpredicted,
+    );
+    println!(
+        "served {} requests in {} batches across {} lanes",
+        stats.completed, stats.batches, stats.lanes
+    );
+}
+
+/// Per-client accounting: requests tagged with `submit_as` land in their
+/// own label series, and untagged requests count under the default client.
+#[test]
+fn per_client_series_separate_tagged_traffic() {
+    let data = DatasetKind::Words.generate(300, 11);
+    let pool = DevicePool::rtx_2080_ti(1);
+    let index = Arc::new(
+        ReplicatedShards::build(&pool, data.items.clone(), data.metric, GtsParams::default())
+            .expect("build"),
+    );
+    let cfg = ServiceConfig::default()
+        .with_sizing(BatchSizing::Fixed(2))
+        .with_flush_deadline(Duration::from_millis(1))
+        .with_metrics(true);
+    let svc = QueryService::start_replicated(index, cfg);
+    let h = svc.handle();
+    let mut tickets = Vec::new();
+    for i in 0..6 {
+        let req = Request::Knn {
+            query: data.items[i * 7].clone(),
+            k: 3,
+        };
+        let t = match i % 3 {
+            0 => h.submit_as("alice", req),
+            1 => h.submit_as("bob", req),
+            _ => h.submit(req),
+        };
+        tickets.push(t.expect("admitted"));
+    }
+    for t in tickets {
+        t.wait().expect("answered").result.expect("ok");
+    }
+    let scrape = svc.scrape().expect("metrics on");
+    for client in ["alice", "bob", DEFAULT_CLIENT] {
+        assert!(
+            scrape.contains(&format!(
+                "gts_requests_admitted_total{{client=\"{client}\"}} 2"
+            )),
+            "client {client} admitted twice:\n{scrape}"
+        );
+        assert!(
+            scrape.contains(&format!(
+                "gts_requests_served_total{{client=\"{client}\"}} 2"
+            )),
+            "client {client} served twice"
+        );
+    }
+    assert!(
+        scrape.contains("gts_queue_wait_microseconds_count{client=\"alice\"} 2"),
+        "per-client queue-wait histogram recorded"
+    );
+    svc.shutdown();
+}

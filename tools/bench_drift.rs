@@ -1,0 +1,341 @@
+//! Bench drift check: compare freshly generated `BENCH_*.json` files
+//! against the checked-in baselines and flag >20% regressions.
+//!
+//! ```sh
+//! # regenerate one or more benches somewhere fresh …
+//! GTS_BENCH_OUT=/tmp/fresh/BENCH_metrics.json \
+//!     cargo bench -p gts-bench --bench metrics_overhead
+//! # … then hold them against the checked-in numbers
+//! cargo run --release --bin bench_drift -- /tmp/fresh [baseline-dir]
+//! ```
+//!
+//! `baseline-dir` defaults to the current directory (the workspace root,
+//! where the `BENCH_*.json` files are checked in). Every numeric leaf
+//! present in both files is compared under a direction inferred from its
+//! key: wall/latency/overhead-style keys regress upward,
+//! throughput/speedup-style keys regress downward, and neutral keys
+//! (dataset sizes, counts, simulated cycles — deterministic by contract)
+//! must not drift at all are reported only when they change. Exits
+//! non-zero when any key regresses past the 20% gate.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const GATE: f64 = 0.20;
+
+// ---- minimal JSON numeric-leaf extraction ------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(c) if c == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "byte {}: expected {:?}, found {:?}",
+                self.pos,
+                b as char,
+                other.map(|c| c as char)
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        while let Some(&c) = self.bytes.get(self.pos) {
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| "truncated escape".to_string())?;
+                    self.pos += 1;
+                    out.push(match esc {
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => other as char,
+                    });
+                }
+                other => out.push(other as char),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    /// Walk one JSON value, recording every numeric leaf under its dotted
+    /// path into `out`.
+    fn value(&mut self, path: &str, out: &mut BTreeMap<String, f64>) -> Result<(), String> {
+        match self.peek().ok_or_else(|| "truncated value".to_string())? {
+            b'{' => {
+                self.pos += 1;
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let sub = if path.is_empty() {
+                        key
+                    } else {
+                        format!("{path}.{key}")
+                    };
+                    self.value(&sub, out)?;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("object: unexpected {other:?}")),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                let mut i = 0usize;
+                loop {
+                    self.value(&format!("{path}[{i}]"), out)?;
+                    i += 1;
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        other => return Err(format!("array: unexpected {other:?}")),
+                    }
+                }
+            }
+            b'"' => {
+                self.string()?;
+                Ok(())
+            }
+            b't' | b'f' | b'n' => {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphabetic())
+                {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            _ => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+                {
+                    self.pos += 1;
+                }
+                let text =
+                    std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+                let num: f64 = text
+                    .parse()
+                    .map_err(|e| format!("bad number {text:?}: {e}"))?;
+                out.insert(path.to_string(), num);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn numeric_leaves(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    let mut p = Parser::new(&text);
+    p.value("", &mut out)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(out)
+}
+
+// ---- comparison --------------------------------------------------------
+
+/// Which way a key regresses. Wall/latency-style keys regress when they
+/// grow; throughput-style keys regress when they shrink; everything else
+/// (configuration, counts, simulated cycles) is deterministic by contract
+/// and only reported when it changes at all.
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Neutral,
+}
+
+fn direction(key: &str) -> Direction {
+    let key = key.to_ascii_lowercase();
+    let lower = ["_ms", "_us", "wall", "overhead", "latency", "p50", "p99"];
+    let higher = ["throughput", "speedup", "rps", "qps", "per_sec"];
+    if higher.iter().any(|m| key.contains(m)) {
+        Direction::HigherIsBetter
+    } else if lower.iter().any(|m| key.contains(m)) {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+struct Finding {
+    file: String,
+    key: String,
+    baseline: f64,
+    fresh: f64,
+    regression: bool,
+}
+
+fn compare(
+    file: &str,
+    base: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (key, &b) in base {
+        let Some(&f) = fresh.get(key) else { continue };
+        let finding = |regression| Finding {
+            file: file.to_string(),
+            key: key.clone(),
+            baseline: b,
+            fresh: f,
+            regression,
+        };
+        match direction(key) {
+            Direction::LowerIsBetter if b > 0.0 && f > b * (1.0 + GATE) => {
+                out.push(finding(true));
+            }
+            Direction::HigherIsBetter if b > 0.0 && f < b * (1.0 - GATE) => {
+                out.push(finding(true));
+            }
+            Direction::Neutral if f != b => out.push(finding(false)),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(fresh_dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: bench_drift <fresh-dir> [baseline-dir]");
+        return ExitCode::from(2);
+    };
+    let base_dir = args
+        .next()
+        .map_or_else(|| PathBuf::from("."), PathBuf::from);
+
+    let mut fresh_files: Vec<PathBuf> = match std::fs::read_dir(&fresh_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            })
+            .collect(),
+        Err(e) => {
+            eprintln!("bench_drift: cannot read {}: {e}", fresh_dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    fresh_files.sort();
+    if fresh_files.is_empty() {
+        eprintln!(
+            "bench_drift: no BENCH_*.json under {} — nothing to check",
+            fresh_dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for fresh_path in &fresh_files {
+        let name = fresh_path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("");
+        let base_path = base_dir.join(name);
+        if !base_path.exists() {
+            println!("{name}: no checked-in baseline, skipped");
+            continue;
+        }
+        let (base, fresh) = match (numeric_leaves(&base_path), numeric_leaves(fresh_path)) {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_drift: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        compared += 1;
+        let findings = compare(name, &base, &fresh);
+        let regressed = findings.iter().filter(|f| f.regression).count();
+        regressions += regressed;
+        if findings.is_empty() {
+            println!(
+                "{name}: ok ({} keys within the {:.0}% gate)",
+                base.len(),
+                GATE * 100.0
+            );
+        }
+        for f in findings {
+            let delta = if f.baseline != 0.0 {
+                (f.fresh / f.baseline - 1.0) * 100.0
+            } else {
+                f64::INFINITY
+            };
+            println!(
+                "{}: {} {} {} -> {} ({:+.1}%)",
+                f.file,
+                if f.regression {
+                    "REGRESSION"
+                } else {
+                    "drift (info)"
+                },
+                f.key,
+                f.baseline,
+                f.fresh,
+                delta,
+            );
+        }
+    }
+    println!(
+        "bench_drift: {compared} file(s) compared, {regressions} regression(s) past the {:.0}% gate",
+        GATE * 100.0
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
