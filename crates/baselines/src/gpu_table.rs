@@ -13,7 +13,7 @@ use crate::clock::impl_gpu_clocked;
 use gpu_sim::primitives::top_k_min;
 use gpu_sim::{Device, GpuError, Reservation};
 use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
-use metric_space::{Footprint, Item, ItemMetric, Metric};
+use metric_space::{ArenaLayout, BatchMetric, Footprint, Item, ItemMetric, ObjectArena};
 use std::sync::Arc;
 
 /// Brute-force GPU distance-table method.
@@ -22,6 +22,13 @@ pub struct GpuTable {
     items: Vec<Item>,
     metric: ItemMetric,
     live: Vec<bool>,
+    /// Flat payload arena: distance rows are computed batch-against-batch
+    /// through [`BatchMetric::distance_batch`] instead of per pair. `None`
+    /// when the dataset is heterogeneous or an append outgrew the arena;
+    /// the batch kernel then falls back to boxed payloads with identical
+    /// results and identical charged work.
+    arena: Option<ObjectArena>,
+    ids: Vec<u32>,
     _resident: Reservation,
 }
 
@@ -44,19 +51,35 @@ fn gpu_err(e: GpuError) -> IndexError {
 
 impl GpuTable {
     /// Load the dataset onto the device (the only "construction" cost).
+    /// Uses the packed legacy arena layout.
     pub fn new(
         dev: &Arc<Device>,
         items: Vec<Item>,
         metric: ItemMetric,
+    ) -> Result<Self, IndexError> {
+        Self::with_layout(dev, items, metric, ArenaLayout::Legacy)
+    }
+
+    /// Load the dataset with an explicit arena layout. Metrics without a
+    /// block kernel degrade `Aligned` to `Legacy`.
+    pub fn with_layout(
+        dev: &Arc<Device>,
+        items: Vec<Item>,
+        metric: ItemMetric,
+        layout: ArenaLayout,
     ) -> Result<Self, IndexError> {
         let bytes: u64 = items.iter().map(Footprint::size_bytes).sum();
         let resident = dev
             .reserve(bytes, "GPU-Table resident objects")
             .map_err(gpu_err)?;
         dev.h2d_transfer(bytes);
+        let arena = metric.build_arena_with(&items, layout);
+        let ids = (0..items.len() as u32).collect();
         Ok(GpuTable {
             dev: Arc::clone(dev),
             live: vec![true; items.len()],
+            arena,
+            ids,
             items,
             metric,
             _resident: resident,
@@ -65,13 +88,33 @@ impl GpuTable {
 
     /// Process `queries[lo..hi]` against all objects, returning the full
     /// distance rows; the caller chose `hi − lo` so the table fits.
+    ///
+    /// One batched launch covers the whole chunk: each query row is a
+    /// [`BatchMetric::distance_batch`] sweep over the arena, and the launch
+    /// charges the summed work with the rows' maximum per-pair span — the
+    /// same total, span, and warp padding the old per-pair `launch_map`
+    /// charged, so simulated cycles are unchanged.
     fn distance_rows(&self, queries: &[Item], lo: usize, hi: usize) -> Vec<f64> {
         let n = self.items.len();
+        if n == 0 {
+            return Vec::new();
+        }
         let tasks = (hi - lo) * n;
-        self.dev.launch_map(tasks, |t| {
-            let q = &queries[lo + t / n];
-            let o = &self.items[t % n];
-            (self.metric.distance(q, o), self.metric.work(q, o))
+        self.dev.launch_batch(tasks, || {
+            let mut d = vec![0.0f64; tasks];
+            let (mut total, mut span) = (0u64, 0u64);
+            for (row, out) in d.chunks_mut(n).enumerate() {
+                let (t, s) = self.metric.distance_batch(
+                    &self.items,
+                    self.arena.as_ref(),
+                    &queries[lo + row],
+                    &self.ids,
+                    out,
+                );
+                total += t;
+                span = span.max(s);
+            }
+            (d, total, span)
         })
     }
 
@@ -189,12 +232,20 @@ impl SimilarityIndex<Item> for GpuTable {
 }
 
 impl DynamicIndex<Item> for GpuTable {
-    /// No structure to maintain: O(1) append.
+    /// No structure to maintain: O(1) append (the arena grows in step; if
+    /// the new object does not fit its layout, the arena is dropped and
+    /// queries fall back to boxed payloads).
     fn insert(&mut self, obj: Item) -> Result<u32, IndexError> {
         let id = self.items.len() as u32;
         self.dev.h2d_transfer(obj.size_bytes());
+        if let Some(arena) = self.arena.as_mut() {
+            if !arena.push_item(&obj) {
+                self.arena = None;
+            }
+        }
         self.items.push(obj);
         self.live.push(true);
+        self.ids.push(id);
         Ok(id)
     }
 
@@ -281,6 +332,31 @@ mod tests {
         // kNN must also mask removed ids.
         let knn = t.knn_query(&Item::vector(vec![9e3, 9e3]), 3).expect("knn");
         assert!(!knn.iter().any(|n| n.id == id));
+    }
+
+    #[test]
+    fn aligned_layout_is_cycle_identical() {
+        let d = DatasetKind::TLoc.generate(200, 5);
+        let dev_l = Device::rtx_2080_ti();
+        let dev_a = Device::rtx_2080_ti();
+        let legacy = GpuTable::new(&dev_l, d.items.clone(), d.metric).expect("legacy");
+        let aligned =
+            GpuTable::with_layout(&dev_a, d.items.clone(), d.metric, ArenaLayout::Aligned)
+                .expect("aligned");
+        let queries: Vec<Item> = d.items[..16].to_vec();
+        let radii = vec![1.5; 16];
+        assert_eq!(
+            legacy.batch_range(&queries, &radii).expect("l"),
+            aligned.batch_range(&queries, &radii).expect("a"),
+        );
+        assert_eq!(
+            legacy.batch_knn(&queries, 7).expect("l"),
+            aligned.batch_knn(&queries, 7).expect("a"),
+        );
+        let (sl, sa) = (dev_l.stats(), dev_a.stats());
+        assert_eq!(sl.cycles, sa.cycles, "layout is a pure wall-clock lever");
+        assert_eq!(sl.work, sa.work);
+        assert_eq!(sl.kernels, sa.kernels);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use crate::clock::impl_gpu_clocked;
 use gpu_sim::{Device, GpuError, Reservation};
 use metric_space::index::{sort_neighbors, DynamicIndex, IndexError, Neighbor, SimilarityIndex};
 use metric_space::lemmas::{prune_node_knn, prune_node_range};
-use metric_space::{Footprint, Item, ItemMetric, Metric};
+use metric_space::{ArenaLayout, BatchMetric, Footprint, Item, ItemMetric, Metric, ObjectArena};
 use std::sync::Arc;
 
 /// Tuning knobs of the multi-tree baseline.
@@ -37,6 +37,10 @@ pub struct GpuTreeParams {
     pub fanout: usize,
     /// Leaf capacity of each sub-tree.
     pub leaf_cap: usize,
+    /// Payload arena layout for the batched pivot/leaf distance kernels.
+    /// A pure wall-clock lever: answers and simulated cycles are identical
+    /// across layouts (the work model reads lengths only).
+    pub arena_layout: ArenaLayout,
 }
 
 impl Default for GpuTreeParams {
@@ -47,6 +51,7 @@ impl Default for GpuTreeParams {
             buffer_divisor: 64,
             fanout: 4,
             leaf_cap: 32,
+            arena_layout: ArenaLayout::Legacy,
         }
     }
 }
@@ -74,6 +79,10 @@ pub struct GpuTree {
     metric: ItemMetric,
     live: Vec<bool>,
     trees: Vec<SubTree>,
+    /// Flat payload arena rebuilt alongside the trees; pivot splits and
+    /// leaf verification run batched through it. `None` for heterogeneous
+    /// datasets (the batch kernel falls back to boxed payloads).
+    arena: Option<ObjectArena>,
     params: GpuTreeParams,
     build_seconds: f64,
     _resident: Reservation,
@@ -147,6 +156,7 @@ impl GpuTree {
             items,
             metric,
             trees: Vec::new(),
+            arena: None,
             params,
             build_seconds: 0.0,
             _resident: resident,
@@ -157,6 +167,11 @@ impl GpuTree {
     }
 
     fn rebuild_trees(&mut self) -> Result<(), IndexError> {
+        // The arena tracks the object store; rebuilding it costs no
+        // simulated cycles (it is a host-side layout decision).
+        self.arena = self
+            .metric
+            .build_arena_with(&self.items, self.params.arena_layout);
         let p = self.params.num_trees.max(1);
         let mut partitions: Vec<Vec<u32>> = vec![Vec::new(); p];
         for (i, &l) in self.live.iter().enumerate() {
@@ -191,16 +206,17 @@ impl GpuTree {
             return (nodes.len() - 1) as u32;
         }
         let pivot = ids[0];
-        let mut node_work = 0u64;
-        let mut with_d: Vec<(f64, u32)> = ids
-            .iter()
-            .map(|&o| {
-                let a = &self.items[pivot as usize];
-                let b = &self.items[o as usize];
-                node_work += self.metric.work(a, b);
-                (self.metric.distance(a, b), o)
-            })
-            .collect();
+        // One batched sweep from the pivot over the node's objects; the
+        // reported total equals the per-pair work sum charged before.
+        let mut d = vec![0.0f64; ids.len()];
+        let (node_work, _span) = self.metric.distance_batch(
+            &self.items,
+            self.arena.as_ref(),
+            &self.items[pivot as usize],
+            &ids,
+            &mut d,
+        );
+        let mut with_d: Vec<(f64, u32)> = d.into_iter().zip(ids).collect();
         cost.record(depth, node_work);
         with_d.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN").then(a.1.cmp(&b.1)));
         if with_d.first().map(|f| f.0) == with_d.last().map(|l| l.0) {
@@ -265,16 +281,25 @@ impl GpuTree {
         while let Some(id) = stack.pop() {
             match &tree.nodes[id as usize] {
                 TNode::Leaf { objs } => {
-                    let mut leaf_work = 0u64;
-                    for &o in objs {
-                        if !self.live[o as usize] {
-                            continue;
-                        }
-                        let obj = &self.items[o as usize];
-                        leaf_work += self.metric.work(q, obj);
-                        let d = self.metric.distance(q, obj);
-                        if d <= r {
-                            out.push(Neighbor::new(o, d));
+                    // Batched leaf verification over the live objects; the
+                    // block's threads share the batch, so the span model
+                    // (leaf work split across `block_threads`) is unchanged.
+                    let live_ids: Vec<u32> = objs
+                        .iter()
+                        .copied()
+                        .filter(|&o| self.live[o as usize])
+                        .collect();
+                    let mut d = vec![0.0f64; live_ids.len()];
+                    let (leaf_work, _s) = self.metric.distance_batch(
+                        &self.items,
+                        self.arena.as_ref(),
+                        q,
+                        &live_ids,
+                        &mut d,
+                    );
+                    for (&o, &dist) in live_ids.iter().zip(&d) {
+                        if dist <= r {
+                            out.push(Neighbor::new(o, dist));
                         }
                     }
                     work += leaf_work;
@@ -316,15 +341,23 @@ impl GpuTree {
         while let Some(id) = stack.pop() {
             match &tree.nodes[id as usize] {
                 TNode::Leaf { objs } => {
-                    let mut leaf_work = 0u64;
-                    for &o in objs {
-                        if !self.live[o as usize] {
-                            continue;
-                        }
-                        let obj = &self.items[o as usize];
-                        leaf_work += self.metric.work(q, obj);
-                        let d = self.metric.distance(q, obj);
-                        crate::bst::insert_bounded(heap, Neighbor::new(o, d), k);
+                    let live_ids: Vec<u32> = objs
+                        .iter()
+                        .copied()
+                        .filter(|&o| self.live[o as usize])
+                        .collect();
+                    let mut d = vec![0.0f64; live_ids.len()];
+                    let (leaf_work, _s) = self.metric.distance_batch(
+                        &self.items,
+                        self.arena.as_ref(),
+                        q,
+                        &live_ids,
+                        &mut d,
+                    );
+                    // Candidates enter the bounded heap in object order —
+                    // the same order the per-pair loop used.
+                    for (&o, &dist) in live_ids.iter().zip(&d) {
+                        crate::bst::insert_bounded(heap, Neighbor::new(o, dist), k);
                     }
                     work += leaf_work;
                     span += leaf_work / u64::from(self.params.block_threads) + 1;
@@ -555,6 +588,40 @@ mod tests {
             s.cycles,
             s.work
         );
+    }
+
+    #[test]
+    fn aligned_layout_is_cycle_identical() {
+        let d = DatasetKind::TLoc.generate(600, 23);
+        let build_on = |layout| {
+            let dev = Device::rtx_2080_ti();
+            let t = GpuTree::build_with_params(
+                &dev,
+                d.items.clone(),
+                d.metric,
+                GpuTreeParams {
+                    arena_layout: layout,
+                    ..GpuTreeParams::default()
+                },
+            )
+            .expect("build");
+            (dev, t)
+        };
+        let (dev_l, legacy) = build_on(ArenaLayout::Legacy);
+        let (dev_a, aligned) = build_on(ArenaLayout::Aligned);
+        let queries: Vec<Item> = d.items[..12].to_vec();
+        assert_eq!(
+            legacy.batch_range(&queries, &[1.0; 12]).expect("l"),
+            aligned.batch_range(&queries, &[1.0; 12]).expect("a"),
+        );
+        assert_eq!(
+            legacy.batch_knn(&queries, 5).expect("l"),
+            aligned.batch_knn(&queries, 5).expect("a"),
+        );
+        let (sl, sa) = (dev_l.stats(), dev_a.stats());
+        assert_eq!(sl.cycles, sa.cycles, "layout is a pure wall-clock lever");
+        assert_eq!(sl.work, sa.work);
+        assert_eq!(sl.kernels, sa.kernels);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use crate::dispatch::distance_block;
 use crate::node::{Node, NodeList, TreeShape};
 use crate::params::GtsParams;
-use crate::table::{TableEntry, TableList};
+use crate::table::TableList;
 use gpu_sim::primitives::{reduce_max_f64, sort_pairs_by_key};
 use gpu_sim::{Device, GpuError};
 use metric_space::{BatchMetric, ObjectArena};
@@ -196,17 +196,17 @@ fn mapping<O, M>(
             if node.size == 0 {
                 continue;
             }
-            let range = table.range(node.pos, node.size);
             let pivot = if params.fft_pivots {
-                let mut best = range[0];
-                for e in range {
+                let mut best = table.get(node.pos as usize);
+                for e in table.range(node.pos, node.size) {
                     if e.dis > best.dis {
-                        best = *e;
+                        best = e;
                     }
                 }
                 best.obj
             } else {
-                range[rng.gen_range(0..range.len())].obj
+                let off = rng.gen_range(0..node.size);
+                table.get((node.pos + off) as usize).obj
             };
             nodes.get_mut(node_id).pivot = Some(pivot);
         }
@@ -253,9 +253,9 @@ fn mapping<O, M>(
             ((), total, span)
         });
         *build_distances += n as u64;
-        for (e, &d) in table.entries_mut().iter_mut().zip(out.iter()) {
-            e.dis = d;
-        }
+        // SoA: the whole distance column streams in one copy; ids and
+        // tombstones are untouched.
+        table.dis_column_mut().copy_from_slice(out);
     }
 
     // Own-pivot radius per node (max distance to own pivot), needed by the
@@ -268,7 +268,6 @@ fn mapping<O, M>(
         }
         let max = table
             .range(node.pos, node.size)
-            .iter()
             .fold(0f64, |m, e| m.max(e.dis));
         nodes.get_mut(node_id).own_max_dis = max;
     }
@@ -287,29 +286,27 @@ fn partitioning(
     let n = table.len();
     let nc = shape.nc as usize;
 
-    // Line 1–2: global max for normalisation.
-    let dists: Vec<f64> = table.entries().iter().map(|e| e.dis).collect();
-    let max = reduce_max_f64(dev, &dists).max(0.0);
+    // Line 1–2: global max for normalisation, straight off the SoA
+    // distance column — no gather.
+    let max = reduce_max_f64(dev, table.dis_column()).max(0.0);
     // Denominator 2(max+1) keeps the fraction < 1/2: integer part exact.
     let denom = 2.0 * (max + 1.0);
 
     // Lines 3–6: encode `rank + dis/denom`. Payload = pre-sort position so
     // the table rows can be gathered afterwards without decoding error.
     let node_of_pos = node_rank_of_positions(nodes, level_start, level_width, n);
-    let entries = table.entries();
+    let dis = table.dis_column();
     let mut pairs: Vec<(f64, u32)> = dev.launch_map(n, |i| {
-        let key = f64::from(node_of_pos[i]) + entries[i].dis / denom;
+        let key = f64::from(node_of_pos[i]) + dis[i] / denom;
         ((key, i as u32), 2u64)
     });
 
     // Line 7: one global device sort partitions every node simultaneously.
     sort_pairs_by_key(dev, &mut pairs);
 
-    // Gather the table into sorted order (scatter kernel, linear work).
-    let old: Vec<TableEntry> = table.entries().to_vec();
-    for (dst, &(_, src)) in table.entries_mut().iter_mut().zip(&pairs) {
-        *dst = old[src as usize];
-    }
+    // Gather the table into sorted order (scatter kernel, linear work);
+    // each SoA column is gathered independently.
+    table.gather(|i| pairs[i].1 as usize);
     dev.launch_charged(n as u64, 1);
 
     // Lines 8–18: split each node evenly into Nc children.
@@ -367,6 +364,7 @@ fn node_rank_of_positions(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::table::TableEntry;
     use metric_space::{DatasetKind, ItemMetric, Metric};
 
     fn build_kind(
@@ -394,7 +392,7 @@ mod tests {
     #[test]
     fn table_is_permutation_of_ids() {
         let (s, _, _) = build_kind(DatasetKind::TLoc, 500, 4);
-        let mut ids: Vec<u32> = s.table.entries().iter().map(|e| e.obj).collect();
+        let mut ids: Vec<u32> = s.table.obj_column().to_vec();
         ids.sort_unstable();
         assert_eq!(ids, (0..500).collect::<Vec<u32>>());
     }
@@ -484,10 +482,7 @@ mod tests {
                 }
                 let pivot = node.pivot.expect("internal");
                 assert!(
-                    s.table
-                        .range(node.pos, node.size)
-                        .iter()
-                        .any(|e| e.obj == pivot),
+                    s.table.range(node.pos, node.size).any(|e| e.obj == pivot),
                     "pivot {pivot} not inside node {id}"
                 );
             }
@@ -563,8 +558,8 @@ mod tests {
         let a = construct(&dev, &data.items, arena.as_ref(), &ids, &data.metric, &p).expect("a");
         let b = construct(&dev, &data.items, None, &ids, &data.metric, &p).expect("b");
         assert_eq!(
-            a.table.entries(),
-            b.table.entries(),
+            a.table.iter().collect::<Vec<TableEntry>>(),
+            b.table.iter().collect::<Vec<TableEntry>>(),
             "arena and per-pair construction agree bit-for-bit"
         );
     }
@@ -585,6 +580,6 @@ mod tests {
         )
         .expect("subset build");
         assert_eq!(s.table.len(), 50);
-        assert!(s.table.entries().iter().all(|e| e.obj % 2 == 0));
+        assert!(s.table.obj_column().iter().all(|&o| o % 2 == 0));
     }
 }

@@ -191,7 +191,8 @@ where
     /// extra copy, so it carries no separate reservation.
     fn refresh_arena(&mut self) {
         self.arena = if self.params.use_arena {
-            self.metric.build_arena(&self.objects)
+            self.metric
+                .build_arena_with(&self.objects, self.params.arena_layout)
         } else {
             None
         };
@@ -691,8 +692,10 @@ where
         for &id in &decoded.cache_ids {
             cache.insert(id, objects[id as usize].size_bytes() as usize);
         }
+        // `arena_layout` is an un-persisted kernel knob: restored params
+        // carry the default `Legacy`, so this rebuild is layout-neutral.
         let arena = if decoded.params.use_arena {
-            metric.build_arena(&objects)
+            metric.build_arena_with(&objects, decoded.params.arena_layout)
         } else {
             None
         };

@@ -1,6 +1,8 @@
 //! Tunable parameters of the GTS index, including the ablation toggles
 //! called out in DESIGN.md §2.
 
+pub use metric_space::ArenaLayout;
+
 /// Construction/search parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct GtsParams {
@@ -29,6 +31,19 @@ pub struct GtsParams {
     /// object access — same answers, same simulated cycles, no flat-layout
     /// wall-clock speedup (the invariance tests compare the two paths).
     pub use_arena: bool,
+    /// Memory layout of the flat object arena
+    /// ([`ArenaLayout::Legacy`] packed `f32` rows, the default, or
+    /// [`ArenaLayout::Aligned`] 32-byte-aligned zero-padded 8-lane block
+    /// rows). Both layouts run the **same canonical lane-summation order**
+    /// inside the L1/L2 kernels, so answers are bit-identical and simulated
+    /// cycles are equal — the aligned layout is a pure wall-clock lever
+    /// (autovectorised contiguous block rows) like `host_threads`, and like
+    /// it is **not persisted** by snapshots: restored indexes come back
+    /// `Legacy` and rebuild their arena from the restored objects. Metrics
+    /// without a block kernel (edit distance, angular) silently degrade an
+    /// aligned request to `Legacy` at arena-build time, so the knob is safe
+    /// to set for any dataset. Ignored when `use_arena` is off.
+    pub arena_layout: ArenaLayout,
     /// Leaf verification through the **early-abandoning bounded kernel**
     /// ([`BatchMetric::distance_batch_bounded`](metric_space::BatchMetric::distance_batch_bounded)):
     /// each survivor of the stored-distance filter is evaluated against its
@@ -98,6 +113,7 @@ impl Default for GtsParams {
             fft_pivots: true,
             query_grouping: true,
             use_arena: true,
+            arena_layout: ArenaLayout::Legacy,
             bounded_verification: false,
             host_threads: 0,
             bound_broadcast: false,
@@ -130,6 +146,13 @@ impl GtsParams {
     /// Builder-style arena toggle (disable to run the per-pair fallback).
     pub fn with_use_arena(mut self, use_arena: bool) -> Self {
         self.use_arena = use_arena;
+        self
+    }
+
+    /// Builder-style arena-layout override (request the SIMD-aligned block
+    /// layout; metrics without a block kernel degrade it to `Legacy`).
+    pub fn with_arena_layout(mut self, layout: ArenaLayout) -> Self {
+        self.arena_layout = layout;
         self
     }
 
@@ -197,6 +220,11 @@ mod tests {
         );
         assert!(p.two_sided_pruning && p.fft_pivots && p.query_grouping);
         assert!(p.use_arena, "flat arena kernels are the default");
+        assert_eq!(
+            p.arena_layout,
+            ArenaLayout::Legacy,
+            "legacy layout by default (aligned is opt-in)"
+        );
         assert!(
             !p.bounded_verification,
             "bounded verification is opt-in (cycle baselines stay put)"

@@ -114,7 +114,7 @@ pub(crate) fn encode(parts: SnapshotParts<'_>) -> Vec<u8> {
     }
     // Table list.
     w.u64(parts.table.len() as u64);
-    for e in parts.table.entries() {
+    for e in parts.table.iter() {
         w.u32(e.obj);
         w.f64(e.dis);
         w.u8(u8::from(e.deleted));
@@ -168,6 +168,7 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         // state: a restored index uses the restoring machine's parallelism
         // and default kernel strategy, and the sharded envelope records its
         // own shard count.
+        arena_layout: metric_space::ArenaLayout::Legacy,
         bounded_verification: false,
         host_threads: 0,
         bound_broadcast: false,
@@ -219,11 +220,7 @@ pub(crate) fn decode(bytes: &[u8], object_count: usize) -> Result<Decoded, Index
         dis.push(r.f64()?);
         deleted.push(r.u8()? != 0);
     }
-    let mut table = TableList::from_ids(&ids);
-    for ((e, d), del) in table.entries_mut().iter_mut().zip(dis).zip(deleted) {
-        e.dis = d;
-        e.deleted = del;
-    }
+    let table = TableList::from_columns(ids, dis, deleted);
     let live_len = r.u64()? as usize;
     if live_len != object_count {
         return Err(IndexError::Unsupported(

@@ -18,12 +18,176 @@
 //!   the thread count; `(work, span)` combine by `u64` sum/max, which are
 //!   associative and commutative, so the aggregate charge is bit-identical
 //!   for 1 or N threads.
+//!
+//! Both shapes execute on a **persistent host worker pool** rather than
+//! spawning fresh OS threads per batch: the serving hot paths dispatch
+//! thousands of small batches per query wave, and a `thread::scope` spawn
+//! per batch costs more than many of the kernels themselves. Workers are
+//! spawned lazily on first demand, grow up to [`MAX_WORKERS`], and then
+//! live for the life of the process, parked on a condvar when idle.
+//! Determinism is untouched: work groups are cut *before* submission
+//! exactly as they were cut for scoped threads, each group writes its own
+//! result slot, and groups combine in fixed group order on the submitting
+//! thread.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
+
+/// Upper bound on persistent host workers. Callers may request more
+/// groups than this; the excess groups queue and run as workers free up,
+/// which changes wall-clock only (group results are position-addressed,
+/// so scheduling order is invisible).
+pub const MAX_WORKERS: usize = 64;
+
+/// A job as the pool stores it: lifetime-erased (see the `SAFETY` argument
+/// in [`run_scoped`]).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    jobs: VecDeque<Job>,
+    /// Workers ever spawned (monotone, ≤ [`MAX_WORKERS`]).
+    workers: usize,
+    /// Workers currently parked waiting for a job.
+    idle: usize,
+}
+
+/// The process-wide host worker pool.
+struct HostPool {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+fn lock_ignoring_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Worker bodies run under `catch_unwind`, and latch/pool critical
+    // sections only move plain data, so a poisoned lock still guards a
+    // consistent state.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn host_pool() -> &'static HostPool {
+    static POOL: OnceLock<HostPool> = OnceLock::new();
+    POOL.get_or_init(|| HostPool {
+        state: Mutex::new(PoolState {
+            jobs: VecDeque::new(),
+            workers: 0,
+            idle: 0,
+        }),
+        available: Condvar::new(),
+    })
+}
+
+impl HostPool {
+    fn submit(&'static self, job: Job) {
+        let mut st = lock_ignoring_poison(&self.state);
+        st.jobs.push_back(job);
+        // Grow only when nobody is parked; a worker mid-transition between
+        // jobs may cause one extra spawn, which the cap bounds.
+        if st.idle == 0 && st.workers < MAX_WORKERS {
+            st.workers += 1;
+            std::thread::Builder::new()
+                .name("gts-host-kernel".into())
+                .spawn(move || self.worker_loop())
+                .expect("spawn host kernel worker");
+        }
+        drop(st);
+        self.available.notify_one();
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let job = {
+                let mut st = lock_ignoring_poison(&self.state);
+                loop {
+                    if let Some(j) = st.jobs.pop_front() {
+                        break j;
+                    }
+                    st.idle += 1;
+                    st = self
+                        .available
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    st.idle -= 1;
+                }
+            };
+            // Jobs are wrapped in `catch_unwind` by `run_scoped`, so this
+            // call never unwinds the worker.
+            job();
+        }
+    }
+}
+
+/// Completion latch for one submitted group set: counts outstanding jobs
+/// and carries the first panic payload, if any.
+struct Latch {
+    state: Mutex<(usize, Option<Box<dyn Any + Send>>)>,
+    done: Condvar,
+}
+
+/// Run `local` on the calling thread while `jobs` execute on the pool;
+/// return once every job has completed. The first panic — from `local` or
+/// any job — is re-raised here *after* all jobs have finished, so borrows
+/// held by sibling jobs never outlive this frame even on unwind.
+fn run_scoped<'scope>(local: impl FnOnce() + 'scope, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+    let latch = Latch {
+        state: Mutex::new((jobs.len(), None)),
+        done: Condvar::new(),
+    };
+    let latch_ref = &latch;
+    for job in jobs {
+        let wrapped: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+            // `job` is consumed (and its captured borrows dropped) before
+            // the latch decrement below, so a waiter observing zero knows
+            // no job will touch caller-stack data again.
+            let res = catch_unwind(AssertUnwindSafe(job));
+            let mut st = lock_ignoring_poison(&latch_ref.state);
+            if let Err(p) = res {
+                st.1.get_or_insert(p);
+            }
+            st.0 -= 1;
+            if st.0 == 0 {
+                latch_ref.done.notify_all();
+            }
+        });
+        // SAFETY: the pool requires `'static` jobs, but `wrapped` borrows
+        // non-static data (the kernel closure, result slots, and `latch`).
+        // Erasing the lifetime is sound because this function does not
+        // return (or unwind) until the latch records that every submitted
+        // job has run to completion — each job decrements the latch only
+        // after its captured borrows are dropped — and the pool never
+        // drops a queued job unexecuted (workers are never shut down).
+        // Hence every erased borrow strictly outlives its use.
+        let wrapped: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(wrapped) };
+        host_pool().submit(wrapped);
+    }
+    // The submitting thread is one of the workers: it runs its own group
+    // while the pool chews through the rest.
+    let local_res = catch_unwind(AssertUnwindSafe(local));
+    let mut st = lock_ignoring_poison(&latch.state);
+    while st.0 > 0 {
+        st = latch
+            .done
+            .wait(st)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+    }
+    let job_panic = st.1.take();
+    drop(st);
+    if let Err(p) = local_res {
+        resume_unwind(p);
+    }
+    if let Some(p) = job_panic {
+        resume_unwind(p);
+    }
+}
 
 /// Map `f` over `0..n`, producing results in index order.
 ///
 /// Runs sequentially below [`PAR_THRESHOLD`] items or when `threads <= 1`;
-/// otherwise splits into `threads` contiguous chunks executed with
-/// `std::thread::scope`.
+/// otherwise splits into `threads` contiguous chunks, runs the first on
+/// the calling thread and the rest on the persistent host pool, and
+/// concatenates the per-chunk results in chunk order.
 pub fn par_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -37,24 +201,36 @@ where
     }
     let threads = threads.min(n);
     let chunk = n.div_ceil(threads);
-    let mut out: Vec<Vec<T>> = Vec::with_capacity(threads);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let f = &f;
+    let mut slots: Vec<Option<Vec<T>>> = (0..threads).map(|_| None).collect();
+    {
+        let f = &f;
+        let mut slot_iter = slots.iter_mut();
+        let slot0 = slot_iter.next().expect("threads >= 1");
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = slot_iter
+            .enumerate()
+            .map(|(i, slot)| {
+                let t = i + 1;
                 let start = t * chunk;
                 let end = ((t + 1) * chunk).min(n);
-                s.spawn(move || (start..end).map(f).collect::<Vec<T>>())
+                Box::new(move || {
+                    *slot = Some((start..end).map(f).collect::<Vec<T>>());
+                }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        for h in handles {
-            out.push(h.join().expect("kernel worker panicked"));
-        }
-    });
-    out.into_iter().flatten().collect()
+        run_scoped(
+            || {
+                *slot0 = Some((0..chunk.min(n)).map(f).collect::<Vec<T>>());
+            },
+            jobs,
+        );
+    }
+    slots
+        .into_iter()
+        .flat_map(|s| s.expect("every chunk completed"))
+        .collect()
 }
 
-/// Below this many items the spawn cost outweighs the win; run inline.
+/// Below this many items the dispatch cost outweighs the win; run inline.
 pub const PAR_THRESHOLD: usize = 4096;
 
 /// Fixed chunk length (in grid items, i.e. distance pairs) for
@@ -68,15 +244,16 @@ pub const PAR_THRESHOLD: usize = 4096;
 /// chunks, applied to the batch shape.
 pub const BATCH_CHUNK: usize = 2048;
 
-/// Execute pre-split chunk work items across up to `threads` host threads,
+/// Execute pre-split chunk work items across up to `threads` host workers,
 /// returning the combined `(total_work, span)`.
 ///
-/// Work items are assigned to workers round-robin by chunk index (worker
+/// Work items are assigned to groups round-robin by chunk index (group
 /// `t` runs chunks `t, t + T, t + 2T, …` in order), each item reports the
-/// `(work, span)` it performed, and the results combine by sum/max — both
-/// associative and commutative over `u64`, so the return value is
-/// **bit-identical regardless of `threads`**. Runs inline when `threads
-/// <= 1` or there is at most one item.
+/// `(work, span)` it performed, and group results combine in fixed group
+/// order by sum/max — both associative and commutative over `u64`, so the
+/// return value is **bit-identical regardless of `threads`**. Group 0 runs
+/// on the calling thread; the rest run on the persistent host pool. Runs
+/// inline when `threads <= 1` or there is at most one item.
 ///
 /// The items themselves must keep their side effects disjoint (each chunk
 /// writes its own output slice); the batched kernels guarantee this by
@@ -91,27 +268,39 @@ where
         return items.into_iter().map(&f).fold((0, 0), combine);
     }
     let threads = threads.min(items.len());
-    // Round-robin partition: worker t owns chunks t, t+T, … — contiguous
+    // Round-robin partition: group t owns chunks t, t+T, … — contiguous
     // blocks vary in payload size, so striding balances better than
     // splitting the chunk list in half.
-    let mut per_worker: Vec<Vec<I>> = (0..threads).map(|_| Vec::new()).collect();
+    let mut per_group: Vec<Vec<I>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
-        per_worker[i % threads].push(item);
+        per_group[i % threads].push(item);
     }
-    let mut acc = (0u64, 0u64);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = per_worker
-            .into_iter()
-            .map(|chunk_list| {
-                let f = &f;
-                s.spawn(move || chunk_list.into_iter().map(f).fold((0, 0), combine))
+    let mut slots: Vec<Option<(u64, u64)>> = vec![None; threads];
+    {
+        let f = &f;
+        let mut groups = per_group.into_iter();
+        let group0 = groups.next().expect("threads >= 1");
+        let mut slot_iter = slots.iter_mut();
+        let slot0 = slot_iter.next().expect("threads >= 1");
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = groups
+            .zip(slot_iter)
+            .map(|(group, slot)| {
+                Box::new(move || {
+                    *slot = Some(group.into_iter().map(f).fold((0, 0), combine));
+                }) as Box<dyn FnOnce() + Send + '_>
             })
             .collect();
-        for h in handles {
-            acc = combine(acc, h.join().expect("batch kernel worker panicked"));
-        }
-    });
-    acc
+        run_scoped(
+            || {
+                *slot0 = Some(group0.into_iter().map(f).fold((0, 0), combine));
+            },
+            jobs,
+        );
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every group completed"))
+        .fold((0, 0), combine)
 }
 
 #[cfg(test)]
@@ -136,6 +325,20 @@ mod tests {
         let a = par_map(20_000, 1, |i| i as u64 * 7 % 13);
         let b = par_map(20_000, 7, |i| i as u64 * 7 % 13);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        // Many back-to-back parallel batches must not exceed the worker
+        // cap — the pool parks and reuses its threads instead of spawning
+        // per batch.
+        for round in 0..50 {
+            let v = par_map(PAR_THRESHOLD + 17, 4, move |i| i + round);
+            assert_eq!(v[0], round);
+        }
+        let st = lock_ignoring_poison(&host_pool().state);
+        assert!(st.workers <= MAX_WORKERS);
+        assert!(st.workers >= 1, "parallel batches used pool workers");
     }
 
     #[test]
@@ -181,5 +384,22 @@ mod tests {
     fn par_run_empty_and_single() {
         assert_eq!(par_run(Vec::<(u64, u64)>::new(), 8, |x| x), (0, 0));
         assert_eq!(par_run(vec![(7, 3)], 8, |x| x), (7, 3));
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_completion() {
+        // A panicking kernel must re-raise on the submitting thread, after
+        // every sibling group has finished (so the pool stays healthy and
+        // later batches still work).
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            par_map(PAR_THRESHOLD * 2, 4, |i| {
+                assert!(i != PAR_THRESHOLD + 1, "boom at {i}");
+                i
+            })
+        }));
+        assert!(res.is_err(), "panic must propagate");
+        // Pool still serves correct results afterwards.
+        let v = par_map(PAR_THRESHOLD + 5, 4, |i| i * 3);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
     }
 }

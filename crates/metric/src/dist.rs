@@ -227,23 +227,93 @@ pub enum VectorMetric {
     Angular,
 }
 
-/// L1 (Manhattan) distance.
-pub fn l1(a: &[f32], b: &[f32]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| f64::from((x - y).abs())).sum()
+/// Lanes summed in parallel by the block-wise L1/L2 kernels — one
+/// [`AlignedBlock`](crate::arena::AlignedBlock) worth of `f32`s.
+pub const LANES: usize = crate::arena::AlignedBlock::LANES;
+
+/// The **canonical lane-summation order** shared by every L1/L2 entry point
+/// (slice or block-row): 8 per-lane `f64` accumulators filled sequentially
+/// across blocks, reduced once at the end by this fixed binary tree. The
+/// parallel accumulators break the loop-carried add dependency of a
+/// sequential fold (so rustc can vectorize), and because *every* layout and
+/// chunking runs this exact order, results are a pure function of the
+/// logical payloads: bit-identical between legacy and aligned arenas, for
+/// any host thread count, and for 1 or N shards.
+///
+/// Zero-padded tail lanes are exact, not approximate: each contributes
+/// `+0.0` to an accumulator that is non-negative (sums of `|·|` or `(·)²`
+/// starting at `+0.0`), and `x + 0.0 == x` bitwise for every non-negative
+/// `x` — so padding never changes a single result bit.
+#[inline(always)]
+fn lane_reduce(acc: [f64; LANES]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
 }
 
-/// L2 (Euclidean) distance.
+/// L1 (Manhattan) distance, block-wise canonical order (see `lane_reduce`).
+pub fn l1(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += f64::from((xa[l] - xb[l]).abs());
+        }
+    }
+    for (l, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        acc[l] += f64::from((x - y).abs());
+    }
+    lane_reduce(acc)
+}
+
+/// L2 (Euclidean) distance, block-wise canonical order (see `lane_reduce`).
 pub fn l2(a: &[f32], b: &[f32]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| {
-            let d = f64::from(x - y);
-            d * d
-        })
-        .sum::<f64>()
-        .sqrt()
+    let mut acc = [0f64; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            let d = f64::from(xa[l] - xb[l]);
+            acc[l] += d * d;
+        }
+    }
+    for (l, (x, y)) in ca.remainder().iter().zip(cb.remainder()).enumerate() {
+        let d = f64::from(x - y);
+        acc[l] += d * d;
+    }
+    lane_reduce(acc).sqrt()
+}
+
+/// L1 distance over zero-padded block rows — the aligned-arena fast path.
+///
+/// Same canonical order as [`l1`] on the logical payloads (padding lanes
+/// add `+0.0`, a bitwise identity), but with no tail handling: every
+/// iteration consumes one whole 8-lane block, the shape rustc turns into
+/// packed SIMD. Rows must pack equal logical lengths.
+#[inline]
+pub fn l1_blocks(a: &[crate::arena::AlignedBlock], b: &[crate::arena::AlignedBlock]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // Same loop body as the packed slice kernel, over the flat lane view —
+    // whole blocks only, so the slice kernel's tail loop is dead here. A
+    // hand-rolled per-block loop regresses ~40%: LLVM's SLP vectorizer
+    // folds the final reduction's lane permutation into every iteration.
+    l1(
+        crate::arena::AlignedBlock::lanes_of(a),
+        crate::arena::AlignedBlock::lanes_of(b),
+    )
+}
+
+/// L2 distance over zero-padded block rows — the aligned-arena fast path
+/// (see [`l1_blocks`] for the identity argument).
+#[inline]
+pub fn l2_blocks(a: &[crate::arena::AlignedBlock], b: &[crate::arena::AlignedBlock]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    // See `l1_blocks` for why this delegates to the slice kernel.
+    l2(
+        crate::arena::AlignedBlock::lanes_of(a),
+        crate::arena::AlignedBlock::lanes_of(b),
+    )
 }
 
 /// Angular distance `arccos(cosine similarity) / π`, a metric on the unit
@@ -265,6 +335,35 @@ pub fn angular(a: &[f32], b: &[f32]) -> f64 {
     cos.acos() / std::f64::consts::PI
 }
 
+/// A distance kernel over zero-padded aligned block rows
+/// ([`l1_blocks`]/[`l2_blocks`]).
+pub type BlockKernel = fn(&[crate::arena::AlignedBlock], &[crate::arena::AlignedBlock]) -> f64;
+
+impl VectorMetric {
+    /// The block-row kernel of this metric, if it has one: the L1/L2 loops
+    /// are block-wise ([`l1_blocks`]/[`l2_blocks`]); angular stays scalar
+    /// (its three coupled accumulators gain nothing from lane splitting),
+    /// so aligned arenas are never built for it.
+    pub fn block_kernel(&self) -> Option<BlockKernel> {
+        match self {
+            VectorMetric::L1 => Some(l1_blocks),
+            VectorMetric::L2 => Some(l2_blocks),
+            VectorMetric::Angular => None,
+        }
+    }
+
+    /// [`Metric::work`] from the dimensionality alone (the batched kernels
+    /// read lengths off the arena offsets without touching payloads).
+    pub fn work_len(&self, dims: usize) -> u64 {
+        let d = dims as u64;
+        match self {
+            VectorMetric::L1 => 2 * d,
+            VectorMetric::L2 => 3 * d + 8,
+            VectorMetric::Angular => 6 * d + 32,
+        }
+    }
+}
+
 impl Metric<[f32]> for VectorMetric {
     fn distance(&self, a: &[f32], b: &[f32]) -> f64 {
         match self {
@@ -275,12 +374,7 @@ impl Metric<[f32]> for VectorMetric {
     }
 
     fn work(&self, a: &[f32], _b: &[f32]) -> u64 {
-        let d = a.len() as u64;
-        match self {
-            VectorMetric::L1 => 2 * d,
-            VectorMetric::L2 => 3 * d + 8,
-            VectorMetric::Angular => 6 * d + 32,
-        }
+        self.work_len(a.len())
     }
 
     fn name(&self) -> &'static str {
@@ -413,6 +507,64 @@ mod tests {
         let b = [3.0f32, 4.0];
         assert_eq!(l1(&a, &b), 7.0);
         assert_eq!(l2(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn block_kernels_match_slices_bitwise() {
+        use crate::arena::AlignedBlock;
+        // Every length across block boundaries, including 0 and one lane.
+        for n in [0usize, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 128, 130] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32).sin() * 3.7).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).cos() - 1.2).collect();
+            let (ba, bb) = (AlignedBlock::pack(&a), AlignedBlock::pack(&b));
+            assert_eq!(
+                l1(&a, &b).to_bits(),
+                l1_blocks(&ba, &bb).to_bits(),
+                "L1 n={n}"
+            );
+            assert_eq!(
+                l2(&a, &b).to_bits(),
+                l2_blocks(&ba, &bb).to_bits(),
+                "L2 n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn low_dim_l2_matches_sequential_fold() {
+        // For dims ≤ 3 the canonical lane order degenerates to the plain
+        // left-to-right fold — the property that keeps the 2-D T-Loc
+        // fingerprints (shard invariance, descent-engine pins) unchanged.
+        for n in 0..=3usize {
+            let a: Vec<f32> = (0..n).map(|i| i as f32 * 1.25 + 0.1).collect();
+            let b: Vec<f32> = (0..n).map(|i| 2.0 - i as f32 * 0.75).collect();
+            // Plain left-to-right fold from `+0.0` — the order the legacy
+            // scalar kernels used. (`Iterator::sum` folds from `-0.0`, which
+            // would flip the sign bit of the empty sum.)
+            let seq_l2 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| {
+                    let d = f64::from(x - y);
+                    d * d
+                })
+                .fold(0f64, |s, t| s + t)
+                .sqrt();
+            let seq_l1 = a
+                .iter()
+                .zip(&b)
+                .map(|(x, y)| f64::from((x - y).abs()))
+                .fold(0f64, |s, t| s + t);
+            assert_eq!(l2(&a, &b).to_bits(), seq_l2.to_bits(), "L2 n={n}");
+            assert_eq!(l1(&a, &b).to_bits(), seq_l1.to_bits(), "L1 n={n}");
+        }
+    }
+
+    #[test]
+    fn block_kernel_availability() {
+        assert!(VectorMetric::L1.block_kernel().is_some());
+        assert!(VectorMetric::L2.block_kernel().is_some());
+        assert!(VectorMetric::Angular.block_kernel().is_none());
     }
 
     #[test]

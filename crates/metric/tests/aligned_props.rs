@@ -1,0 +1,101 @@
+//! Property tests for the aligned block layout: packing round-trips, and
+//! zero-padded tail lanes never affect any distance (bitwise).
+
+use metric_space::arena::{AlignedBlock, ArenaKind, ArenaLayout, ObjectArena};
+use metric_space::dist::{l1, l1_blocks, l2, l2_blocks};
+use metric_space::Item;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn payload(rng: &mut StdRng, n: usize) -> Vec<f32> {
+    // Finite, well-scaled lanes (the dataset generators never emit
+    // NaN/inf; moderate magnitudes keep squares finite too).
+    (0..n).map(|_| rng.gen_range(-1.0e3f32..1.0e3)).collect()
+}
+
+/// Strategy drawing a same-length pair of payload vectors.
+struct PairStrategy(std::ops::Range<usize>);
+
+impl Strategy for PairStrategy {
+    type Value = (Vec<f32>, Vec<f32>);
+    fn generate(&self, rng: &mut StdRng) -> (Vec<f32>, Vec<f32>) {
+        let n = rng.gen_range(self.0.clone());
+        (payload(rng, n), payload(rng, n))
+    }
+}
+
+/// Strategy drawing a ragged collection of payload vectors.
+struct VecsStrategy {
+    count: std::ops::Range<usize>,
+    lens: std::ops::Range<usize>,
+}
+
+impl Strategy for VecsStrategy {
+    type Value = Vec<Vec<f32>>;
+    fn generate(&self, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        let count = rng.gen_range(self.count.clone());
+        (0..count)
+            .map(|_| {
+                let n = rng.gen_range(self.lens.clone());
+                payload(rng, n)
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    /// Pack → flatten returns the original payload, and every tail lane is
+    /// exactly `+0.0`.
+    #[test]
+    fn pack_roundtrip(vs in VecsStrategy { count: 1..2, lens: 0..100 }) {
+        let v = &vs[0];
+        let row = AlignedBlock::pack(v);
+        prop_assert_eq!(row.len(), AlignedBlock::blocks_for(v.len()));
+        let flat: Vec<f32> = row.iter().flat_map(|b| b.0).collect();
+        prop_assert_eq!(&flat[..v.len()], &v[..]);
+        prop_assert!(flat[v.len()..].iter().all(|p| p.to_bits() == 0));
+    }
+
+    /// The block kernels over packed rows are bit-identical to the slice
+    /// kernels over the logical payloads — i.e. padding lanes contribute
+    /// nothing to either L1 or L2, for any length and any tail occupancy.
+    #[test]
+    fn padding_never_affects_distances(vs in PairStrategy(0..100)) {
+        let (a, b) = vs;
+        let (ba, bb) = (AlignedBlock::pack(&a), AlignedBlock::pack(&b));
+        prop_assert_eq!(l1(&a, &b).to_bits(), l1_blocks(&ba, &bb).to_bits());
+        prop_assert_eq!(l2(&a, &b).to_bits(), l2_blocks(&ba, &bb).to_bits());
+    }
+
+    /// Appending whole blocks of zero padding to both rows — more padding
+    /// than any real tail — still changes no result bit.
+    #[test]
+    fn extra_zero_blocks_are_identity(vs in PairStrategy(1..64), extra in 1usize..4) {
+        let (a, b) = vs;
+        let (mut ba, mut bb) = (AlignedBlock::pack(&a), AlignedBlock::pack(&b));
+        let (l1_before, l2_before) = (l1_blocks(&ba, &bb), l2_blocks(&ba, &bb));
+        ba.extend(std::iter::repeat_n(AlignedBlock::ZERO, extra));
+        bb.extend(std::iter::repeat_n(AlignedBlock::ZERO, extra));
+        prop_assert_eq!(l1_before.to_bits(), l1_blocks(&ba, &bb).to_bits());
+        prop_assert_eq!(l2_before.to_bits(), l2_blocks(&ba, &bb).to_bits());
+    }
+
+    /// An aligned arena round-trips every payload through its block rows
+    /// and keeps layout-independent arities.
+    #[test]
+    fn aligned_arena_roundtrip(vs in VecsStrategy { count: 1..12, lens: 0..40 }) {
+        let mut arena = ObjectArena::new_with(ArenaKind::Vector, ArenaLayout::Aligned);
+        for v in &vs {
+            prop_assert!(arena.push_item(&Item::vector(v.clone())));
+        }
+        prop_assert_eq!(arena.len(), vs.len());
+        for (id, v) in vs.iter().enumerate() {
+            prop_assert_eq!(arena.arity(id as u32), v.len());
+            let flat: Vec<f32> = arena.blocks(id as u32).iter().flat_map(|b| b.0).collect();
+            prop_assert_eq!(&flat[..v.len()], &v[..]);
+            prop_assert!(flat[v.len()..].iter().all(|p| p.to_bits() == 0));
+        }
+    }
+}

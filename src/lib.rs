@@ -76,6 +76,6 @@ pub mod prelude {
     };
     pub use metric_space::index::{DynamicIndex, Neighbor, SimilarityIndex};
     pub use metric_space::{
-        Dataset, DatasetKind, Item, ItemMetric, PartitionStrategy, Partitioner,
+        ArenaLayout, Dataset, DatasetKind, Item, ItemMetric, PartitionStrategy, Partitioner,
     };
 }

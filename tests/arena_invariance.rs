@@ -177,6 +177,80 @@ fn single_query_is_a_batch_of_one_through_the_engine() {
     );
 }
 
+/// Layout invariance: the SIMD-aligned block layout is a pure wall-clock
+/// lever. Because the block-wise kernels sum lanes in the same canonical
+/// order as the packed scalar kernels (zero-padded tails are a bitwise
+/// identity), answers must be **bit-identical** between `ArenaLayout::Legacy`
+/// and `ArenaLayout::Aligned`, and because the work model reads payload
+/// lengths only, simulated cycle counts must match exactly too — at every
+/// `host_threads` setting.
+fn assert_layout_invariant(kind: DatasetKind, radius: f64) {
+    let base = GtsParams::default().with_use_arena(true);
+    let legacy = run_with(
+        kind,
+        700,
+        base.with_arena_layout(ArenaLayout::Legacy),
+        radius,
+    );
+    for threads in [1usize, 3, 8] {
+        let aligned = run_with(
+            kind,
+            700,
+            base.with_arena_layout(ArenaLayout::Aligned)
+                .with_host_threads(threads),
+            radius,
+        );
+        assert_eq!(
+            legacy.mrq, aligned.mrq,
+            "{kind:?}: MRQ answers must be layout-invariant (threads={threads})"
+        );
+        assert_eq!(
+            legacy.knn, aligned.knn,
+            "{kind:?}: MkNNQ answers must be layout-invariant (threads={threads})"
+        );
+        assert_eq!(
+            legacy.build_stats, aligned.build_stats,
+            "{kind:?}: construction counters must be layout-invariant (threads={threads})"
+        );
+        assert_eq!(
+            legacy.search_cycles, aligned.search_cycles,
+            "{kind:?}: search cycles must be layout-invariant (threads={threads})"
+        );
+        assert_eq!(
+            legacy.search_stats, aligned.search_stats,
+            "{kind:?}: pruning counters must be layout-invariant (threads={threads})"
+        );
+    }
+}
+
+#[test]
+fn vector_aligned_layout_matches_legacy() {
+    assert_layout_invariant(DatasetKind::Vector, 0.35);
+}
+
+#[test]
+fn tloc_aligned_layout_matches_legacy() {
+    assert_layout_invariant(DatasetKind::TLoc, 900.0);
+}
+
+/// Edit distance has no block kernel: requesting the aligned layout must
+/// degrade to the packed legacy arena (not crash, not change answers).
+#[test]
+fn words_aligned_request_degrades_to_legacy() {
+    let base = GtsParams::default().with_use_arena(true);
+    let legacy = run_with(DatasetKind::Words, 700, base, 2.0);
+    let aligned = run_with(
+        DatasetKind::Words,
+        700,
+        base.with_arena_layout(ArenaLayout::Aligned),
+        2.0,
+    );
+    assert_eq!(legacy.mrq, aligned.mrq);
+    assert_eq!(legacy.knn, aligned.knn);
+    assert_eq!(legacy.build_stats, aligned.build_stats);
+    assert_eq!(legacy.search_cycles, aligned.search_cycles);
+}
+
 #[test]
 fn updates_preserve_invariance_through_the_cache_scan() {
     let data = DatasetKind::Words.generate(300, 77);

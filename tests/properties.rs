@@ -179,7 +179,9 @@ proptest! {
             let ids: Vec<u32> = (0..items.len() as u32).collect();
             let bounds = vec![bound; ids.len()];
             let mut out = vec![None; ids.len()];
-            metric.distance_batch_bounded(&items, Some(&arena), q, &ids, &bounds, &mut out);
+            metric
+                .distance_batch_bounded(&items, Some(&arena), q, &ids, &bounds, &mut out)
+                .expect("legacy arena");
             for (&id, slot) in ids.iter().zip(&out) {
                 let real = metric.distance(q, &items[id as usize]);
                 match slot {
